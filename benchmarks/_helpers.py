@@ -1,0 +1,100 @@
+"""Shared helpers for the per-figure/table benchmark harness.
+
+Every benchmark regenerates one table or figure from the paper's evaluation:
+it runs the underlying study once (via ``benchmark.pedantic`` so
+pytest-benchmark also records the study's runtime), prints the same
+rows/series the paper reports, and asserts the *shape* criteria from
+DESIGN.md (who wins, rough factors, crossovers) — absolute numbers are
+testbed-dependent and recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.core import calculate
+from repro.core.results import PerformanceResult
+from repro.execution import ExecutionStrategy
+from repro.hardware import System
+from repro.llm import LLMConfig
+from repro.search import SearchOptions
+
+
+def best_over(
+    llm: LLMConfig,
+    system: System,
+    strategies: Sequence[ExecutionStrategy],
+) -> tuple[ExecutionStrategy, PerformanceResult] | None:
+    """Evaluate a strategy list, return the fastest feasible one."""
+    best: tuple[ExecutionStrategy, PerformanceResult] | None = None
+    for strat in strategies:
+        res = calculate(llm, system, strat)
+        if res.feasible and (best is None or res.batch_time < best[1].batch_time):
+            best = (strat, res)
+    return best
+
+
+def grid_strategies(
+    llm: LLMConfig,
+    batch: int,
+    t: int,
+    p: int,
+    d: int,
+    options: SearchOptions,
+) -> list[ExecutionStrategy]:
+    """All strategy variants for a fixed (t, p, d) cell of a Fig. 5/9 grid."""
+    import itertools
+
+    if batch % d:
+        return []
+    local = batch // d
+    microbatches = [
+        m for m in (1, 2, 4, 8) if local % m == 0 and m <= options.max_microbatch
+    ]
+    bpstage = math.ceil(llm.num_blocks / p)
+    interleavings = sorted(
+        {v for v in (1, 2, 4, 8) if v <= bpstage and (v == 1 or p > 1)}
+    )
+    out = []
+    for m, v in itertools.product(microbatches, interleavings):
+        for rc, (sp, redo, ppsg), tpo, dpo, osh, fus, off in itertools.product(
+            options.recompute,
+            options.seq_par_modes,
+            options.tp_overlap,
+            options.dp_overlap,
+            options.optimizer_sharding,
+            options.fused_activations,
+            options.offload_modes,
+        ):
+            if sp and (t == 1 or llm.seq_size % t):
+                continue
+            out.append(
+                ExecutionStrategy(
+                    tensor_par=t,
+                    pipeline_par=p,
+                    data_par=d,
+                    batch=batch,
+                    microbatch=m,
+                    pp_interleaving=v,
+                    pp_rs_ag=ppsg and sp,
+                    seq_par=sp,
+                    tp_redo_sp=redo and sp,
+                    tp_overlap=tpo,
+                    dp_overlap=dpo,
+                    optimizer_sharding=osh,
+                    recompute=rc,
+                    fused_activations=fus,
+                    weight_offload=off[0],
+                    activation_offload=off[1],
+                    optimizer_offload=off[2],
+                )
+            )
+    return out
+
+
+def banner(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)

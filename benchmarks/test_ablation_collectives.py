@@ -1,0 +1,79 @@
+"""Ablation: collective-algorithm choice and in-network reduction (§2.2).
+
+The network model's per-operation specification "is also the mechanism that
+models the performance benefits of in-network collectives".  This bench
+quantifies three levers on the data-parallel gradient all-reduce:
+
+* algorithm choice (ring vs tree) across payload sizes and group sizes;
+* in-network (switch) reduction — halving the wire traffic;
+* hierarchical reduction through the NVLink islands — cutting the per-GPU
+  inter-node traffic by the island size.
+"""
+
+import pytest
+
+from repro.hardware import Network, best_time, hierarchical_all_reduce, ring_time
+from repro.units import GB
+from repro.viz import table
+
+from _helpers import banner
+
+NVLINK = Network(name="nvlink", size=8, bandwidth=300 * GB, latency=0.7e-6,
+                 efficiency=0.85)
+IB = Network(name="ib", size=4096, bandwidth=25 * GB, latency=5e-6,
+             efficiency=0.85)
+IB_SHARP = Network(name="ib-sharp", size=4096, bandwidth=25 * GB, latency=5e-6,
+                   efficiency=0.85, in_network_collectives=True)
+
+
+def _run():
+    rows = []
+    for nbytes in (1e4, 1e6, 1e8, 1e9, 1e10):
+        for group in (8, 64, 512):
+            flat = best_time(IB, "all_reduce", nbytes, group)
+            sharp = best_time(IB_SHARP, "all_reduce", nbytes, group)
+            hier = hierarchical_all_reduce(NVLINK, IB, nbytes, 8, group // 8 or 1)
+            rows.append((nbytes, group, flat, sharp, hier))
+    return rows
+
+
+def test_ablation_collectives(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    banner("Ablation — all-reduce: flat vs in-network vs hierarchical")
+    print(
+        table(
+            ["bytes", "group", "flat (alg)", "in-network", "hierarchical",
+             "sharp gain", "hier gain"],
+            [
+                (
+                    f"{int(nbytes):.0e}",
+                    g,
+                    f"{flat.time * 1e3:.3g} ms ({flat.algorithm})",
+                    f"{sharp.time * 1e3:.3g} ms",
+                    f"{hier * 1e3:.3g} ms",
+                    f"{flat.time / sharp.time:.2f}x",
+                    f"{flat.time / hier:.2f}x",
+                )
+                for nbytes, g, flat, sharp, hier in rows
+            ],
+        )
+    )
+
+    by_key = {(n, g): (f, s, h) for n, g, f, s, h in rows}
+
+    # Small payloads pick the tree algorithm; large payloads pick ring.
+    assert by_key[(1e4, 512)][0].algorithm == "tree"
+    assert by_key[(1e10, 8)][0].algorithm == "ring"
+
+    # In-network reduction approaches a 2x win for large payloads.
+    flat, sharp, _ = by_key[(1e10, 512)]
+    assert 1.7 < flat.time / sharp.time <= 2.01
+
+    # Hierarchical reduction through 8-GPU islands wins big at scale.
+    flat, _, hier = by_key[(1e9, 512)]
+    assert flat.time / hier > 3.0
+
+    # For a group inside one island the hierarchy degenerates gracefully.
+    flat, _, hier = by_key[(1e8, 8)]
+    assert hier <= flat.time  # NVLink beats IB for the same group

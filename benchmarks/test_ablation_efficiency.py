@@ -1,0 +1,90 @@
+"""Ablation: the size-dependent GEMM efficiency curve (§2.2).
+
+The paper parameterizes matrix-engine performance by operation size because
+small GEMMs run at a lower fraction of peak.  This ablation replaces the
+calibrated curve with a flat one (matched at large sizes) and measures how
+the predicted penalty of extreme tensor parallelism changes.
+
+Expectation: with the curve, high TP degrees (thin local GEMMs) lose extra
+throughput, so the flat-efficiency model *underestimates* the cost of large
+t — the gap widens as t grows.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core import calculate
+from repro.execution import ExecutionStrategy
+from repro.hardware import EfficiencyCurve, a100_system
+from repro.llm import GPT3_175B, LLMConfig
+from repro.viz import table
+
+from _helpers import banner
+
+NPROCS = 64
+BATCH = 64
+
+# A small model: sharded 32 ways its GEMMs leave the efficiency plateau,
+# which is exactly the regime the size-dependent curve exists to capture.
+SMALL = LLMConfig(name="small-ablate", hidden=2048, attn_heads=32, seq_size=512,
+                  num_blocks=16)
+
+
+def _system(flat: bool):
+    sys_ = a100_system(NPROCS, hbm_gib=1_000_000, nvlink_size=64)
+    if not flat:
+        return sys_
+    proc = replace(
+        sys_.processor,
+        matrix_efficiency=EfficiencyCurve.flat(
+            sys_.processor.matrix_efficiency(1e13)
+        ),
+    )
+    return replace(sys_, processor=proc)
+
+
+def _run():
+    out = []
+    for t in (1, 2, 4, 8, 16, 32):
+        strat = ExecutionStrategy(
+            tensor_par=t,
+            pipeline_par=1,
+            data_par=NPROCS // t,
+            batch=BATCH,
+            microbatch=1,
+            recompute="full",
+        )
+        curved = calculate(SMALL, _system(False), strat)
+        flat = calculate(SMALL, _system(True), strat)
+        out.append((t, curved, flat))
+    return out
+
+
+def test_ablation_efficiency_curve(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    banner("Ablation — size-dependent GEMM efficiency vs flat efficiency")
+    print(
+        table(
+            ["t", "curved s", "flat s", "curve penalty"],
+            [
+                (t, round(c.batch_time, 2), round(f.batch_time, 2),
+                 f"{(c.batch_time / f.batch_time - 1) * 100:+.1f}%")
+                for t, c, f in rows
+            ],
+        )
+    )
+
+    penalties = [c.batch_time / f.batch_time for t, c, f in rows]
+    # The flat model can never be slower (it is matched at large sizes).
+    assert all(p >= 1.0 - 1e-9 for p in penalties)
+    # The curve's impact peaks at intermediate shard sizes: GEMMs have left
+    # the efficiency plateau but are still compute-bound.  At extreme t the
+    # ops turn memory-bound (roofline max) and TP communication dominates,
+    # so the compute-efficiency penalty fades again.
+    peak = max(penalties)
+    assert peak > penalties[0] + 0.02
+    peak_idx = penalties.index(peak)
+    assert 0 < peak_idx < len(penalties) - 1
+    assert penalties[-1] < peak

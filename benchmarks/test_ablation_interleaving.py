@@ -1,0 +1,75 @@
+"""Ablation: pipeline-interleaving factor sweep (Table 1 "PP interleaving").
+
+Interleaving divides the bubble by v at the cost of v-times more pipeline
+point-to-point traffic and a larger activation footprint — the three-way
+trade the paper's Fig. 2 schedule embodies.  The sweep quantifies each term.
+"""
+
+import pytest
+
+from repro.core import calculate
+from repro.execution import ExecutionStrategy
+from repro.hardware import a100_system
+from repro.llm import GPT3_175B
+from repro.viz import table
+
+from _helpers import banner
+
+NPROCS = 64
+BATCH = 64
+
+
+def _run():
+    system = a100_system(NPROCS, hbm_gib=1_000_000)
+    out = []
+    for v in (1, 2, 3, 4, 6, 12):
+        res = calculate(
+            GPT3_175B,
+            system,
+            ExecutionStrategy(
+                tensor_par=8,
+                pipeline_par=8,
+                data_par=1,
+                batch=BATCH,
+                microbatch=1,
+                pp_interleaving=v,
+                recompute="full",
+            ),
+        )
+        out.append((v, res))
+    return out
+
+
+def test_ablation_interleaving(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    banner("Ablation — interleaving: bubble vs PP traffic vs activation memory")
+    print(
+        table(
+            ["v", "batch s", "bubble s", "PP comm total s", "activation GiB"],
+            [
+                (v, round(r.batch_time, 2), round(r.time.pp_bubble, 3),
+                 round(r.time.pp_comm_total, 3),
+                 round(r.mem1.activation / 2**30, 2))
+                for v, r in rows
+            ],
+        )
+    )
+
+    by_v = dict(rows)
+    # Bubble shrinks as 1/v.
+    assert by_v[4].time.pp_bubble == pytest.approx(
+        by_v[1].time.pp_bubble / 4, rel=0.02
+    )
+    assert by_v[12].time.pp_bubble < by_v[2].time.pp_bubble
+    # PP traffic grows linearly with v.
+    assert by_v[4].time.pp_comm_total == pytest.approx(
+        4 * by_v[1].time.pp_comm_total, rel=0.05
+    )
+    # Activation footprint grows with interleaving (extra in-flight chunks).
+    assert by_v[4].mem1.activation > by_v[1].mem1.activation
+    # There is an interior sweet spot or saturation: the largest v is not
+    # strictly the fastest once traffic costs kick in, or gains flatten.
+    gains = [rows[i][1].batch_time - rows[i + 1][1].batch_time
+             for i in range(len(rows) - 1)]
+    assert gains[0] > gains[-1] - 1e-9

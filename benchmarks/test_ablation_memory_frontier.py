@@ -1,0 +1,74 @@
+"""Ablation: performance vs HBM capacity (the Fig. 5(a->d) capacity axis).
+
+Fig. 5 shows feasibility and the optimum shifting as capacity doubles from
+80 to 160 GiB.  This ablation sweeps capacity continuously for Megatron-1T
+on 512 A100s and reports the best-achievable rate at each point — the
+"memory frontier" a designer reads capacity decisions from.
+
+Shape criteria: the frontier is monotone non-decreasing; below a floor
+nothing runs; most of the benefit arrives by ~80 GiB (diminishing returns,
+consistent with the paper's finding that high HBM capacity is not necessary
+for efficient training when software is chosen well).
+"""
+
+import pytest
+
+from repro.analysis import memory_frontier
+from repro.hardware import a100_system
+from repro.llm import MEGATRON_1T
+from repro.search import SearchOptions
+from repro.units import GiB
+from repro.viz import table
+
+from _helpers import banner
+
+CAPS_GIB = (10, 20, 40, 60, 80, 120, 160, 240)
+BATCH = 512
+
+OPTS = SearchOptions(
+    recompute=("none", "attn_only", "full"),
+    seq_par_modes=((True, True, True),),
+    tp_overlap=("none",),
+    dp_overlap=(False,),
+    optimizer_sharding=(True,),
+    fused_activations=(True,),
+    max_microbatch=4,
+)
+
+
+def _run():
+    system = a100_system(512)
+    return memory_frontier(
+        MEGATRON_1T, system, BATCH, [g * GiB for g in CAPS_GIB], OPTS
+    )
+
+
+def test_ablation_memory_frontier(benchmark):
+    frontier = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    banner("Ablation — Megatron-1T on 512 A100: best rate vs HBM capacity")
+    print(
+        table(
+            ["HBM GiB", "rate/s", "best config"],
+            [
+                (
+                    int(p.capacity / GiB),
+                    round(p.sample_rate, 2),
+                    p.strategy.short_name() if p.strategy else "infeasible",
+                )
+                for p in frontier
+            ],
+        )
+    )
+
+    rates = [p.sample_rate for p in frontier]
+    # Monotone non-decreasing in capacity.
+    assert all(b >= a - 1e-9 for a, b in zip(rates, rates[1:]))
+    # A capacity floor exists below which the model cannot run at all.
+    assert not frontier[0].feasible
+    assert frontier[-1].feasible
+    # Diminishing returns: 80 GiB already achieves most of 240 GiB's rate
+    # (the paper: "high HBM capacity is not necessary for efficient LLM
+    # training" once the right software is selected).
+    by_cap = {int(p.capacity / GiB): p.sample_rate for p in frontier}
+    assert by_cap[80] > 0.85 * by_cap[240]

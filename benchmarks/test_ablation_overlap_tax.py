@@ -1,0 +1,86 @@
+"""Ablation: the network processor-usage tax (§2.2, §6).
+
+The paper charges ~15% of processor compute while NCCL drives NVLink at full
+bandwidth (2% for InfiniBand), degrading overlapped computation.  This
+ablation zeroes the tax and measures how much of the overlap benefit it
+claws back — the mechanism behind the paper's observation that best
+configurations prefer DP on the *slower* network (cheaper to drive).
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core import calculate
+from repro.execution import ExecutionStrategy
+from repro.hardware import a100_system
+from repro.llm import GPT3_175B
+from repro.viz import table
+
+from _helpers import banner
+
+NPROCS = 64
+BATCH = 64
+
+
+def _system(tax: bool):
+    sys_ = a100_system(NPROCS, hbm_gib=1_000_000)
+    if tax:
+        return sys_
+    networks = tuple(replace(n, processor_usage=0.0) for n in sys_.networks)
+    return replace(sys_, networks=networks)
+
+
+def _run():
+    strat = ExecutionStrategy(
+        tensor_par=8,
+        pipeline_par=2,
+        data_par=4,
+        batch=BATCH,
+        microbatch=1,
+        recompute="full",
+        tp_overlap="ring",
+        dp_overlap=True,
+        optimizer_sharding=True,
+    )
+    taxed = calculate(GPT3_175B, _system(True), strat)
+    free = calculate(GPT3_175B, _system(False), strat)
+    no_overlap = calculate(
+        GPT3_175B, _system(True), strat.evolve(tp_overlap="none", dp_overlap=False)
+    )
+    return taxed, free, no_overlap
+
+
+def test_ablation_overlap_tax(benchmark):
+    taxed, free, no_overlap = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    banner("Ablation — processor tax of driving the network during overlap")
+    print(
+        table(
+            ["variant", "batch s", "overlap tax s", "exposed TP s"],
+            [
+                ("overlap, taxed", round(taxed.batch_time, 3),
+                 round(taxed.time.overlap_tax, 3),
+                 round(taxed.time.tp_comm_exposed, 3)),
+                ("overlap, tax-free", round(free.batch_time, 3),
+                 round(free.time.overlap_tax, 3),
+                 round(free.time.tp_comm_exposed, 3)),
+                ("no overlap", round(no_overlap.batch_time, 3),
+                 round(no_overlap.time.overlap_tax, 3),
+                 round(no_overlap.time.tp_comm_exposed, 3)),
+            ],
+        )
+    )
+
+    # Overlap helps even when taxed, but the tax claws part of it back.
+    assert free.batch_time < taxed.batch_time < no_overlap.batch_time
+    assert taxed.time.overlap_tax > 0
+    assert free.time.overlap_tax == 0
+    # The tax is bounded by the hidden communication times (sanity).
+    hidden = (
+        taxed.time.tp_comm_total
+        - taxed.time.tp_comm_exposed
+        + taxed.time.dp_comm_total
+        - taxed.time.dp_comm_exposed
+    )
+    assert taxed.time.overlap_tax <= hidden

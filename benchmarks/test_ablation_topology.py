@@ -1,0 +1,74 @@
+"""Ablation: scale-out topology oversubscription (network substrate).
+
+The paper's network model is per-tier bandwidth/latency; real fabrics taper.
+This ablation derates the InfiniBand tier with a fat-tree oversubscription
+factor and measures how the data-parallel gradient all-reduce — the
+collective that spans the whole machine — loses time, and how in-network
+reduction buys some of it back.
+"""
+
+import pytest
+
+from repro.hardware import Network, best_time, effective_network
+from repro.hardware.topology import FatTree
+from repro.units import GB
+from repro.viz import table
+
+from _helpers import banner
+
+IB = Network(name="ib-ndr", size=4096, bandwidth=50 * GB, latency=5e-6,
+             efficiency=0.85)
+GRAD_BYTES = 2e9  # a 1B-parameter-per-rank gradient buffer
+SPANS = (32, 256, 2048)
+TAPERS = (1.0, 2.0, 4.0, 8.0)
+
+
+def _run():
+    rows = []
+    for taper in TAPERS:
+        ft = FatTree(leaf_size=32, oversubscription=taper)
+        for span in SPANS:
+            net = effective_network(IB, ft, span)
+            plain = best_time(net, "all_reduce", GRAD_BYTES, span)
+            sharp_net = Network(
+                name="ib-sharp", size=net.size, bandwidth=net.bandwidth,
+                latency=net.latency, efficiency=net.efficiency,
+                in_network_collectives=True,
+            )
+            sharp = best_time(sharp_net, "all_reduce", GRAD_BYTES, span)
+            rows.append((taper, span, plain.time, sharp.time))
+    return rows
+
+
+def test_ablation_topology(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    banner("Ablation — fat-tree oversubscription vs DP all-reduce time")
+    print(
+        table(
+            ["taper", "span", "all-reduce ms", "w/ in-network ms", "sharp gain"],
+            [
+                (taper, span, round(p * 1e3, 2), round(s * 1e3, 2),
+                 f"{p / s:.2f}x")
+                for taper, span, p, s in rows
+            ],
+        )
+    )
+
+    by = {(taper, span): (p, s) for taper, span, p, s in rows}
+
+    # Inside one leaf (span 32) the taper is invisible.
+    for taper in TAPERS:
+        assert by[(taper, 32)][0] == pytest.approx(by[(1.0, 32)][0], rel=1e-9)
+
+    # Across leaves, time scales with the taper (bandwidth-bound regime).
+    t1 = by[(1.0, 2048)][0]
+    t4 = by[(4.0, 2048)][0]
+    t8 = by[(8.0, 2048)][0]
+    assert t4 == pytest.approx(4 * t1, rel=0.05)
+    assert t8 == pytest.approx(8 * t1, rel=0.05)
+
+    # In-network reduction recovers close to 2x at every taper.
+    for taper in TAPERS:
+        p, s = by[(taper, 2048)]
+        assert 1.7 < p / s < 2.1

@@ -1,0 +1,74 @@
+"""Ablation: 1-D vs 2-D tensor-parallel distribution (paper §6, ref [35]).
+
+"TP up to 16 can achieve best performance with a single dimensional
+distribution ... since distributing GEMM across more dimensions works better
+only with larger TP partition sizes."  This bench sweeps the TP degree with
+both distributions and locates the crossover.
+"""
+
+import pytest
+
+from repro.core import calculate
+from repro.execution import ExecutionStrategy
+from repro.hardware import a100_system
+from repro.llm import LLMConfig
+from repro.viz import table
+
+from _helpers import banner
+
+# A wide model so large TP degrees still divide the shape evenly.
+LLM = LLMConfig(name="tp-ablate", hidden=16384, attn_heads=256, seq_size=2048,
+                num_blocks=8)
+T_VALUES = (4, 16, 64, 256)
+
+
+def _run():
+    rows = []
+    for t in T_VALUES:
+        system = a100_system(t, hbm_gib=1_000_000, nvlink_size=t)
+        base = dict(
+            tensor_par=t, pipeline_par=1, data_par=1, batch=4, microbatch=4,
+            recompute="none",
+        )
+        one_d = calculate(LLM, system, ExecutionStrategy(tp_mode="1d", **base))
+        two_d = calculate(LLM, system, ExecutionStrategy(tp_mode="2d", **base))
+        rows.append((t, one_d, two_d))
+    return rows
+
+
+def test_ablation_tp_mode(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    banner("Ablation — 1-D vs 2-D tensor parallelism (batch time, TP comm)")
+    print(
+        table(
+            ["t", "1D s", "2D s", "1D TP comm", "2D TP comm", "winner"],
+            [
+                (
+                    t,
+                    round(a.batch_time, 3),
+                    round(b.batch_time, 3),
+                    round(a.time.tp_comm_total, 3),
+                    round(b.time.tp_comm_total, 3),
+                    "2D" if b.batch_time < a.batch_time else "1D",
+                )
+                for t, a, b in rows
+            ],
+        )
+    )
+
+    by_t = {t: (a, b) for t, a, b in rows}
+
+    # Small TP degree: the single-dimensional split wins (weight tiles make
+    # 2-D more expensive).
+    a4, b4 = by_t[4]
+    assert a4.batch_time <= b4.batch_time
+
+    # Large TP degree: the 2-D grid's 1/sqrt(t) activation volume wins.
+    a256, b256 = by_t[256]
+    assert b256.batch_time < a256.batch_time
+    assert b256.time.tp_comm_total < a256.time.tp_comm_total
+
+    # The advantage of 2-D grows monotonically with t.
+    ratios = [b.batch_time / a.batch_time for _, a, b in rows]
+    assert ratios == sorted(ratios, reverse=True)

@@ -1,0 +1,81 @@
+"""Extension: global batch-size scaling (the bubble-amortization curve).
+
+Training efficiency depends on the one knob the system designer does not
+own: the global batch.  Small batches leave the pipeline mostly bubble
+(M < p); large batches amortize fill/drain and fixed costs.  The bench sweeps
+the batch with a fixed parallelization and with re-searched strategies.
+
+Shape criteria: MFU rises monotonically with batch under a fixed strategy
+and saturates; re-searching at each batch never loses to the fixed strategy;
+the M = p crossover is visible as the steepest part of the curve.
+"""
+
+import pytest
+
+from repro.analysis import batch_sweep_fixed, batch_sweep_searched
+from repro.execution import ExecutionStrategy
+from repro.hardware import a100_system
+from repro.llm import GPT3_175B
+from repro.search import SearchOptions
+from repro.viz import table
+
+from _helpers import banner
+
+BATCHES = (8, 16, 32, 64, 128, 256, 512)
+STRAT = ExecutionStrategy(
+    tensor_par=8, pipeline_par=8, data_par=1, batch=64, microbatch=1,
+    recompute="attn_only", seq_par=True, tp_redo_sp=True,
+    optimizer_sharding=True,
+)
+OPTS = SearchOptions(
+    recompute=("attn_only", "full"),
+    seq_par_modes=((True, True, True),),
+    tp_overlap=("none",),
+    dp_overlap=(False,),
+    optimizer_sharding=(True,),
+    fused_activations=(False,),
+    max_microbatch=4,
+)
+
+
+def _run():
+    system = a100_system(64)
+    fixed = batch_sweep_fixed(GPT3_175B, system, STRAT, BATCHES)
+    searched = batch_sweep_searched(GPT3_175B, system, BATCHES, OPTS)
+    return fixed, searched
+
+
+def test_ext_batch_scaling(benchmark):
+    fixed, searched = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    banner("Extension — GPT-3 175B on 64 A100: batch-size scaling")
+    print(
+        table(
+            ["batch", "fixed MFU", "fixed rate", "searched MFU", "searched rate"],
+            [
+                (
+                    f.batch,
+                    f"{f.mfu * 100:.1f}%" if f.feasible else "--",
+                    round(f.sample_rate, 2),
+                    f"{s.mfu * 100:.1f}%" if s.feasible else "--",
+                    round(s.sample_rate, 2),
+                )
+                for f, s in zip(fixed, searched)
+            ],
+        )
+    )
+
+    feas = [p for p in fixed if p.feasible]
+    assert len(feas) >= 5
+    mfus = [p.mfu for p in feas]
+    # MFU rises with batch (bubble amortization) and saturates.
+    assert mfus == sorted(mfus)
+    assert mfus[-1] > 1.5 * mfus[0]
+    last_gain = mfus[-1] / mfus[-2]
+    first_gain = mfus[1] / mfus[0]
+    assert first_gain > last_gain  # diminishing returns
+
+    # Re-searching each batch never loses to the fixed strategy.
+    for f, s in zip(fixed, searched):
+        if f.feasible:
+            assert s.sample_rate >= f.sample_rate - 1e-9

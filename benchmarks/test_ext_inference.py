@@ -1,0 +1,103 @@
+"""Extension: inference scaling study (paper §2.3 covers inference; no
+dedicated figure exists, so this bench exercises the serving model's shape).
+
+Checks the canonical serving trade-offs the decode model must reproduce:
+decode is memory-bandwidth-bound (weights + KV cache stream every step), so
+batching is nearly free until the KV cache exhausts HBM; tensor parallelism
+cuts latency sublinearly (collective latency floor); pipelining multiplies
+throughput, not latency.
+"""
+
+import pytest
+
+from repro.hardware import a100_system
+from repro.inference import InferenceStrategy, calculate_inference, kv_cache_bytes
+from repro.llm import GPT3_175B
+from repro.viz import table
+
+from _helpers import banner
+
+
+def _run():
+    out = {"batch": [], "tp": []}
+    for batch in (1, 2, 4, 8, 16, 32, 64):
+        strat = InferenceStrategy(tensor_par=8, pipeline_par=1, batch=batch)
+        out["batch"].append(
+            (
+                batch,
+                calculate_inference(
+                    GPT3_175B,
+                    a100_system(8),
+                    strat,
+                    prompt_len=2048,
+                    generate_len=256,
+                ),
+            )
+        )
+    for t in (1, 2, 4, 8):
+        strat = InferenceStrategy(tensor_par=t, pipeline_par=8 // t, batch=4)
+        out["tp"].append(
+            (
+                t,
+                calculate_inference(
+                    GPT3_175B,
+                    a100_system(8, hbm_gib=400),  # t=1 needs all weights local
+                    strat,
+                    prompt_len=2048,
+                    generate_len=256,
+                ),
+            )
+        )
+    return out
+
+
+def test_ext_inference_scaling(benchmark):
+    results = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    banner("Extension — GPT-3 175B serving: batch scaling at t=8")
+    print(
+        table(
+            ["batch", "per-token ms", "tokens/s", "KV cache GiB"],
+            [
+                (b, round(r.decode_step_time * 1e3, 1),
+                 round(r.tokens_per_second, 0),
+                 round(r.kv_cache_bytes / 2**30, 1))
+                for b, r in results["batch"]
+                if r.feasible
+            ],
+        )
+    )
+    banner("Extension — GPT-3 175B serving: TP scaling at batch=4")
+    print(
+        table(
+            ["t", "p", "TTFT s", "per-token ms", "tokens/s"],
+            [
+                (t, 8 // t, round(r.prefill_time, 2),
+                 round(r.decode_step_time * 1e3, 1),
+                 round(r.tokens_per_second, 0))
+                for t, r in results["tp"]
+                if r.feasible
+            ],
+        )
+    )
+
+    batch_rows = [(b, r) for b, r in results["batch"] if r.feasible]
+    assert len(batch_rows) >= 5
+
+    # Batching is nearly free: 16x the batch costs < 4x the step time.
+    by_batch = dict(batch_rows)
+    assert by_batch[16].decode_step_time < 4 * by_batch[1].decode_step_time
+    # Throughput rises monotonically with batch.
+    rates = [r.tokens_per_second for _, r in batch_rows]
+    assert rates == sorted(rates)
+    # KV cache grows linearly with batch.
+    assert by_batch[16].kv_cache_bytes == pytest.approx(
+        16 * by_batch[1].kv_cache_bytes, rel=1e-6
+    )
+
+    # TP cuts decode latency monotonically, but sublinearly (latency floor).
+    tp_rows = [(t, r) for t, r in results["tp"] if r.feasible]
+    lats = [r.decode_step_time for _, r in tp_rows]
+    assert lats == sorted(lats, reverse=True)
+    t1, t8 = tp_rows[0][1], tp_rows[-1][1]
+    assert t1.decode_step_time / t8.decode_step_time < 8.0

@@ -1,0 +1,112 @@
+"""Extension validation: the Megatron-LM weak-scaling ladder.
+
+Narayanan et al. '21 (the paper's ref [29]) trained a ladder of models from
+1.7B to 1T parameters on Selene, reporting achieved per-GPU throughput that
+stays roughly flat (~44-52% of the A100's 312 TFLOP/s peak, counting the
+recompute FLOPs as useful work, as they do).  Running the same public
+configurations through our calibrated model should reproduce that flatness
+and land in the same utilization band — an out-of-sample check beyond the
+Table-2 fit.
+
+Shapes/batches follow the published table (approximate where the paper
+aggregates); the assertions use generous bands accordingly.
+"""
+
+import pytest
+
+from repro.core import calculate
+from repro.execution import ExecutionStrategy
+from repro.hardware import a100_system
+from repro.llm import LLMConfig
+from repro.viz import table
+
+from _helpers import banner
+
+# (name, hidden, heads, blocks, t, p, gpus, global batch)
+LADDER = [
+    ("1.7B", 2304, 24, 24, 1, 1, 32, 512),
+    ("3.6B", 3072, 32, 30, 2, 1, 64, 512),
+    ("7.5B", 4096, 32, 36, 4, 1, 128, 512),
+    ("18B", 6144, 48, 40, 8, 1, 256, 1024),
+    ("39B", 8192, 64, 48, 8, 2, 512, 1536),
+    ("76B", 10240, 80, 60, 8, 4, 1024, 1792),
+    ("145B", 12288, 96, 80, 8, 8, 1536, 2304),
+    ("310B", 16384, 128, 96, 8, 16, 1920, 2160),
+    ("530B", 20480, 128, 105, 8, 35, 2520, 2520),
+    ("1T", 25600, 160, 128, 8, 64, 3072, 3072),
+]
+
+A100_PEAK = 312e12
+
+
+def _achieved_tflops_per_gpu(name, h, a, L, t, p, gpus, batch):
+    llm = LLMConfig(name=f"ladder-{name}", hidden=h, attn_heads=a,
+                    seq_size=2048, num_blocks=L)
+    system = a100_system(gpus)
+    d = gpus // (t * p)
+    best = None
+    for mb in (1, 2, 4, 8):
+        if batch % d or (batch // d) % mb:
+            continue
+        res = calculate(
+            llm,
+            system,
+            ExecutionStrategy(tensor_par=t, pipeline_par=p, data_par=d,
+                              batch=batch, microbatch=mb, recompute="full"),
+        )
+        if res.feasible and (best is None or res.batch_time < best.batch_time):
+            best = res
+    if best is None:
+        return None, None
+    # Narayanan et al. count the recomputed forward pass as achieved work:
+    # useful (fw+bw = 6ND) plus the recompute replay (+2ND) = 8/6 factor.
+    model_flops = 8.0 * llm.total_parameters * batch * llm.seq_size
+    achieved = model_flops / best.batch_time / gpus
+    return achieved, best
+
+
+def _run():
+    rows = []
+    for cfg in LADDER:
+        achieved, best = _achieved_tflops_per_gpu(*cfg)
+        rows.append((cfg, achieved, best))
+    return rows
+
+
+def test_ext_megatron_scaling(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    banner("Extension — Megatron-LM weak-scaling ladder (achieved TFLOP/s/GPU)")
+    print(
+        table(
+            ["model", "GPUs", "(t,p,d)", "batch s", "TFLOP/s/GPU", "% of peak"],
+            [
+                (
+                    cfg[0],
+                    cfg[6],
+                    f"({cfg[4]},{cfg[5]},{cfg[6] // (cfg[4] * cfg[5])})",
+                    round(best.batch_time, 1) if best else "-",
+                    round(achieved / 1e12, 1) if achieved else "-",
+                    f"{achieved / A100_PEAK * 100:.1f}%" if achieved else "-",
+                )
+                for cfg, achieved, best in rows
+            ],
+        )
+    )
+
+    achieved = [a for _, a, _ in rows if a is not None]
+    assert len(achieved) == len(LADDER), "every ladder rung must be feasible"
+
+    fractions = [a / A100_PEAK for a in achieved]
+    # The published ladder sits around 0.44-0.52 of peak; allow a wide band.
+    for name_cfg, frac in zip(LADDER, fractions):
+        assert 0.30 < frac < 0.70, (name_cfg[0], frac)
+
+    # Weak scaling: per-GPU throughput stays roughly flat from 32 GPUs to
+    # 3,072 GPUs — the headline of that paper (their spread is ~1.2x; our
+    # model rises slightly more with scale, ~1.5x, because the larger
+    # hidden sizes push GEMMs further up the efficiency curve).
+    assert max(fractions) / min(fractions) < 1.6
+
+    # The large models do not collapse relative to the small ones.
+    assert fractions[-1] > 0.75 * fractions[0]

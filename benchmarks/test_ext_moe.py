@@ -1,0 +1,90 @@
+"""Extension: Mixture-of-Experts trade-offs (GShard/GSPMD, the paper's
+related-work systems).
+
+Sweeps the expert count for a GPT-3-backbone MoE on 64 A100s and compares
+against (a) the dense backbone and (b) a dense model of equal total
+parameters.  Shape criteria: MoE reaches a parameter count far above the
+backbone at a small compute premium; the equal-parameter dense model is much
+slower; all-to-all cost and expert memory grow with the expert count.
+"""
+
+import pytest
+
+from repro.core import calculate
+from repro.execution import ExecutionStrategy
+from repro.hardware import a100_system
+from repro.llm import LLMConfig
+from repro.moe import MoEConfig, calculate_moe
+from repro.viz import table
+
+from _helpers import banner
+
+BASE = LLMConfig(name="moe-backbone", hidden=4096, attn_heads=32,
+                 seq_size=2048, num_blocks=24)
+SYS = a100_system(64, hbm_gib=1_000_000)
+STRAT = ExecutionStrategy(tensor_par=4, pipeline_par=2, data_par=8, batch=64,
+                          microbatch=1, recompute="none",
+                          optimizer_sharding=True)
+EXPERTS = (2, 8, 32, 128)
+
+
+def _run():
+    dense = calculate(BASE, SYS, STRAT)
+    rows = []
+    for E in EXPERTS:
+        cfg = MoEConfig(base=BASE, num_experts=E, experts_per_token=2)
+        rows.append((E, cfg, calculate_moe(cfg, SYS, STRAT)))
+    return dense, rows
+
+
+def test_ext_moe(benchmark):
+    dense, rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    banner("Extension — MoE scaling on a 4096-hidden backbone (64 A100)")
+    print(
+        table(
+            ["experts", "params", "batch s", "vs dense", "a2a s", "expert mem GiB"],
+            [
+                (
+                    E,
+                    f"{cfg.total_parameters / 1e9:.1f}B",
+                    round(r.batch_time, 3),
+                    f"{r.batch_time / dense.batch_time:.2f}x",
+                    round(r.all_to_all_time, 3),
+                    round(r.expert_memory / 2**30, 2),
+                )
+                for E, cfg, r in rows
+            ],
+        )
+    )
+    print(
+        f"\ndense backbone: {BASE.total_parameters / 1e9:.1f}B params, "
+        f"{dense.batch_time:.3f} s"
+    )
+
+    by_e = {E: (cfg, r) for E, cfg, r in rows}
+
+    # Parameter count scales with the expert count at modest time premium.
+    cfg128, r128 = by_e[128]
+    assert cfg128.total_parameters > 10 * BASE.total_parameters
+    assert r128.batch_time < 3 * dense.batch_time
+
+    # Expert memory grows with the expert count (at the DP-bounded ep).
+    mems = [r.expert_memory for _, _, r in rows]
+    assert mems == sorted(mems)
+
+    # An equal-parameter dense model is far slower than the 32-expert MoE.
+    cfg32, r32 = by_e[32]
+    extra = cfg32.total_parameters - BASE.total_parameters
+    ff = int(BASE.feedforward + extra / (BASE.num_blocks * (2 * BASE.hidden + 1)))
+    ff -= ff % 64
+    dense_eq = LLMConfig(name="dense-eq", hidden=BASE.hidden,
+                         attn_heads=BASE.attn_heads, seq_size=BASE.seq_size,
+                         num_blocks=BASE.num_blocks, feedforward=ff)
+    eq = calculate(dense_eq, SYS, STRAT)
+    print(
+        f"equal-parameter dense ({dense_eq.total_parameters / 1e9:.1f}B): "
+        f"{eq.batch_time:.3f} s vs MoE-32 {r32.batch_time:.3f} s"
+    )
+    assert eq.feasible
+    assert r32.batch_time < 0.6 * eq.batch_time

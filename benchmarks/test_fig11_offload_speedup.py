@@ -1,0 +1,87 @@
+"""Fig. 11: relative speedup of training due to 512 GiB @ 100 GB/s offloading.
+
+Speedup of the best offload-enabled strategy over the best offload-free one
+at each system size, for the three LLMs.  Shape criteria: GPT-3 gains little;
+Turing-NLG and Megatron-1T typically gain on the order of 10-20%; small
+systems show "infinite" speedup where the model only fits with offloading.
+"""
+
+import math
+
+import pytest
+
+from repro.hardware import a100_system, ddr5_offload
+from repro.llm import GPT3_175B, MEGATRON_1T, TURING_530B
+from repro.search import SearchOptions, offload_speedups, scaling_sweep
+from repro.viz import table
+
+from _helpers import banner
+
+SIZES = [64, 128, 256, 512, 1024, 1536, 2048, 3072, 4096, 5120, 6144, 8192]
+BATCH = 3072
+
+BASE_OPTS = SearchOptions(
+    recompute=("none", "attn_only", "full"),
+    seq_par_modes=((True, True, True),),
+    tp_overlap=("none",),
+    dp_overlap=(False,),
+    optimizer_sharding=(True,),
+    fused_activations=(False,),
+    max_microbatch=8,
+)
+OFFLOAD_OPTS = BASE_OPTS.with_offload_only()
+
+
+def _run():
+    out = {}
+    for llm in (GPT3_175B, TURING_530B, MEGATRON_1T):
+        base = scaling_sweep(llm, lambda n: a100_system(n), SIZES, BATCH,
+                             BASE_OPTS, workers=0)
+        off = scaling_sweep(
+            llm,
+            lambda n: a100_system(n, offload=ddr5_offload(512)),
+            SIZES,
+            BATCH,
+            OFFLOAD_OPTS,
+            workers=0,
+        )
+        # Merge: the offload-capable system may also run resident strategies.
+        for i, (b, o) in enumerate(zip(base.points, off.points)):
+            if b.sample_rate > o.sample_rate:
+                off.points[i] = b
+        out[llm.name] = (base, off)
+    return out
+
+
+def test_fig11_offload_speedup(benchmark):
+    curves = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    speedups = {}
+    banner("Fig. 11 — relative speedup from offloading (512 GiB @ 100 GB/s)")
+    for name, (base, off) in curves.items():
+        sp = offload_speedups(base, off)
+        speedups[name] = dict(sp)
+        rows = [
+            (size, "inf" if math.isinf(v) else f"{v:+.1f}%") for size, v in sp
+        ]
+        print(f"\n{name}")
+        print(table(["size", "speedup"], rows))
+
+    finite = {
+        name: [v for v in d.values() if math.isfinite(v)]
+        for name, d in speedups.items()
+    }
+
+    # Offloading never slows training down (the searcher may ignore it).
+    for vals in finite.values():
+        assert all(v >= -1e-6 for v in vals)
+
+    # The larger models benefit more on average than GPT-3.
+    avg = {name: sum(v) / len(v) for name, v in finite.items() if v}
+    assert avg["megatron-1t"] >= avg["gpt3-175b"] - 0.5
+    assert avg["turing-530b"] >= avg["gpt3-175b"] - 0.5
+
+    # Megatron-1T on a small system runs ONLY with offloading: the paper's
+    # "infinite speedup" points below ~256 GPUs.
+    m1t = speedups["megatron-1t"]
+    assert any(math.isinf(v) for s, v in m1t.items() if s <= 256)

@@ -1,0 +1,78 @@
+"""Fig. 2: the interleaved 1F1B pipeline schedule.
+
+The paper's Fig. 2 draws the schedule for 12 blocks on 4 pipeline stages with
+interleaving factor 2 and microbatches m1..m3(+): a prologue of staggered
+forward chunks, a steady 1F1B phase, and an epilogue of backward chunks
+(where DP communication overlaps).  This bench regenerates the chart with
+the discrete-event simulator and checks its structural properties.
+"""
+
+import pytest
+
+from repro.simulator import PipelineParams, render_gantt, simulate_timeline
+
+from _helpers import banner
+
+P, V, M = 4, 2, 6
+FW, BW = 1.0, 2.0
+
+
+def _run():
+    return simulate_timeline(
+        PipelineParams(num_stages=P, num_microbatches=M, interleaving=V,
+                       fw_time=FW, bw_time=BW)
+    )
+
+
+def test_fig2_schedule(benchmark):
+    tl = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    banner(f"Fig. 2 — interleaved 1F1B schedule (p={P}, v={V}, M={M})")
+    print(render_gantt(tl, cell_width=4))
+    print(
+        f"\nmakespan {tl.stats.makespan:.1f}  bubble {tl.stats.bubble_time:.1f} "
+        f"({tl.stats.bubble_fraction * 100:.1f}%)"
+    )
+
+    # Every (microbatch, vstage, phase) executed exactly once.
+    assert len(tl.items) == M * P * V * 2
+    seen = {(it.microbatch, it.vstage, it.phase) for it in tl.items}
+    assert len(seen) == len(tl.items)
+
+    # Prologue staggering: device k's first forward starts k*fw later.
+    for dev in range(P):
+        first = min(tl.device_items(dev), key=lambda it: it.start)
+        assert first.start == pytest.approx(dev * FW)
+        assert first.phase == "f"
+        assert first.microbatch == 0
+        assert tl.chunk_of(first.vstage) == 0
+
+    # Dependencies hold: forward of (m, k) never precedes forward of (m, k-1).
+    fw_finish = {
+        (it.microbatch, it.vstage): it.finish for it in tl.items if it.phase == "f"
+    }
+    fw_start = {
+        (it.microbatch, it.vstage): it.start for it in tl.items if it.phase == "f"
+    }
+    for (m, k), start in fw_start.items():
+        if k > 0:
+            assert start >= fw_finish[(m, k - 1)] - 1e-9
+
+    # Backward pass runs in reverse vstage order per microbatch.
+    bw_start = {
+        (it.microbatch, it.vstage): it.start for it in tl.items if it.phase == "b"
+    }
+    for m in range(M):
+        starts = [bw_start[(m, k)] for k in range(P * V)]
+        assert starts == sorted(starts, reverse=True)
+
+    # The epilogue ends with backward work (where Fig. 2(b) overlaps DP comm).
+    last = max(tl.items, key=lambda it: it.finish)
+    assert last.phase == "b"
+    assert tl.chunk_of(last.vstage) == 0  # first chunk drains last
+
+    # No device ever runs two items at once.
+    for dev in range(P):
+        items = tl.device_items(dev)
+        for a, b in zip(items, items[1:]):
+            assert b.start >= a.finish - 1e-9

@@ -1,0 +1,52 @@
+"""Fig. 3: time and memory breakdown for GPT-3 175B on 4,096 A100s.
+
+Paper: TP=8, PP=64, DP=8; batch time 16.7 s with ~20% spent recomputing
+activations; 17.4 GiB of the 80 GiB HBM used, 29% of it optimizer state.
+"""
+
+import pytest
+
+from repro.core import calculate
+from repro.execution import ExecutionStrategy
+from repro.hardware import a100_system
+from repro.llm import GPT3_175B
+from repro.viz import stacked_bars
+
+from _helpers import banner
+
+
+def _run():
+    system = a100_system(4096)
+    strategy = ExecutionStrategy(
+        tensor_par=8,
+        pipeline_par=64,
+        data_par=8,
+        batch=4096,
+        microbatch=1,
+        recompute="full",
+    )
+    return calculate(GPT3_175B, system, strategy)
+
+
+def test_fig3_breakdown(benchmark):
+    res = benchmark.pedantic(_run, rounds=3, iterations=1)
+
+    banner("Fig. 3 — GPT-3 175B on 4,096 A100, TP=8 PP=64 DP=8 (paper: 16.7 s)")
+    print(res.summary())
+    print()
+    print(stacked_bars([("Batch time", res.time.stacked())], unit=" s"))
+    print(stacked_bars([("HBM", res.mem1.stacked())], unit=" B"))
+
+    assert res.feasible
+    # Batch time in the paper's ballpark (testbed-independent band).
+    assert 10.0 < res.batch_time < 30.0
+    # ~20% of the batch time is forward recomputation.
+    recompute_share = res.time.fw_recompute / res.batch_time
+    assert 0.10 < recompute_share < 0.30
+    # HBM usage far below the 80 GiB capacity, in the paper's range.
+    assert 8 * 2**30 < res.mem1.total < 30 * 2**30
+    # Optimizer state is the largest or second-largest memory consumer.
+    parts = dict(res.mem1.stacked())
+    assert parts["Optimizer space"] >= 0.2 * res.mem1.total
+    # Backward pass dominates forward (roughly 2x).
+    assert res.time.bw_pass > res.time.fw_pass

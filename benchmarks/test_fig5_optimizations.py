@@ -1,0 +1,117 @@
+"""Fig. 5: best batch time per (t, p) cell under four optimization regimes.
+
+Megatron-1T training on 4,096 A100s (NVLink domain 32), batch 4096:
+(a) original Megatron optimizations (full recompute), 80 GiB HBM;
+(b) + sequence parallelism & selective recompute, 80 GiB;
+(c) all Table-1 optimizations, 80 GiB;
+(d) all optimizations, 160 GiB.
+
+Shape criteria: feasibility grows (fewer dashes) and the best cell moves
+toward lower PP / higher DP as more optimizations are enabled; doubling
+memory unlocks previously infeasible low-p cells.
+"""
+
+import math
+
+import pytest
+
+from repro.hardware import a100_system
+from repro.llm import MEGATRON_1T
+from repro.search import SearchOptions
+from repro.viz import heat_grid
+
+from _helpers import banner, best_over, grid_strategies
+
+BATCH = 4096
+NPROCS = 4096
+T_VALUES = (1, 2, 4, 8, 16, 32)
+P_VALUES = (1, 2, 4, 8, 16, 32, 64)
+
+REGIMES = {
+    "(a) original, 80 GiB": (SearchOptions.megatron_baseline(), 80),
+    "(b) seq-par, 80 GiB": (SearchOptions.seq_par_regime(), 80),
+    "(c) all opts, 80 GiB": (SearchOptions.all_optimizations(), 80),
+    "(d) all opts, 160 GiB": (SearchOptions.all_optimizations(), 160),
+}
+
+
+def _grid(options: SearchOptions, hbm_gib: float):
+    system = a100_system(NPROCS, hbm_gib=hbm_gib, nvlink_size=32)
+    cells = {}
+    for t in T_VALUES:
+        for p in P_VALUES:
+            if NPROCS % (t * p):
+                continue
+            d = NPROCS // (t * p)
+            if BATCH % d:
+                continue
+            best = best_over(
+                MEGATRON_1T, system, grid_strategies(MEGATRON_1T, BATCH, t, p, d, options)
+            )
+            cells[(t, p)] = best
+    return cells
+
+
+def _run_all():
+    return {name: _grid(opts, hbm) for name, (opts, hbm) in REGIMES.items()}
+
+
+def _print_grid(name, cells):
+    banner(f"Fig. 5 {name} — best time (s) over required HBM (GiB)")
+    rows = []
+    for t in T_VALUES:
+        row = []
+        for p in P_VALUES:
+            best = cells.get((t, p))
+            if best is None:
+                row.append("--")
+            else:
+                _, res = best
+                row.append(f"{res.batch_time:.1f}/{res.mem1.total / 2**30:.0f}G")
+        rows.append(row)
+    print(
+        heat_grid(
+            [f"t={t}" for t in T_VALUES], [f"p={p}" for p in P_VALUES], rows
+        )
+    )
+
+
+def test_fig5_optimizations(benchmark):
+    grids = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+
+    for name, cells in grids.items():
+        _print_grid(name, cells)
+
+    def feasible_count(cells):
+        return sum(1 for v in cells.values() if v is not None)
+
+    def best_cell(cells):
+        return min(
+            ((tp, v) for tp, v in cells.items() if v is not None),
+            key=lambda kv: kv[1][1].batch_time,
+        )
+
+    a, b, c, d = (grids[k] for k in REGIMES)
+
+    # Feasibility expands monotonically across regimes.
+    assert feasible_count(a) <= feasible_count(b) <= feasible_count(c)
+    assert feasible_count(c) <= feasible_count(d)
+
+    # Each added regime improves (or matches) the overall best time.
+    ta = best_cell(a)[1][1].batch_time
+    tb = best_cell(b)[1][1].batch_time
+    tc = best_cell(c)[1][1].batch_time
+    td = best_cell(d)[1][1].batch_time
+    assert tb <= ta * 1.001
+    assert tc <= tb * 1.001
+    assert td <= tc * 1.001
+
+    # All-optimizations regime moves the optimum to lower PP (higher DP)
+    # than the original regime (the paper: (8,32) -> (16,4)-ish).
+    (ta_t, ta_p), _ = best_cell(a)
+    (tc_t, tc_p), _ = best_cell(c)
+    assert tc_p <= ta_p
+
+    # Doubling memory unlocks at least one previously infeasible cell.
+    unlocked = [tp for tp in d if d[tp] is not None and c.get(tp) is None]
+    assert unlocked or feasible_count(d) == feasible_count(c)

@@ -1,0 +1,82 @@
+"""Fig. 6: the distribution of all execution strategies for GPT-3 175B.
+
+The paper enumerates 10,957,376 configurations on 4,096 GPUs (1,974,902
+feasible, ~18%) and shows (a) a 10-bin histogram of sample rate and (b) the
+CDF of the top-100 configurations: good configurations are needles in a
+haystack — under 0.002% of the space comes within 10% of the best.
+
+The bench runs the same enumeration over the library's default option grid
+(a restricted but same-shaped space so it finishes in seconds; the CLI's
+``search`` command runs arbitrary grids).
+"""
+
+import numpy as np
+import pytest
+
+from repro.hardware import a100_system
+from repro.llm import GPT3_175B
+from repro.search import SearchOptions, search
+from repro.viz import table
+
+from _helpers import banner
+
+NPROCS = 4096
+BATCH = 4096
+
+
+def _run():
+    system = a100_system(NPROCS)
+    return search(
+        GPT3_175B,
+        system,
+        BATCH,
+        SearchOptions(max_microbatch=8),
+        top_k=100,
+        workers=None,
+        keep_rates=True,
+    )
+
+
+def test_fig6_search_space(benchmark):
+    result = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    rates = np.sort(result.sample_rates)
+    best = rates[-1]
+    hist, edges = np.histogram(rates, bins=10, range=(0, best))
+
+    banner("Fig. 6(a) — sample-rate histogram over all feasible strategies")
+    print(
+        f"evaluated {result.num_evaluated}, feasible {result.num_feasible} "
+        f"({result.feasible_fraction * 100:.1f}%)"
+    )
+    rows = [
+        (f"{edges[i]:.0f}-{edges[i + 1]:.0f}", int(hist[i]),
+         "#" * int(60 * hist[i] / max(hist.max(), 1)))
+        for i in range(10)
+    ]
+    print(table(["sample rate", "count", ""], rows))
+
+    banner("Fig. 6(b) — top-100 sample-rate CDF")
+    top100 = rates[-100:] if len(rates) >= 100 else rates
+    for q in (0.0, 0.25, 0.5, 0.75, 1.0):
+        idx = min(int(q * (len(top100) - 1)), len(top100) - 1)
+        print(f"  CDF {q:4.2f}: {top100[idx]:.1f} samples/s")
+
+    within_10 = int((rates > 0.9 * best).sum())
+    within_5 = int((rates > 0.95 * best).sum())
+    print(
+        f"\nwithin 10% of best: {within_10} of {result.num_feasible} feasible "
+        f"({within_10 / result.num_evaluated * 100:.4f}% of the space); "
+        f"within 5%: {within_5}"
+    )
+
+    # Shape criteria: a substantial fraction of the space is infeasible, and
+    # near-optimal configurations are a tiny sliver of it.
+    assert result.num_evaluated > 10_000
+    assert 0.02 < result.feasible_fraction < 0.7
+    assert within_10 / result.num_evaluated < 0.02
+    assert within_10 >= 1
+    # The histogram is spread out: the best bin is not the fullest.
+    assert hist[-1] < hist.max()
+    # Performance spread among feasible runs is large (paper: >6x).
+    assert best / max(rates[0], 1e-9) > 4.0

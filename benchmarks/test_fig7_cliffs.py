@@ -1,0 +1,87 @@
+"""Fig. 7: LLM training scalability and "efficiency cliffs" (no offloading).
+
+For each of GPT-3 175B, Turing-NLG 530B and Megatron-1T, the best execution
+strategy is searched at each system size; relative per-GPU efficiency is
+plotted against size.  The paper sweeps every multiple of 8 up to 8,192; the
+bench uses a coarser grid (multiples of 384 plus deliberately awkward sizes)
+that still exposes the cliffs.
+
+Shape criteria: the envelope rises with size; variability among neighbouring
+sizes grows; Turing-NLG (105 blocks, non-power-of-two) shows deeper cliffs;
+some sizes are entirely infeasible for the big models.
+"""
+
+import numpy as np
+import pytest
+
+from repro.hardware import a100_system
+from repro.llm import GPT3_175B, MEGATRON_1T, TURING_530B
+from repro.search import SearchOptions, scaling_sweep
+from repro.viz import scaling_plot, table
+
+from _helpers import banner
+
+# Coarse grid: regular sizes plus awkward ones (not divisible by large powers
+# of two) that trigger the mapping cliffs.
+SIZES = [256, 512, 768, 1024, 1536, 2048, 2560, 3072, 4096, 5120, 6144, 7168, 8192,
+         1100, 2200, 4400, 6600]
+SIZES = sorted(s - s % 8 for s in SIZES)
+BATCH = 3072  # divisible by many d values but not all, as in practice
+
+OPTS = SearchOptions(
+    recompute=("attn_only", "full"),
+    seq_par_modes=((True, True, True),),
+    tp_overlap=("none",),
+    dp_overlap=(False,),
+    optimizer_sharding=(True,),
+    fused_activations=(False,),
+    max_microbatch=8,
+)
+
+
+def _run():
+    out = {}
+    for llm in (GPT3_175B, TURING_530B, MEGATRON_1T):
+        out[llm.name] = scaling_sweep(
+            llm, lambda n: a100_system(n), SIZES, BATCH, OPTS, workers=0
+        )
+    return out
+
+
+def test_fig7_cliffs(benchmark):
+    curves = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    for name, curve in curves.items():
+        banner(f"Fig. 7 — {name}: relative scaling vs system size (no offload)")
+        rel = curve.relative_scaling()
+        print(scaling_plot(list(curve.sizes()), list(rel)))
+        rows = [
+            (p.num_procs, round(p.sample_rate, 1), f"{r:.3f}",
+             p.strategy.short_name() if p.strategy else "infeasible")
+            for p, r in zip(curve.points, rel)
+        ]
+        print(table(["size", "rate/s", "rel", "best config"], rows))
+
+    gpt = curves["gpt3-175b"]
+    tng = curves["turing-530b"]
+    m1t = curves["megatron-1t"]
+
+    # Envelope rises with system size for every model.
+    for curve in (gpt, tng, m1t):
+        rates = curve.rates()
+        assert rates[-1] > rates[0]
+        assert np.argmax(rates) >= len(rates) // 2
+
+    # Efficiency cliffs exist: some point sits well below the envelope.
+    for curve in (tng, m1t):
+        assert curve.cliff_depths().max() > 0.10
+
+    # The awkward-shaped Turing-NLG shows cliffs at least as deep as GPT-3's.
+    assert tng.cliff_depths().max() >= gpt.cliff_depths().max() - 0.05
+
+    # Small systems cannot host the 1T model at all without offloading
+    # (the paper's zero-relative-performance points).
+    smallest_1t = m1t.points[0]
+    assert not smallest_1t.feasible or smallest_1t.per_proc_rate < max(
+        p.per_proc_rate for p in m1t.points
+    )

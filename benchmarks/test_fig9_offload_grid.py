@@ -1,0 +1,125 @@
+"""Fig. 9: tensor-offloading study for Megatron-1T on 4,096 H100-80GiB.
+
+(a,b) an *ideal* offload memory (infinite capacity and bandwidth): the model
+reports the sample rate / HBM usage and the bandwidth/capacity the best
+strategies actually consume.  (c,d) the same with a realistic 512 GiB @
+100 GB/s DDR5 tier.
+
+Shape criteria: with resource abundance the searcher picks strategies that
+consume far more tier-2 resources; with the realistic tier, performance drops
+only a few percent while consumption falls drastically; most performant
+configurations keep HBM usage low (paper: under ~20 GB); required bandwidth
+stays within technological reach (paper: <600 GB/s ideal, 100 GB/s adequate).
+"""
+
+import pytest
+
+from repro.hardware import MemoryTier, h100_system
+from repro.llm import MEGATRON_1T
+from repro.search import SearchOptions
+from repro.units import GB, GiB
+from repro.viz import heat_grid
+
+from _helpers import banner, best_over, grid_strategies
+
+BATCH = 4096
+NPROCS = 4096
+T_VALUES = (1, 2, 4, 8, 16, 32)
+P_VALUES = (1, 2, 4, 8, 16, 32)
+
+IDEAL = MemoryTier(
+    name="ideal", capacity=1e18, bandwidth=1e18, efficiency=1.0
+)
+REAL = MemoryTier(name="ddr5", capacity=512 * GiB, bandwidth=100 * GB, efficiency=0.9)
+
+OPTS = SearchOptions(
+    recompute=("none", "attn_only"),
+    seq_par_modes=((False, False, False), (True, True, True)),
+    tp_overlap=("none", "ring"),
+    dp_overlap=(True,),
+    optimizer_sharding=(True,),
+    fused_activations=(True,),
+    offload_modes=((True, True, True),),
+    max_microbatch=8,
+)
+
+
+def _grid(tier):
+    system = h100_system(NPROCS, hbm_gib=80, offload=tier)
+    cells = {}
+    for t in T_VALUES:
+        for p in P_VALUES:
+            if NPROCS % (t * p):
+                continue
+            d = NPROCS // (t * p)
+            best = best_over(
+                MEGATRON_1T, system, grid_strategies(MEGATRON_1T, BATCH, t, p, d, OPTS)
+            )
+            cells[(t, p)] = best
+    return cells
+
+
+def _run():
+    return {"ideal": _grid(IDEAL), "real": _grid(REAL)}
+
+
+def _print(cells, title, fmt):
+    banner(title)
+    rows = []
+    for t in T_VALUES:
+        row = []
+        for p in P_VALUES:
+            best = cells.get((t, p))
+            row.append("--" if best is None else fmt(best[1]))
+        rows.append(row)
+    print(heat_grid([f"t={t}" for t in T_VALUES], [f"p={p}" for p in P_VALUES], rows))
+
+
+def test_fig9_offload_grid(benchmark):
+    grids = benchmark.pedantic(_run, rounds=1, iterations=1)
+    ideal, real = grids["ideal"], grids["real"]
+
+    _print(
+        ideal,
+        "Fig. 9(a) — ideal offload: sample rate / HBM GiB",
+        lambda r: f"{r.sample_rate:.0f}/{r.mem1.total / 2**30:.0f}G",
+    )
+    _print(
+        ideal,
+        "Fig. 9(b) — ideal offload: required BW GB/s / tier-2 GiB",
+        lambda r: f"{r.offload.required_bandwidth / 1e9:.0f}G/"
+        f"{r.offload.used_bytes / 2**30:.0f}G",
+    )
+    _print(
+        real,
+        "Fig. 9(c) — 512 GiB @ 100 GB/s: sample rate / HBM GiB",
+        lambda r: f"{r.sample_rate:.0f}/{r.mem1.total / 2**30:.0f}G",
+    )
+    _print(
+        real,
+        "Fig. 9(d) — 512 GiB @ 100 GB/s: required BW GB/s / tier-2 GiB",
+        lambda r: f"{r.offload.required_bandwidth / 1e9:.0f}G/"
+        f"{r.offload.used_bytes / 2**30:.0f}G",
+    )
+
+    ideal_best = max(
+        (v[1] for v in ideal.values() if v), key=lambda r: r.sample_rate
+    )
+    real_best = max((v[1] for v in real.values() if v), key=lambda r: r.sample_rate)
+
+    # Realistic offload keeps most of the ideal performance (paper: within a
+    # few percent for many configurations).
+    assert real_best.sample_rate > 0.80 * ideal_best.sample_rate
+
+    # The ideal tier tempts the searcher into far larger tier-2 footprints.
+    ideal_cap = max(v[1].offload.used_bytes for v in ideal.values() if v)
+    real_cap = max(v[1].offload.used_bytes for v in real.values() if v)
+    assert real_cap <= 512 * GiB
+    assert ideal_cap > real_cap
+
+    # Offloading keeps active HBM usage modest for the best configurations.
+    assert real_best.mem1.total < 40 * GiB
+
+    # Required offload bandwidths stay within current technology for the
+    # best realistic configuration (paper: ~100 GB/s suffices).
+    assert real_best.offload.required_bandwidth < 1e12

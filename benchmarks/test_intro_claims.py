@@ -1,0 +1,50 @@
+"""Paper §1 motivating claims: the cost of training Megatron-1T.
+
+"a version of Megatron having one trillion parameters was recently trained
+over 84 days on 450 billion tokens using 3,072 NVIDIA A100 GPUs and executing
+more than 1,000 zettaFLOP ... roughly seven hundred years on a single GPU and
+over six million dollars (US) assuming $1 per GPU-hour."
+
+This bench projects the same campaign through the model and checks each
+figure lands in the published ballpark.
+"""
+
+import pytest
+
+from repro.analysis import plan_training_run
+from repro.execution import ExecutionStrategy
+from repro.hardware import a100_system
+from repro.llm import MEGATRON_1T
+
+from _helpers import banner
+
+
+def _run():
+    system = a100_system(3072)
+    strategy = ExecutionStrategy(
+        tensor_par=8,
+        pipeline_par=64,
+        data_par=6,
+        batch=2160,  # Megatron-1T's published global batch
+        microbatch=1,
+        recompute="full",
+        optimizer_sharding=True,
+    )
+    return plan_training_run(MEGATRON_1T, system, strategy, tokens=450e9)
+
+
+def test_intro_megatron_1t_campaign(benchmark):
+    plan = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    banner("Paper §1 — Megatron-1T campaign projection")
+    print(plan.summary())
+    print(
+        "\npaper: 84 days, 3,072 GPUs, >1,000 zettaFLOP, "
+        "~700 GPU-years, >$6M at $1/GPU-hour"
+    )
+
+    assert plan.num_procs == 3072
+    assert 60 < plan.days < 120  # paper: 84 days
+    assert plan.zetta_flops > 1000  # paper: "more than 1,000 zettaFLOP"
+    assert 450 < plan.gpu_years < 1000  # paper: "roughly seven hundred years"
+    assert 4.5e6 < plan.cost(1.0) < 9e6  # paper: "over six million dollars"

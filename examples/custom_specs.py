@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""Custom specifications: model your own LLM and your own hardware.
+
+Everything in the library is a plain, JSON-serializable specification — the
+same workflow the reference tool uses.  This example defines a hypothetical
+future accelerator ("XPU": 2 PFLOP/s, 160 GiB HBM at 6 TB/s, 900 GB/s
+scale-up fabric of 16) and a 400B-parameter long-context LLM, saves both as
+spec files, reloads them, and searches for the best way to train.
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.hardware import MemoryTier, Network, Processor, System
+from repro.hardware.processor import DEFAULT_MATRIX_CURVE, DEFAULT_VECTOR_CURVE
+from repro.io import load_llm, load_system, save_llm, save_system
+from repro.llm import LLMConfig
+from repro.search import SearchOptions, search
+from repro.units import GB, GiB, TB, TFLOPS
+from repro.viz import table
+
+
+def build_xpu_system(num_procs: int) -> System:
+    xpu = Processor(
+        name="xpu",
+        matrix_flops=2000 * TFLOPS,
+        vector_flops=250 * TFLOPS,
+        matrix_efficiency=DEFAULT_MATRIX_CURVE,
+        vector_efficiency=DEFAULT_VECTOR_CURVE,
+    )
+    hbm = MemoryTier(
+        name="hbm4", capacity=160 * GiB, bandwidth=6 * TB, efficiency=0.65
+    )
+    fabric = Network(
+        name="xlink",
+        size=16,
+        bandwidth=900 * GB,
+        latency=0.5e-6,
+        efficiency=0.9,
+        processor_usage=0.10,
+        in_network_collectives=True,  # switch-based reductions
+    )
+    scale_out = Network(
+        name="800g-eth",
+        size=num_procs,
+        bandwidth=100 * GB,
+        latency=3e-6,
+        efficiency=0.85,
+        processor_usage=0.02,
+    )
+    return System(
+        name=f"xpu-x{num_procs}",
+        num_procs=num_procs,
+        processor=xpu,
+        mem1=hbm,
+        networks=(fabric, scale_out),
+    )
+
+
+def main() -> None:
+    llm = LLMConfig(
+        name="future-400b-32k",
+        hidden=16384,
+        attn_heads=128,
+        seq_size=8192,  # long-context variant
+        num_blocks=120,
+    )
+    system = build_xpu_system(1024)
+
+    # Round-trip through spec files — the reproducible-study workflow.
+    with tempfile.TemporaryDirectory() as d:
+        llm_path, sys_path = Path(d) / "llm.json", Path(d) / "system.json"
+        save_llm(llm, llm_path)
+        save_system(system, sys_path)
+        llm = load_llm(llm_path)
+        system = load_system(sys_path)
+        print(f"specs saved and reloaded from {d}")
+
+    print(
+        f"\n{llm.name}: {llm.total_parameters / 1e9:.0f}B parameters, "
+        f"seq {llm.seq_size}, {llm.num_blocks} blocks"
+    )
+    print(f"{system.name}: {system.num_procs} XPUs\n")
+
+    result = search(
+        llm,
+        system,
+        batch=1024,
+        options=SearchOptions(max_microbatch=4),
+        top_k=5,
+        workers=0,
+    )
+    print(
+        f"searched {result.num_evaluated} configurations, "
+        f"{result.num_feasible} feasible"
+    )
+    rows = [
+        (s.short_name(), round(r.sample_rate, 2), f"{r.mfu * 100:.1f}%",
+         round(r.mem1.total / 2**30, 1), s.recompute, s.tp_overlap)
+        for s, r in result.top
+    ]
+    print(table(["config", "rate/s", "MFU", "HBM GiB", "recompute", "overlap"], rows))
+    print()
+    print(result.best.summary())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Efficiency cliffs: why buying more GPUs can make training slower (§5.2).
+
+Sweeps system sizes for Turing-NLG 530B — a model with 105 transformer
+blocks, deliberately not a power of two — and shows the paper's "efficiency
+cliffs": sudden drops at sizes where no good (t, p, d) mapping exists, and
+sizes where nothing runs at all.  Then shows how a 512 GiB DDR5 offload tier
+fills in the cliffs ("future-proofing" per §6).
+"""
+
+from repro.hardware import a100_system, ddr5_offload
+from repro.llm import TURING_530B
+from repro.search import SearchOptions, offload_speedups, scaling_sweep
+from repro.viz import scaling_plot, table
+
+SIZES = [256, 384, 512, 640, 768, 896, 1024, 1100, 1280, 1536, 1792, 2048]
+BATCH = 1536
+
+OPTS = SearchOptions(
+    recompute=("none", "attn_only", "full"),
+    seq_par_modes=((True, True, True),),
+    tp_overlap=("none",),
+    dp_overlap=(False,),
+    optimizer_sharding=(True,),
+    fused_activations=(False,),
+    max_microbatch=8,
+)
+
+
+def main() -> None:
+    base = scaling_sweep(
+        TURING_530B, lambda n: a100_system(n), SIZES, BATCH, OPTS, workers=0
+    )
+    off = scaling_sweep(
+        TURING_530B,
+        lambda n: a100_system(n, offload=ddr5_offload(512)),
+        SIZES,
+        BATCH,
+        OPTS.with_offload_only(),
+        workers=0,
+    )
+    # The offload system may also run resident strategies.
+    for i, (b, o) in enumerate(zip(base.points, off.points)):
+        if b.sample_rate > o.sample_rate:
+            off.points[i] = b
+
+    print(f"{TURING_530B.name}: relative per-GPU efficiency vs system size\n")
+    print("without offloading:")
+    print(scaling_plot(list(base.sizes()), list(base.relative_scaling())))
+    print("\nwith 512 GiB @ 100 GB/s offloading:")
+    print(scaling_plot(list(off.sizes()), list(off.relative_scaling())))
+
+    speedup_by_size = dict(offload_speedups(base, off))
+    rows = []
+    for b, o in zip(base.points, off.points):
+        sp = speedup_by_size.get(b.num_procs)
+        if sp is None:
+            sp_text = "-"
+        elif sp == float("inf"):
+            sp_text = "inf"
+        else:
+            sp_text = f"{sp:+.1f}%"
+        rows.append(
+            (
+                b.num_procs,
+                f"{b.sample_rate:.1f}" if b.feasible else "infeasible",
+                f"{o.sample_rate:.1f}" if o.feasible else "infeasible",
+                sp_text,
+                b.strategy.short_name() if b.strategy else "-",
+            )
+        )
+    print()
+    print(table(["GPUs", "rate", "rate w/ offload", "speedup", "best config"],
+                rows))
+
+    depths = base.cliff_depths()
+    worst = int(base.sizes()[depths.argmax()])
+    print(
+        f"\ndeepest cliff without offloading: {depths.max() * 100:.0f}% below "
+        f"the envelope at {worst} GPUs"
+    )
+
+
+if __name__ == "__main__":
+    main()

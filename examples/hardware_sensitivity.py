@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Hardware sensitivity: which component should the next system improve?
+
+Codesign starts by finding the binding constraint.  This example runs the
+elasticity analysis for three very different operating points of GPT-3 175B
+— compute-bound training, communication-heavy extreme tensor parallelism,
+and offload-streaming training — and shows how the critical component shifts.
+"""
+
+from repro.analysis import sensitivity
+from repro.execution import ExecutionStrategy
+from repro.hardware import a100_system, ddr5_offload
+from repro.llm import GPT3_175B
+from repro.viz import table
+
+SYS = a100_system(64, hbm_gib=1_000_000)
+SYS_OFF = a100_system(64, hbm_gib=1_000_000, offload=ddr5_offload(100_000, 25))
+
+SCENARIOS = {
+    "balanced training (t8 p2 d4, full recompute)": (
+        SYS,
+        ExecutionStrategy(tensor_par=8, pipeline_par=2, data_par=4, batch=64,
+                          microbatch=1, recompute="full"),
+    ),
+    "extreme TP (t32 p2 d1)": (
+        a100_system(64, hbm_gib=1_000_000, nvlink_size=32),
+        ExecutionStrategy(tensor_par=32, pipeline_par=2, data_par=1, batch=64,
+                          microbatch=1, recompute="full"),
+    ),
+    "offload-streaming (25 GB/s tier-2)": (
+        SYS_OFF,
+        ExecutionStrategy(tensor_par=8, pipeline_par=2, data_par=4, batch=64,
+                          microbatch=1, recompute="none", weight_offload=True,
+                          activation_offload=True, optimizer_offload=True,
+                          optimizer_sharding=True),
+    ),
+}
+
+
+def main() -> None:
+    for name, (system, strategy) in SCENARIOS.items():
+        print(f"\n=== {name}")
+        rows = [
+            (
+                e.knob,
+                f"{e.value:+.3f}",
+                f"{e.speedup_at_2x:.2f}x",
+            )
+            for e in sensitivity(GPT3_175B, system, strategy)
+        ]
+        print(table(["component", "elasticity", "speedup if 2x better"], rows))
+        most = rows[0][0]
+        print(f"binding constraint: {most}")
+
+
+if __name__ == "__main__":
+    main()

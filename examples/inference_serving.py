@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Inference serving study: deploy GPT-3 175B for generation.
+
+The paper's model covers inference as well as training (§2.3).  This example
+sizes a serving deployment: how do tensor parallelism, batch size and request
+pipelining trade off time-to-first-token, per-token latency, and aggregate
+throughput — and when does the KV cache, not the weights, become the
+capacity limit?
+"""
+
+from repro.hardware import a100_system, h100_system
+from repro.inference import InferenceStrategy, calculate_inference
+from repro.llm import GPT3_175B
+from repro.viz import table
+
+
+def main() -> None:
+    print("GPT-3 175B serving on 8x A100-80GiB (prompt 2048, generate 256)\n")
+
+    # --- tensor parallelism: latency lever -----------------------------------
+    rows = []
+    for t in (2, 4, 8):
+        strat = InferenceStrategy(tensor_par=t, pipeline_par=8 // t, batch=8)
+        res = calculate_inference(
+            GPT3_175B, a100_system(8), strat, prompt_len=2048, generate_len=256
+        )
+        rows.append(
+            (
+                strat.short_name(),
+                "ok" if res.feasible else "infeasible",
+                f"{res.prefill_time:.2f} s" if res.feasible else "-",
+                f"{res.decode_step_time * 1e3:.0f} ms" if res.feasible else "-",
+                f"{res.tokens_per_second:.0f}" if res.feasible else "-",
+            )
+        )
+    print(table(["deployment", "fits", "TTFT", "per-token", "tokens/s"], rows))
+
+    # --- batch size: throughput lever, bounded by the KV cache ---------------
+    print("\nbatch scaling at t=8 (decode is memory-bound, so batching is cheap):")
+    rows = []
+    for batch in (1, 4, 16, 64, 256):
+        strat = InferenceStrategy(tensor_par=8, pipeline_par=1, batch=batch)
+        res = calculate_inference(
+            GPT3_175B, a100_system(8), strat, prompt_len=2048, generate_len=256
+        )
+        rows.append(
+            (
+                batch,
+                "ok" if res.feasible else "KV cache OOM",
+                f"{res.decode_step_time * 1e3:.0f} ms" if res.feasible else "-",
+                f"{res.tokens_per_second:.0f}" if res.feasible else "-",
+                f"{res.kv_cache_bytes / 2**30:.0f} GiB" if res.feasible else "-",
+            )
+        )
+    print(table(["batch", "fits", "per-token", "tokens/s", "KV cache"], rows))
+
+    # --- hardware generation --------------------------------------------------
+    print("\nA100 vs H100 (t=8, batch 16):")
+    rows = []
+    for name, system in (("8x A100", a100_system(8)), ("8x H100", h100_system(8))):
+        strat = InferenceStrategy(tensor_par=8, pipeline_par=1, batch=16)
+        res = calculate_inference(
+            GPT3_175B, system, strat, prompt_len=2048, generate_len=256
+        )
+        rows.append(
+            (
+                name,
+                f"{res.prefill_time:.2f} s",
+                f"{res.decode_step_time * 1e3:.0f} ms",
+                f"{res.tokens_per_second:.0f}",
+            )
+        )
+    print(table(["system", "TTFT", "per-token", "tokens/s"], rows))
+
+
+if __name__ == "__main__":
+    main()

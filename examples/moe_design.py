@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""MoE codesign: how many experts can your cluster afford?
+
+Mixture-of-Experts trades parameters for throughput: top-k routing keeps
+per-token compute near the dense backbone while total parameters scale with
+the expert count.  The costs are expert memory (every device hosts E/ep
+experts) and the dispatch/return all-to-alls.  This example sweeps the
+expert count on a fixed cluster and finds where memory or communication
+closes the window.
+"""
+
+from repro.core import calculate
+from repro.execution import ExecutionStrategy
+from repro.hardware import a100_system
+from repro.llm import LLMConfig
+from repro.moe import MoEConfig, calculate_moe
+from repro.viz import table
+
+BASE = LLMConfig(name="backbone-13b", hidden=5120, attn_heads=40,
+                 seq_size=2048, num_blocks=40)
+SYSTEM = a100_system(64)  # real 80 GiB HBM: memory will gate
+STRATEGY = ExecutionStrategy(tensor_par=8, pipeline_par=2, data_par=4,
+                             batch=64, microbatch=1, recompute="attn_only",
+                             seq_par=True, tp_redo_sp=True,
+                             optimizer_sharding=True)
+
+
+def main() -> None:
+    dense = calculate(BASE, SYSTEM, STRATEGY)
+    print(
+        f"dense backbone {BASE.total_parameters / 1e9:.1f}B: "
+        f"{dense.batch_time:.2f} s/batch, {dense.mem1.total / 2**30:.0f} GiB HBM\n"
+    )
+    rows = []
+    for experts in (4, 8, 16, 32, 64, 128, 256):
+        cfg = MoEConfig(base=BASE, num_experts=experts, experts_per_token=2)
+        res = calculate_moe(cfg, SYSTEM, STRATEGY)
+        rows.append(
+            (
+                experts,
+                f"{cfg.total_parameters / 1e9:.0f}B",
+                f"{res.batch_time:.2f} s" if res.feasible else "OOM",
+                f"{res.batch_time / dense.batch_time:.2f}x" if res.feasible else "-",
+                f"{res.all_to_all_time:.2f} s" if res.feasible else "-",
+                f"{res.mem_total / 2**30:.0f} GiB" if res.feasible else
+                f"{res.mem_total / 2**30:.0f} GiB needed",
+            )
+        )
+    print(
+        table(
+            ["experts", "params", "batch time", "vs dense", "all-to-all", "HBM"],
+            rows,
+        )
+    )
+    feasible = [r for r in rows if r[2] != "OOM"]
+    if feasible:
+        best = feasible[-1]
+        print(
+            f"\nlargest affordable MoE: {best[0]} experts ({best[1]} parameters) "
+            f"at {best[3]} the dense batch time."
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Quickstart: evaluate one LLM/system/execution configuration.
+
+Reproduces the paper's Fig. 3 scenario — GPT-3 175B training on 4,096
+A100-80GiB GPUs with TP=8, PP=64, DP=8 and full activation recomputation —
+and prints the complete time and memory breakdown.  The analytical model
+evaluates in well under a millisecond, which is what makes exhaustive
+codesign searches (see the other examples) practical.
+"""
+
+import time
+
+from repro import ExecutionStrategy, calculate
+from repro.hardware import a100_system
+from repro.llm import GPT3_175B
+from repro.viz import stacked_bars
+
+def main() -> None:
+    system = a100_system(4096)
+    strategy = ExecutionStrategy(
+        tensor_par=8,
+        pipeline_par=64,
+        data_par=8,
+        batch=4096,
+        microbatch=1,
+        recompute="full",
+    )
+
+    start = time.perf_counter()
+    result = calculate(GPT3_175B, system, strategy)
+    elapsed = time.perf_counter() - start
+
+    print(result.summary())
+    print()
+    print(stacked_bars([("Batch time", result.time.stacked())], unit=" s"))
+    print()
+    print(
+        stacked_bars(
+            [("HBM", [(k, v / 2**30) for k, v in result.mem1.stacked()])],
+            unit=" GiB",
+        )
+    )
+    print(f"\nmodel evaluated in {elapsed * 1e3:.3f} ms")
+
+    # Try a better strategy: sequence parallelism + selective recompute.
+    better = strategy.evolve(recompute="attn_only", seq_par=True, tp_redo_sp=True)
+    improved = calculate(GPT3_175B, system, better)
+    speedup = result.batch_time / improved.batch_time
+    print(
+        f"\nsequence parallelism + selective recompute: "
+        f"{improved.batch_time:.1f} s ({speedup:.2f}x faster, "
+        f"MFU {improved.mfu * 100:.1f}% vs {result.mfu * 100:.1f}%)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Serving capacity planning: how much load can one replica take?
+
+Sweeps the offered request rate against a GPT-3-sized model on 8 A100s with
+continuous batching, and finds the knee where latency departs from the
+unloaded baseline — the practical capacity of the replica, and the number a
+fleet planner multiplies by.
+"""
+
+from repro.hardware import a100_system
+from repro.inference import (
+    InferenceStrategy,
+    ServingWorkload,
+    calculate_inference,
+    simulate_serving,
+)
+from repro.llm import MEGATRON_22B
+from repro.viz import table
+
+SYSTEM = a100_system(8)
+STRATEGY = InferenceStrategy(tensor_par=8, pipeline_par=1, batch=1)
+PROMPT, GEN = 1024, 128
+RATES = (0.2, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0)
+
+
+def main() -> None:
+    single = calculate_inference(
+        MEGATRON_22B, SYSTEM, STRATEGY, prompt_len=PROMPT, generate_len=GEN
+    )
+    print(
+        f"{MEGATRON_22B.name} on 8x A100 (t=8): unloaded request latency "
+        f"{single.request_latency:.2f} s\n"
+    )
+    rows = []
+    knee = None
+    for rate in RATES:
+        stats = simulate_serving(
+            MEGATRON_22B,
+            SYSTEM,
+            STRATEGY,
+            ServingWorkload(arrival_rate=rate, prompt_len=PROMPT,
+                            generate_len=GEN, num_requests=120, seed=3),
+        )
+        degraded = stats.mean_latency > 2 * single.request_latency
+        if degraded and knee is None:
+            knee = rate
+        rows.append(
+            (
+                rate,
+                f"{stats.mean_latency:.2f} s",
+                f"{stats.p95_latency:.2f} s",
+                round(stats.throughput_rps, 2),
+                round(stats.tokens_per_second),
+                round(stats.mean_batch, 1),
+                stats.max_queue,
+            )
+        )
+    print(
+        table(
+            ["req/s offered", "mean latency", "p95", "req/s served",
+             "tokens/s", "avg batch", "max queue"],
+            rows,
+        )
+    )
+    if knee:
+        print(
+            f"\nlatency knee near {knee} req/s — plan fleet size as "
+            f"offered_load / {knee:.1f} replicas with headroom."
+        )
+
+
+if __name__ == "__main__":
+    main()

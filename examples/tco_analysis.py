@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Total cost of ownership: capex vs opex over a system's lifetime (§6).
+
+"Even small efficiency gains can accumulate during long system use time."
+This example compares three H100 memory designs for training Turing-NLG 530B:
+not on purchase price or raw throughput, but on lifetime dollars per million
+training samples, with power, PUE and electricity price in the loop.
+"""
+
+from repro.llm import TURING_530B
+from repro.search import (
+    PowerModel,
+    SearchOptions,
+    SystemDesign,
+    evaluate_design,
+    tco_report,
+)
+from repro.viz import table
+
+BUDGET = 25e6
+BATCH = 1024
+LIFETIME_YEARS = 5.0
+
+OPTS = SearchOptions(
+    recompute=("none", "attn_only", "full"),
+    seq_par_modes=((True, True, True),),
+    tp_overlap=("none",),
+    dp_overlap=(True,),
+    optimizer_sharding=(True,),
+    fused_activations=(True,),
+    offload_modes=((False, False, False), (True, True, True)),
+    max_microbatch=4,
+)
+
+DESIGNS = [SystemDesign(20, 0), SystemDesign(20, 256), SystemDesign(80, 0)]
+
+
+def main() -> None:
+    power = PowerModel(dollars_per_kwh=0.12, pue=1.25)
+    print(
+        f"Budget ${BUDGET / 1e6:.0f}M, lifetime {LIFETIME_YEARS:.0f} years, "
+        f"electricity ${power.dollars_per_kwh}/kWh, PUE {power.pue}\n"
+    )
+    rows = []
+    for design in DESIGNS:
+        maxg = design.max_gpus(BUDGET)
+        entry = evaluate_design(
+            design,
+            TURING_530B,
+            BUDGET,
+            BATCH,
+            options=OPTS,
+            size_candidates=sorted(
+                {maxg, maxg - maxg % 512, 512} - {0}
+            ),
+            workers=0,
+        )
+        report = tco_report(entry, power=power, lifetime_years=LIFETIME_YEARS)
+        rows.append(
+            (
+                design.label(),
+                entry.used_gpus,
+                round(entry.sample_rate, 1),
+                f"${report.capex / 1e6:.1f}M",
+                f"${report.annual_opex / 1e6:.2f}M/yr",
+                f"${report.total_cost / 1e6:.1f}M",
+                f"${report.dollars_per_million_samples:.2f}",
+            )
+        )
+    print(
+        table(
+            ["design", "GPUs", "samples/s", "capex", "opex", "lifetime cost",
+             "$ per 1M samples"],
+            rows,
+        )
+    )
+    best = min(rows, key=lambda r: float(r[-1].lstrip("$")))
+    print(f"\nbest lifetime cost-efficiency: {best[0]}")
+
+
+if __name__ == "__main__":
+    main()

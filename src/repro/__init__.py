@@ -1,0 +1,51 @@
+"""repro — a from-scratch reproduction of Calculon (Isaev et al., SC '23).
+
+An analytical performance model and codesign search tool for transformer LLM
+training and inference on large-scale distributed systems.  The model takes
+three specifications — the LLM, the system, and the execution strategy — and
+returns a complete time/memory/efficiency breakdown in well under a
+millisecond, enabling exhaustive searches over millions of configurations.
+
+Typical use::
+
+    from repro import calculate, ExecutionStrategy
+    from repro.llm import GPT3_175B
+    from repro.hardware import a100_system
+
+    result = calculate(
+        GPT3_175B,
+        a100_system(4096),
+        ExecutionStrategy(tensor_par=8, pipeline_par=64, data_par=8,
+                          batch=4096, recompute="full"),
+    )
+    print(result.summary())
+"""
+
+from .core import (
+    MemoryBreakdown,
+    OffloadStats,
+    PerformanceResult,
+    TimeBreakdown,
+    calculate,
+)
+from .execution import ExecutionStrategy, StrategyError
+from .hardware import MemoryTier, Network, Processor, System
+from .llm import LLMConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ExecutionStrategy",
+    "LLMConfig",
+    "MemoryBreakdown",
+    "MemoryTier",
+    "Network",
+    "OffloadStats",
+    "PerformanceResult",
+    "Processor",
+    "StrategyError",
+    "System",
+    "TimeBreakdown",
+    "calculate",
+    "__version__",
+]

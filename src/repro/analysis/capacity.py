@@ -1,0 +1,113 @@
+"""Capacity planning: memory frontiers and minimum system sizes.
+
+The paper's studies repeatedly reduce to capacity questions — Fig. 5(d)
+doubles HBM to unlock configurations, §6 asks how little HBM suffices with an
+offload tier, and the offload scaling study hinges on the smallest cluster
+that can hold a model.  This module answers those questions directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..core.model import calculate
+from ..execution.strategy import ExecutionStrategy
+from ..hardware.system import System
+from ..llm.config import LLMConfig
+from ..search.execution_search import SearchOptions, search
+
+
+def minimum_hbm(
+    llm: LLMConfig, system: System, strategy: ExecutionStrategy
+) -> float:
+    """Tier-1 bytes a strategy needs, independent of the system's capacity.
+
+    Evaluates the strategy on a capacity-unconstrained clone of the system
+    and returns the resident footprint.
+
+    Raises:
+        ValueError: if the strategy is invalid for reasons other than
+            capacity (shape mismatches, divisibility, missing tier-2).
+    """
+    unconstrained = system.with_mem1_capacity(float("inf"))
+    res = calculate(llm, unconstrained, strategy)
+    if not res.feasible:
+        raise ValueError(f"strategy invalid beyond capacity: {res.infeasibility}")
+    return res.mem1.total
+
+
+@dataclass(frozen=True)
+class FrontierPoint:
+    """Best achievable performance at one HBM capacity."""
+
+    capacity: float
+    sample_rate: float
+    strategy: ExecutionStrategy | None
+
+    @property
+    def feasible(self) -> bool:
+        return self.strategy is not None
+
+
+def memory_frontier(
+    llm: LLMConfig,
+    system: System,
+    batch: int,
+    capacities: Sequence[float],
+    options: SearchOptions | None = None,
+    *,
+    workers: int | None = 0,
+) -> list[FrontierPoint]:
+    """Best sample rate as a function of per-processor HBM capacity.
+
+    The frontier is non-decreasing in capacity (more memory can only widen
+    the feasible set) — a property the tests verify.
+    """
+    points = []
+    for cap in capacities:
+        if cap <= 0:
+            raise ValueError("capacities must be positive")
+        sized = system.with_mem1_capacity(cap)
+        result = search(
+            llm, sized, batch, options, top_k=1, workers=workers, keep_rates=False
+        )
+        points.append(
+            FrontierPoint(
+                capacity=cap,
+                sample_rate=result.best.sample_rate if result.best else 0.0,
+                strategy=result.best_strategy,
+            )
+        )
+    return points
+
+
+def minimum_system_size(
+    llm: LLMConfig,
+    system_factory: Callable[[int], System],
+    batch: int,
+    sizes: Sequence[int],
+    options: SearchOptions | None = None,
+    *,
+    workers: int | None = 0,
+) -> int | None:
+    """Smallest size (from ``sizes``, ascending) that can train the model.
+
+    Returns ``None`` when no candidate size is feasible — e.g. Megatron-1T
+    on small clusters without an offload tier (§6).
+    """
+    for n in sorted(sizes):
+        if n < 1:
+            raise ValueError("sizes must be positive")
+        result = search(
+            llm,
+            system_factory(n),
+            batch,
+            options,
+            top_k=1,
+            workers=workers,
+            keep_rates=False,
+        )
+        if result.best is not None:
+            return n
+    return None

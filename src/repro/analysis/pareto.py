@@ -1,0 +1,97 @@
+"""Pareto-frontier extraction for multi-objective codesign.
+
+The paper's studies repeatedly surface the same structure: many
+configurations trade performance against memory (Fig. 5), cost (Table 3) or
+offload resources (Fig. 9), and the interesting ones are the non-dominated
+set.  This module extracts Pareto frontiers from any collection of scored
+candidates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class Objective:
+    """One optimization objective.
+
+    Attributes:
+        name: label for reports.
+        key: extracts the metric from a candidate.
+        maximize: True to prefer larger values.
+    """
+
+    name: str
+    key: Callable[[object], float]
+    maximize: bool = True
+
+    def oriented(self, candidate: object) -> float:
+        """Value transformed so that larger is always better."""
+        v = self.key(candidate)
+        return v if self.maximize else -v
+
+
+def dominates(
+    a: object, b: object, objectives: Sequence[Objective], *, tol: float = 0.0
+) -> bool:
+    """True if ``a`` is at least as good as ``b`` everywhere and better somewhere."""
+    if not objectives:
+        raise ValueError("need at least one objective")
+    at_least_as_good = all(
+        o.oriented(a) >= o.oriented(b) - tol for o in objectives
+    )
+    strictly_better = any(o.oriented(a) > o.oriented(b) + tol for o in objectives)
+    return at_least_as_good and strictly_better
+
+
+def pareto_front(
+    candidates: Iterable[T], objectives: Sequence[Objective], *, tol: float = 0.0
+) -> list[T]:
+    """The non-dominated subset, in the input order.
+
+    O(n^2) pairwise filtering — design spaces after feasibility filtering are
+    small (tens to thousands), so clarity beats asymptotics here.
+    """
+    items = list(candidates)
+    if not objectives:
+        raise ValueError("need at least one objective")
+    front: list[T] = []
+    for i, cand in enumerate(items):
+        dominated = False
+        for j, other in enumerate(items):
+            if i == j:
+                continue
+            if dominates(other, cand, objectives, tol=tol):
+                dominated = True
+                break
+        if not dominated:
+            front.append(cand)
+    return front
+
+
+def knee_point(
+    front: Sequence[T], objectives: Sequence[Objective]
+) -> T | None:
+    """The balanced choice: maximum normalized distance from the worst corner.
+
+    Each objective is min-max normalized over the front; the knee is the
+    member with the largest minimum normalized score — the point that is
+    "pretty good at everything".
+    """
+    if not front:
+        return None
+    if len(objectives) < 1:
+        raise ValueError("need at least one objective")
+    values = [[o.oriented(c) for c in front] for o in objectives]
+    normed: list[list[float]] = []
+    for vals in values:
+        lo, hi = min(vals), max(vals)
+        span = hi - lo
+        normed.append([1.0 if span == 0 else (v - lo) / span for v in vals])
+    scores = [min(normed[k][i] for k in range(len(objectives)))
+              for i in range(len(front))]
+    return front[scores.index(max(scores))]

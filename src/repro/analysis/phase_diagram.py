@@ -1,0 +1,90 @@
+"""Bottleneck phase diagrams: what dominates where.
+
+For a grid of (model size, system size) points, find the best strategy and
+label the cell with its *dominant* time component — compute, recompute,
+pipeline bubble, TP/PP/DP communication, optimizer, or offload.  The result
+is the codesign map the paper's individual studies sample: compute-bound
+interiors, communication-bound TP edges, bubble-bound deep pipelines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..core.results import PerformanceResult
+from ..hardware.system import System
+from ..llm.config import LLMConfig
+from ..search.execution_search import SearchOptions, search
+
+# Component grouping for dominance labelling.
+_GROUPS = {
+    "compute": ("fw_pass", "bw_pass", "optim_step"),
+    "recompute": ("fw_recompute",),
+    "bubble": ("pp_bubble",),
+    "tp-comm": ("tp_comm_exposed",),
+    "pp-comm": ("pp_comm_exposed",),
+    "dp-comm": ("dp_comm_exposed",),
+    "offload": ("offload_exposed",),
+    "overlap-tax": ("overlap_tax",),
+}
+
+
+def dominant_component(result: PerformanceResult) -> str:
+    """The label of the largest time-component group."""
+    if not result.feasible:
+        return "infeasible"
+    parts = result.time.as_dict()
+    totals = {
+        label: sum(parts[k] for k in keys) for label, keys in _GROUPS.items()
+    }
+    return max(totals, key=totals.get)
+
+
+@dataclass(frozen=True)
+class PhaseCell:
+    """One cell of the phase diagram."""
+
+    llm_name: str
+    num_procs: int
+    label: str
+    share: float  # fraction of batch time in the dominant group
+    mfu: float
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.share <= 1 + 1e-9:
+            raise ValueError("share must be a fraction")
+
+
+def phase_diagram(
+    llms: Sequence[LLMConfig],
+    system_factory: Callable[[int], System],
+    sizes: Sequence[int],
+    batch: int,
+    options: SearchOptions | None = None,
+    *,
+    workers: int | None = 0,
+) -> list[list[PhaseCell]]:
+    """One row per LLM, one cell per system size."""
+    rows: list[list[PhaseCell]] = []
+    for llm in llms:
+        row = []
+        for n in sizes:
+            result = search(llm, system_factory(n), batch, options, top_k=1,
+                            workers=workers, keep_rates=False)
+            if result.best is None:
+                row.append(
+                    PhaseCell(llm_name=llm.name, num_procs=n,
+                              label="infeasible", share=0.0, mfu=0.0)
+                )
+                continue
+            best = result.best
+            label = dominant_component(best)
+            parts = best.time.as_dict()
+            share = sum(parts[k] for k in _GROUPS[label]) / best.batch_time
+            row.append(
+                PhaseCell(llm_name=llm.name, num_procs=n, label=label,
+                          share=share, mfu=best.mfu)
+            )
+        rows.append(row)
+    return rows

@@ -1,0 +1,106 @@
+"""Strong- vs weak-scaling studies.
+
+The Fig. 7 sweeps hold the global batch fixed (strong scaling: the same
+problem spread over more processors, bubble and communication eventually
+dominate).  Production practice often grows the batch with the machine
+(weak scaling: fixed work per processor, the regime of the Megatron ladder).
+This module runs both and reports speedup and parallel efficiency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..hardware.system import System
+from ..llm.config import LLMConfig
+from ..search.execution_search import SearchOptions, search
+
+
+@dataclass(frozen=True)
+class ScalingModePoint:
+    """One size of a strong- or weak-scaling study."""
+
+    num_procs: int
+    batch: int
+    sample_rate: float
+    batch_time: float
+    mfu: float
+    feasible: bool
+
+    def speedup(self, base: "ScalingModePoint") -> float:
+        """Throughput gain over the base point."""
+        if not (self.feasible and base.feasible) or base.sample_rate == 0:
+            return 0.0
+        return self.sample_rate / base.sample_rate
+
+    def efficiency(self, base: "ScalingModePoint") -> float:
+        """Speedup per added processor (1.0 = perfect scaling)."""
+        if not (self.feasible and base.feasible) or self.num_procs == 0:
+            return 0.0
+        return self.speedup(base) / (self.num_procs / base.num_procs)
+
+
+def _best_point(
+    llm: LLMConfig,
+    system: System,
+    batch: int,
+    options: SearchOptions | None,
+    workers: int | None,
+) -> ScalingModePoint:
+    result = search(llm, system, batch, options, top_k=1, workers=workers,
+                    keep_rates=False)
+    if result.best is None:
+        return ScalingModePoint(
+            num_procs=system.num_procs, batch=batch, sample_rate=0.0,
+            batch_time=float("inf"), mfu=0.0, feasible=False,
+        )
+    return ScalingModePoint(
+        num_procs=system.num_procs,
+        batch=batch,
+        sample_rate=result.best.sample_rate,
+        batch_time=result.best.batch_time,
+        mfu=result.best.mfu,
+        feasible=True,
+    )
+
+
+def strong_scaling(
+    llm: LLMConfig,
+    system_factory: Callable[[int], System],
+    sizes: Sequence[int],
+    batch: int,
+    options: SearchOptions | None = None,
+    *,
+    workers: int | None = 0,
+) -> list[ScalingModePoint]:
+    """Fixed global batch across every size (the Fig. 7 regime)."""
+    if batch < 1:
+        raise ValueError("batch must be positive")
+    return [
+        _best_point(llm, system_factory(n), batch, options, workers)
+        for n in sizes
+    ]
+
+
+def weak_scaling(
+    llm: LLMConfig,
+    system_factory: Callable[[int], System],
+    sizes: Sequence[int],
+    batch_per_proc: float,
+    options: SearchOptions | None = None,
+    *,
+    workers: int | None = 0,
+) -> list[ScalingModePoint]:
+    """Batch grows with the machine: ``batch = round(batch_per_proc * n)``.
+
+    Batch sizes are snapped to multiples of 8 so data-parallel splits exist.
+    """
+    if batch_per_proc <= 0:
+        raise ValueError("batch_per_proc must be positive")
+    points = []
+    for n in sizes:
+        batch = max(8, round(batch_per_proc * n / 8) * 8)
+        points.append(_best_point(llm, system_factory(n), batch, options,
+                                  workers))
+    return points

@@ -1,0 +1,113 @@
+"""Hardware sensitivity analysis: which component is worth improving?
+
+Codesign's first question: if I could make one part of the system X% better,
+how much faster would training get?  This module perturbs one hardware knob
+at a time — matrix/vector throughput, HBM bandwidth, each network tier's
+bandwidth, the offload tier's bandwidth — and reports the *elasticity* of
+batch time: ``d(log time) / d(log knob)``.  An elasticity of −1 means the
+component is the pure bottleneck; 0 means it is off the critical path.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Iterator
+
+from ..core.model import calculate
+from ..execution.strategy import ExecutionStrategy
+from ..hardware.system import System
+from ..llm.config import LLMConfig
+
+KNOBS = (
+    "matrix_flops",
+    "vector_flops",
+    "mem1_bandwidth",
+    "mem2_bandwidth",
+    "network_bandwidth",  # expands to one knob per network tier
+)
+
+
+@dataclass(frozen=True)
+class Elasticity:
+    """Sensitivity of batch time to one hardware knob."""
+
+    knob: str
+    baseline_time: float
+    scaled_time: float
+    scale: float
+
+    @property
+    def value(self) -> float:
+        """``d(log time) / d(log knob)`` estimated at the given scale."""
+        if self.baseline_time <= 0 or self.scaled_time <= 0:
+            return 0.0
+        return math.log(self.scaled_time / self.baseline_time) / math.log(self.scale)
+
+    @property
+    def speedup_at_2x(self) -> float:
+        """Projected speedup from doubling the component (local model)."""
+        return 2.0 ** (-self.value)
+
+
+def _scaled_systems(system: System, scale: float) -> Iterator[tuple[str, System]]:
+    proc = system.processor
+    yield (
+        "matrix_flops",
+        replace(system, processor=replace(proc, matrix_flops=proc.matrix_flops * scale)),
+    )
+    yield (
+        "vector_flops",
+        replace(system, processor=replace(proc, vector_flops=proc.vector_flops * scale)),
+    )
+    yield (
+        "mem1_bandwidth",
+        replace(system, mem1=replace(system.mem1, bandwidth=system.mem1.bandwidth * scale)),
+    )
+    if system.mem2 is not None:
+        yield (
+            "mem2_bandwidth",
+            replace(system, mem2=replace(system.mem2, bandwidth=system.mem2.bandwidth * scale)),
+        )
+    for i, net in enumerate(system.networks):
+        nets = list(system.networks)
+        nets[i] = replace(net, bandwidth=net.bandwidth * scale)
+        yield (f"net[{net.name}]_bandwidth", replace(system, networks=tuple(nets)))
+
+
+def sensitivity(
+    llm: LLMConfig,
+    system: System,
+    strategy: ExecutionStrategy,
+    *,
+    scale: float = 1.25,
+) -> list[Elasticity]:
+    """Elasticity of batch time to each hardware knob.
+
+    Args:
+        scale: multiplicative perturbation applied to each knob (> 1).
+
+    Raises:
+        ValueError: if the baseline configuration is infeasible or the scale
+            is not a positive perturbation.
+    """
+    if scale <= 1.0:
+        raise ValueError("scale must be > 1")
+    baseline = calculate(llm, system, strategy)
+    if not baseline.feasible:
+        raise ValueError(f"baseline infeasible: {baseline.infeasibility}")
+
+    out = []
+    for knob, scaled_system in _scaled_systems(system, scale):
+        res = calculate(llm, scaled_system, strategy)
+        scaled_time = res.batch_time if res.feasible else baseline.batch_time
+        out.append(
+            Elasticity(
+                knob=knob,
+                baseline_time=baseline.batch_time,
+                scaled_time=scaled_time,
+                scale=scale,
+            )
+        )
+    out.sort(key=lambda e: e.value)  # most negative (most critical) first
+    return out

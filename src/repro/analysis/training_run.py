@@ -1,0 +1,122 @@
+"""End-to-end training-run planning: time, energy-free cost, and FLOP budget.
+
+The paper's introduction motivates codesign with the cost of full training
+runs — Megatron-1T was trained for 84 days on 3,072 A100s over 450 billion
+tokens, executing more than 1,000 zettaFLOP, roughly seven hundred
+GPU-years and over six million dollars at $1/GPU-hour cloud rates.  This
+module turns a single-batch performance result into those run-level figures,
+so the model can be validated against (and used to plan) whole campaigns.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..core.model import calculate
+from ..core.results import PerformanceResult
+from ..execution.strategy import ExecutionStrategy
+from ..hardware.system import System
+from ..llm.config import LLMConfig
+from ..units import ZETTA
+
+HOURS_PER_DAY = 24.0
+SECONDS_PER_DAY = 86_400.0
+
+
+@dataclass(frozen=True)
+class TrainingRunPlan:
+    """Projected figures for a full training campaign."""
+
+    llm_name: str
+    system_name: str
+    strategy_name: str
+    tokens: float
+    num_procs: int
+    batch_time: float
+    batch_tokens: float
+    num_batches: int
+    total_seconds: float
+    total_flops: float  # useful model FLOPs (6 * N * tokens convention)
+    gpu_hours: float
+    mfu: float
+
+    @property
+    def days(self) -> float:
+        return self.total_seconds / SECONDS_PER_DAY
+
+    @property
+    def zetta_flops(self) -> float:
+        return self.total_flops / ZETTA
+
+    @property
+    def gpu_years(self) -> float:
+        return self.gpu_hours / (HOURS_PER_DAY * 365.0)
+
+    def cost(self, dollars_per_gpu_hour: float = 1.0) -> float:
+        """Cloud-style cost of the campaign."""
+        if dollars_per_gpu_hour < 0:
+            raise ValueError("rate must be non-negative")
+        return self.gpu_hours * dollars_per_gpu_hour
+
+    def summary(self) -> str:
+        return "\n".join(
+            [
+                f"training {self.llm_name} on {self.system_name} "
+                f"[{self.strategy_name}] over {self.tokens / 1e9:.0f}B tokens:",
+                f"  {self.num_batches:,} batches x {self.batch_time:.1f} s "
+                f"= {self.days:.1f} days on {self.num_procs:,} GPUs",
+                f"  {self.zetta_flops:,.0f} zettaFLOP at {self.mfu * 100:.1f}% MFU",
+                f"  {self.gpu_hours / 1e6:.2f}M GPU-hours "
+                f"({self.gpu_years:.0f} GPU-years); "
+                f"${self.cost() / 1e6:.1f}M at $1/GPU-hour",
+            ]
+        )
+
+
+def plan_training_run(
+    llm: LLMConfig,
+    system: System,
+    strategy: ExecutionStrategy,
+    *,
+    tokens: float,
+    result: PerformanceResult | None = None,
+) -> TrainingRunPlan:
+    """Project a full training campaign from one batch-time calculation.
+
+    Args:
+        llm, system, strategy: the usual three specifications.
+        tokens: total training tokens (e.g. ``450e9``).
+        result: a pre-computed :func:`repro.core.calculate` result for the
+            same inputs, to avoid re-evaluation in sweeps.
+
+    Raises:
+        ValueError: if the configuration is infeasible or tokens <= 0.
+    """
+    if tokens <= 0:
+        raise ValueError("tokens must be positive")
+    res = result if result is not None else calculate(llm, system, strategy)
+    if not res.feasible:
+        raise ValueError(f"infeasible configuration: {res.infeasibility}")
+
+    batch_tokens = float(strategy.batch) * llm.seq_size
+    num_batches = math.ceil(tokens / batch_tokens)
+    total_seconds = num_batches * res.batch_time
+    # The community convention: ~6 FLOPs per parameter per token (fw + bw).
+    total_flops = 6.0 * llm.total_parameters * tokens
+    gpu_hours = total_seconds / 3600.0 * system.num_procs
+
+    return TrainingRunPlan(
+        llm_name=llm.name,
+        system_name=system.name,
+        strategy_name=strategy.short_name(),
+        tokens=tokens,
+        num_procs=system.num_procs,
+        batch_time=res.batch_time,
+        batch_tokens=batch_tokens,
+        num_batches=num_batches,
+        total_seconds=total_seconds,
+        total_flops=total_flops,
+        gpu_hours=gpu_hours,
+        mfu=res.mfu,
+    )

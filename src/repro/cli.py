@@ -1,0 +1,563 @@
+"""Command-line interface.
+
+Subcommands mirror the reference tool's workflows:
+
+* ``run``    — evaluate one (LLM, system, execution) triple and print the
+               full statistics report (paper §2.4 / Fig. 3).
+* ``search`` — exhaustive optimal-execution search for a fixed system
+               (paper §5.1 / Fig. 6).
+* ``sweep``  — optimal performance vs. system size (paper §5.2 / Fig. 7).
+* ``budget`` — budgeted optimal-system search (paper §7 / Table 3).
+
+LLMs and systems may be given as preset names (``gpt3-175b``,
+``a100:4096``, ``h100:4096:80:512``) or as JSON spec files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from .analysis import MeasuredRun, calibrate, plan_training_run, sensitivity
+from .core import calculate, hottest_layers, profile_layers
+from .execution import ExecutionStrategy
+from .hardware import (
+    System,
+    a100_system,
+    ddr5_offload,
+    h100_system,
+    h200_system,
+    v100_system,
+)
+from .inference import InferenceStrategy, calculate_inference
+from .io import load_llm, load_strategy, load_system
+from .llm import LLMConfig, get_preset, iter_presets
+from .search import (
+    SearchOptions,
+    budget_table,
+    scaling_sweep,
+    search,
+)
+from .viz import table
+
+
+def _parse_llm(spec: str) -> LLMConfig:
+    if Path(spec).suffix == ".json" and Path(spec).exists():
+        return load_llm(spec)
+    return get_preset(spec)
+
+
+def _parse_system(spec: str) -> System:
+    """Parse ``a100:<n>[:<hbm_gib>]`` / ``h100:<n>[:<hbm>[:<ddr>]]`` or a JSON path."""
+    if Path(spec).suffix == ".json" and Path(spec).exists():
+        return load_system(spec)
+    parts = spec.split(":")
+    kind = parts[0]
+    factories = {
+        "v100": (v100_system, 32.0),
+        "a100": (a100_system, 80.0),
+        "h100": (h100_system, 80.0),
+        "h200": (h200_system, 141.0),
+    }
+    if kind not in factories:
+        raise SystemExit(
+            f"unknown system spec {spec!r} (want one of {sorted(factories)}, "
+            "e.g. a100:4096 or h100:512:80:512)"
+        )
+    factory, default_hbm = factories[kind]
+    n = int(parts[1])
+    hbm = float(parts[2]) if len(parts) > 2 else default_hbm
+    offload = None
+    if len(parts) > 3 and float(parts[3]) > 0:
+        offload = ddr5_offload(float(parts[3]))
+    return factory(n, hbm_gib=hbm, offload=offload)
+
+
+def _options_from_name(name: str) -> SearchOptions:
+    presets = {
+        "baseline": SearchOptions.megatron_baseline,
+        "seqpar": SearchOptions.seq_par_regime,
+        "all": SearchOptions.all_optimizations,
+        "all+offload": SearchOptions.all_with_offload,
+    }
+    try:
+        return presets[name]()
+    except KeyError:
+        raise SystemExit(f"unknown option preset {name!r}; choose from {sorted(presets)}")
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    llm = _parse_llm(args.llm)
+    system = _parse_system(args.system)
+    if args.strategy:
+        strategy = load_strategy(args.strategy)
+    else:
+        strategy = ExecutionStrategy(
+            tensor_par=args.tp,
+            pipeline_par=args.pp,
+            data_par=args.dp,
+            batch=args.batch,
+            microbatch=args.microbatch,
+            pp_interleaving=args.interleave,
+            recompute=args.recompute,
+            seq_par=args.seq_par,
+            tp_redo_sp=args.seq_par,
+            optimizer_sharding=args.optimizer_sharding,
+            dp_overlap=args.dp_overlap,
+            tp_overlap=args.tp_overlap,
+            fused_activations=args.fused,
+            weight_offload=args.offload,
+            activation_offload=args.offload,
+            optimizer_offload=args.offload,
+        )
+    start = time.perf_counter()
+    result = calculate(llm, system, strategy)
+    elapsed = time.perf_counter() - start
+    if args.format == "csv":
+        from .io import results_to_csv
+
+        print(results_to_csv([result]), end="")
+    elif args.format == "json":
+        import json as _json
+
+        from .io import result_to_flat_dict
+
+        print(_json.dumps(result_to_flat_dict(result), indent=1))
+    else:
+        print(result.summary())
+        print(f"(model evaluated in {elapsed * 1e3:.3f} ms)")
+    return 0 if result.feasible else 1
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    llm = _parse_llm(args.llm)
+    system = _parse_system(args.system)
+    opts = _options_from_name(args.options)
+    start = time.perf_counter()
+    result = search(
+        llm, system, args.batch, opts, top_k=args.top, workers=args.workers
+    )
+    elapsed = time.perf_counter() - start
+    print(
+        f"evaluated {result.num_evaluated} configurations "
+        f"({result.num_feasible} feasible, "
+        f"{result.feasible_fraction * 100:.1f}%) in {elapsed:.1f} s"
+    )
+    if result.best is None:
+        print("no feasible configuration")
+        return 1
+    rows = [
+        (
+            s.short_name(),
+            r.sample_rate,
+            r.batch_time,
+            r.mfu * 100,
+            r.mem1.total / 2**30,
+            s.recompute,
+            "sp" if s.seq_par else "-",
+            "shard" if s.optimizer_sharding else "-",
+        )
+        for s, r in result.top
+    ]
+    print(
+        table(
+            ["config", "rate/s", "batch s", "MFU %", "HBM GiB", "recompute", "SP", "opt"],
+            rows,
+        )
+    )
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    llm = _parse_llm(args.llm)
+    base = _parse_system(args.system)
+
+    def factory(n: int) -> System:
+        return base.with_num_procs(n)
+
+    sizes = list(range(args.step, args.max_size + 1, args.step))
+    opts = _options_from_name(args.options)
+    curve = scaling_sweep(llm, factory, sizes, args.batch, opts, workers=args.workers)
+    rel = curve.relative_scaling()
+    rows = [
+        (p.num_procs, p.sample_rate, f"{r:.3f}", p.strategy.short_name() if p.strategy else "-")
+        for p, r in zip(curve.points, rel)
+    ]
+    print(table(["size", "rate/s", "rel scaling", "best config"], rows))
+    return 0
+
+
+def _cmd_budget(args: argparse.Namespace) -> int:
+    llms = [_parse_llm(name) for name in args.llms.split(",")]
+    rows = budget_table(
+        llms,
+        budget=args.budget,
+        batch=args.batch,
+        workers=args.workers,
+    )
+    out = []
+    for row in rows:
+        design = row[0].design
+        cells: list[object] = [design.label(), f"${design.price_per_gpu / 1e3:.1f}k",
+                               row[0].max_gpus]
+        for entry in row:
+            cells += [entry.used_gpus, round(entry.sample_rate), round(entry.perf_per_million, 1)]
+        out.append(cells)
+    headers = ["design", "price", "max GPUs"]
+    for llm in llms:
+        headers += [f"{llm.name} GPUs", "perf", "perf/$M"]
+    print(table(headers, out))
+    return 0
+
+
+def _cmd_calibrate(args: argparse.Namespace) -> int:
+    """Fit the efficiency knobs to measured runs from a JSON manifest.
+
+    The manifest is a list of objects with ``llm`` (preset or spec path),
+    ``system`` (spec string or path), ``strategy`` (inline execution dict)
+    and ``measured_time`` in seconds.
+    """
+    import json as _json
+
+    manifest = _json.loads(Path(args.runs).read_text())
+    runs = []
+    for entry in manifest:
+        runs.append(
+            MeasuredRun(
+                llm=_parse_llm(entry["llm"]),
+                system=_parse_system(entry["system"]),
+                strategy=ExecutionStrategy.from_dict(entry["strategy"]),
+                measured_time=float(entry["measured_time"]),
+            )
+        )
+    result = calibrate(runs)
+    print(
+        f"fitted matrix plateau {result.matrix_plateau:.3f}, "
+        f"HBM efficiency {result.hbm_efficiency:.3f}"
+    )
+    print(
+        f"mean abs error {result.mean_abs_error * 100:.2f}%  "
+        f"max {result.max_abs_error * 100:.2f}%"
+    )
+    rows = [
+        (i, entry["measured_time"], round(pred, 3))
+        for i, (entry, pred) in enumerate(zip(manifest, result.predictions))
+    ]
+    print(table(["run", "measured s", "fitted model s"], rows))
+    return 0
+
+
+def _cmd_sensitivity(args: argparse.Namespace) -> int:
+    llm = _parse_llm(args.llm)
+    system = _parse_system(args.system)
+    strategy = ExecutionStrategy(
+        tensor_par=args.tp,
+        pipeline_par=args.pp,
+        data_par=args.dp,
+        batch=args.batch,
+        microbatch=args.microbatch,
+        recompute=args.recompute,
+    )
+    try:
+        elasticities = sensitivity(llm, system, strategy, scale=args.scale)
+    except ValueError as err:
+        print(f"error: {err}")
+        return 1
+    rows = [
+        (e.knob, f"{e.value:+.3f}", f"{e.speedup_at_2x:.2f}x")
+        for e in elasticities
+    ]
+    print(table(["component", "elasticity", "speedup if 2x better"], rows))
+    return 0
+
+
+def _cmd_refine(args: argparse.Namespace) -> int:
+    from .search import multi_start
+
+    llm = _parse_llm(args.llm)
+    system = _parse_system(args.system)
+    seeds = []
+    t0 = min(8, llm.attn_heads)
+    for t, p in ((t0, 1), (t0, 8), (1, 8), (t0, system.num_procs // t0)):
+        if system.num_procs % (t * p):
+            continue
+        d = system.num_procs // (t * p)
+        if args.batch % d:
+            continue
+        seeds.append(
+            ExecutionStrategy(
+                tensor_par=t, pipeline_par=p, data_par=d, batch=args.batch,
+                microbatch=1, recompute="full", optimizer_sharding=True,
+            )
+        )
+    start = time.perf_counter()
+    result = multi_start(llm, system, seeds)
+    elapsed = time.perf_counter() - start
+    if result is None:
+        print("no feasible configuration found from any seed")
+        return 1
+    print(
+        f"hill-climbed to {result.best_strategy.short_name()} in "
+        f"{result.evaluations} evaluations ({elapsed:.1f} s)"
+    )
+    print(result.best.summary())
+    return 0
+
+
+def _cmd_inference(args: argparse.Namespace) -> int:
+    llm = _parse_llm(args.llm)
+    system = _parse_system(args.system)
+    strategy = InferenceStrategy(
+        tensor_par=args.tp,
+        pipeline_par=args.pp,
+        data_par=args.dp,
+        batch=args.batch,
+        pipelined_requests=not args.latency_mode,
+    )
+    result = calculate_inference(
+        llm, system, strategy, prompt_len=args.prompt, generate_len=args.generate
+    )
+    print(result.summary())
+    return 0 if result.feasible else 1
+
+
+def _cmd_layers(args: argparse.Namespace) -> int:
+    llm = _parse_llm(args.llm)
+    system = _parse_system(args.system)
+    strategy = ExecutionStrategy(
+        tensor_par=args.tp,
+        pipeline_par=args.pp,
+        data_par=args.dp,
+        batch=args.batch,
+        microbatch=args.microbatch,
+        seq_par=args.seq_par,
+        tp_redo_sp=args.seq_par,
+        fused_activations=args.fused,
+    )
+    try:
+        profiles = profile_layers(llm, system, strategy)
+    except ValueError as err:
+        print(f"error: {err}")
+        return 1
+    total = sum(p.total_time for p in profiles)
+    rows = [
+        (
+            p.name,
+            p.engine,
+            f"{p.fw_time * 1e6:.1f}",
+            f"{p.bw_time * 1e6:.1f}",
+            f"{p.total_time / total * 100:.1f}%",
+            "compute" if p.fw_compute_bound else "memory",
+        )
+        for p in profiles
+    ]
+    print(table(["layer", "engine", "fw us", "bw us", "share", "bound"], rows))
+    hot = hottest_layers(profiles, 3)
+    print("\nhottest layers: " + ", ".join(p.name for p in hot))
+    return 0
+
+
+def _cmd_deployments(args: argparse.Namespace) -> int:
+    from .inference import search_deployments
+
+    llm = _parse_llm(args.llm)
+    system = _parse_system(args.system)
+    front = search_deployments(
+        llm,
+        system,
+        prompt_len=args.prompt,
+        generate_len=args.generate,
+    )
+    if not front:
+        print("no feasible deployment (model does not fit this pool)")
+        return 1
+    rows = [
+        (
+            p.strategy.short_name(),
+            f"{p.result.prefill_time:.2f} s",
+            f"{p.result.decode_step_time * 1e3:.1f} ms",
+            f"{p.result.tokens_per_second:,.0f}",
+            f"{p.tokens_per_second_per_proc:,.1f}",
+            f"{p.result.mem_used / 2**30:.0f} GiB",
+        )
+        for p in front
+    ]
+    print(
+        table(
+            ["deployment", "TTFT", "per-token", "tokens/s", "tok/s/GPU", "HBM"],
+            rows,
+        )
+    )
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    llm = _parse_llm(args.llm)
+    system = _parse_system(args.system)
+    strategy = ExecutionStrategy(
+        tensor_par=args.tp,
+        pipeline_par=args.pp,
+        data_par=args.dp,
+        batch=args.batch,
+        microbatch=args.microbatch,
+        recompute=args.recompute,
+        optimizer_sharding=True,
+    )
+    try:
+        plan = plan_training_run(llm, system, strategy, tokens=args.tokens)
+    except ValueError as err:
+        print(f"error: {err}")
+        return 1
+    print(plan.summary())
+    if args.rate != 1.0:
+        print(f"  ${plan.cost(args.rate) / 1e6:.1f}M at ${args.rate}/GPU-hour")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-calculon",
+        description="Analytical LLM/system codesign model (Calculon reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="evaluate one configuration")
+    run.add_argument("llm", help="LLM preset name or spec JSON")
+    run.add_argument("system", help="system spec (a100:<n> | h100:<n>[:hbm[:ddr]] | JSON)")
+    run.add_argument("--strategy", help="execution strategy JSON")
+    run.add_argument("--tp", type=int, default=8)
+    run.add_argument("--pp", type=int, default=8)
+    run.add_argument("--dp", type=int, default=1)
+    run.add_argument("--batch", type=int, default=64)
+    run.add_argument("--microbatch", type=int, default=1)
+    run.add_argument("--interleave", type=int, default=1)
+    run.add_argument("--recompute", choices=("none", "attn_only", "full"), default="none")
+    run.add_argument("--seq-par", action="store_true", dest="seq_par")
+    run.add_argument("--optimizer-sharding", action="store_true")
+    run.add_argument("--dp-overlap", action="store_true")
+    run.add_argument("--tp-overlap", choices=("none", "pipe", "ring"), default="none")
+    run.add_argument("--fused", action="store_true")
+    run.add_argument("--offload", action="store_true")
+    run.add_argument("--format", choices=("text", "csv", "json"), default="text")
+    run.set_defaults(func=_cmd_run)
+
+    srch = sub.add_parser("search", help="exhaustive execution search")
+    srch.add_argument("llm")
+    srch.add_argument("system")
+    srch.add_argument("--batch", type=int, default=4096)
+    srch.add_argument("--options", default="all")
+    srch.add_argument("--top", type=int, default=10)
+    srch.add_argument("--workers", type=int, default=None)
+    srch.set_defaults(func=_cmd_search)
+
+    swp = sub.add_parser("sweep", help="optimal performance vs system size")
+    swp.add_argument("llm")
+    swp.add_argument("system")
+    swp.add_argument("--batch", type=int, default=4096)
+    swp.add_argument("--max-size", type=int, default=8192)
+    swp.add_argument("--step", type=int, default=512)
+    swp.add_argument("--options", default="all")
+    swp.add_argument("--workers", type=int, default=0)
+    swp.set_defaults(func=_cmd_sweep)
+
+    bud = sub.add_parser("budget", help="budgeted optimal-system search")
+    bud.add_argument("--llms", default="gpt3-175b,turing-530b,megatron-1t")
+    bud.add_argument("--budget", type=float, default=125e6)
+    bud.add_argument("--batch", type=int, default=4096)
+    bud.add_argument("--workers", type=int, default=0)
+    bud.set_defaults(func=_cmd_budget)
+
+    cal = sub.add_parser("calibrate",
+                         help="fit efficiency knobs to measured runs")
+    cal.add_argument("runs", help="JSON manifest of measured runs")
+    cal.set_defaults(func=_cmd_calibrate)
+
+    sens = sub.add_parser("sensitivity", help="hardware elasticity analysis")
+    sens.add_argument("llm")
+    sens.add_argument("system")
+    sens.add_argument("--tp", type=int, default=8)
+    sens.add_argument("--pp", type=int, default=8)
+    sens.add_argument("--dp", type=int, default=1)
+    sens.add_argument("--batch", type=int, default=64)
+    sens.add_argument("--microbatch", type=int, default=1)
+    sens.add_argument("--recompute", choices=("none", "attn_only", "full"),
+                      default="full")
+    sens.add_argument("--scale", type=float, default=1.25)
+    sens.set_defaults(func=_cmd_sensitivity)
+
+    ref = sub.add_parser("refine", help="fast hill-climbing strategy search")
+    ref.add_argument("llm")
+    ref.add_argument("system")
+    ref.add_argument("--batch", type=int, default=4096)
+    ref.set_defaults(func=_cmd_refine)
+
+    inf = sub.add_parser("inference", help="serving latency/throughput estimate")
+    inf.add_argument("llm")
+    inf.add_argument("system")
+    inf.add_argument("--tp", type=int, default=8)
+    inf.add_argument("--pp", type=int, default=1)
+    inf.add_argument("--dp", type=int, default=1)
+    inf.add_argument("--batch", type=int, default=8)
+    inf.add_argument("--prompt", type=int, default=2048)
+    inf.add_argument("--generate", type=int, default=256)
+    inf.add_argument("--latency-mode", action="store_true",
+                     help="single batch in flight (no request pipelining)")
+    inf.set_defaults(func=_cmd_inference)
+
+    lay = sub.add_parser("layers", help="per-layer profile of one block")
+    lay.add_argument("llm")
+    lay.add_argument("system")
+    lay.add_argument("--tp", type=int, default=8)
+    lay.add_argument("--pp", type=int, default=8)
+    lay.add_argument("--dp", type=int, default=1)
+    lay.add_argument("--batch", type=int, default=64)
+    lay.add_argument("--microbatch", type=int, default=1)
+    lay.add_argument("--seq-par", action="store_true", dest="seq_par")
+    lay.add_argument("--fused", action="store_true")
+    lay.set_defaults(func=_cmd_layers)
+
+    dep = sub.add_parser("deployments",
+                         help="latency/throughput Pareto front for serving")
+    dep.add_argument("llm")
+    dep.add_argument("system")
+    dep.add_argument("--prompt", type=int, default=2048)
+    dep.add_argument("--generate", type=int, default=256)
+    dep.set_defaults(func=_cmd_deployments)
+
+    pln = sub.add_parser("plan", help="project a full training campaign")
+    pln.add_argument("llm")
+    pln.add_argument("system")
+    pln.add_argument("--tokens", type=float, default=450e9)
+    pln.add_argument("--tp", type=int, default=8)
+    pln.add_argument("--pp", type=int, default=8)
+    pln.add_argument("--dp", type=int, default=1)
+    pln.add_argument("--batch", type=int, default=64)
+    pln.add_argument("--microbatch", type=int, default=1)
+    pln.add_argument("--recompute", choices=("none", "attn_only", "full"),
+                     default="full")
+    pln.add_argument("--rate", type=float, default=1.0,
+                     help="dollars per GPU-hour for the cost estimate")
+    pln.set_defaults(func=_cmd_plan)
+
+    lst = sub.add_parser("presets", help="list LLM presets")
+    lst.set_defaults(
+        func=lambda a: (
+            [
+                print(
+                    f"{m.name:<16} hidden={m.hidden:<6} heads={m.attn_heads:<4} "
+                    f"blocks={m.num_blocks:<4} params={m.total_parameters / 1e9:.1f}B"
+                )
+                for m in iter_presets()
+            ],
+            0,
+        )[1]
+    )
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

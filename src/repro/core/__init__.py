@@ -1,0 +1,29 @@
+"""Core analytical performance model: LLM x System x Execution -> statistics."""
+
+from .consistency import assert_consistent, check_result
+from .layers_report import LayerProfile, hottest_layers, profile_layers
+from .flops import OpTime, layer_bw_time, layer_fw_time, op_time
+from .model import calculate
+from .results import (
+    MemoryBreakdown,
+    OffloadStats,
+    PerformanceResult,
+    TimeBreakdown,
+)
+
+__all__ = [
+    "MemoryBreakdown",
+    "OffloadStats",
+    "OpTime",
+    "assert_consistent",
+    "check_result",
+    "PerformanceResult",
+    "TimeBreakdown",
+    "LayerProfile",
+    "calculate",
+    "hottest_layers",
+    "layer_bw_time",
+    "layer_fw_time",
+    "op_time",
+    "profile_layers",
+]

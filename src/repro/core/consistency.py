@@ -1,0 +1,88 @@
+"""Internal-consistency checks for model outputs.
+
+A :class:`~repro.core.results.PerformanceResult` must satisfy a set of
+identities regardless of configuration (exposed communication never exceeds
+the wire time, the batch time is exactly the sum of its components, MFU is a
+physical fraction, ...).  :func:`check_result` verifies them all and returns
+the violations; property tests and downstream pipelines use it as a tripwire
+against regressions that individual assertions would miss.
+"""
+
+from __future__ import annotations
+
+from .results import PerformanceResult
+
+_TOL = 1e-9
+
+
+def check_result(result: PerformanceResult) -> list[str]:
+    """Return a list of violated invariants (empty means consistent)."""
+    problems: list[str] = []
+    if not result.feasible:
+        if not result.infeasibility:
+            problems.append("infeasible result must carry a reason")
+        if result.sample_rate != 0.0:
+            problems.append("infeasible result must have zero sample rate")
+        return problems
+
+    t = result.time
+    components = (
+        t.fw_pass,
+        t.bw_pass,
+        t.fw_recompute,
+        t.optim_step,
+        t.pp_bubble,
+        t.tp_comm_exposed,
+        t.pp_comm_exposed,
+        t.dp_comm_exposed,
+        t.offload_exposed,
+        t.overlap_tax,
+    )
+    if any(c < -_TOL for c in components):
+        problems.append("negative time component")
+    if abs(sum(components) - t.batch_time) > max(_TOL, 1e-9 * t.batch_time):
+        problems.append("batch_time is not the sum of its components")
+    if t.batch_time <= 0:
+        problems.append("feasible result must have positive batch time")
+
+    if t.tp_comm_exposed > t.tp_comm_total + _TOL:
+        problems.append("exposed TP communication exceeds wire time")
+    if t.dp_comm_exposed > t.dp_comm_total + _TOL:
+        problems.append("exposed DP communication exceeds wire time")
+    if t.pp_comm_exposed > t.pp_comm_total + t.pp_comm_total / max(1, 1) + _TOL:
+        # fill hand-offs are part of the wire total; exposure cannot exceed it
+        if t.pp_comm_exposed > t.pp_comm_total * 1.5 + _TOL:
+            problems.append("exposed PP communication far exceeds wire time")
+    if t.offload_exposed > t.offload_total + _TOL:
+        problems.append("exposed offload time exceeds transfer time")
+
+    if not 0.0 < result.mfu <= 1.0:
+        problems.append(f"MFU outside (0, 1]: {result.mfu}")
+    expected_rate = result.batch / t.batch_time
+    if abs(result.sample_rate - expected_rate) > 1e-6 * expected_rate:
+        problems.append("sample rate inconsistent with batch time")
+
+    m = result.mem1
+    if any(
+        v < -_TOL
+        for v in (m.weight, m.activation, m.weight_grad, m.activation_grad,
+                  m.optimizer)
+    ):
+        problems.append("negative memory component")
+    if m.total <= 0:
+        problems.append("feasible result must use some memory")
+
+    if result.offload.used_bytes < -_TOL:
+        problems.append("negative tier-2 usage")
+    if result.offload.required_bandwidth < -_TOL:
+        problems.append("negative required offload bandwidth")
+    return problems
+
+
+def assert_consistent(result: PerformanceResult) -> None:
+    """Raise ``AssertionError`` listing every violated invariant."""
+    problems = check_result(result)
+    if problems:
+        raise AssertionError(
+            f"{result.llm_name}/{result.strategy_name}: " + "; ".join(problems)
+        )

@@ -1,0 +1,83 @@
+"""Per-layer profiling: where inside the block does the time go?
+
+The block-level model aggregates fifteen layers; this module exposes the
+per-layer view — forward/backward time, FLOPs, traffic, rooflines — for one
+configuration, the report an engineer reads before deciding which kernel to
+fuse or which dimension to shard next.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..execution.strategy import ExecutionStrategy
+from ..hardware.system import System
+from ..llm.blocks import build_block
+from ..llm.config import LLMConfig
+from .flops import layer_bw_time, layer_fw_time
+
+
+@dataclass(frozen=True)
+class LayerProfile:
+    """Analytical figures for one layer of the sharded block."""
+
+    name: str
+    engine: str
+    fw_time: float
+    bw_time: float
+    fw_flops: float
+    fw_traffic: float
+    fw_compute_bound: bool
+    weight_bytes: float
+    stash_bytes: float
+
+    @property
+    def total_time(self) -> float:
+        return self.fw_time + self.bw_time
+
+
+def profile_layers(
+    llm: LLMConfig, system: System, strategy: ExecutionStrategy
+) -> list[LayerProfile]:
+    """Per-layer profile of one transformer block under the strategy.
+
+    Raises:
+        ValueError: if the strategy is structurally invalid for the system.
+    """
+    strategy.validate(llm, system)
+    block = build_block(
+        llm,
+        microbatch=strategy.microbatch,
+        tensor_par=strategy.tensor_par,
+        seq_par=strategy.seq_par,
+        fused_activations=strategy.fused_activations,
+        tp_redo_sp=strategy.tp_redo_sp,
+        tp_mode=strategy.tp_mode,
+    )
+    out = []
+    for layer in block.layers:
+        f = layer_fw_time(system.processor, system.mem1, layer)
+        b = layer_bw_time(system.processor, system.mem1, layer)
+        out.append(
+            LayerProfile(
+                name=layer.name,
+                engine=layer.engine.value,
+                fw_time=f.total,
+                bw_time=b.total,
+                fw_flops=layer.flops_fw,
+                fw_traffic=layer.traffic_fw,
+                fw_compute_bound=f.compute_bound,
+                weight_bytes=layer.weight_bytes,
+                stash_bytes=layer.stash_bytes,
+            )
+        )
+    return out
+
+
+def hottest_layers(
+    profiles: list[LayerProfile], k: int = 3
+) -> list[LayerProfile]:
+    """The ``k`` layers with the largest combined forward+backward time."""
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    return sorted(profiles, key=lambda p: -p.total_time)[:k]

@@ -1,0 +1,33 @@
+"""Execution strategies: parallelization splits and software optimizations."""
+
+from .presets import (
+    PRESETS,
+    calculon_software,
+    get_strategy_preset,
+    megatron_baseline,
+    megatron_seq_par,
+    zero_offload,
+)
+from .strategy import (
+    RECOMPUTE_MODES,
+    TP_OVERLAP_MODES,
+    ExecutionStrategy,
+    StrategyError,
+    divisors,
+    factorizations,
+)
+
+__all__ = [
+    "ExecutionStrategy",
+    "PRESETS",
+    "calculon_software",
+    "get_strategy_preset",
+    "megatron_baseline",
+    "megatron_seq_par",
+    "zero_offload",
+    "RECOMPUTE_MODES",
+    "StrategyError",
+    "TP_OVERLAP_MODES",
+    "divisors",
+    "factorizations",
+]

@@ -1,0 +1,110 @@
+"""Named execution-strategy presets.
+
+The paper's studies compare recurring strategy families; these constructors
+produce them for any (t, p, d, batch) shape, so examples and user code can
+say what they mean instead of listing a dozen flags.
+"""
+
+from __future__ import annotations
+
+from .strategy import ExecutionStrategy
+
+
+def megatron_baseline(
+    t: int, p: int, d: int, batch: int, *, microbatch: int = 1,
+    interleaving: int = 1,
+) -> ExecutionStrategy:
+    """The "original optimizations" regime [29]: full recompute, 1F1B,
+    microbatching — Fig. 5(a)'s software set."""
+    return ExecutionStrategy(
+        tensor_par=t,
+        pipeline_par=p,
+        data_par=d,
+        batch=batch,
+        microbatch=microbatch,
+        pp_interleaving=interleaving,
+        recompute="full",
+    )
+
+
+def megatron_seq_par(
+    t: int, p: int, d: int, batch: int, *, microbatch: int = 1,
+    interleaving: int = 1,
+) -> ExecutionStrategy:
+    """Sequence parallelism + selective recompute [20] — Fig. 5(b), the
+    "Seq+Sel" validation rows of Table 2."""
+    return ExecutionStrategy(
+        tensor_par=t,
+        pipeline_par=p,
+        data_par=d,
+        batch=batch,
+        microbatch=microbatch,
+        pp_interleaving=interleaving,
+        recompute="attn_only",
+        seq_par=True,
+        tp_redo_sp=True,
+        pp_rs_ag=True,
+    )
+
+
+def calculon_software(
+    t: int, p: int, d: int, batch: int, *, microbatch: int = 2,
+    interleaving: int = 8,
+) -> ExecutionStrategy:
+    """The search-discovered software-only optimum of Table 4: selective
+    recompute + SP, TP/DP overlap, optimizer sharding, fused activations."""
+    return ExecutionStrategy(
+        tensor_par=t,
+        pipeline_par=p,
+        data_par=d,
+        batch=batch,
+        microbatch=microbatch,
+        pp_interleaving=interleaving if p > 1 else 1,
+        recompute="attn_only",
+        seq_par=True,
+        tp_overlap="ring",
+        dp_overlap=True,
+        optimizer_sharding=True,
+        fused_activations=True,
+    )
+
+
+def zero_offload(
+    t: int, p: int, d: int, batch: int, *, microbatch: int = 4,
+) -> ExecutionStrategy:
+    """The Table-4 offload strategy: everything stashed in tier-2, no
+    recompute, DP-heavy (requires a system with ``mem2``)."""
+    return ExecutionStrategy(
+        tensor_par=t,
+        pipeline_par=p,
+        data_par=d,
+        batch=batch,
+        microbatch=microbatch,
+        recompute="none",
+        seq_par=True,
+        tp_overlap="ring",
+        dp_overlap=True,
+        optimizer_sharding=True,
+        fused_activations=True,
+        weight_offload=True,
+        activation_offload=True,
+        optimizer_offload=True,
+    )
+
+
+PRESETS = {
+    "megatron-baseline": megatron_baseline,
+    "megatron-seq-par": megatron_seq_par,
+    "calculon-software": calculon_software,
+    "zero-offload": zero_offload,
+}
+
+
+def get_strategy_preset(name: str):
+    """Look up a strategy-family constructor by name."""
+    try:
+        return PRESETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown strategy preset {name!r}; known: {sorted(PRESETS)}"
+        ) from None

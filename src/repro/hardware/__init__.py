@@ -1,0 +1,61 @@
+"""Hardware models: processor, memory hierarchy, networks, full systems."""
+
+from .collectives import (
+    CollectiveEstimate,
+    best_time,
+    hierarchical_all_reduce,
+    in_network_time,
+    ring_time,
+    tree_time,
+)
+from .memory import INFINITE_TIER, MemoryTier
+from .network import COLLECTIVE_OPS, Network
+from .processor import (
+    DEFAULT_MATRIX_CURVE,
+    DEFAULT_VECTOR_CURVE,
+    EfficiencyCurve,
+    Processor,
+)
+from .topology import Dragonfly, FatTree, effective_network
+from .system import (
+    A100,
+    H100,
+    H200,
+    System,
+    V100,
+    a100_system,
+    ddr5_offload,
+    h100_system,
+    h200_system,
+    v100_system,
+)
+
+__all__ = [
+    "A100",
+    "CollectiveEstimate",
+    "best_time",
+    "hierarchical_all_reduce",
+    "in_network_time",
+    "ring_time",
+    "tree_time",
+    "COLLECTIVE_OPS",
+    "DEFAULT_MATRIX_CURVE",
+    "DEFAULT_VECTOR_CURVE",
+    "Dragonfly",
+    "EfficiencyCurve",
+    "FatTree",
+    "H100",
+    "H200",
+    "INFINITE_TIER",
+    "MemoryTier",
+    "Network",
+    "Processor",
+    "System",
+    "V100",
+    "a100_system",
+    "ddr5_offload",
+    "effective_network",
+    "h100_system",
+    "h200_system",
+    "v100_system",
+]

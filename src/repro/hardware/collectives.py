@@ -1,0 +1,139 @@
+"""Collective-communication algorithm models (paper §2.2).
+
+A network "has a specification of how it handles each specific operation,
+which is also the mechanism that models the performance benefits of
+in-network collectives".  This module provides the algorithm zoo:
+
+* **ring** — bandwidth-optimal: an all-reduce moves ``2(g-1)/g`` of the
+  payload per processor in ``2(g-1)`` latency steps.
+* **tree** — latency-optimal: ``2*log2(g)`` steps moving the payload twice
+  (reduce up, broadcast down); wins for small payloads and large groups.
+* **in-network** — switch-resident reduction (e.g. SHARP): each byte crosses
+  the wire once, with a single logical step.
+* **hierarchical** — two-tier reduction for groups spanning a fast inner
+  domain and a slower outer network: reduce-scatter inside, all-reduce of the
+  shard across domains, all-gather inside.  This is the NCCL "NVLS/tree"
+  regime that makes data parallelism scale across nodes.
+
+:func:`best_time` mirrors a tuned communication library by picking the
+fastest admissible algorithm per (operation, payload, group).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .network import COLLECTIVE_OPS, Network
+
+
+@dataclass(frozen=True)
+class CollectiveEstimate:
+    """Time and provenance of one collective estimate."""
+
+    time: float
+    algorithm: str
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError("time must be non-negative")
+
+
+def _validate(op: str, nbytes: float, group: int) -> None:
+    if op not in COLLECTIVE_OPS:
+        raise ValueError(f"unknown collective {op!r}")
+    if nbytes < 0:
+        raise ValueError("nbytes must be non-negative")
+    if group < 1:
+        raise ValueError("group must be >= 1")
+
+
+def ring_time(net: Network, op: str, nbytes: float, group: int) -> float:
+    """Bandwidth-optimal ring algorithm (the NCCL default at scale)."""
+    _validate(op, nbytes, group)
+    if nbytes == 0 or (group == 1 and op != "p2p"):
+        return 0.0
+    if op == "p2p":
+        return nbytes / net.message_bandwidth(nbytes) + net.latency
+    if op == "all_reduce":
+        steps = 2 * (group - 1)
+        volume = 2.0 * nbytes * (group - 1) / group
+    else:  # reduce_scatter / all_gather / broadcast
+        steps = group - 1
+        volume = nbytes * (group - 1) / group
+    return volume / net.message_bandwidth(nbytes / group) + steps * net.latency
+
+
+def tree_time(net: Network, op: str, nbytes: float, group: int) -> float:
+    """Latency-optimal binary-tree algorithm.
+
+    Only reductions and broadcasts have tree forms; reduce-scatter and
+    all-gather are inherently ``(g-1)/g``-volume operations, so the ring
+    estimate is returned for them.
+    """
+    _validate(op, nbytes, group)
+    if nbytes == 0 or (group == 1 and op != "p2p"):
+        return 0.0
+    depth = math.ceil(math.log2(group)) if group > 1 else 0
+    if op == "all_reduce":
+        # Reduce up the tree then broadcast down: payload crosses twice.
+        return 2.0 * nbytes / net.message_bandwidth(nbytes) + 2 * depth * net.latency
+    if op == "broadcast":
+        return nbytes / net.message_bandwidth(nbytes) + depth * net.latency
+    return ring_time(net, op, nbytes, group)
+
+
+def in_network_time(net: Network, op: str, nbytes: float, group: int) -> float:
+    """Switch-resident reduction: every byte crosses the wire exactly once."""
+    _validate(op, nbytes, group)
+    if nbytes == 0 or (group == 1 and op != "p2p"):
+        return 0.0
+    if op in ("all_reduce", "broadcast"):
+        return nbytes / net.message_bandwidth(nbytes) + net.latency
+    return ring_time(net, op, nbytes, group)
+
+
+def best_time(
+    net: Network, op: str, nbytes: float, group: int
+) -> CollectiveEstimate:
+    """The fastest admissible algorithm, as a tuned library would choose."""
+    candidates = {
+        "ring": ring_time(net, op, nbytes, group),
+        "tree": tree_time(net, op, nbytes, group),
+    }
+    if net.in_network_collectives:
+        candidates["in-network"] = in_network_time(net, op, nbytes, group)
+    algorithm = min(candidates, key=candidates.get)
+    return CollectiveEstimate(time=candidates[algorithm], algorithm=algorithm)
+
+
+def hierarchical_all_reduce(
+    inner: Network,
+    outer: Network,
+    nbytes: float,
+    inner_group: int,
+    outer_group: int,
+) -> float:
+    """Two-tier all-reduce: RS inside, AR of the shard across, AG inside.
+
+    ``inner_group`` processors share a fast domain (e.g. NVLink island of 8);
+    ``outer_group`` domains are connected by the slower network.  After the
+    inner reduce-scatter each processor owns ``nbytes / inner_group`` and
+    reduces it with its peers across domains over its own NIC — cutting the
+    outer traffic per processor by the inner-domain size.
+    """
+    if inner_group < 1 or outer_group < 1:
+        raise ValueError("group sizes must be >= 1")
+    if nbytes < 0:
+        raise ValueError("nbytes must be non-negative")
+    if nbytes == 0 or inner_group * outer_group == 1:
+        return 0.0
+    if inner_group == 1:
+        return best_time(outer, "all_reduce", nbytes, outer_group).time
+    if outer_group == 1:
+        return best_time(inner, "all_reduce", nbytes, inner_group).time
+    shard = nbytes / inner_group
+    t = ring_time(inner, "reduce_scatter", nbytes, inner_group)
+    t += best_time(outer, "all_reduce", shard, outer_group).time
+    t += ring_time(inner, "all_gather", nbytes, inner_group)
+    return t

@@ -1,0 +1,74 @@
+"""Two-level memory hierarchy model (paper §2.2).
+
+Tier 1 is the processor's directly-attached memory (HBM) used for active
+computation; tier 2 is an optional high-capacity memory (CPU DDR / CXL) used
+to stash bulk data for later — the *offloading* target of §6.  Both tiers have
+programmable capacities, bandwidths, and size-based efficiencies.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MemoryTier:
+    """One memory level.
+
+    Attributes:
+        name: e.g. ``"hbm2e"`` or ``"ddr5"``.
+        capacity: bytes available to the application.
+        bandwidth: peak bytes/second (per direction for the offload tier).
+        efficiency: achievable fraction of peak for large streaming accesses.
+        small_access_bytes: accesses below this size pay reduced efficiency
+            (latency-bound), scaling linearly down to ``min_efficiency``.
+        min_efficiency: efficiency floor for tiny accesses.
+    """
+
+    name: str
+    capacity: float
+    bandwidth: float
+    efficiency: float = 0.90
+    small_access_bytes: float = 1 << 20  # 1 MiB
+    min_efficiency: float = 0.10
+
+    def __post_init__(self) -> None:
+        if self.capacity < 0:
+            raise ValueError(f"{self.name}: capacity must be non-negative")
+        if self.bandwidth <= 0:
+            raise ValueError(f"{self.name}: bandwidth must be positive")
+        if not 0 < self.efficiency <= 1:
+            raise ValueError(f"{self.name}: efficiency must be in (0, 1]")
+        if not 0 < self.min_efficiency <= self.efficiency:
+            raise ValueError(f"{self.name}: min_efficiency must be in (0, efficiency]")
+
+    def effective_bandwidth(self, nbytes: float) -> float:
+        """Bandwidth achieved for one access of ``nbytes``."""
+        if nbytes <= 0:
+            return self.bandwidth * self.efficiency
+        if nbytes >= self.small_access_bytes:
+            eff = self.efficiency
+        else:
+            # Log-linear ramp from min_efficiency at 4 KiB to full efficiency.
+            lo, hi = math.log2(4096.0), math.log2(self.small_access_bytes)
+            frac = (math.log2(max(nbytes, 4096.0)) - lo) / (hi - lo)
+            eff = self.min_efficiency + frac * (self.efficiency - self.min_efficiency)
+        return self.bandwidth * eff
+
+    def access_time(self, nbytes: float) -> float:
+        """Time to move ``nbytes`` through this tier."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        if nbytes == 0:
+            return 0.0
+        return nbytes / self.effective_bandwidth(nbytes)
+
+    def fits(self, nbytes: float) -> bool:
+        """Whether ``nbytes`` fits within this tier's capacity."""
+        return nbytes <= self.capacity
+
+
+INFINITE_TIER = MemoryTier(
+    name="infinite", capacity=float("inf"), bandwidth=float("inf"), efficiency=1.0
+)

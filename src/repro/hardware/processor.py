@@ -1,0 +1,116 @@
+"""Processor model (paper §2.2).
+
+Computation is assigned to either a *matrix* engine (GEMMs, batched matrix
+multiplies — tensor cores) or a *vector* engine (element-wise layers).  The
+achievable fraction of peak throughput is parameterized by the operation size
+via an efficiency curve, capturing that small GEMMs run well below peak.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class EfficiencyCurve:
+    """Piecewise log-linear efficiency as a function of operation FLOPs.
+
+    ``points`` is a sorted sequence of ``(flops, efficiency)`` pairs.  Below
+    the first point the first efficiency applies; above the last, the last.
+    In between, efficiency is interpolated linearly in ``log10(flops)``.
+    """
+
+    points: tuple[tuple[float, float], ...]
+
+    def __post_init__(self) -> None:
+        if not self.points:
+            raise ValueError("efficiency curve needs at least one point")
+        xs = [p[0] for p in self.points]
+        if xs != sorted(xs):
+            raise ValueError("efficiency curve points must be sorted by flops")
+        for flops, eff in self.points:
+            if flops <= 0:
+                raise ValueError("curve flops must be positive")
+            if not 0.0 < eff <= 1.0:
+                raise ValueError(f"efficiency must be in (0, 1], got {eff}")
+
+    def __call__(self, op_flops: float) -> float:
+        pts = self.points
+        if op_flops <= pts[0][0]:
+            return pts[0][1]
+        if op_flops >= pts[-1][0]:
+            return pts[-1][1]
+        xs = [p[0] for p in pts]
+        i = bisect.bisect_right(xs, op_flops)
+        (x0, y0), (x1, y1) = pts[i - 1], pts[i]
+        frac = (math.log10(op_flops) - math.log10(x0)) / (
+            math.log10(x1) - math.log10(x0)
+        )
+        return y0 + frac * (y1 - y0)
+
+    @classmethod
+    def flat(cls, efficiency: float) -> "EfficiencyCurve":
+        """A size-independent efficiency (used to ablate the curve)."""
+        return cls(points=((1.0, efficiency),))
+
+
+# Default curve shaped after published A100/H100 GEMM benchmarks and
+# calibrated so the Table-2 validation configurations land near the measured
+# Selene batch times: tiny GEMMs reach only a few percent of peak; the large
+# Megatron-shape GEMMs sustain roughly 75-80% of peak tensor throughput.
+DEFAULT_MATRIX_CURVE = EfficiencyCurve(
+    points=(
+        (1e6, 0.04),
+        (1e7, 0.15),
+        (1e8, 0.40),
+        (1e9, 0.60),
+        (1e10, 0.71),
+        (1e11, 0.76),
+        (1e12, 0.78),
+    )
+)
+
+DEFAULT_VECTOR_CURVE = EfficiencyCurve(
+    points=((1e5, 0.30), (1e7, 0.70), (1e9, 0.90))
+)
+
+
+@dataclass(frozen=True)
+class Processor:
+    """One accelerator's compute capability.
+
+    Attributes:
+        name: e.g. ``"a100-80g"``.
+        matrix_flops: peak matrix-engine throughput, FLOP/s.
+        vector_flops: peak vector-engine throughput, FLOP/s.
+        matrix_efficiency: size-dependent efficiency of the matrix engine.
+        vector_efficiency: size-dependent efficiency of the vector engine.
+    """
+
+    name: str
+    matrix_flops: float
+    vector_flops: float
+    matrix_efficiency: EfficiencyCurve = DEFAULT_MATRIX_CURVE
+    vector_efficiency: EfficiencyCurve = DEFAULT_VECTOR_CURVE
+
+    def __post_init__(self) -> None:
+        if self.matrix_flops <= 0 or self.vector_flops <= 0:
+            raise ValueError(f"{self.name}: peak throughputs must be positive")
+
+    def engine_rate(self, engine: str, op_flops: float) -> float:
+        """Achieved FLOP/s of the given engine for an op of ``op_flops``."""
+        if engine == "matrix":
+            return self.matrix_flops * self.matrix_efficiency(op_flops)
+        if engine == "vector":
+            return self.vector_flops * self.vector_efficiency(op_flops)
+        raise ValueError(f"unknown engine {engine!r}")
+
+    def compute_time(self, engine: str, op_flops: float) -> float:
+        """Raw compute time of one operation, ignoring memory."""
+        if op_flops < 0:
+            raise ValueError("op_flops must be non-negative")
+        if op_flops == 0:
+            return 0.0
+        return op_flops / self.engine_rate(engine, op_flops)

@@ -1,0 +1,118 @@
+"""Network topology models: how group span degrades effective bandwidth.
+
+The base :class:`~repro.hardware.network.Network` exposes a flat per-endpoint
+bandwidth.  Real scale-out fabrics are built from switch tiers, and the
+bandwidth a collective actually sustains depends on where its members sit:
+
+* **full-bisection fat-tree** — non-blocking at any span (the ideal);
+* **oversubscribed fat-tree** — traffic leaving a leaf group shares an
+  uplink pool ``1/oversubscription`` as wide as the downlinks;
+* **dragonfly** — all-to-all groups connected by a limited pool of global
+  links; intra-group traffic is cheap, inter-group traffic contends.
+
+:func:`effective_network` returns a derated copy of a network for a given
+communication span, so every existing collective model (ring, tree,
+hierarchical, the core model's exposure logic) works unchanged on top of a
+topology — the same composability the paper's network spec aims for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from .network import Network
+
+
+@dataclass(frozen=True)
+class FatTree:
+    """A (possibly oversubscribed) leaf-spine / fat-tree fabric.
+
+    Attributes:
+        leaf_size: endpoints per leaf switch group.
+        oversubscription: ratio of leaf downlink to uplink capacity; 1.0 is
+            full bisection, 4.0 means a 4:1 taper.
+        levels: switch tiers above the leaves (adds per-hop latency).
+        per_hop_latency: added latency per switch tier crossed.
+    """
+
+    leaf_size: int
+    oversubscription: float = 1.0
+    levels: int = 2
+    per_hop_latency: float = 0.3e-6
+
+    def __post_init__(self) -> None:
+        if self.leaf_size < 1:
+            raise ValueError("leaf_size must be >= 1")
+        if self.oversubscription < 1.0:
+            raise ValueError("oversubscription must be >= 1.0")
+        if self.levels < 1:
+            raise ValueError("levels must be >= 1")
+        if self.per_hop_latency < 0:
+            raise ValueError("per_hop_latency must be non-negative")
+
+    def bandwidth_factor(self, span: int) -> float:
+        """Fraction of endpoint bandwidth sustained by a group of ``span``."""
+        if span < 1:
+            raise ValueError("span must be >= 1")
+        if span <= self.leaf_size:
+            return 1.0
+        return 1.0 / self.oversubscription
+
+    def extra_latency(self, span: int) -> float:
+        if span <= self.leaf_size:
+            return self.per_hop_latency  # one leaf hop
+        return (2 * self.levels - 1) * self.per_hop_latency
+
+
+@dataclass(frozen=True)
+class Dragonfly:
+    """A dragonfly fabric: dense electrical groups + sparse global links.
+
+    Attributes:
+        group_size: endpoints per dragonfly group.
+        global_taper: ratio of in-group injection capacity to per-endpoint
+            global-link capacity (how much inter-group traffic contends).
+        per_hop_latency: added latency per hop (local-global-local worst
+            case for inter-group traffic).
+    """
+
+    group_size: int
+    global_taper: float = 2.0
+    per_hop_latency: float = 0.4e-6
+
+    def __post_init__(self) -> None:
+        if self.group_size < 1:
+            raise ValueError("group_size must be >= 1")
+        if self.global_taper < 1.0:
+            raise ValueError("global_taper must be >= 1.0")
+        if self.per_hop_latency < 0:
+            raise ValueError("per_hop_latency must be non-negative")
+
+    def bandwidth_factor(self, span: int) -> float:
+        if span < 1:
+            raise ValueError("span must be >= 1")
+        if span <= self.group_size:
+            return 1.0
+        return 1.0 / self.global_taper
+
+    def extra_latency(self, span: int) -> float:
+        if span <= self.group_size:
+            return self.per_hop_latency
+        return 3 * self.per_hop_latency  # local + global + local
+
+
+def effective_network(net: Network, topology, span: int) -> Network:
+    """Derate a network for a collective spanning ``span`` endpoints.
+
+    Returns a copy with bandwidth scaled by the topology's sustained
+    fraction and latency increased by its hop cost; the copy plugs into
+    every existing collective/time model unchanged.
+    """
+    factor = topology.bandwidth_factor(span)
+    if not 0 < factor <= 1:
+        raise ValueError("topology returned a bandwidth factor outside (0, 1]")
+    return replace(
+        net,
+        bandwidth=net.bandwidth * factor,
+        latency=net.latency + topology.extra_latency(span),
+    )

@@ -1,0 +1,116 @@
+"""Decode-phase (autoregressive generation) block model.
+
+Training and prefill process whole sequences; generation processes one token
+per step while attending over a growing KV cache.  The decode block is
+memory-bandwidth-bound: every step re-reads the block's weights and the
+entire cache, so its analytical profile differs sharply from the training
+block (GEMV-shaped ops, latency-dominated TP collectives).
+
+The paper includes inference optimizations in its survey (§2.3, refs [1, 35]);
+this module provides the decode-side substrate for those analyses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..llm.config import LLMConfig
+
+
+@dataclass(frozen=True)
+class DecodeBlockProfile:
+    """Per-step, per-block figures for a decode iteration on one processor.
+
+    All values are per transformer block for a whole decode batch of
+    ``batch`` sequences at context length ``context``, already sharded over
+    the tensor-parallel degree.
+    """
+
+    flops: float  # matrix-engine FLOPs per step
+    weight_read_bytes: float  # streamed weights per step
+    cache_read_bytes: float  # KV cache read per step
+    cache_write_bytes: float  # new K/V entries appended per step
+    activation_bytes: float  # transient activations moved per step
+    vector_flops: float  # element-wise work per step
+    tp_comm_bytes: float  # per all-reduce payload
+    tp_comm_count: int  # all-reduces per block per step
+
+    @property
+    def traffic(self) -> float:
+        """Total tier-1 memory traffic per step."""
+        return (
+            self.weight_read_bytes
+            + self.cache_read_bytes
+            + self.cache_write_bytes
+            + self.activation_bytes
+        )
+
+
+def kv_cache_bytes(
+    llm: LLMConfig, batch: int, context: int, tensor_par: int = 1
+) -> float:
+    """KV-cache footprint per processor for the whole model.
+
+    Two tensors (K and V) of shape ``[batch, context, hidden/t]`` per block.
+    """
+    if batch < 1 or context < 0 or tensor_par < 1:
+        raise ValueError("batch >= 1, context >= 0, tensor_par >= 1 required")
+    per_block = 2.0 * batch * context * llm.hidden * llm.bytes_per_element / tensor_par
+    return per_block * llm.num_blocks
+
+
+def profile_decode_block(
+    llm: LLMConfig,
+    *,
+    batch: int,
+    context: int,
+    tensor_par: int = 1,
+) -> DecodeBlockProfile:
+    """Analytical profile of one decode step through one transformer block.
+
+    Args:
+        llm: model hyperparameters.
+        batch: sequences decoded concurrently.
+        context: current context length (tokens attended over).
+        tensor_par: tensor-parallel degree.
+
+    Raises:
+        ValueError: on non-positive batch/context or non-dividing ``t``.
+    """
+    h, f, a = llm.hidden, llm.feedforward, llm.attn_heads
+    t, e = tensor_par, llm.bytes_per_element
+    if batch < 1 or context < 1:
+        raise ValueError("batch and context must be >= 1")
+    if a % t or h % t or f % t:
+        raise ValueError(f"tensor_par={t} must divide the model shape")
+
+    # GEMV-shaped projections: QKV (h x 3h/t), out (h/t x h), MLP (h x f/t,
+    # f/t x h).  FLOPs are 2 * B * (in x out); weights stream once per step.
+    proj_flops = 2.0 * batch * (h * 3 * h + h * h + 2 * h * f) / t
+    weight_bytes = (3 * h * h + h * h + 2 * h * f) * e / t
+
+    # Attention over the cache: QK^T and AV, each 2 * B * c * h / t FLOPs.
+    attn_flops = 2.0 * 2.0 * batch * context * h / t
+    cache_read = 2.0 * batch * context * h * e / t  # K and V, full context
+    cache_write = 2.0 * batch * h * e / t  # append one K and one V row
+
+    # Element-wise work: 2 LNs, softmax over [B, a/t, c], GeLU over [B, f/t],
+    # dropouts disabled at inference.
+    vector_flops = (
+        7.0 * 2 * batch * h / t
+        + 5.0 * batch * (a / t) * context
+        + 8.0 * batch * f / t
+        + 2.0 * batch * h / t  # residual adds
+    )
+    activation_bytes = batch * (6 * h + 2 * f) * e / t  # transient tensors
+
+    return DecodeBlockProfile(
+        flops=proj_flops + attn_flops,
+        weight_read_bytes=weight_bytes,
+        cache_read_bytes=cache_read,
+        cache_write_bytes=cache_write,
+        activation_bytes=activation_bytes,
+        vector_flops=vector_flops,
+        tp_comm_bytes=batch * h * e,
+        tp_comm_count=2 if t > 1 else 0,
+    )

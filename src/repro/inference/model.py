@@ -1,0 +1,166 @@
+"""Analytical inference (serving) model.
+
+Mirrors the training model's structure: one block is profiled and reused for
+all blocks.  A request is served in two phases — *prefill* (the prompt moves
+through the model as a full sequence, compute-bound, identical to a training
+forward pass) and *decode* (one token per step over a growing KV cache,
+memory-bound).  With pipeline parallelism, independent request batches are
+interleaved across stages, so throughput scales with ``p`` while per-token
+latency does not.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..core.flops import layer_fw_time
+from ..hardware.system import System
+from ..llm.blocks import build_block
+from ..llm.config import LLMConfig
+from .decode import kv_cache_bytes, profile_decode_block
+from .results import InferenceResult
+
+
+@dataclass(frozen=True)
+class InferenceStrategy:
+    """How a model is deployed for serving.
+
+    Attributes:
+        tensor_par: TP degree within a serving replica.
+        pipeline_par: PP degree within a replica.
+        data_par: number of independent replicas (throughput multiplier).
+        batch: concurrent sequences per replica.
+        pipelined_requests: keep ``pipeline_par`` batches in flight so every
+            stage is busy (throughput mode); otherwise a single batch ping-
+            pongs through the pipeline (latency mode).
+    """
+
+    tensor_par: int
+    pipeline_par: int
+    data_par: int = 1
+    batch: int = 1
+    pipelined_requests: bool = True
+
+    @property
+    def num_procs(self) -> int:
+        return self.tensor_par * self.pipeline_par * self.data_par
+
+    def short_name(self) -> str:
+        return f"t{self.tensor_par}p{self.pipeline_par}d{self.data_par}b{self.batch}"
+
+    def validate(self, llm: LLMConfig, system: System) -> None:
+        if min(self.tensor_par, self.pipeline_par, self.data_par) < 1:
+            raise ValueError("t, p, d must be >= 1")
+        if self.batch < 1:
+            raise ValueError("batch must be >= 1")
+        if self.num_procs != system.num_procs:
+            raise ValueError(
+                f"t*p*d = {self.num_procs} != system size {system.num_procs}"
+            )
+        if llm.attn_heads % self.tensor_par or llm.hidden % self.tensor_par:
+            raise ValueError("tensor_par must divide the model shape")
+        if self.pipeline_par > llm.num_blocks:
+            raise ValueError("pipeline_par exceeds the block count")
+
+
+def calculate_inference(
+    llm: LLMConfig,
+    system: System,
+    strategy: InferenceStrategy,
+    *,
+    prompt_len: int = 2048,
+    generate_len: int = 256,
+) -> InferenceResult:
+    """Estimate serving statistics for one deployment.
+
+    Returns an infeasible result (never raises) for capacity violations, so
+    deployment searches can sweep freely; genuine misconfiguration (shape
+    mismatches) raises ``ValueError``.
+    """
+    strategy.validate(llm, system)
+    if prompt_len < 1 or generate_len < 0:
+        raise ValueError("prompt_len >= 1 and generate_len >= 0 required")
+
+    t, p, d = strategy.tensor_par, strategy.pipeline_par, strategy.data_par
+    B = strategy.batch
+    L = llm.num_blocks
+    bpstage = math.ceil(L / p)
+    proc, hbm = system.processor, system.mem1
+    tp_net = system.network_for_span(t) if t > 1 else None
+    pp_net = system.network_for_span(min(system.num_procs, t * p)) if p > 1 else None
+
+    # ---- prefill: a training-style forward pass over the prompt ------------
+    prefill_cfg = llm.with_seq(prompt_len)
+    block = build_block(prefill_cfg, microbatch=B, tensor_par=t, seq_par=False)
+    fw_block = sum(layer_fw_time(proc, hbm, l).total for l in block.layers)
+    tp_block = (
+        sum(tp_net.collective_time(c.op, c.nbytes, t) for c in block.tp_comm_fw)
+        if tp_net
+        else 0.0
+    )
+    prefill = L * (fw_block + tp_block)
+    if pp_net is not None:
+        p2p_bytes = B * prompt_len * llm.hidden * llm.bytes_per_element
+        prefill += (p - 1) * pp_net.collective_time("p2p", p2p_bytes, 2)
+
+    # ---- decode: one token per step at mid-generation context --------------
+    context = prompt_len + max(generate_len, 1) // 2
+    dec = profile_decode_block(llm, batch=B, context=context, tensor_par=t)
+    compute = proc.compute_time("matrix", dec.flops)
+    vector = proc.compute_time("vector", dec.vector_flops)
+    memory = hbm.access_time(dec.traffic)
+    block_step = max(compute + vector, memory)
+    comm_step = (
+        dec.tp_comm_count * tp_net.collective_time("all_reduce", dec.tp_comm_bytes, t)
+        if tp_net
+        else 0.0
+    )
+    step = L * (block_step + comm_step)
+    if pp_net is not None:
+        hop_bytes = B * llm.hidden * llm.bytes_per_element
+        step += p * pp_net.collective_time("p2p", hop_bytes, 2)
+
+    generate_time = generate_len * step
+    # Pipelined serving keeps p request batches in flight: one batch-step
+    # completes per stage-time.
+    effective_batches = p if (strategy.pipelined_requests and p > 1) else 1
+    tokens_per_second = (
+        B * effective_batches * d / step if step > 0 and generate_len > 0 else 0.0
+    )
+
+    # ---- memory -------------------------------------------------------------
+    weights = bpstage * block.weight_bytes()
+    cache = (
+        kv_cache_bytes(llm, B, prompt_len + generate_len, t) * bpstage / L
+    ) * effective_batches
+    transient = dec.activation_bytes * 2
+    total = weights + cache + transient
+
+    if total > system.mem1.capacity:
+        return InferenceResult.infeasible(
+            llm.name,
+            system.name,
+            strategy.short_name(),
+            B,
+            prompt_len,
+            generate_len,
+            f"memory {total / 2**30:.1f} GiB exceeds capacity "
+            f"{system.mem1.capacity / 2**30:.1f} GiB",
+        )
+
+    return InferenceResult(
+        llm_name=llm.name,
+        system_name=system.name,
+        strategy_name=strategy.short_name(),
+        batch=B,
+        prompt_len=prompt_len,
+        generate_len=generate_len,
+        prefill_time=prefill,
+        decode_step_time=step,
+        generate_time=generate_time,
+        tokens_per_second=tokens_per_second,
+        weights_bytes=weights,
+        kv_cache_bytes=cache,
+        mem_used=total,
+    )

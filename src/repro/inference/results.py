@@ -1,0 +1,96 @@
+"""Result structures for the inference model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+from ..units import human_bytes, human_time
+
+
+@dataclass(frozen=True)
+class InferenceResult:
+    """Serving statistics for one (LLM, system, strategy, request shape).
+
+    Attributes:
+        llm_name / system_name / strategy_name: identification.
+        batch: concurrent sequences.
+        prompt_len / generate_len: request shape in tokens.
+        prefill_time: time to process the prompt (time to first token).
+        decode_step_time: latency of one generation step at mid context.
+        generate_time: total time to produce ``generate_len`` tokens.
+        tokens_per_second: aggregate decode throughput across the batch
+            (including pipeline-parallel request interleaving).
+        weights_bytes: per-processor resident weights.
+        kv_cache_bytes: per-processor KV cache at maximum context.
+        mem_used: total tier-1 bytes used.
+        feasible / infeasibility: capacity check outcome.
+    """
+
+    llm_name: str
+    system_name: str
+    strategy_name: str
+    batch: int
+    prompt_len: int
+    generate_len: int
+    prefill_time: float = 0.0
+    decode_step_time: float = 0.0
+    generate_time: float = 0.0
+    tokens_per_second: float = 0.0
+    weights_bytes: float = 0.0
+    kv_cache_bytes: float = 0.0
+    mem_used: float = 0.0
+    feasible: bool = True
+    infeasibility: str = ""
+
+    def __post_init__(self) -> None:
+        for f in fields(self):
+            val = getattr(self, f.name)
+            if isinstance(val, float) and val < 0:
+                raise ValueError(f"InferenceResult.{f.name} must be non-negative")
+
+    @property
+    def request_latency(self) -> float:
+        """End-to-end latency for one request (prefill + all decode steps)."""
+        return self.prefill_time + self.generate_time
+
+    def summary(self) -> str:
+        lines = [
+            f"{self.llm_name} inference on {self.system_name} "
+            f"[{self.strategy_name}] batch={self.batch} "
+            f"prompt={self.prompt_len} gen={self.generate_len}"
+        ]
+        if not self.feasible:
+            lines.append(f"  INFEASIBLE: {self.infeasibility}")
+            return "\n".join(lines)
+        lines += [
+            f"  time to first token  {human_time(self.prefill_time)}",
+            f"  per-token latency    {human_time(self.decode_step_time)}",
+            f"  request latency      {human_time(self.request_latency)}",
+            f"  decode throughput    {self.tokens_per_second:,.0f} tokens/s",
+            f"  weights {human_bytes(self.weights_bytes)}   "
+            f"KV cache {human_bytes(self.kv_cache_bytes)}   "
+            f"total {human_bytes(self.mem_used)}",
+        ]
+        return "\n".join(lines)
+
+    @classmethod
+    def infeasible(
+        cls,
+        llm_name: str,
+        system_name: str,
+        strategy_name: str,
+        batch: int,
+        prompt_len: int,
+        generate_len: int,
+        reason: str,
+    ) -> "InferenceResult":
+        return cls(
+            llm_name=llm_name,
+            system_name=system_name,
+            strategy_name=strategy_name,
+            batch=batch,
+            prompt_len=prompt_len,
+            generate_len=generate_len,
+            feasible=False,
+            infeasibility=reason,
+        )

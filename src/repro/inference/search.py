@@ -1,0 +1,90 @@
+"""Serving-deployment search: the inference counterpart of §5.1.
+
+Given a model, a pool of processors and a request shape, enumerate the
+(t, p, d, batch) deployment space and return the feasible frontier between
+latency and throughput (no single "best" exists for serving — interactive
+workloads buy latency, batch workloads buy tokens per second per GPU).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..analysis.pareto import Objective, pareto_front
+from ..execution.strategy import divisors
+from ..hardware.system import System
+from ..llm.config import LLMConfig
+from .model import InferenceStrategy, calculate_inference
+from .results import InferenceResult
+
+
+@dataclass(frozen=True)
+class DeploymentPoint:
+    """One evaluated serving deployment."""
+
+    strategy: InferenceStrategy
+    result: InferenceResult
+
+    @property
+    def tokens_per_second_per_proc(self) -> float:
+        return self.result.tokens_per_second / self.strategy.num_procs
+
+
+def candidate_deployments(
+    llm: LLMConfig,
+    system: System,
+    *,
+    batches: Sequence[int] = (1, 2, 4, 8, 16, 32, 64),
+    max_tensor_par: int = 64,
+):
+    """Yield every (t, p, d, batch) deployment for the processor pool."""
+    n = system.num_procs
+    for t in divisors(n):
+        if t > min(max_tensor_par, llm.attn_heads) or llm.attn_heads % t:
+            continue
+        if llm.hidden % t or llm.feedforward % t:
+            continue
+        rest = n // t
+        for p in divisors(rest):
+            if p > llm.num_blocks:
+                continue
+            d = rest // p
+            for batch in batches:
+                yield InferenceStrategy(
+                    tensor_par=t, pipeline_par=p, data_par=d, batch=batch
+                )
+
+
+def search_deployments(
+    llm: LLMConfig,
+    system: System,
+    *,
+    prompt_len: int = 2048,
+    generate_len: int = 256,
+    batches: Sequence[int] = (1, 2, 4, 8, 16, 32, 64),
+    max_tensor_par: int = 64,
+) -> list[DeploymentPoint]:
+    """Evaluate every deployment; return the latency/throughput Pareto front.
+
+    The front is sorted fastest-decode first.  An empty list means nothing
+    fits (e.g. the model's weights exceed the pool's total HBM).
+    """
+    points = []
+    for strat in candidate_deployments(
+        llm, system, batches=batches, max_tensor_par=max_tensor_par
+    ):
+        res = calculate_inference(
+            llm, system, strat, prompt_len=prompt_len, generate_len=generate_len
+        )
+        if res.feasible and res.tokens_per_second > 0:
+            points.append(DeploymentPoint(strategy=strat, result=res))
+    objectives = (
+        Objective("latency", key=lambda p: p.result.decode_step_time,
+                  maximize=False),
+        Objective("throughput", key=lambda p: p.result.tokens_per_second,
+                  maximize=True),
+    )
+    front = pareto_front(points, objectives)
+    front.sort(key=lambda p: p.result.decode_step_time)
+    return front

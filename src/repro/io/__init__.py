@@ -1,0 +1,33 @@
+"""JSON spec I/O for the three model inputs."""
+
+from .report import (
+    result_to_flat_dict,
+    results_to_csv,
+    results_to_markdown,
+    save_results_json,
+)
+from .specs import (
+    load_llm,
+    load_strategy,
+    load_system,
+    save_llm,
+    save_strategy,
+    save_system,
+    system_from_dict,
+    system_to_dict,
+)
+
+__all__ = [
+    "result_to_flat_dict",
+    "results_to_csv",
+    "results_to_markdown",
+    "save_results_json",
+    "load_llm",
+    "load_strategy",
+    "load_system",
+    "save_llm",
+    "save_strategy",
+    "save_system",
+    "system_from_dict",
+    "system_to_dict",
+]

@@ -1,0 +1,98 @@
+"""Report exporters: results as Markdown, CSV, or flat JSON.
+
+The reference tool emits machine-readable statistics alongside its
+human-readable report; these helpers do the same for downstream dashboards
+and spreadsheets.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+from typing import Sequence
+
+from ..core.results import PerformanceResult
+
+
+def result_to_flat_dict(result: PerformanceResult) -> dict:
+    """One row per result: identity, totals, and every breakdown component."""
+    out: dict = {
+        "llm": result.llm_name,
+        "system": result.system_name,
+        "strategy": result.strategy_name,
+        "batch": result.batch,
+        "feasible": result.feasible,
+        "batch_time_s": result.batch_time if result.feasible else None,
+        "sample_rate": result.sample_rate,
+        "mfu": result.mfu,
+        "infeasibility": result.infeasibility,
+    }
+    for key, val in result.time.as_dict().items():
+        out[f"time.{key}"] = val
+    for key, val in result.mem1.as_dict().items():
+        out[f"mem.{key}"] = val
+    out["mem.total"] = result.mem1.total
+    out["offload.used_bytes"] = result.offload.used_bytes
+    out["offload.required_bandwidth"] = result.offload.required_bandwidth
+    return out
+
+
+def results_to_csv(results: Sequence[PerformanceResult]) -> str:
+    """Render results as CSV text (header from the first row's keys)."""
+    if not results:
+        raise ValueError("need at least one result")
+    rows = [result_to_flat_dict(r) for r in results]
+    buf = io.StringIO()
+    writer = csv.DictWriter(buf, fieldnames=list(rows[0].keys()))
+    writer.writeheader()
+    writer.writerows(rows)
+    return buf.getvalue()
+
+
+def results_to_markdown(
+    results: Sequence[PerformanceResult],
+    *,
+    columns: Sequence[str] = (
+        "strategy",
+        "batch_time_s",
+        "sample_rate",
+        "mfu",
+        "mem.total",
+    ),
+) -> str:
+    """Render a compact Markdown comparison table."""
+    if not results:
+        raise ValueError("need at least one result")
+    rows = [result_to_flat_dict(r) for r in results]
+    for col in columns:
+        if col not in rows[0]:
+            raise KeyError(f"unknown column {col!r}")
+
+    def fmt(v) -> str:
+        if v is None:
+            return "—"
+        if isinstance(v, bool):
+            return "yes" if v else "no"
+        if isinstance(v, float):
+            return f"{v:.4g}"
+        return str(v)
+
+    header = "| " + " | ".join(columns) + " |"
+    sep = "|" + "|".join("---" for _ in columns) + "|"
+    body = [
+        "| " + " | ".join(fmt(row[c]) for c in columns) + " |" for row in rows
+    ]
+    return "\n".join([header, sep, *body])
+
+
+def save_results_json(
+    results: Sequence[PerformanceResult], path: str | Path
+) -> Path:
+    """Write results as a JSON array of flat dicts; returns the path."""
+    path = Path(path)
+    path.write_text(
+        json.dumps([result_to_flat_dict(r) for r in results], indent=1) + "\n"
+    )
+    return path

@@ -1,0 +1,43 @@
+"""LLM application model: configuration and transformer-block decomposition."""
+
+from .config import (
+    BLOOM_176B,
+    CHINCHILLA_70B,
+    GPT2_1P5B,
+    GPT3_175B,
+    LLAMA2_70B,
+    LLMConfig,
+    MEGATRON_1T,
+    MEGATRON_22B,
+    PALM_540B,
+    TINY_TEST,
+    TURING_530B,
+    get_preset,
+    iter_presets,
+)
+from .blocks import Collective, TransformerBlock, build_block
+from .layers import Engine, Layer, Role, elementwise_layer, gemm_layer
+
+__all__ = [
+    "BLOOM_176B",
+    "CHINCHILLA_70B",
+    "Collective",
+    "Engine",
+    "GPT2_1P5B",
+    "GPT3_175B",
+    "LLAMA2_70B",
+    "LLMConfig",
+    "Layer",
+    "MEGATRON_1T",
+    "MEGATRON_22B",
+    "PALM_540B",
+    "Role",
+    "TINY_TEST",
+    "TURING_530B",
+    "TransformerBlock",
+    "build_block",
+    "elementwise_layer",
+    "gemm_layer",
+    "get_preset",
+    "iter_presets",
+]

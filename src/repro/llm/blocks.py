@@ -1,0 +1,410 @@
+"""Transformer-block construction (paper Fig. 1) under a sharding strategy.
+
+:func:`build_block` lays out the full layer sequence of one transformer block
+— attention (LN, QKV GEMM, QK^T, softmax, dropout, AV, output GEMM, dropout,
+residual) followed by the MLP (LN, GEMM, GeLU, GEMM, dropout, residual) — with
+every analytical quantity already sharded for a given tensor-parallel degree
+and sequence-parallelism setting.
+
+The block also records the tensor-parallel communication events Megatron
+issues around it: two all-reduces per pass without sequence parallelism, or
+reduce-scatter + all-gather pairs with it (same ring traffic), plus the extra
+backward all-gather of the "TP redo for SP" optimization.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .config import LLMConfig
+from .layers import Layer, Role, elementwise_layer, gemm_layer
+
+
+@dataclass(frozen=True)
+class Collective:
+    """One communication event on the tensor-parallel network.
+
+    ``group`` is the participating rank count; ``None`` means the whole
+    tensor-parallel group (2-D grids communicate along one grid dimension,
+    i.e. over sqrt(t) ranks).
+    """
+
+    op: str  # 'all_reduce' | 'reduce_scatter' | 'all_gather' | 'p2p'
+    nbytes: float
+    group: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.op not in ("all_reduce", "reduce_scatter", "all_gather", "p2p"):
+            raise ValueError(f"unknown collective op {self.op!r}")
+        if self.nbytes < 0:
+            raise ValueError("collective size must be non-negative")
+        if self.group is not None and self.group < 1:
+            raise ValueError("collective group must be >= 1")
+
+
+@dataclass(frozen=True)
+class TransformerBlock:
+    """One transformer block's layers plus its communication schedule.
+
+    All per-layer quantities are per **microbatch** on one processor.
+    """
+
+    layers: tuple[Layer, ...]
+    input_bytes: float  # block input activation (stash under full recompute)
+    tp_comm_fw: tuple[Collective, ...]
+    tp_comm_bw: tuple[Collective, ...]
+    pp_activation_bytes: float  # point-to-point tensor between pipeline stages
+
+    # -- aggregations --------------------------------------------------------
+
+    def flops_fw(self) -> float:
+        return sum(l.flops_fw for l in self.layers)
+
+    def flops_bw(self) -> float:
+        return sum(l.flops_bw for l in self.layers)
+
+    def weight_bytes(self) -> float:
+        return sum(l.weight_bytes for l in self.layers)
+
+    def weight_grad_bytes(self) -> float:
+        return sum(l.weight_grad_bytes for l in self.layers)
+
+    def optimizer_bytes(self) -> float:
+        return sum(l.optimizer_bytes for l in self.layers)
+
+    def stash_bytes(self, recompute: str) -> float:
+        """Activation bytes stashed per microbatch under a recompute mode.
+
+        ``"none"``   — everything is stashed (34*s*b*h + 5*a*s^2*b at fp16).
+        ``"attn_only"`` — the attention-core tensors (softmax output, attention
+        dropout mask/output) are recomputed instead of stashed.
+        ``"full"``   — only the block input is stashed.
+        """
+        if recompute not in ("none", "attn_only", "full"):
+            raise ValueError(f"unknown recompute mode {recompute!r}")
+        if recompute == "full":
+            return self.input_bytes
+        total = 0.0
+        for l in self.layers:
+            if recompute == "attn_only" and l.attn_only and l.role in (
+                Role.SOFTMAX,
+                Role.DROPOUT,
+            ):
+                continue
+            total += l.stash_bytes
+        return total
+
+    def recompute_flops(self, recompute: str) -> float:
+        """Extra forward FLOPs replayed during the backward pass."""
+        if recompute == "none":
+            return 0.0
+        if recompute == "attn_only":
+            return sum(l.flops_fw for l in self.layers if l.attn_only)
+        if recompute == "full":
+            return self.flops_fw()
+        raise ValueError(f"unknown recompute mode {recompute!r}")
+
+    def recompute_traffic(self, recompute: str) -> float:
+        if recompute == "none":
+            return 0.0
+        if recompute == "attn_only":
+            return sum(l.traffic_fw for l in self.layers if l.attn_only)
+        if recompute == "full":
+            return sum(l.traffic_fw for l in self.layers)
+        raise ValueError(f"unknown recompute mode {recompute!r}")
+
+    def max_output_bytes(self) -> float:
+        """Largest transient tensor — the activation-gradient working set."""
+        return max(l.output_bytes for l in self.layers)
+
+
+def build_block(
+    cfg: LLMConfig,
+    *,
+    microbatch: int,
+    tensor_par: int,
+    seq_par: bool = False,
+    fused_activations: bool = False,
+    tp_redo_sp: bool = False,
+    tp_mode: str = "1d",
+) -> TransformerBlock:
+    """Construct one sharded transformer block.
+
+    Args:
+        cfg: the LLM hyperparameters.
+        microbatch: microbatch size ``b`` (samples per pipeline slot).
+        tensor_par: tensor-parallel degree ``t``; must divide ``attn_heads``,
+            ``hidden`` and ``feedforward``.
+        seq_par: enable Megatron sequence parallelism — shards the residual
+            stream (layernorms, dropouts, residual adds) over ``t``.
+        fused_activations: fuse element-wise layers into their producer GEMMs,
+            removing their input traffic and duplicate stash copies.
+        tp_redo_sp: with sequence parallelism, re-all-gather stashed (sharded)
+            activations in the backward pass (adds one AG per block).
+        tp_mode: ``"1d"`` is Megatron's column/row split (two all-reduces per
+            pass); ``"2d"`` distributes each GEMM over a sqrt(t) x sqrt(t)
+            grid (Optimus/SUMMA style, paper §6 ref [35]) — per-GEMM
+            collectives shrink to ``1/sqrt(t)`` of the residual stream and
+            activations shard fully, at the cost of two collectives per GEMM.
+
+    Raises:
+        ValueError: if the shape is not evenly divisible by ``tensor_par``,
+            or ``tp_mode="2d"`` is combined with ``seq_par`` / a non-square
+            ``tensor_par``.
+    """
+    h, f, a, s = cfg.hidden, cfg.feedforward, cfg.attn_heads, cfg.seq_size
+    b, t, e = microbatch, tensor_par, cfg.bytes_per_element
+    if b <= 0:
+        raise ValueError(f"microbatch must be positive, got {b}")
+    if t <= 0:
+        raise ValueError(f"tensor_par must be positive, got {t}")
+    if a % t or h % t or f % t:
+        raise ValueError(
+            f"tensor_par={t} must divide attn_heads={a}, hidden={h}, feedforward={f}"
+        )
+    if tp_mode not in ("1d", "2d"):
+        raise ValueError(f"unknown tp_mode {tp_mode!r}")
+    grid = 1
+    if tp_mode == "2d":
+        if seq_par:
+            raise ValueError("2d tensor parallelism shards sequences itself; "
+                             "it cannot combine with seq_par")
+        grid = math.isqrt(t)
+        if t > 1 and grid * grid != t:
+            raise ValueError(f"2d tensor parallelism needs a square degree, got {t}")
+
+    # Element counts for the residual-stream (non-TP-sharded) element-wise
+    # layers; sequence parallelism (or the 2-D grid) shards these over t.
+    resid_elems = b * s * h / (t if (seq_par or tp_mode == "2d") else 1)
+    # With SP (or a 2-D grid) every stash tensor is kept in sharded form
+    # (re-gathered in the backward pass), dividing all stash terms by t
+    # (Korthikanti '22 §5; Xu et al. Optimus).
+    stash_div = t if (seq_par or tp_mode == "2d") else 1.0
+
+    bsh = b * s * h
+    heads_local = a // t
+    layers: list[Layer] = []
+
+    def ew(name, role, elems, **kw):
+        layers.append(
+            elementwise_layer(name, role, elems, bytes_per_element=e, **kw)
+        )
+
+    # ---- attention ----------------------------------------------------------
+    ew(
+        "attn_ln",
+        Role.NORM,
+        resid_elems,
+        weight_elements=2 * h,
+        stash_bytes=bsh * e / stash_div,
+    )
+    layers.append(
+        gemm_layer(
+            "attn_qkv_gemm",
+            b * s,
+            3 * h // t,
+            h,
+            bytes_per_element=e,
+            stash_bytes=bsh * e / stash_div,
+        )
+    )
+    layers.append(
+        gemm_layer(
+            "attn_qk_bmm",
+            s,
+            s,
+            h // a,
+            batch=b * heads_local,
+            bytes_per_element=e,
+            weights=False,
+            bias=False,
+            stash_bytes=2 * bsh * e / t,  # Q and K
+            attn_only=True,
+        )
+    )
+    attn_score_elems = b * heads_local * s * s
+    ew(
+        "attn_softmax",
+        Role.SOFTMAX,
+        attn_score_elems,
+        stash_bytes=attn_score_elems * e,
+        attn_only=True,
+    )
+    ew(
+        "attn_dropout",
+        Role.DROPOUT,
+        attn_score_elems,
+        stash_bytes=attn_score_elems * (1 + e),  # 1-byte mask + output copy
+        attn_only=True,
+        fusible=True,
+    )
+    layers.append(
+        gemm_layer(
+            "attn_av_bmm",
+            s,
+            h // a,
+            s,
+            batch=b * heads_local,
+            bytes_per_element=e,
+            weights=False,
+            bias=False,
+            stash_bytes=bsh * e / t,  # V
+            attn_only=True,
+        )
+    )
+    layers.append(
+        gemm_layer(
+            "attn_out_gemm",
+            b * s,
+            h,
+            h // t,
+            bytes_per_element=e,
+            stash_bytes=bsh * e / t,
+        )
+    )
+    ew(
+        "attn_out_dropout",
+        Role.DROPOUT,
+        resid_elems,
+        stash_bytes=bsh / stash_div,  # 1-byte mask
+        fusible=True,
+    )
+    ew("attn_residual", Role.ADD, resid_elems, inputs=2)
+
+    # ---- MLP ----------------------------------------------------------------
+    ew(
+        "mlp_ln",
+        Role.NORM,
+        resid_elems,
+        weight_elements=2 * h,
+        stash_bytes=bsh * e / stash_div,
+    )
+    layers.append(
+        gemm_layer(
+            "mlp_fc1_gemm",
+            b * s,
+            f // t,
+            h,
+            bytes_per_element=e,
+            stash_bytes=bsh * e / stash_div,
+        )
+    )
+    mlp_inner_elems = b * s * f / t
+    ew(
+        "mlp_gelu",
+        Role.ACTIVATION,
+        mlp_inner_elems,
+        stash_bytes=mlp_inner_elems * e,
+        fusible=True,
+    )
+    layers.append(
+        gemm_layer(
+            "mlp_fc2_gemm",
+            b * s,
+            h,
+            f // t,
+            bytes_per_element=e,
+            stash_bytes=mlp_inner_elems * e,
+        )
+    )
+    ew(
+        "mlp_dropout",
+        Role.DROPOUT,
+        resid_elems,
+        stash_bytes=bsh / stash_div,
+        fusible=True,
+    )
+    ew("mlp_residual", Role.ADD, resid_elems, inputs=2)
+
+    if fused_activations:
+        layers = [_fuse(l) for l in layers]
+
+    # ---- tensor-parallel communication schedule -----------------------------
+    ar_bytes = bsh * e
+    if t == 1:
+        fw_comm: tuple[Collective, ...] = ()
+        bw_comm: tuple[Collective, ...] = ()
+    elif tp_mode == "2d":
+        # SUMMA-style grid distribution: every weight GEMM gathers a row of
+        # its activation operand AND a column of its weight operand along one
+        # grid dimension.  Moving weight tiles is 2-D's hidden cost — at
+        # small grids (or small microbatches) it outweighs the 1/sqrt(t)
+        # activation saving, reproducing the paper's §6 observation that
+        # multi-dimensional distribution only wins at larger TP degrees.
+        gemm_inputs = (bsh * e, bsh * e, bsh * e, b * s * f * e)  # qkv/out/fc1/fc2
+        gemm_weights = (3 * h * h * e, h * h * e, h * f * e, f * h * e)
+        events = []
+        for act, w in zip(gemm_inputs, gemm_weights):
+            events.append(Collective("all_gather", act / grid, group=grid))
+            events.append(Collective("all_gather", w / grid, group=grid))
+        fw_comm = tuple(events)
+        bw_comm = tuple(events)
+    elif seq_par:
+        fw_comm = (
+            Collective("all_gather", ar_bytes),  # before QKV GEMM
+            Collective("reduce_scatter", ar_bytes),  # after out projection
+            Collective("all_gather", ar_bytes),  # before MLP fc1
+            Collective("reduce_scatter", ar_bytes),  # after MLP fc2
+        )
+        bw = [
+            Collective("reduce_scatter", ar_bytes),
+            Collective("all_gather", ar_bytes),
+            Collective("reduce_scatter", ar_bytes),
+            Collective("all_gather", ar_bytes),
+        ]
+        if tp_redo_sp:
+            bw.append(Collective("all_gather", ar_bytes))
+        bw_comm = tuple(bw)
+    else:
+        fw_comm = (
+            Collective("all_reduce", ar_bytes),
+            Collective("all_reduce", ar_bytes),
+        )
+        bw_comm = (
+            Collective("all_reduce", ar_bytes),
+            Collective("all_reduce", ar_bytes),
+        )
+
+    # Pipeline point-to-point tensor: the residual stream, sharded over t when
+    # sequence parallelism (or the 2-D grid) keeps it scattered ("PP RS+AG"
+    # handles re-gather).
+    pp_bytes = bsh * e / (t if (seq_par or tp_mode == "2d") else 1)
+
+    return TransformerBlock(
+        layers=tuple(layers),
+        input_bytes=bsh * e / stash_div,
+        tp_comm_fw=fw_comm,
+        tp_comm_bw=bw_comm,
+        pp_activation_bytes=pp_bytes,
+    )
+
+
+def _fuse(layer: Layer) -> Layer:
+    """Apply activation fusion: fused element-wise ops stream out of their
+    producer GEMM, so they re-read no input and keep only a 1-byte mask (for
+    dropouts) or nothing (GeLU output recomputed in the fused backward)."""
+    if not layer.fusible:
+        return layer
+    if layer.role is Role.DROPOUT:
+        # Keep only the mask byte per element.
+        mask_bytes = layer.output_bytes / 2  # e==2 output -> 1 byte/elem
+        new_stash = min(layer.stash_bytes, mask_bytes)
+    else:
+        new_stash = 0.0
+    return Layer(
+        name=layer.name + "_fused",
+        engine=layer.engine,
+        role=layer.role,
+        flops_fw=layer.flops_fw,
+        flops_bw=layer.flops_bw,
+        traffic_fw=layer.output_bytes,  # only the (streamed) output write
+        traffic_bw=layer.output_bytes,
+        weight_bytes=layer.weight_bytes,
+        weight_grad_bytes=layer.weight_grad_bytes,
+        optimizer_bytes=layer.optimizer_bytes,
+        stash_bytes=new_stash,
+        output_bytes=layer.output_bytes,
+        attn_only=layer.attn_only,
+        fusible=False,
+    )

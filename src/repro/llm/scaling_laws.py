@@ -1,0 +1,114 @@
+"""Model-family generation and compute-optimal token budgets.
+
+Codesign sweeps need families of LLM configurations at arbitrary scales, not
+just the named presets, plus a defensible token budget per scale.  This
+module provides:
+
+* :func:`make_config` — a Megatron-shaped configuration for a target
+  parameter count, following the aspect-ratio conventions of the GPT-3 /
+  Megatron ladder (hidden grows as depth·128·heads-per-block heuristics);
+* :func:`chinchilla_tokens` — the compute-optimal ~20 tokens/parameter rule
+  (Hoffmann et al. '22), used by the paper's cited Chinchilla model;
+* :func:`model_ladder` — a geometric ladder of configurations for scaling
+  studies.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .config import LLMConfig
+
+# Published (params -> (hidden, heads, blocks)) anchors of the GPT/Megatron
+# ladder, used to interpolate sensible aspect ratios.
+_ANCHORS = (
+    (1.5e9, 1600, 25, 48),
+    (22e9, 6144, 64, 48),
+    (175e9, 12288, 96, 96),
+    (530e9, 20480, 128, 105),
+    (1.0e12, 25600, 160, 128),
+)
+
+TOKENS_PER_PARAMETER = 20.0  # the Chinchilla compute-optimal ratio
+
+
+def chinchilla_tokens(parameters: float) -> float:
+    """Compute-optimal training tokens for a model size (~20 per parameter)."""
+    if parameters <= 0:
+        raise ValueError("parameters must be positive")
+    return TOKENS_PER_PARAMETER * parameters
+
+
+def make_config(
+    target_parameters: float,
+    *,
+    seq_size: int = 2048,
+    name: str | None = None,
+    head_size: int = 128,
+) -> LLMConfig:
+    """A Megatron-shaped configuration of roughly ``target_parameters``.
+
+    Interpolates depth and width between the published ladder anchors, snaps
+    the hidden size to a multiple of ``head_size`` (so every power-of-two
+    tensor-parallel degree up to the head count divides evenly), then picks
+    the block count that lands closest to the target.
+
+    The result is within a few percent of the target for any size in
+    [1e8, 5e12].
+    """
+    if target_parameters <= 0:
+        raise ValueError("target_parameters must be positive")
+    if head_size < 1:
+        raise ValueError("head_size must be >= 1")
+
+    # Interpolate hidden size in log-space between the anchors.
+    logp = math.log10(target_parameters)
+    lo = _ANCHORS[0]
+    hi = _ANCHORS[-1]
+    for a, b in zip(_ANCHORS, _ANCHORS[1:]):
+        if a[0] <= target_parameters <= b[0]:
+            lo, hi = a, b
+            break
+    else:
+        if target_parameters < _ANCHORS[0][0]:
+            lo, hi = _ANCHORS[0], _ANCHORS[1]
+        else:
+            lo, hi = _ANCHORS[-2], _ANCHORS[-1]
+    frac = (logp - math.log10(lo[0])) / (math.log10(hi[0]) - math.log10(lo[0]))
+    hidden_raw = lo[1] * (hi[1] / lo[1]) ** frac
+    # Snap to a multiple-of-8 head count so common power-of-two TP degrees
+    # divide the shape evenly (the §5.2 mapping-friendliness concern).
+    heads = max(8, round(hidden_raw / head_size / 8) * 8)
+    hidden = heads * head_size
+
+    # Choose the depth that best matches the target count.
+    per_block = 12 * hidden * hidden + 17 * hidden
+    embed = 51200 * hidden + seq_size * hidden + 2 * hidden
+    blocks = max(1, round((target_parameters - embed) / per_block))
+    cfg_name = name or f"auto-{target_parameters / 1e9:.3g}b"
+    return LLMConfig(
+        name=cfg_name,
+        hidden=hidden,
+        attn_heads=heads,
+        seq_size=seq_size,
+        num_blocks=blocks,
+    )
+
+
+def model_ladder(
+    min_parameters: float,
+    max_parameters: float,
+    *,
+    steps: int = 5,
+    seq_size: int = 2048,
+) -> list[LLMConfig]:
+    """A geometric ladder of configurations across a parameter range."""
+    if steps < 2:
+        raise ValueError("steps must be >= 2")
+    if not 0 < min_parameters < max_parameters:
+        raise ValueError("need 0 < min_parameters < max_parameters")
+    ratio = (max_parameters / min_parameters) ** (1.0 / (steps - 1))
+    return [
+        make_config(min_parameters * ratio**i, seq_size=seq_size)
+        for i in range(steps)
+    ]

@@ -1,0 +1,6 @@
+"""Mixture-of-Experts extension (GShard/GSPMD-style expert parallelism)."""
+
+from .config import MoEConfig
+from .model import MoEResult, calculate_moe
+
+__all__ = ["MoEConfig", "MoEResult", "calculate_moe"]

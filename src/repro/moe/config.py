@@ -1,0 +1,80 @@
+"""Mixture-of-Experts model configuration.
+
+The paper's related work discusses GShard/GSPMD, the systems that introduced
+expert-parallel transformers; this extension models them.  An MoE block
+replaces the dense MLP with ``num_experts`` expert MLPs of which each token
+activates ``experts_per_token`` (top-k routing).  Compute per token stays
+near the dense block's (k experts of the same width), while parameters grow
+by the expert count — the whole point of the architecture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..llm.config import LLMConfig
+
+
+@dataclass(frozen=True)
+class MoEConfig:
+    """An MoE transformer: a dense backbone plus routed expert MLPs.
+
+    Attributes:
+        base: the dense configuration (attention, hidden size, depth); its
+            MLP describes ONE expert.
+        num_experts: experts per MoE layer (``E``).
+        experts_per_token: active experts per token (top-k, usually 1 or 2).
+        capacity_factor: per-expert buffer slack over the perfectly-balanced
+            load (GShard uses 1.25-2.0); inflates expert compute and the
+            all-to-all payloads.
+        moe_every: place an MoE layer every this many blocks (GShard
+            alternates dense/MoE with 2).
+    """
+
+    base: LLMConfig
+    num_experts: int
+    experts_per_token: int = 2
+    capacity_factor: float = 1.25
+    moe_every: int = 2
+
+    def __post_init__(self) -> None:
+        if self.num_experts < 2:
+            raise ValueError("num_experts must be >= 2")
+        if not 1 <= self.experts_per_token <= self.num_experts:
+            raise ValueError("experts_per_token must be in [1, num_experts]")
+        if self.capacity_factor < 1.0:
+            raise ValueError("capacity_factor must be >= 1.0")
+        if self.moe_every < 1:
+            raise ValueError("moe_every must be >= 1")
+
+    @property
+    def name(self) -> str:
+        return f"{self.base.name}-moe{self.num_experts}x{self.experts_per_token}"
+
+    @property
+    def num_moe_blocks(self) -> int:
+        return self.base.num_blocks // self.moe_every
+
+    @property
+    def expert_parameters(self) -> int:
+        """Parameters of one expert MLP (one dense MLP's worth)."""
+        h, f = self.base.hidden, self.base.feedforward
+        return h * f + f + f * h + h
+
+    @property
+    def total_parameters(self) -> int:
+        """Dense backbone + the extra (E - 1) experts per MoE layer."""
+        extra = self.num_moe_blocks * (self.num_experts - 1) * self.expert_parameters
+        return self.base.total_parameters + extra
+
+    @property
+    def active_parameters_per_token(self) -> float:
+        """Parameters touched per token (the dense-equivalent compute size)."""
+        moe_fraction = self.num_moe_blocks / self.base.num_blocks
+        extra_active = (
+            self.num_moe_blocks
+            * (self.experts_per_token - 1)
+            * self.expert_parameters
+        )
+        del moe_fraction
+        return self.base.total_parameters + extra_active

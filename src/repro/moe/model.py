@@ -1,0 +1,160 @@
+"""Analytical MoE training model, layered over the calibrated dense core.
+
+The dense engine already prices attention, dense MLPs, pipeline, TP/DP and
+the optimizer.  MoE changes three things, which this module adds on top:
+
+1. **Compute** — each MoE layer runs ``k * capacity_factor`` expert-MLPs
+   worth of GEMM work per token instead of one dense MLP.
+2. **Communication** — two all-to-alls per MoE layer per pass (dispatch
+   tokens to experts, return them), over the expert-parallel group.
+3. **Memory** — every device stores ``E / ep`` experts' weights, gradients
+   and optimizer state per MoE layer instead of one MLP.
+
+Experts are sharded ``ep`` ways across the data-parallel dimension (the
+GShard placement), so the all-to-all rides the network the DP group spans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.model import calculate
+from ..core.results import PerformanceResult
+from ..execution.strategy import ExecutionStrategy
+from ..hardware.system import System
+from .config import MoEConfig
+
+
+@dataclass(frozen=True)
+class MoEResult:
+    """Dense-core result plus the MoE deltas, with combined totals."""
+
+    dense: PerformanceResult
+    moe_compute_time: float  # extra expert GEMM time per batch
+    all_to_all_time: float  # dispatch/return communication per batch
+    expert_memory: float  # extra per-device expert weights+grads+optimizer
+    batch_time: float
+    mem_total: float
+    feasible: bool
+    infeasibility: str = ""
+
+    @property
+    def sample_rate(self) -> float:
+        if not self.feasible or self.batch_time <= 0:
+            return 0.0
+        return self.dense.batch / self.batch_time
+
+
+def calculate_moe(
+    moe: MoEConfig,
+    system: System,
+    strategy: ExecutionStrategy,
+    *,
+    expert_par: int | None = None,
+) -> MoEResult:
+    """Estimate MoE training time and memory for one configuration.
+
+    Args:
+        moe: the MoE model.
+        system: the hardware.
+        strategy: the dense execution strategy (t, p, d, batch, ...).
+        expert_par: expert-parallel degree; defaults to
+            ``min(data_par, num_experts)``.  Must divide ``num_experts``.
+
+    Raises:
+        ValueError: on an invalid expert-parallel degree.
+    """
+    if expert_par is None:
+        # Largest divisor of the expert count that fits the DP dimension.
+        ep = max(
+            d for d in range(1, min(strategy.data_par, moe.num_experts) + 1)
+            if moe.num_experts % d == 0
+        )
+    else:
+        ep = expert_par
+        if ep < 1 or moe.num_experts % ep:
+            raise ValueError(
+                f"expert_par={ep} must divide num_experts={moe.num_experts}"
+            )
+
+    dense = calculate(moe.base, system, strategy)
+    if not dense.feasible:
+        return MoEResult(
+            dense=dense, moe_compute_time=0.0, all_to_all_time=0.0,
+            expert_memory=0.0, batch_time=float("inf"), mem_total=0.0,
+            feasible=False, infeasibility=dense.infeasibility,
+        )
+
+    base = moe.base
+    t, p = strategy.tensor_par, strategy.pipeline_par
+    e_bytes = base.bytes_per_element
+    bpstage = strategy.blocks_per_stage(base.num_blocks)
+    moe_per_stage = bpstage / moe.moe_every
+    M = strategy.num_microbatches
+    tokens = strategy.microbatch * base.seq_size
+
+    # --- extra expert compute -------------------------------------------------
+    # One dense MLP is already priced; MoE runs k * capacity of them.
+    mlp_flops_fw = 4.0 * tokens * base.hidden * base.feedforward / t
+    extra_factor = moe.experts_per_token * moe.capacity_factor - 1.0
+    extra_fw = extra_factor * mlp_flops_fw
+    rate = system.processor.engine_rate("matrix", mlp_flops_fw)
+    per_layer_fw = extra_fw / rate
+    per_layer_bw = 2.0 * per_layer_fw
+    if strategy.recompute == "full":
+        per_layer_bw += per_layer_fw
+    moe_compute = M * moe_per_stage * (per_layer_fw + per_layer_bw)
+
+    # --- all-to-all dispatch/return --------------------------------------------
+    # Each token's hidden vector travels to its experts and back: payload
+    # k * capacity * tokens * h * e per device per MoE layer, per direction.
+    a2a_bytes = (
+        moe.experts_per_token * moe.capacity_factor * tokens * base.hidden
+        * e_bytes / t
+    )
+    span = min(system.num_procs, t * p * ep)
+    net = system.network_for_span(span) if ep > 1 else None
+    if net is None:
+        a2a_each = 0.0
+    else:
+        # All-to-all moves (ep-1)/ep of the payload with ep-1 message steps.
+        a2a_each = net.collective_time("all_gather", a2a_bytes, ep)
+    passes = 4 if strategy.training else 2  # dispatch+return, fw (and bw)
+    if strategy.recompute == "full" and strategy.training:
+        passes += 2
+    a2a_total = M * moe_per_stage * passes * a2a_each
+
+    # --- expert memory -----------------------------------------------------------
+    experts_per_device = moe.num_experts / ep
+    extra_experts = experts_per_device - 1.0  # one MLP already counted
+    expert_weight_bytes = moe.expert_parameters * e_bytes / t
+    opt_shard = strategy.data_par if strategy.optimizer_sharding else 1
+    per_layer_mem = extra_experts * expert_weight_bytes
+    mem_extra = moe_per_stage * (
+        per_layer_mem  # weights
+        + (per_layer_mem if strategy.training else 0.0)  # grads
+        + (extra_experts * moe.expert_parameters * 12.0 / t / opt_shard
+           if strategy.training else 0.0)
+    )
+
+    mem_total = dense.mem1.total + mem_extra
+    if mem_total > system.mem1.capacity:
+        return MoEResult(
+            dense=dense, moe_compute_time=moe_compute, all_to_all_time=a2a_total,
+            expert_memory=mem_extra, batch_time=float("inf"),
+            mem_total=mem_total, feasible=False,
+            infeasibility=(
+                f"expert memory pushes tier-1 to {mem_total / 2**30:.1f} GiB, "
+                f"over {system.mem1.capacity / 2**30:.1f} GiB"
+            ),
+        )
+
+    return MoEResult(
+        dense=dense,
+        moe_compute_time=moe_compute,
+        all_to_all_time=a2a_total,
+        expert_memory=mem_extra,
+        batch_time=dense.batch_time + moe_compute + a2a_total,
+        mem_total=mem_total,
+        feasible=True,
+    )

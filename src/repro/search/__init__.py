@@ -1,0 +1,54 @@
+"""Search engines: execution-space, system-size and budgeted system search."""
+
+from .cost import (
+    BudgetEntry,
+    DDR5_PRICES,
+    H100_BASE_PRICE,
+    HBM3_PRICES,
+    SystemDesign,
+    all_designs,
+    budget_table,
+    evaluate_design,
+)
+from .execution_search import (
+    SearchOptions,
+    SearchResult,
+    candidate_strategies,
+    search,
+)
+from .refine import RefineResult, hill_climb, multi_start, neighbours
+from .tco import PowerModel, TCOReport, tco_report
+from .system_search import (
+    ScalingCurve,
+    ScalingPoint,
+    best_at_size,
+    offload_speedups,
+    scaling_sweep,
+)
+
+__all__ = [
+    "BudgetEntry",
+    "DDR5_PRICES",
+    "H100_BASE_PRICE",
+    "HBM3_PRICES",
+    "RefineResult",
+    "ScalingCurve",
+    "ScalingPoint",
+    "SearchOptions",
+    "SearchResult",
+    "PowerModel",
+    "SystemDesign",
+    "TCOReport",
+    "all_designs",
+    "best_at_size",
+    "budget_table",
+    "candidate_strategies",
+    "evaluate_design",
+    "hill_climb",
+    "multi_start",
+    "neighbours",
+    "offload_speedups",
+    "scaling_sweep",
+    "search",
+    "tco_report",
+]

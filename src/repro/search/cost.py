@@ -1,0 +1,167 @@
+"""System cost model and budgeted optimal-system search (paper §7, Table 3).
+
+The paper prices a theoretical H100-based design: $20k per GPU including all
+infrastructure but no memory, plus HBM3 options (20/40/80/120 GiB, all at
+3 TB/s) and optional secondary DDR5 (256/512/1024 GiB at 100 GB/s per
+direction).  Under a fixed budget, each of the 16 memory designs affords a
+different GPU count; the search sweeps system sizes per design and LLM to
+maximize performance and performance-per-dollar.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..hardware.system import System, ddr5_offload, h100_system
+from ..llm.config import LLMConfig
+from .execution_search import SearchOptions
+from .system_search import ScalingPoint, best_at_size
+
+H100_BASE_PRICE = 20_000.0
+
+HBM3_PRICES: dict[int, float] = {20: 2_250.0, 40: 5_000.0, 80: 10_000.0, 120: 20_000.0}
+DDR5_PRICES: dict[int, float] = {0: 0.0, 256: 2_500.0, 512: 10_000.0, 1024: 20_000.0}
+
+
+@dataclass(frozen=True)
+class SystemDesign:
+    """One H100 memory configuration from the Table-3 grid."""
+
+    hbm_gib: int
+    ddr_gib: int
+
+    def __post_init__(self) -> None:
+        if self.hbm_gib not in HBM3_PRICES:
+            raise ValueError(f"unsupported HBM3 option {self.hbm_gib} GiB")
+        if self.ddr_gib not in DDR5_PRICES:
+            raise ValueError(f"unsupported DDR5 option {self.ddr_gib} GiB")
+
+    @property
+    def price_per_gpu(self) -> float:
+        return H100_BASE_PRICE + HBM3_PRICES[self.hbm_gib] + DDR5_PRICES[self.ddr_gib]
+
+    def max_gpus(self, budget: float, multiple: int = 8) -> int:
+        """Largest affordable GPU count, rounded down to ``multiple``."""
+        if budget < self.price_per_gpu:
+            return 0
+        n = int(budget // self.price_per_gpu)
+        return n - n % multiple
+
+    def build(self, num_procs: int) -> System:
+        offload = ddr5_offload(self.ddr_gib) if self.ddr_gib else None
+        return h100_system(num_procs, hbm_gib=self.hbm_gib, offload=offload)
+
+    def label(self) -> str:
+        return f"{self.hbm_gib}G/{self.ddr_gib}G"
+
+
+def all_designs() -> list[SystemDesign]:
+    """The 16 HBM3 x DDR5 permutations of Table 3."""
+    return [
+        SystemDesign(hbm_gib=h, ddr_gib=d)
+        for d in sorted(DDR5_PRICES)
+        for h in sorted(HBM3_PRICES)
+    ]
+
+
+@dataclass(frozen=True)
+class BudgetEntry:
+    """One Table-3 row-cell: a design evaluated for one LLM."""
+
+    design: SystemDesign
+    llm_name: str
+    max_gpus: int
+    used_gpus: int
+    sample_rate: float
+    mfu: float
+    cost: float  # of the GPUs actually used
+
+    @property
+    def perf_per_million(self) -> float:
+        """Sample rate per million dollars of deployed hardware."""
+        if self.cost <= 0:
+            return 0.0
+        return self.sample_rate / (self.cost / 1e6)
+
+
+def evaluate_design(
+    design: SystemDesign,
+    llm: LLMConfig,
+    budget: float,
+    batch: int,
+    *,
+    options: SearchOptions | None = None,
+    size_candidates: Sequence[int] | None = None,
+    workers: int | None = 0,
+) -> BudgetEntry:
+    """Best performance a design achieves for one LLM under the budget.
+
+    ``size_candidates`` restricts the sizes tried (the paper sweeps every
+    multiple of 8; benches use a coarser grid for runtime).  Sizes above the
+    affordable maximum are skipped.
+    """
+    max_gpus = design.max_gpus(budget)
+    if options is None:
+        options = (
+            SearchOptions.all_with_offload() if design.ddr_gib else SearchOptions()
+        )
+    if size_candidates is None:
+        step = max(8, (max_gpus // 16) - (max_gpus // 16) % 8)
+        size_candidates = range(step, max_gpus + 1, step)
+    best: ScalingPoint | None = None
+    for n in size_candidates:
+        if n < 1 or n > max_gpus:
+            continue
+        point = best_at_size(llm, design.build, n, batch, options, workers=workers)
+        if point.feasible and (best is None or point.sample_rate > best.sample_rate):
+            best = point
+    if best is None:
+        return BudgetEntry(
+            design=design,
+            llm_name=llm.name,
+            max_gpus=max_gpus,
+            used_gpus=0,
+            sample_rate=0.0,
+            mfu=0.0,
+            cost=0.0,
+        )
+    return BudgetEntry(
+        design=design,
+        llm_name=llm.name,
+        max_gpus=max_gpus,
+        used_gpus=best.num_procs,
+        sample_rate=best.sample_rate,
+        mfu=best.mfu,
+        cost=best.num_procs * design.price_per_gpu,
+    )
+
+
+def budget_table(
+    llms: Sequence[LLMConfig],
+    budget: float = 125e6,
+    batch: int = 4096,
+    *,
+    designs: Sequence[SystemDesign] | None = None,
+    options: SearchOptions | None = None,
+    size_candidates: Sequence[int] | None = None,
+    workers: int | None = 0,
+) -> list[list[BudgetEntry]]:
+    """Compute the full Table-3 grid: one row per design, one cell per LLM."""
+    rows = []
+    for design in designs or all_designs():
+        rows.append(
+            [
+                evaluate_design(
+                    design,
+                    llm,
+                    budget,
+                    batch,
+                    options=options,
+                    size_candidates=size_candidates,
+                    workers=workers,
+                )
+                for llm in llms
+            ]
+        )
+    return rows

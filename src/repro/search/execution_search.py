@@ -1,0 +1,278 @@
+"""Optimal execution search engine (paper §5.1).
+
+Exhaustively enumerates execution configurations for a given LLM, system and
+global batch size, evaluates each with the analytical model, and returns the
+best performer (by sample rate) plus distribution statistics.  The
+enumeration covers the full Table-1 space; :class:`SearchOptions` restricts
+any dimension for scoped studies (e.g. Fig. 5's "original optimizations").
+
+A multi-core map mirrors the paper's "minutes on a standard desktop" claim:
+the per-configuration model is fast (well under a millisecond) and
+configurations are independent, so the sweep parallelizes trivially.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from ..core.model import calculate
+from ..core.results import PerformanceResult
+from ..execution.strategy import ExecutionStrategy, divisors, factorizations
+from ..hardware.system import System
+from ..llm.config import LLMConfig
+
+
+@dataclass(frozen=True)
+class SearchOptions:
+    """Which execution dimensions to sweep (paper Table 1 "range" column).
+
+    Each tuple lists the values tried for that dimension; fixing a dimension
+    to a single value removes it from the sweep.  ``seq_par_modes`` entries
+    are ``(seq_par, tp_redo_sp, pp_rs_ag)`` triples, keeping the dependent
+    flags consistent by construction.
+    """
+
+    recompute: tuple[str, ...] = ("none", "attn_only", "full")
+    seq_par_modes: tuple[tuple[bool, bool, bool], ...] = (
+        (False, False, False),
+        (True, True, True),
+    )
+    tp_overlap: tuple[str, ...] = ("none", "ring")
+    dp_overlap: tuple[bool, ...] = (False, True)
+    optimizer_sharding: tuple[bool, ...] = (False, True)
+    fused_activations: tuple[bool, ...] = (False, True)
+    pp_1f1b: tuple[bool, ...] = (True,)
+    offload_modes: tuple[tuple[bool, bool, bool], ...] = ((False, False, False),)
+    max_tensor_par: int = 64
+    max_microbatch: int = 64
+    microbatch_powers_of_two: bool = True
+    interleaving_values: tuple[int, ...] | None = None  # None -> divisors of L/p
+    training: bool = True
+
+    @classmethod
+    def megatron_baseline(cls) -> "SearchOptions":
+        """The "original optimizations" regime of Fig. 5(a): full recompute,
+        1F1B + microbatching, no sequence parallelism, no overlap/sharding."""
+        return cls(
+            recompute=("full",),
+            seq_par_modes=((False, False, False),),
+            tp_overlap=("none",),
+            dp_overlap=(False,),
+            optimizer_sharding=(False,),
+            fused_activations=(False,),
+        )
+
+    @classmethod
+    def seq_par_regime(cls) -> "SearchOptions":
+        """Fig. 5(b): sequence parallelism + selective recompute added."""
+        return cls(
+            recompute=("attn_only", "full"),
+            seq_par_modes=((True, True, True),),
+            tp_overlap=("none",),
+            dp_overlap=(False,),
+            optimizer_sharding=(False,),
+            fused_activations=(False,),
+        )
+
+    @classmethod
+    def all_optimizations(cls) -> "SearchOptions":
+        """Fig. 5(c,d): the full Table-1 space."""
+        return cls()
+
+    @classmethod
+    def all_with_offload(cls) -> "SearchOptions":
+        """§6: the full space plus weight+activation+optimizer offload."""
+        return cls(
+            offload_modes=((False, False, False), (True, True, True))
+        )
+
+    def with_offload_only(self) -> "SearchOptions":
+        return replace(self, offload_modes=((True, True, True),))
+
+
+@dataclass
+class SearchResult:
+    """Outcome of one exhaustive execution search."""
+
+    best: PerformanceResult | None
+    best_strategy: ExecutionStrategy | None
+    top: list[tuple[ExecutionStrategy, PerformanceResult]]
+    num_evaluated: int
+    num_feasible: int
+    sample_rates: np.ndarray  # feasible configurations' sample rates
+
+    @property
+    def feasible_fraction(self) -> float:
+        if self.num_evaluated == 0:
+            return 0.0
+        return self.num_feasible / self.num_evaluated
+
+
+def candidate_strategies(
+    llm: LLMConfig,
+    system: System,
+    batch: int,
+    options: SearchOptions | None = None,
+):
+    """Yield every candidate :class:`ExecutionStrategy` in the option space.
+
+    Structural constraints that need no model evaluation (t beyond the head
+    count, p beyond the block count, batch divisibility) are pruned here;
+    everything else is left to the model's feasibility check.
+    """
+    opts = options or SearchOptions()
+    n = system.num_procs
+    for t, p, d in factorizations(n):
+        if t > min(opts.max_tensor_par, llm.attn_heads) or llm.attn_heads % t:
+            continue
+        if llm.hidden % t or llm.feedforward % t:
+            continue
+        if p > llm.num_blocks:
+            continue
+        if d > batch or batch % d:
+            continue
+        local_batch = batch // d
+        microbatches = [
+            m
+            for m in divisors(local_batch)
+            if m <= opts.max_microbatch
+            and (not opts.microbatch_powers_of_two or (m & (m - 1)) == 0)
+        ]
+        if opts.interleaving_values is not None:
+            interleavings = [
+                v
+                for v in opts.interleaving_values
+                if v == 1 or (p > 1 and v <= math.ceil(llm.num_blocks / p))
+            ]
+        else:
+            bpstage = math.ceil(llm.num_blocks / p)
+            interleavings = [v for v in divisors(bpstage) if v == 1 or p > 1]
+        for m, v in itertools.product(microbatches, interleavings):
+            for rc, (sp, redo, ppsg), tpo, dpo, osh, fus, f1b, off in itertools.product(
+                opts.recompute,
+                opts.seq_par_modes,
+                opts.tp_overlap,
+                opts.dp_overlap,
+                opts.optimizer_sharding,
+                opts.fused_activations,
+                opts.pp_1f1b,
+                opts.offload_modes,
+            ):
+                if sp and llm.seq_size % t:
+                    continue
+                if sp and t == 1:
+                    continue  # degenerate: SP is a no-op without TP
+                yield ExecutionStrategy(
+                    tensor_par=t,
+                    pipeline_par=p,
+                    data_par=d,
+                    batch=batch,
+                    microbatch=m,
+                    pp_interleaving=v,
+                    pp_1f1b=f1b,
+                    pp_rs_ag=ppsg and sp,
+                    seq_par=sp,
+                    tp_redo_sp=redo and sp,
+                    tp_overlap=tpo,
+                    dp_overlap=dpo,
+                    optimizer_sharding=osh,
+                    recompute=rc,
+                    fused_activations=fus,
+                    weight_offload=off[0],
+                    activation_offload=off[1],
+                    optimizer_offload=off[2],
+                    training=opts.training,
+                )
+
+
+def _evaluate_chunk(
+    args: tuple[LLMConfig, System, list[ExecutionStrategy], int, object]
+) -> tuple[int, int, list[tuple[ExecutionStrategy, PerformanceResult]], list[float]]:
+    llm, system, strategies, top_k, constraint = args
+    top: list[tuple[ExecutionStrategy, PerformanceResult]] = []
+    rates: list[float] = []
+    feasible = 0
+    for strat in strategies:
+        res = calculate(llm, system, strat)
+        if not res.feasible:
+            continue
+        if constraint is not None and not constraint(res):
+            continue
+        feasible += 1
+        rates.append(res.sample_rate)
+        top.append((strat, res))
+        if len(top) > 4 * top_k:
+            top.sort(key=lambda sr: -sr[1].sample_rate)
+            del top[top_k:]
+    top.sort(key=lambda sr: -sr[1].sample_rate)
+    return len(strategies), feasible, top[:top_k], rates
+
+
+def search(
+    llm: LLMConfig,
+    system: System,
+    batch: int,
+    options: SearchOptions | None = None,
+    *,
+    top_k: int = 10,
+    workers: int | None = None,
+    keep_rates: bool = True,
+    constraint=None,
+) -> SearchResult:
+    """Exhaustively search the execution space; return the best performer.
+
+    Args:
+        llm, system, batch: the fixed problem.
+        options: sweep restrictions; defaults to the full Table-1 space.
+        top_k: how many best configurations to retain.
+        workers: process count; ``None`` auto-selects (0/1 forces serial).
+        keep_rates: retain every feasible sample rate (Fig. 6 histograms).
+        constraint: optional predicate on feasible results — return False to
+            reject a configuration (e.g. a memory or MFU floor).  Must be a
+            picklable (module-level) callable when ``workers > 1``.
+    """
+    strategies = list(candidate_strategies(llm, system, batch, options))
+    if workers is None:
+        workers = min(os.cpu_count() or 1, max(1, len(strategies) // 2000))
+    chunks: list[list[ExecutionStrategy]] = []
+    if workers > 1:
+        step = math.ceil(len(strategies) / (workers * 4))
+        chunks = [strategies[i : i + step] for i in range(0, len(strategies), step)]
+
+    results: list[tuple[int, int, list, list]] = []
+    if workers > 1 and len(chunks) > 1:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            results = list(
+                pool.map(
+                    _evaluate_chunk,
+                    [(llm, system, c, top_k, constraint) for c in chunks],
+                )
+            )
+    else:
+        results = [_evaluate_chunk((llm, system, strategies, top_k, constraint))]
+
+    num_eval = sum(r[0] for r in results)
+    num_feasible = sum(r[1] for r in results)
+    merged = [sr for r in results for sr in r[2]]
+    merged.sort(key=lambda sr: -sr[1].sample_rate)
+    merged = merged[:top_k]
+    rates = (
+        np.concatenate([np.asarray(r[3], dtype=float) for r in results])
+        if keep_rates and any(r[3] for r in results)
+        else np.empty(0)
+    )
+    best_strategy, best = (merged[0][0], merged[0][1]) if merged else (None, None)
+    return SearchResult(
+        best=best,
+        best_strategy=best_strategy,
+        top=merged,
+        num_evaluated=num_eval,
+        num_feasible=num_feasible,
+        sample_rates=rates,
+    )

@@ -1,0 +1,170 @@
+"""Local-search refinement: hill climbing through the execution space.
+
+The exhaustive engine (§5.1) is exact but grows combinatorially.  For
+interactive use, this module hill-climbs from a seed strategy: each move
+perturbs one dimension (shifting parallelism between t/p/d while preserving
+the processor count, scaling the microbatch or interleaving, toggling one
+optimization) and keeps the best feasible neighbour until no move improves.
+
+Exhaustive search remains the ground truth; the test suite checks that
+multi-start hill climbing lands within a few percent of it on small spaces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.model import calculate
+from ..core.results import PerformanceResult
+from ..execution.strategy import ExecutionStrategy
+from ..hardware.system import System
+from ..llm.config import LLMConfig
+
+
+@dataclass(frozen=True)
+class RefineResult:
+    """Outcome of one hill-climbing run."""
+
+    best: PerformanceResult
+    best_strategy: ExecutionStrategy
+    evaluations: int
+    steps: int
+
+
+def neighbours(strategy: ExecutionStrategy) -> list[ExecutionStrategy]:
+    """All single-move perturbations of a strategy.
+
+    Moves preserve ``t * p * d`` so every neighbour targets the same system;
+    infeasible neighbours are rejected later by the model, not here.
+    """
+    t, p, d = strategy.tensor_par, strategy.pipeline_par, strategy.data_par
+    out: list[ExecutionStrategy] = []
+
+    # Shift a factor of 2 between any ordered pair of parallelism modes.
+    for src, dst in (
+        ("t", "p"), ("t", "d"), ("p", "t"), ("p", "d"), ("d", "t"), ("d", "p")
+    ):
+        vals = {"t": t, "p": p, "d": d}
+        if vals[src] % 2:
+            continue
+        vals[src] //= 2
+        vals[dst] *= 2
+        out.append(
+            strategy.evolve(
+                tensor_par=vals["t"], pipeline_par=vals["p"], data_par=vals["d"]
+            )
+        )
+
+    # Microbatch and interleaving scaling.
+    for m in (strategy.microbatch * 2, strategy.microbatch // 2):
+        if m >= 1:
+            out.append(strategy.evolve(microbatch=m))
+    for v in (strategy.pp_interleaving * 2, strategy.pp_interleaving // 2):
+        if v >= 1:
+            out.append(strategy.evolve(pp_interleaving=v))
+
+    # Single-flag toggles and mode steps.
+    out.append(strategy.evolve(optimizer_sharding=not strategy.optimizer_sharding))
+    out.append(strategy.evolve(dp_overlap=not strategy.dp_overlap))
+    out.append(strategy.evolve(fused_activations=not strategy.fused_activations))
+    if strategy.seq_par:
+        out.append(
+            strategy.evolve(seq_par=False, tp_redo_sp=False, pp_rs_ag=False)
+        )
+    else:
+        out.append(strategy.evolve(seq_par=True, tp_redo_sp=True))
+    modes = ("none", "attn_only", "full")
+    idx = modes.index(strategy.recompute)
+    for j in (idx - 1, idx + 1):
+        if 0 <= j < len(modes):
+            out.append(strategy.evolve(recompute=modes[j]))
+    overlaps = ("none", "pipe", "ring")
+    oidx = overlaps.index(strategy.tp_overlap)
+    for j in (oidx - 1, oidx + 1):
+        if 0 <= j < len(overlaps):
+            out.append(strategy.evolve(tp_overlap=overlaps[j]))
+
+    return out
+
+
+def hill_climb(
+    llm: LLMConfig,
+    system: System,
+    seed: ExecutionStrategy,
+    *,
+    max_steps: int = 100,
+) -> RefineResult | None:
+    """Greedy ascent on sample rate from a seed strategy.
+
+    Returns ``None`` when the seed itself is infeasible and no neighbour is
+    feasible either.
+    """
+    if max_steps < 1:
+        raise ValueError("max_steps must be >= 1")
+    current_strategy = seed
+    current = calculate(llm, system, seed)
+    evaluations = 1
+    if not current.feasible:
+        # Try to bootstrap from any feasible neighbour.
+        for cand in neighbours(seed):
+            res = calculate(llm, system, cand)
+            evaluations += 1
+            if res.feasible:
+                current_strategy, current = cand, res
+                break
+        else:
+            return None
+
+    steps = 0
+    for _ in range(max_steps):
+        best_move: tuple[ExecutionStrategy, PerformanceResult] | None = None
+        for cand in neighbours(current_strategy):
+            res = calculate(llm, system, cand)
+            evaluations += 1
+            if res.feasible and res.sample_rate > current.sample_rate and (
+                best_move is None or res.sample_rate > best_move[1].sample_rate
+            ):
+                best_move = (cand, res)
+        if best_move is None:
+            break
+        current_strategy, current = best_move
+        steps += 1
+
+    return RefineResult(
+        best=current,
+        best_strategy=current_strategy,
+        evaluations=evaluations,
+        steps=steps,
+    )
+
+
+def multi_start(
+    llm: LLMConfig,
+    system: System,
+    seeds: list[ExecutionStrategy],
+    *,
+    max_steps: int = 100,
+) -> RefineResult | None:
+    """Hill climb from several seeds, returning the overall best."""
+    best: RefineResult | None = None
+    total_evals = 0
+    for seed in seeds:
+        res = hill_climb(llm, system, seed, max_steps=max_steps)
+        if res is None:
+            continue
+        total_evals += res.evaluations
+        if best is None or res.best.sample_rate > best.best.sample_rate:
+            best = RefineResult(
+                best=res.best,
+                best_strategy=res.best_strategy,
+                evaluations=total_evals,
+                steps=res.steps,
+            )
+        else:
+            best = RefineResult(
+                best=best.best,
+                best_strategy=best.best_strategy,
+                evaluations=total_evals,
+                steps=best.steps,
+            )
+    return best

@@ -1,0 +1,136 @@
+"""Optimal system-size search (paper §5.2) and scaling studies (Figs. 7, 10, 11).
+
+For every candidate system size (multiples of 8 GPUs in the paper) the full
+execution space is searched and the best performer recorded.  The resulting
+perf-vs-size curve exposes the "efficiency cliffs": sudden drops where an LLM's
+shape does not map evenly onto the processor count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..execution.strategy import ExecutionStrategy
+from ..hardware.system import System
+from ..llm.config import LLMConfig
+from .execution_search import SearchOptions, search
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """Best achievable performance at one system size."""
+
+    num_procs: int
+    sample_rate: float
+    batch_time: float
+    mfu: float
+    strategy: ExecutionStrategy | None
+    feasible: bool
+
+    @property
+    def per_proc_rate(self) -> float:
+        return self.sample_rate / self.num_procs if self.num_procs else 0.0
+
+
+@dataclass
+class ScalingCurve:
+    """A perf-vs-system-size sweep for one LLM."""
+
+    llm_name: str
+    points: list[ScalingPoint]
+
+    def sizes(self) -> np.ndarray:
+        return np.array([p.num_procs for p in self.points])
+
+    def rates(self) -> np.ndarray:
+        return np.array([p.sample_rate for p in self.points])
+
+    def relative_scaling(self) -> np.ndarray:
+        """Per-processor efficiency relative to the best point (Fig. 7 y-axis).
+
+        A value of 1.0 means perfect scaling; efficiency cliffs appear as
+        points well below their neighbours.
+        """
+        per_proc = np.array([p.per_proc_rate for p in self.points])
+        peak = per_proc.max() if len(per_proc) and per_proc.max() > 0 else 1.0
+        return per_proc / peak
+
+    def cliff_depths(self) -> np.ndarray:
+        """Drop of each point below the running envelope of ``relative_scaling``."""
+        rel = self.relative_scaling()
+        envelope = np.maximum.accumulate(rel)
+        return envelope - rel
+
+
+def best_at_size(
+    llm: LLMConfig,
+    system_factory: Callable[[int], System],
+    num_procs: int,
+    batch: int,
+    options: SearchOptions | None = None,
+    *,
+    workers: int | None = 0,
+) -> ScalingPoint:
+    """Search the execution space at one system size."""
+    system = system_factory(num_procs)
+    result = search(
+        llm, system, batch, options, workers=workers, keep_rates=False, top_k=1
+    )
+    if result.best is None:
+        return ScalingPoint(
+            num_procs=num_procs,
+            sample_rate=0.0,
+            batch_time=float("inf"),
+            mfu=0.0,
+            strategy=None,
+            feasible=False,
+        )
+    return ScalingPoint(
+        num_procs=num_procs,
+        sample_rate=result.best.sample_rate,
+        batch_time=result.best.batch_time,
+        mfu=result.best.mfu,
+        strategy=result.best_strategy,
+        feasible=True,
+    )
+
+
+def scaling_sweep(
+    llm: LLMConfig,
+    system_factory: Callable[[int], System],
+    sizes: Sequence[int],
+    batch: int,
+    options: SearchOptions | None = None,
+    *,
+    workers: int | None = 0,
+) -> ScalingCurve:
+    """Best performance at each system size (one Fig. 7 / Fig. 10 panel)."""
+    points = [
+        best_at_size(llm, system_factory, n, batch, options, workers=workers)
+        for n in sizes
+    ]
+    return ScalingCurve(llm_name=llm.name, points=points)
+
+
+def offload_speedups(
+    baseline: ScalingCurve, offloaded: ScalingCurve
+) -> list[tuple[int, float]]:
+    """Relative speedup from offloading at each size (Fig. 11).
+
+    Returns ``(size, speedup_percent)``; ``inf`` marks sizes only feasible
+    with offloading (the paper's "infinite speedup" points).
+    """
+    out: list[tuple[int, float]] = []
+    for b, o in zip(baseline.points, offloaded.points):
+        if b.num_procs != o.num_procs:
+            raise ValueError("curves must cover identical size grids")
+        if not o.feasible:
+            continue
+        if not b.feasible or b.sample_rate == 0:
+            out.append((b.num_procs, float("inf")))
+        else:
+            out.append((b.num_procs, (o.sample_rate / b.sample_rate - 1.0) * 100.0))
+    return out

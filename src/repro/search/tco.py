@@ -1,0 +1,114 @@
+"""Total-cost-of-ownership model (paper §6).
+
+"The decision to use offloading or not should come after analyzing total cost
+of ownership (TCO), as even small efficiency gains can accumulate during long
+system use time."  This module combines the §7 capital-cost model with an
+operating-cost model (power draw, PUE, electricity price, lifetime) so design
+comparisons can be made on dollars-per-token rather than raw throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .cost import BudgetEntry, SystemDesign
+
+HOURS_PER_YEAR = 8766.0
+
+# Public board-power figures: 400 W (A100 SXM), 700 W (H100 SXM).
+DEFAULT_GPU_WATTS = 700.0
+# DDR5 DIMM power per GiB (about 0.4 W/GiB including the controller).
+DDR_WATTS_PER_GIB = 0.4
+# Per-GPU share of fabric + host infrastructure.
+INFRA_WATTS = 300.0
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """Electrical model of one deployed GPU with its memory options."""
+
+    gpu_watts: float = DEFAULT_GPU_WATTS
+    ddr_watts_per_gib: float = DDR_WATTS_PER_GIB
+    infra_watts: float = INFRA_WATTS
+    pue: float = 1.3  # datacenter power-usage effectiveness
+    dollars_per_kwh: float = 0.10
+    utilization: float = 0.85  # average draw relative to peak while training
+
+    def __post_init__(self) -> None:
+        if self.gpu_watts <= 0 or self.infra_watts < 0:
+            raise ValueError("power figures must be positive")
+        if self.pue < 1.0:
+            raise ValueError("PUE cannot be below 1.0")
+        if not 0 < self.utilization <= 1:
+            raise ValueError("utilization must be in (0, 1]")
+        if self.dollars_per_kwh < 0:
+            raise ValueError("electricity price must be non-negative")
+
+    def watts_per_gpu(self, design: SystemDesign) -> float:
+        """Wall power per deployed GPU, including its DDR5 and infra share."""
+        board = self.gpu_watts + design.ddr_gib * self.ddr_watts_per_gib
+        return (board * self.utilization + self.infra_watts) * self.pue
+
+    def annual_energy_cost(self, design: SystemDesign, num_gpus: int) -> float:
+        """Dollars of electricity per year for ``num_gpus``."""
+        if num_gpus < 0:
+            raise ValueError("num_gpus must be non-negative")
+        kw = self.watts_per_gpu(design) * num_gpus / 1000.0
+        return kw * HOURS_PER_YEAR * self.dollars_per_kwh
+
+
+@dataclass(frozen=True)
+class TCOReport:
+    """Lifetime cost and cost-efficiency of one evaluated design."""
+
+    design: SystemDesign
+    llm_name: str
+    num_gpus: int
+    sample_rate: float
+    capex: float
+    annual_opex: float
+    lifetime_years: float
+
+    @property
+    def total_cost(self) -> float:
+        return self.capex + self.annual_opex * self.lifetime_years
+
+    @property
+    def samples_per_dollar(self) -> float:
+        """Lifetime training samples per total dollar of ownership."""
+        if self.total_cost <= 0:
+            return 0.0
+        lifetime_seconds = self.lifetime_years * HOURS_PER_YEAR * 3600.0
+        return self.sample_rate * lifetime_seconds / self.total_cost
+
+    @property
+    def dollars_per_million_samples(self) -> float:
+        sd = self.samples_per_dollar
+        return 1e6 / sd if sd > 0 else float("inf")
+
+
+def tco_report(
+    entry: BudgetEntry,
+    *,
+    power: PowerModel | None = None,
+    lifetime_years: float = 4.0,
+) -> TCOReport:
+    """Lifetime TCO for one budget-search result cell.
+
+    Args:
+        entry: a :func:`repro.search.evaluate_design` result.
+        power: electrical model; defaults to H100-class figures.
+        lifetime_years: amortization period.
+    """
+    if lifetime_years <= 0:
+        raise ValueError("lifetime_years must be positive")
+    pm = power or PowerModel()
+    return TCOReport(
+        design=entry.design,
+        llm_name=entry.llm_name,
+        num_gpus=entry.used_gpus,
+        sample_rate=entry.sample_rate,
+        capex=entry.cost,
+        annual_opex=pm.annual_energy_cost(entry.design, entry.used_gpus),
+        lifetime_years=lifetime_years,
+    )

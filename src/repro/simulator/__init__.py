@@ -1,0 +1,31 @@
+"""Discrete-event pipeline-schedule simulator (cross-validation substrate)."""
+
+from .bridge import (
+    ScheduleComparison,
+    simulate_strategy,
+    strategy_pipeline_params,
+)
+from .pipeline_sim import (
+    PipelineParams,
+    PipelineStats,
+    analytical_bubble,
+    simulate,
+)
+from .timeline import ScheduledItem, Timeline, render_gantt, simulate_timeline
+from .trace import timeline_to_trace_events, write_trace
+
+__all__ = [
+    "PipelineParams",
+    "PipelineStats",
+    "ScheduleComparison",
+    "ScheduledItem",
+    "Timeline",
+    "analytical_bubble",
+    "render_gantt",
+    "simulate",
+    "simulate_strategy",
+    "simulate_timeline",
+    "strategy_pipeline_params",
+    "timeline_to_trace_events",
+    "write_trace",
+]

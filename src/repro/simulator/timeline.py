@@ -1,0 +1,154 @@
+"""Schedule timelines: record and render the pipeline execution (Fig. 2).
+
+The paper's Fig. 2 shows the interleaved 1F1B schedule as a per-device Gantt
+chart of (block-chunk, microbatch) slots.  :func:`simulate_timeline` runs the
+same discrete-event engine as :func:`repro.simulator.simulate` but records
+every scheduled item; :func:`render_gantt` draws the resulting chart in
+ASCII, reproducing the prologue/steady/epilogue structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .pipeline_sim import PipelineParams, PipelineStats, simulate
+
+
+@dataclass(frozen=True)
+class ScheduledItem:
+    """One executed work item on one device."""
+
+    device: int
+    microbatch: int
+    vstage: int  # virtual pipeline stage = chunk * p + device
+    phase: str  # 'f' or 'b'
+    start: float
+    finish: float
+
+    def __post_init__(self) -> None:
+        if self.phase not in ("f", "b"):
+            raise ValueError(f"phase must be 'f' or 'b', got {self.phase!r}")
+        if self.finish < self.start:
+            raise ValueError("finish must be >= start")
+
+    @property
+    def chunk(self) -> int:
+        """Which interleaving chunk this vstage belongs to (needs p)."""
+        raise AttributeError("use Timeline.chunk_of for chunk lookup")
+
+
+@dataclass
+class Timeline:
+    """A complete recorded schedule."""
+
+    params: PipelineParams
+    items: list[ScheduledItem]
+    stats: PipelineStats
+
+    def device_items(self, device: int) -> list[ScheduledItem]:
+        out = [it for it in self.items if it.device == device]
+        out.sort(key=lambda it: it.start)
+        return out
+
+    def chunk_of(self, vstage: int) -> int:
+        return vstage // self.params.num_stages
+
+
+def simulate_timeline(params: PipelineParams) -> Timeline:
+    """Run the schedule simulation and capture every item."""
+    recorded: list[ScheduledItem] = []
+
+    # Re-run the simulation loop, mirroring pipeline_sim.simulate but with
+    # recording.  (Kept in sync by the shared test that compares makespans.)
+    p, v, M = params.num_stages, params.interleaving, params.num_microbatches
+    n_vstages = p * v
+    fw_done: dict[tuple[int, int], float] = {}
+    bw_done: dict[tuple[int, int], float] = {}
+    device_free = [0.0] * p
+
+    def fw_ready(m: int, k: int) -> float | None:
+        if k == 0:
+            return 0.0
+        prev = fw_done.get((m, k - 1))
+        return None if prev is None else prev + params.p2p_time
+
+    def bw_ready(m: int, k: int) -> float | None:
+        fwd = fw_done.get((m, k))
+        if fwd is None:
+            return None
+        if k == n_vstages - 1:
+            return fwd
+        nxt = bw_done.get((m, k + 1))
+        return None if nxt is None else max(fwd, nxt + params.p2p_time)
+
+    remaining = {(m, k, ph) for m in range(M) for k in range(n_vstages) for ph in "fb"}
+    while remaining:
+        best = None
+        for dev in range(p):
+            free = device_free[dev]
+            for chunk in range(v):
+                k = chunk * p + dev
+                for m in range(M):
+                    if (m, k, "b") in remaining:
+                        r = bw_ready(m, k)
+                        if r is not None:
+                            cand = (max(free, r), 0, chunk, m, k, "b")
+                            if best is None or cand < best:
+                                best = cand
+                        break
+                for m in range(M):
+                    if (m, k, "f") in remaining:
+                        r = fw_ready(m, k)
+                        if r is not None:
+                            cand = (max(free, r), 1, chunk, m, k, "f")
+                            if best is None or cand < best:
+                                best = cand
+                        break
+        if best is None:
+            raise AssertionError("deadlock: no ready work but items remain")
+        start, _, _, m, k, ph = best
+        dev = k % p
+        dur = params.fw_time if ph == "f" else params.bw_time
+        finish = start + dur
+        device_free[dev] = finish
+        (fw_done if ph == "f" else bw_done)[(m, k)] = finish
+        remaining.discard((m, k, ph))
+        recorded.append(
+            ScheduledItem(
+                device=dev, microbatch=m, vstage=k, phase=ph,
+                start=start, finish=finish,
+            )
+        )
+
+    stats = simulate(params)
+    return Timeline(params=params, items=recorded, stats=stats)
+
+
+def render_gantt(timeline: Timeline, *, cell_width: int = 5) -> str:
+    """ASCII Gantt chart, one row per device (the Fig. 2 layout).
+
+    Forward slots print as ``c.m`` (chunk.microbatch), backward slots in
+    brackets; idle gaps print as dashes (the pipeline bubble).
+    """
+    params = timeline.params
+    # Quantize time by the GCD-ish smallest slot: use fw_time as the unit.
+    unit = min(params.fw_time, params.bw_time) or 1.0
+    lines = []
+    for dev in range(params.num_stages):
+        row = []
+        cursor = 0.0
+        for it in timeline.device_items(dev):
+            gap_units = round((it.start - cursor) / unit)
+            row.append(" " * (cell_width * gap_units))
+            chunk = timeline.chunk_of(it.vstage)
+            label = f"{chunk}.{it.microbatch}"
+            cell = f"[{label}]" if it.phase == "b" else f" {label} "
+            width = max(cell_width * round((it.finish - it.start) / unit), len(cell))
+            row.append(cell.center(width, "-" if it.phase == "b" else "."))
+            cursor = it.finish
+        lines.append(f"dev{dev} |" + "".join(row))
+    legend = (
+        "legend: ' c.m ' forward of (chunk c, microbatch m); "
+        "'[c.m]' backward; blank = bubble"
+    )
+    return "\n".join(lines + [legend])

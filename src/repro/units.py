@@ -1,0 +1,99 @@
+"""Unit conversion helpers shared across the library.
+
+All internal computation uses base SI units: bytes, seconds, FLOPs and
+FLOP/s.  Capacities reported to users follow the paper's convention of
+binary prefixes for memory capacity (GiB) and decimal prefixes for
+bandwidth (GB/s) and compute throughput (TFLOP/s).
+"""
+
+from __future__ import annotations
+
+# -- binary capacity prefixes ------------------------------------------------
+KiB: int = 1024
+MiB: int = 1024**2
+GiB: int = 1024**3
+TiB: int = 1024**4
+
+# -- decimal bandwidth / rate prefixes ---------------------------------------
+KB: int = 10**3
+MB: int = 10**6
+GB: int = 10**9
+TB: int = 10**12
+
+KFLOPS: int = 10**3
+MFLOPS: int = 10**6
+GFLOPS: int = 10**9
+TFLOPS: int = 10**12
+PFLOPS: int = 10**15
+
+ZETTA: int = 10**21
+
+
+def gib(nbytes: float) -> float:
+    """Convert bytes to GiB."""
+    return nbytes / GiB
+
+
+def tib(nbytes: float) -> float:
+    """Convert bytes to TiB."""
+    return nbytes / TiB
+
+
+def gbps(bytes_per_sec: float) -> float:
+    """Convert bytes/second to GB/s (decimal)."""
+    return bytes_per_sec / GB
+
+
+def tflops(flops_per_sec: float) -> float:
+    """Convert FLOP/s to TFLOP/s."""
+    return flops_per_sec / TFLOPS
+
+
+def human_bytes(nbytes: float) -> str:
+    """Render a byte count with an appropriate binary prefix (e.g. '17.4 GiB')."""
+    if nbytes < 0:
+        raise ValueError(f"byte count must be non-negative, got {nbytes}")
+    for limit, suffix in ((TiB, "TiB"), (GiB, "GiB"), (MiB, "MiB"), (KiB, "KiB")):
+        if nbytes >= limit:
+            return f"{nbytes / limit:.2f} {suffix}"
+    return f"{nbytes:.0f} B"
+
+
+def human_rate(bytes_per_sec: float) -> str:
+    """Render a bandwidth with an appropriate decimal prefix (e.g. '100 GB/s')."""
+    if bytes_per_sec < 0:
+        raise ValueError(f"rate must be non-negative, got {bytes_per_sec}")
+    for limit, suffix in ((TB, "TB/s"), (GB, "GB/s"), (MB, "MB/s"), (KB, "KB/s")):
+        if bytes_per_sec >= limit:
+            return f"{bytes_per_sec / limit:.2f} {suffix}"
+    return f"{bytes_per_sec:.0f} B/s"
+
+
+def human_flops(flops: float) -> str:
+    """Render a FLOP count (e.g. '1.23 ZFLOP', '312 TFLOP')."""
+    if flops < 0:
+        raise ValueError(f"FLOP count must be non-negative, got {flops}")
+    for limit, suffix in (
+        (ZETTA, "ZFLOP"),
+        (10**18, "EFLOP"),
+        (PFLOPS, "PFLOP"),
+        (TFLOPS, "TFLOP"),
+        (GFLOPS, "GFLOP"),
+        (MFLOPS, "MFLOP"),
+    ):
+        if flops >= limit:
+            return f"{flops / limit:.2f} {suffix}"
+    return f"{flops:.0f} FLOP"
+
+
+def human_time(seconds: float) -> str:
+    """Render a duration (e.g. '16.7 s', '3.2 ms')."""
+    if seconds < 0:
+        raise ValueError(f"duration must be non-negative, got {seconds}")
+    if seconds >= 1.0:
+        return f"{seconds:.3g} s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.3g} ms"
+    if seconds >= 1e-6:
+        return f"{seconds * 1e6:.3g} us"
+    return f"{seconds * 1e9:.3g} ns"

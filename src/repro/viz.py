@@ -1,0 +1,118 @@
+"""Terminal rendering helpers for study outputs.
+
+The paper's figures are stacked bars, grids and scaling curves; these helpers
+render equivalent ASCII views so examples and benchmarks can print the same
+rows/series without a plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def hbar(
+    segments: Sequence[tuple[str, float]],
+    total_width: int = 60,
+    scale_max: float | None = None,
+) -> str:
+    """Render one stacked horizontal bar from ``(label, value)`` segments."""
+    total = sum(v for _, v in segments)
+    scale = scale_max if scale_max and scale_max > 0 else total
+    if scale <= 0:
+        return "(empty)"
+    glyphs = "#=+*o@%&$~"
+    out = []
+    for i, (_, v) in enumerate(segments):
+        width = round(v / scale * total_width)
+        out.append(glyphs[i % len(glyphs)] * width)
+    return "".join(out)
+
+
+def stacked_bars(
+    rows: Sequence[tuple[str, Sequence[tuple[str, float]]]],
+    width: int = 60,
+    unit: str = "",
+) -> str:
+    """Render labelled stacked bars on a shared scale, plus a legend."""
+    if not rows:
+        return "(no rows)"
+    scale = max(sum(v for _, v in segs) for _, segs in rows) or 1.0
+    glyphs = "#=+*o@%&$~"
+    lines = []
+    label_w = max(len(lbl) for lbl, _ in rows)
+    for lbl, segs in rows:
+        total = sum(v for _, v in segs)
+        lines.append(
+            f"{lbl:<{label_w}} |{hbar(segs, width, scale):<{width}}| "
+            f"{total:.4g}{unit}"
+        )
+    seen: dict[str, str] = {}
+    for _, segs in rows:
+        for i, (name, _) in enumerate(segs):
+            seen.setdefault(name, glyphs[i % len(glyphs)])
+    legend = "  ".join(f"{g}={n}" for n, g in seen.items())
+    lines.append(f"legend: {legend}")
+    return "\n".join(lines)
+
+
+def table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], *, floatfmt: str = ".4g"
+) -> str:
+    """Render a plain-text table with auto-sized columns."""
+
+    def fmt(x: object) -> str:
+        if isinstance(x, float):
+            return format(x, floatfmt)
+        return str(x)
+
+    cells = [[fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    out = [" | ".join(h.ljust(w) for h, w in zip(headers, widths)), sep]
+    for row in cells:
+        out.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(out)
+
+
+def scaling_plot(
+    sizes: Sequence[int], values: Sequence[float], height: int = 12, width: int = 64
+) -> str:
+    """Scatter an efficiency-vs-size curve as ASCII (Fig. 7-style)."""
+    if not sizes or len(sizes) != len(values):
+        raise ValueError("sizes and values must be equal-length, non-empty")
+    vmax = max(values) or 1.0
+    smin, smax = min(sizes), max(sizes)
+    span = max(smax - smin, 1)
+    grid = [[" "] * width for _ in range(height)]
+    for s, v in zip(sizes, values):
+        col = round((s - smin) / span * (width - 1))
+        row = height - 1 - round(v / vmax * (height - 1))
+        grid[row][col] = "*"
+    lines = [f"{vmax:8.3g} +" + "".join(grid[0])]
+    lines += ["         |" + "".join(r) for r in grid[1:-1]]
+    lines.append(f"{0:8.3g} +" + "".join(grid[-1]))
+    lines.append(f"          {smin:<10d}{'system size':^{width - 20}}{smax:>10d}")
+    return "\n".join(lines)
+
+
+def heat_grid(
+    row_labels: Sequence[str],
+    col_labels: Sequence[str],
+    cells: Sequence[Sequence[str]],
+) -> str:
+    """Render the Fig. 5 / Fig. 9 (t, p) grids of "value-over-value" cells."""
+    if len(cells) != len(row_labels):
+        raise ValueError("cells must have one row per row label")
+    width = max(
+        [len(c) for row in cells for c in row] + [len(c) for c in col_labels] + [4]
+    )
+    head = " " * 8 + " ".join(c.center(width) for c in col_labels)
+    lines = [head]
+    for lbl, row in zip(row_labels, cells):
+        if len(row) != len(col_labels):
+            raise ValueError("each row needs one cell per column label")
+        lines.append(f"{lbl:>7} " + " ".join(c.center(width) for c in row))
+    return "\n".join(lines)

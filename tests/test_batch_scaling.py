@@ -1,0 +1,75 @@
+"""Batch-size scaling analysis tests."""
+
+import math
+
+import pytest
+
+from repro.analysis import batch_sweep_fixed, batch_sweep_searched
+from repro.execution import ExecutionStrategy
+from repro.hardware import a100_system
+from repro.llm import LLMConfig
+from repro.search import SearchOptions
+
+LLM = LLMConfig(name="bs-llm", hidden=2048, attn_heads=16, seq_size=1024,
+                num_blocks=8)
+SYS = a100_system(16, hbm_gib=1_000_000)
+
+STRAT = ExecutionStrategy(tensor_par=4, pipeline_par=4, data_par=1, batch=16,
+                          microbatch=1, recompute="full")
+OPTS = SearchOptions(
+    recompute=("full",),
+    seq_par_modes=((False, False, False),),
+    tp_overlap=("none",),
+    dp_overlap=(False,),
+    optimizer_sharding=(True,),
+    fused_activations=(False,),
+    max_microbatch=4,
+)
+
+
+def test_fixed_sweep_reports_each_batch():
+    points = batch_sweep_fixed(LLM, SYS, STRAT, [4, 8, 16, 32])
+    assert [p.batch for p in points] == [4, 8, 16, 32]
+    assert all(p.feasible for p in points)
+
+
+def test_fixed_sweep_bubble_amortizes_with_batch():
+    # More microbatches per flush -> higher MFU (bubble amortized).
+    points = batch_sweep_fixed(LLM, SYS, STRAT, [4, 16, 64])
+    mfus = [p.mfu for p in points]
+    assert mfus == sorted(mfus)
+
+
+def test_fixed_sweep_flags_indivisible_batches():
+    # d=1 here, so any batch works; force d=4 and an odd batch.
+    strat = ExecutionStrategy(tensor_par=4, pipeline_par=1, data_par=4,
+                              batch=16, microbatch=1)
+    points = batch_sweep_fixed(LLM, SYS, strat, [16, 18])
+    assert points[0].feasible
+    assert not points[1].feasible
+    assert math.isinf(points[1].batch_time)
+
+
+def test_fixed_sweep_validates_batch():
+    with pytest.raises(ValueError):
+        batch_sweep_fixed(LLM, SYS, STRAT, [0])
+
+
+def test_searched_sweep_never_worse_than_fixed():
+    batches = [8, 16, 32]
+    fixed = batch_sweep_fixed(LLM, SYS, STRAT, batches)
+    searched = batch_sweep_searched(LLM, SYS, batches, OPTS)
+    for f, s in zip(fixed, searched):
+        assert s.sample_rate >= f.sample_rate - 1e-9
+
+
+def test_searched_sweep_handles_infeasible():
+    tiny = a100_system(16, hbm_gib=0.001)
+    points = batch_sweep_searched(LLM, tiny, [8], OPTS)
+    assert not points[0].feasible
+    assert points[0].sample_rate == 0.0
+
+
+def test_searched_sweep_validates_batch():
+    with pytest.raises(ValueError):
+        batch_sweep_searched(LLM, SYS, [-1], OPTS)

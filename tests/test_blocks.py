@@ -1,0 +1,180 @@
+"""Transformer-block decomposition tests (paper Fig. 1, §2.1).
+
+These pin the block against the closed forms the literature gives for
+Megatron blocks: forward FLOPs ``24*b*s*h^2 + 4*b*s^2*h`` and activation
+stash ``s*b*h*(34 + 5*a*s/h)`` bytes at fp16 (Korthikanti et al. '22).
+"""
+
+import pytest
+
+from repro.llm import LLMConfig, TINY_TEST, build_block
+from repro.llm.blocks import Collective
+from repro.llm.layers import Engine, Role
+
+
+CFG = LLMConfig(name="unit", hidden=1024, attn_heads=16, seq_size=512, num_blocks=4)
+
+
+def closed_form_fw_flops(cfg, b):
+    h, s = cfg.hidden, cfg.seq_size
+    return 24 * b * s * h * h + 4 * b * s * s * h
+
+
+def closed_form_stash(cfg, b):
+    h, s, a = cfg.hidden, cfg.seq_size, cfg.attn_heads
+    return s * b * h * (34 + 5 * a * s / h)
+
+
+def test_forward_flops_match_closed_form():
+    b = 2
+    block = build_block(CFG, microbatch=b, tensor_par=1)
+    # GEMM/batched-MM flops dominate; element-wise layers add a few percent.
+    gemm_flops = sum(
+        l.flops_fw for l in block.layers if l.engine is Engine.MATRIX
+    )
+    assert gemm_flops == pytest.approx(closed_form_fw_flops(CFG, b), rel=1e-12)
+
+
+def test_backward_flops_are_twice_forward_for_gemms():
+    block = build_block(CFG, microbatch=1, tensor_par=1)
+    for l in block.layers:
+        if l.engine is Engine.MATRIX:
+            assert l.flops_bw == pytest.approx(2 * l.flops_fw)
+
+
+def test_stash_matches_korthikanti_formula():
+    b = 2
+    block = build_block(CFG, microbatch=b, tensor_par=1)
+    assert block.stash_bytes("none") == pytest.approx(closed_form_stash(CFG, b))
+
+
+def test_stash_with_seq_par_divides_all_terms():
+    b, t = 2, 4
+    block = build_block(CFG, microbatch=b, tensor_par=t, seq_par=True)
+    assert block.stash_bytes("none") == pytest.approx(closed_form_stash(CFG, b) / t)
+
+
+def test_selective_recompute_drops_attention_square_terms():
+    b = 2
+    block = build_block(CFG, microbatch=b, tensor_par=1)
+    h, s, a = CFG.hidden, CFG.seq_size, CFG.attn_heads
+    expected = s * b * h * 34  # the 5*a*s^2*b bytes are recomputed
+    assert block.stash_bytes("attn_only") == pytest.approx(expected)
+
+
+def test_full_recompute_keeps_only_block_input():
+    b = 2
+    block = build_block(CFG, microbatch=b, tensor_par=1)
+    assert block.stash_bytes("full") == pytest.approx(
+        b * CFG.seq_size * CFG.hidden * 2
+    )
+
+
+def test_recompute_flops_ordering():
+    block = build_block(CFG, microbatch=1, tensor_par=1)
+    none = block.recompute_flops("none")
+    attn = block.recompute_flops("attn_only")
+    full = block.recompute_flops("full")
+    assert none == 0
+    assert 0 < attn < full
+    assert full == block.flops_fw()
+
+
+def test_recompute_unknown_mode_raises():
+    block = build_block(CFG, microbatch=1, tensor_par=1)
+    with pytest.raises(ValueError):
+        block.stash_bytes("full" if False else "bogus")
+    with pytest.raises(ValueError):
+        block.recompute_flops("bogus")
+
+
+def test_tensor_parallel_shards_flops_conservatively():
+    base = build_block(CFG, microbatch=1, tensor_par=1)
+    for t in (2, 4, 8, 16):
+        shard = build_block(CFG, microbatch=1, tensor_par=t)
+        gemm_base = sum(l.flops_fw for l in base.layers if l.engine is Engine.MATRIX)
+        gemm_shard = sum(l.flops_fw for l in shard.layers if l.engine is Engine.MATRIX)
+        assert gemm_shard * t == pytest.approx(gemm_base, rel=1e-12)
+
+
+def test_tensor_parallel_shards_weights():
+    base = build_block(CFG, microbatch=1, tensor_par=1)
+    shard = build_block(CFG, microbatch=1, tensor_par=4)
+    # Weight matrices shard by t; LayerNorm parameters replicate.
+    assert shard.weight_bytes() < base.weight_bytes()
+    assert shard.weight_bytes() > base.weight_bytes() / 4  # replicated norms
+
+
+def test_tp_requires_divisible_shapes():
+    with pytest.raises(ValueError, match="divide"):
+        build_block(CFG, microbatch=1, tensor_par=3)
+
+
+def test_microbatch_must_be_positive():
+    with pytest.raises(ValueError, match="microbatch"):
+        build_block(CFG, microbatch=0, tensor_par=1)
+
+
+def test_comm_schedule_without_tp_is_empty():
+    block = build_block(CFG, microbatch=1, tensor_par=1)
+    assert block.tp_comm_fw == ()
+    assert block.tp_comm_bw == ()
+
+
+def test_comm_schedule_megatron_two_allreduces():
+    block = build_block(CFG, microbatch=1, tensor_par=4)
+    assert [c.op for c in block.tp_comm_fw] == ["all_reduce", "all_reduce"]
+    assert [c.op for c in block.tp_comm_bw] == ["all_reduce", "all_reduce"]
+    bsh = 1 * CFG.seq_size * CFG.hidden * 2
+    assert all(c.nbytes == bsh for c in block.tp_comm_fw)
+
+
+def test_comm_schedule_seq_par_uses_rs_ag_pairs():
+    block = build_block(CFG, microbatch=1, tensor_par=4, seq_par=True)
+    fw_ops = [c.op for c in block.tp_comm_fw]
+    assert fw_ops.count("all_gather") == 2
+    assert fw_ops.count("reduce_scatter") == 2
+
+
+def test_tp_redo_sp_adds_backward_all_gather():
+    plain = build_block(CFG, microbatch=1, tensor_par=4, seq_par=True)
+    redo = build_block(CFG, microbatch=1, tensor_par=4, seq_par=True, tp_redo_sp=True)
+    assert len(redo.tp_comm_bw) == len(plain.tp_comm_bw) + 1
+
+
+def test_fused_activations_reduce_stash_and_traffic():
+    plain = build_block(CFG, microbatch=1, tensor_par=1)
+    fused = build_block(CFG, microbatch=1, tensor_par=1, fused_activations=True)
+    assert fused.stash_bytes("none") < plain.stash_bytes("none")
+    assert sum(l.traffic_fw for l in fused.layers) < sum(
+        l.traffic_fw for l in plain.layers
+    )
+    # Fusion never changes the math being done.
+    assert fused.flops_fw() == pytest.approx(plain.flops_fw())
+
+
+def test_collective_validation():
+    with pytest.raises(ValueError, match="unknown collective"):
+        Collective("all_to_all", 10.0)
+    with pytest.raises(ValueError, match="non-negative"):
+        Collective("all_reduce", -1.0)
+
+
+def test_layer_roles_present():
+    block = build_block(TINY_TEST, microbatch=1, tensor_par=1)
+    roles = {l.role for l in block.layers}
+    assert {
+        Role.NORM,
+        Role.GEMM,
+        Role.BATCH_MM,
+        Role.SOFTMAX,
+        Role.DROPOUT,
+        Role.ACTIVATION,
+        Role.ADD,
+    } <= roles
+
+
+def test_pp_activation_bytes_sharded_with_seq_par():
+    plain = build_block(CFG, microbatch=1, tensor_par=4)
+    sp = build_block(CFG, microbatch=1, tensor_par=4, seq_par=True)
+    assert sp.pp_activation_bytes == pytest.approx(plain.pp_activation_bytes / 4)

@@ -1,0 +1,63 @@
+"""Strategy-to-simulator bridge tests."""
+
+import pytest
+
+from repro.execution import ExecutionStrategy
+from repro.hardware import a100_system
+from repro.llm import LLMConfig
+from repro.simulator import simulate_strategy, strategy_pipeline_params
+
+LLM = LLMConfig(name="br-llm", hidden=2048, attn_heads=16, seq_size=1024,
+                num_blocks=16)
+SYS = a100_system(8, hbm_gib=1_000_000)
+
+
+def strat(**kw):
+    base = dict(tensor_par=2, pipeline_par=4, data_par=1, batch=8,
+                microbatch=1, pp_interleaving=2, recompute="full")
+    base.update(kw)
+    return ExecutionStrategy(**base)
+
+
+def test_params_reflect_strategy_shape():
+    params = strategy_pipeline_params(LLM, SYS, strat())
+    assert params.num_stages == 4
+    assert params.interleaving == 2
+    assert params.num_microbatches == 8
+    assert params.fw_time > 0
+    assert params.bw_time > params.fw_time  # bw + recompute
+
+
+def test_params_p2p_zero_without_pipeline():
+    params = strategy_pipeline_params(
+        LLM, SYS, strat(pipeline_par=1, data_par=4, pp_interleaving=1)
+    )
+    assert params.p2p_time == 0.0
+    assert params.num_stages == 1
+
+
+def test_invalid_strategy_raises():
+    with pytest.raises(ValueError):
+        strategy_pipeline_params(LLM, SYS, strat(data_par=3))
+
+
+def test_simulated_schedule_consistent_with_closed_form():
+    cmp = simulate_strategy(LLM, SYS, strat())
+    assert cmp.simulated_bubble >= cmp.analytical_bubble - 1e-9
+    assert cmp.bubble_gap < 1.0  # within 2x of the lower bound
+    # All work items appear in the timeline.
+    expected = 4 * 2 * 8 * 2
+    assert len(cmp.timeline.items) == expected
+
+
+def test_non_interleaved_bubble_exact():
+    cmp = simulate_strategy(LLM, SYS, strat(pp_interleaving=1))
+    assert cmp.simulated_bubble == pytest.approx(cmp.analytical_bubble, rel=1e-6)
+    assert cmp.bubble_gap == pytest.approx(0.0, abs=1e-6)
+
+
+def test_recompute_lengthens_backward_chunks():
+    with_rc = strategy_pipeline_params(LLM, SYS, strat(recompute="full"))
+    without = strategy_pipeline_params(LLM, SYS, strat(recompute="none"))
+    assert with_rc.bw_time > without.bw_time
+    assert with_rc.fw_time == pytest.approx(without.fw_time)

@@ -1,0 +1,119 @@
+"""Capacity-planning tests: minimum HBM, memory frontier, minimum size."""
+
+import pytest
+
+from repro.analysis import memory_frontier, minimum_hbm, minimum_system_size
+from repro.execution import ExecutionStrategy
+from repro.hardware import a100_system, ddr5_offload
+from repro.llm import MEGATRON_1T, LLMConfig
+from repro.search import SearchOptions
+from repro.units import GiB
+
+LLM = LLMConfig(name="cap-llm", hidden=2048, attn_heads=16, seq_size=1024,
+                num_blocks=8)
+OPTS = SearchOptions(
+    recompute=("attn_only", "full"),
+    seq_par_modes=((True, True, True),),
+    tp_overlap=("none",),
+    dp_overlap=(False,),
+    optimizer_sharding=(True,),
+    fused_activations=(False,),
+    max_microbatch=4,
+)
+
+
+def strat(**kw):
+    base = dict(tensor_par=8, pipeline_par=1, data_par=1, batch=8, microbatch=1)
+    base.update(kw)
+    return ExecutionStrategy(**base)
+
+
+def test_minimum_hbm_independent_of_system_capacity():
+    big = a100_system(8, hbm_gib=1000)
+    small = a100_system(8, hbm_gib=1)  # the strategy would not fit here
+    assert minimum_hbm(LLM, big, strat()) == pytest.approx(
+        minimum_hbm(LLM, small, strat())
+    )
+
+
+def test_minimum_hbm_matches_direct_calculation():
+    from repro.core import calculate
+
+    system = a100_system(8, hbm_gib=1_000_000)
+    res = calculate(LLM, system, strat())
+    assert minimum_hbm(LLM, system, strat()) == pytest.approx(res.mem1.total)
+
+
+def test_minimum_hbm_raises_on_structural_invalidity():
+    with pytest.raises(ValueError, match="capacity"):
+        minimum_hbm(LLM, a100_system(8), strat(data_par=2))
+
+
+def test_recompute_lowers_minimum_hbm():
+    system = a100_system(8)
+    assert minimum_hbm(LLM, system, strat(recompute="full")) < minimum_hbm(
+        LLM, system, strat(recompute="none")
+    )
+
+
+def test_memory_frontier_monotone_nondecreasing():
+    system = a100_system(8)
+    caps = [g * GiB for g in (2, 4, 8, 20, 80)]
+    frontier = memory_frontier(LLM, system, 16, caps, OPTS)
+    rates = [p.sample_rate for p in frontier]
+    assert all(b >= a - 1e-9 for a, b in zip(rates, rates[1:]))
+    assert frontier[-1].feasible
+
+
+def test_memory_frontier_infeasible_below_floor():
+    system = a100_system(8)
+    frontier = memory_frontier(LLM, system, 16, [0.001 * GiB], OPTS)
+    assert not frontier[0].feasible
+    assert frontier[0].sample_rate == 0.0
+
+
+def test_memory_frontier_validates_capacity():
+    with pytest.raises(ValueError, match="positive"):
+        memory_frontier(LLM, a100_system(8), 16, [0.0], OPTS)
+
+
+def test_minimum_system_size_finds_floor():
+    floor = minimum_system_size(
+        LLM, lambda n: a100_system(n, hbm_gib=4), 32, [2, 4, 8, 16], OPTS
+    )
+    assert floor in (2, 4, 8, 16)
+    # All smaller candidate sizes must genuinely fail.
+    if floor > 2:
+        smaller = minimum_system_size(
+            LLM, lambda n: a100_system(n, hbm_gib=4), 32, [floor // 2], OPTS
+        )
+        assert smaller is None
+
+
+def test_minimum_system_size_none_when_hopeless():
+    out = minimum_system_size(
+        LLM, lambda n: a100_system(n, hbm_gib=0.001), 32, [2, 4, 8], OPTS
+    )
+    assert out is None
+
+
+def test_minimum_system_size_validates():
+    with pytest.raises(ValueError, match="positive"):
+        minimum_system_size(LLM, a100_system, 32, [0], OPTS)
+
+
+def test_offload_lowers_megatron_1t_minimum_size():
+    """The §6 headline: the offload tier shrinks the smallest viable cluster."""
+    sizes = [64, 128, 256, 512]
+    no_off = minimum_system_size(
+        MEGATRON_1T, lambda n: a100_system(n), 512, sizes, OPTS
+    )
+    with_off = minimum_system_size(
+        MEGATRON_1T,
+        lambda n: a100_system(n, offload=ddr5_offload(512)),
+        512,
+        sizes,
+        OPTS.with_offload_only(),
+    )
+    assert with_off is not None
+    assert no_off is None or with_off <= no_off

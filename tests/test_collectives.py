@@ -1,0 +1,139 @@
+"""Collective-algorithm model tests (ring / tree / in-network / hierarchical)."""
+
+import pytest
+
+from repro.hardware import Network
+from repro.hardware.collectives import (
+    CollectiveEstimate,
+    best_time,
+    hierarchical_all_reduce,
+    in_network_time,
+    ring_time,
+    tree_time,
+)
+from repro.units import GB
+
+NET = Network(name="n", size=64, bandwidth=100 * GB, latency=2e-6, efficiency=1.0)
+SHARP = Network(
+    name="s", size=64, bandwidth=100 * GB, latency=2e-6, efficiency=1.0,
+    in_network_collectives=True,
+)
+
+
+def test_ring_allreduce_formula():
+    g, size = 8, 1e9
+    # Per-step message = size/g = 125 MB, comfortably at full efficiency.
+    expect = 2 * size * (g - 1) / g / (100 * GB) + 2 * (g - 1) * 2e-6
+    assert ring_time(NET, "all_reduce", size, g) == pytest.approx(expect)
+
+
+def test_tree_allreduce_formula():
+    g, size = 8, 1e6
+    expect = 2 * size / NET.message_bandwidth(size) + 2 * 3 * 2e-6
+    assert tree_time(NET, "all_reduce", size, g) == pytest.approx(expect)
+
+
+def test_tree_wins_for_small_payloads_large_groups():
+    small = best_time(NET, "all_reduce", 1e4, 64)
+    assert small.algorithm == "tree"
+    big = best_time(NET, "all_reduce", 1e9, 8)
+    assert big.algorithm == "ring"
+
+
+def test_in_network_wins_when_available():
+    est = best_time(SHARP, "all_reduce", 1e9, 64)
+    assert est.algorithm == "in-network"
+    assert est.time == pytest.approx(1e9 / (100 * GB) + 2e-6)
+
+
+def test_in_network_not_offered_without_capability():
+    est = best_time(NET, "all_reduce", 1e9, 64)
+    assert est.algorithm in ("ring", "tree")
+
+
+def test_best_is_minimum_of_candidates():
+    for size in (1e3, 1e6, 1e9):
+        est = best_time(NET, "all_reduce", size, 16)
+        assert est.time <= ring_time(NET, "all_reduce", size, 16) + 1e-15
+        assert est.time <= tree_time(NET, "all_reduce", size, 16) + 1e-15
+
+
+def test_rs_ag_fall_back_to_ring_under_tree():
+    assert tree_time(NET, "reduce_scatter", 1e6, 8) == ring_time(
+        NET, "reduce_scatter", 1e6, 8
+    )
+    assert in_network_time(NET, "all_gather", 1e6, 8) == ring_time(
+        NET, "all_gather", 1e6, 8
+    )
+
+
+def test_broadcast_tree_single_traversal():
+    g, size = 16, 1e6
+    expect = size / NET.message_bandwidth(size) + 4 * 2e-6
+    assert tree_time(NET, "broadcast", size, g) == pytest.approx(expect)
+
+
+def test_single_rank_and_zero_bytes_free():
+    assert ring_time(NET, "all_reduce", 1e6, 1) == 0.0
+    assert tree_time(NET, "all_reduce", 0.0, 8) == 0.0
+    assert best_time(NET, "all_reduce", 0.0, 8).time == 0.0
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        ring_time(NET, "gossip", 1e6, 8)
+    with pytest.raises(ValueError):
+        tree_time(NET, "all_reduce", -1.0, 8)
+    with pytest.raises(ValueError):
+        in_network_time(NET, "all_reduce", 1e6, 0)
+    with pytest.raises(ValueError):
+        CollectiveEstimate(time=-1.0, algorithm="ring")
+
+
+# ---- hierarchical -------------------------------------------------------------
+
+NVLINK = Network(name="nvl", size=8, bandwidth=300 * GB, latency=0.7e-6,
+                 efficiency=1.0)
+IB = Network(name="ib", size=512, bandwidth=25 * GB, latency=5e-6, efficiency=1.0)
+
+
+def test_hierarchical_beats_flat_ring_across_nodes():
+    nbytes, inner, outer = 1e9, 8, 64
+    flat = ring_time(IB, "all_reduce", nbytes, inner * outer)
+    hier = hierarchical_all_reduce(IB if False else NVLINK, IB, nbytes, inner, outer)
+    assert hier < flat
+    # The win approaches the inner-domain factor for large payloads.
+    assert flat / hier > 3.0
+
+
+def test_hierarchical_degenerate_cases():
+    nbytes = 1e8
+    # inner_group == 1: plain outer all-reduce.
+    assert hierarchical_all_reduce(NVLINK, IB, nbytes, 1, 16) == pytest.approx(
+        best_time(IB, "all_reduce", nbytes, 16).time
+    )
+    # outer_group == 1: plain inner all-reduce.
+    assert hierarchical_all_reduce(NVLINK, IB, nbytes, 8, 1) == pytest.approx(
+        best_time(NVLINK, "all_reduce", nbytes, 8).time
+    )
+    # Single processor overall: free.
+    assert hierarchical_all_reduce(NVLINK, IB, nbytes, 1, 1) == 0.0
+
+
+def test_hierarchical_validation():
+    with pytest.raises(ValueError):
+        hierarchical_all_reduce(NVLINK, IB, 1e6, 0, 8)
+    with pytest.raises(ValueError):
+        hierarchical_all_reduce(NVLINK, IB, -1.0, 8, 8)
+
+
+def test_hierarchical_components_add_up():
+    nbytes, inner, outer = 1e9, 8, 64
+    expect = (
+        ring_time(NVLINK, "reduce_scatter", nbytes, inner)
+        + best_time(IB, "all_reduce", nbytes / inner, outer).time
+        + ring_time(NVLINK, "all_gather", nbytes, inner)
+    )
+    assert hierarchical_all_reduce(NVLINK, IB, nbytes, inner, outer) == pytest.approx(
+        expect
+    )

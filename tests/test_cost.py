@@ -1,0 +1,122 @@
+"""Cost-model and budget-search tests (paper §7, Table 3)."""
+
+import pytest
+
+from repro.llm import LLMConfig
+from repro.search import (
+    SearchOptions,
+    SystemDesign,
+    all_designs,
+    budget_table,
+    evaluate_design,
+)
+from repro.units import GiB
+
+
+def test_price_composition_matches_paper():
+    # Table 3 "Price" column: e.g. 20G/0 -> $22.2k; 80G/512G -> $40k.
+    assert SystemDesign(20, 0).price_per_gpu == pytest.approx(22_250)
+    assert SystemDesign(40, 0).price_per_gpu == pytest.approx(25_000)
+    assert SystemDesign(80, 0).price_per_gpu == pytest.approx(30_000)
+    assert SystemDesign(120, 0).price_per_gpu == pytest.approx(40_000)
+    assert SystemDesign(20, 256).price_per_gpu == pytest.approx(24_750)
+    assert SystemDesign(80, 512).price_per_gpu == pytest.approx(40_000)
+    assert SystemDesign(120, 1024).price_per_gpu == pytest.approx(60_000)
+
+
+def test_max_gpus_under_budget():
+    # $125M / $25k = 5000 exactly (Table 3's 40G/0 row).
+    assert SystemDesign(40, 0).max_gpus(125e6) == 5000
+    # $125M / $22.25k = 5617.9 -> 5616 rounded to a multiple of 8.
+    assert SystemDesign(20, 0).max_gpus(125e6) == 5616
+    # $125M / $30k = 4166 -> 4160.
+    assert SystemDesign(80, 0).max_gpus(125e6) == 4160
+    # $125M / $60k = 2083 -> 2080 (Table 3's 120G/1T row).
+    assert SystemDesign(120, 1024).max_gpus(125e6) == 2080
+
+
+def test_max_gpus_zero_when_unaffordable():
+    assert SystemDesign(120, 1024).max_gpus(1000.0) == 0
+
+
+def test_all_designs_is_the_16_grid():
+    designs = all_designs()
+    assert len(designs) == 16
+    assert len({(d.hbm_gib, d.ddr_gib) for d in designs}) == 16
+
+
+def test_invalid_design_options_rejected():
+    with pytest.raises(ValueError):
+        SystemDesign(60, 0)
+    with pytest.raises(ValueError):
+        SystemDesign(80, 128)
+
+
+def test_build_attaches_requested_memory():
+    sys_ = SystemDesign(40, 512).build(64)
+    assert sys_.mem1.capacity == 40 * GiB
+    assert sys_.mem2 is not None and sys_.mem2.capacity == 512 * GiB
+    assert SystemDesign(40, 0).build(64).mem2 is None
+
+
+def test_label():
+    assert SystemDesign(80, 256).label() == "80G/256G"
+
+
+SMALL_LLM = LLMConfig(name="tiny-budget", hidden=2048, attn_heads=16, seq_size=1024,
+                      num_blocks=8)
+FAST_OPTS = SearchOptions(
+    recompute=("full",),
+    seq_par_modes=((False, False, False),),
+    tp_overlap=("none",),
+    dp_overlap=(False,),
+    optimizer_sharding=(True,),
+    fused_activations=(False,),
+    max_microbatch=2,
+)
+
+
+def test_evaluate_design_finds_configuration():
+    entry = evaluate_design(
+        SystemDesign(80, 0),
+        SMALL_LLM,
+        budget=600_000.0,  # affords 20 GPUs -> 16 after rounding
+        batch=32,
+        options=FAST_OPTS,
+        size_candidates=[8, 16],
+    )
+    assert entry.max_gpus == 16
+    assert entry.used_gpus in (8, 16)
+    assert entry.sample_rate > 0
+    assert entry.cost == entry.used_gpus * 30_000
+    assert entry.perf_per_million == pytest.approx(
+        entry.sample_rate / (entry.cost / 1e6)
+    )
+
+
+def test_evaluate_design_infeasible_when_budget_too_small():
+    entry = evaluate_design(
+        SystemDesign(80, 0),
+        SMALL_LLM,
+        budget=10_000.0,
+        batch=32,
+        options=FAST_OPTS,
+        size_candidates=[8],
+    )
+    assert entry.used_gpus == 0
+    assert entry.sample_rate == 0.0
+    assert entry.perf_per_million == 0.0
+
+
+def test_budget_table_grid_shape():
+    rows = budget_table(
+        [SMALL_LLM],
+        budget=600_000.0,
+        batch=32,
+        designs=[SystemDesign(40, 0), SystemDesign(80, 0)],
+        options=FAST_OPTS,
+        size_candidates=[8, 16],
+    )
+    assert len(rows) == 2
+    assert all(len(r) == 1 for r in rows)
+    assert rows[0][0].design.hbm_gib == 40

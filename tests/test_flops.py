@@ -1,0 +1,60 @@
+"""Roofline op-time tests (paper §2.2 processing model)."""
+
+import pytest
+
+from repro.core import OpTime, op_time
+from repro.core.flops import layer_bw_time, layer_fw_time
+from repro.hardware import EfficiencyCurve, MemoryTier, Processor
+from repro.llm.layers import Engine, Layer, Role
+from repro.units import GiB, TB, TFLOPS
+
+PROC = Processor(
+    name="p",
+    matrix_flops=100 * TFLOPS,
+    vector_flops=10 * TFLOPS,
+    matrix_efficiency=EfficiencyCurve.flat(1.0),
+    vector_efficiency=EfficiencyCurve.flat(1.0),
+)
+MEM = MemoryTier(name="m", capacity=80 * GiB, bandwidth=1 * TB, efficiency=1.0)
+
+
+def test_compute_bound_op():
+    # 1e14 flops at 100 TFLOP/s = 1 s; 1e9 bytes at 1 TB/s = 1 ms.
+    t = op_time(PROC, MEM, 1e14, 1e9, "matrix")
+    assert t.total == pytest.approx(1.0)
+    assert t.compute_bound
+
+
+def test_memory_bound_op():
+    t = op_time(PROC, MEM, 1e9, 1e12, "matrix")
+    assert t.total == pytest.approx(1.0)
+    assert not t.compute_bound
+
+
+def test_max_semantics():
+    t = op_time(PROC, MEM, 1e14, 1e12, "matrix")
+    assert t.total == pytest.approx(max(t.compute, t.memory))
+
+
+def test_vector_engine_selected():
+    t = op_time(PROC, MEM, 1e13, 0.0, "vector")
+    assert t.total == pytest.approx(1.0)  # 1e13 / 10 TFLOP/s
+
+
+def test_layer_helpers_use_layer_fields():
+    layer = Layer(
+        name="l",
+        engine=Engine.MATRIX,
+        role=Role.GEMM,
+        flops_fw=1e14,
+        flops_bw=2e14,
+        traffic_fw=1e9,
+        traffic_bw=2e9,
+    )
+    assert layer_fw_time(PROC, MEM, layer).total == pytest.approx(1.0)
+    assert layer_bw_time(PROC, MEM, layer).total == pytest.approx(2.0)
+
+
+def test_zero_op_is_free():
+    t = op_time(PROC, MEM, 0.0, 0.0, "matrix")
+    assert t.total == 0.0

@@ -1,0 +1,83 @@
+"""Golden regression tests: pin the key numeric outputs of the calibrated model.
+
+These freeze the validated operating points (Table 2, Fig. 3) so future
+refactors cannot silently move the numbers EXPERIMENTS.md documents.  If a
+deliberate model change shifts them, update the constants here *and* the
+paper-vs-ours tables in EXPERIMENTS.md together.
+"""
+
+import pytest
+
+from repro.core import calculate
+from repro.execution import ExecutionStrategy
+from repro.hardware import a100_system
+from repro.llm import get_preset
+
+# (llm, gpus, t, p, d, batch, microbatch, seqsel) -> frozen batch time
+GOLDEN_BATCH_TIMES = {
+    ("megatron-22b", 8, 8, 1, 1, 4, 4, False): 1.40,
+    ("gpt3-175b", 64, 8, 8, 1, 64, 1, False): 18.07,
+    ("turing-530b", 280, 8, 35, 1, 280, 1, False): 48.60,
+    ("megatron-1t", 512, 8, 64, 1, 512, 1, False): 89.36,
+    ("megatron-22b", 8, 8, 1, 1, 4, 4, True): 1.00,
+    ("gpt3-175b", 64, 8, 8, 1, 64, 1, True): 12.91,
+    ("turing-530b", 280, 8, 35, 1, 280, 1, True): 35.16,
+    ("megatron-1t", 512, 8, 64, 1, 512, 1, True): 65.09,
+}
+
+
+def _run(name, n, t, p, d, batch, mb, seqsel):
+    llm = get_preset(name)
+    kw = (
+        dict(recompute="attn_only", seq_par=True, tp_redo_sp=True)
+        if seqsel
+        else dict(recompute="full")
+    )
+    return calculate(
+        llm,
+        a100_system(n),
+        ExecutionStrategy(tensor_par=t, pipeline_par=p, data_par=d,
+                          batch=batch, microbatch=mb, **kw),
+    )
+
+
+@pytest.mark.parametrize("key,expected", sorted(GOLDEN_BATCH_TIMES.items()))
+def test_golden_batch_times(key, expected):
+    res = _run(*key)
+    assert res.feasible
+    assert res.batch_time == pytest.approx(expected, rel=0.02), (
+        f"{key}: model moved from the frozen value — if intentional, update "
+        f"this table and EXPERIMENTS.md together"
+    )
+
+
+def test_golden_fig3_point():
+    res = calculate(
+        get_preset("gpt3-175b"),
+        a100_system(4096),
+        ExecutionStrategy(tensor_par=8, pipeline_par=64, data_par=8,
+                          batch=4096, microbatch=1, recompute="full"),
+    )
+    assert res.feasible
+    assert res.batch_time == pytest.approx(24.5, rel=0.03)
+    assert res.mfu == pytest.approx(0.287, abs=0.02)
+    assert res.mem1.total / 2**30 == pytest.approx(12.9, rel=0.05)
+
+
+def test_golden_model_evaluation_is_fast():
+    """The paper's speed claim: a full analysis in well under a millisecond."""
+    import time
+
+    llm = get_preset("megatron-1t")
+    system = a100_system(4096)
+    strat = ExecutionStrategy(tensor_par=8, pipeline_par=16, data_par=32,
+                              batch=4096, microbatch=2, pp_interleaving=8,
+                              recompute="attn_only", seq_par=True,
+                              optimizer_sharding=True)
+    calculate(llm, system, strat)  # warm the block-profile cache
+    n = 200
+    start = time.perf_counter()
+    for _ in range(n):
+        calculate(llm, system, strat)
+    per_eval = (time.perf_counter() - start) / n
+    assert per_eval < 1e-3, f"evaluation took {per_eval * 1e3:.2f} ms"

@@ -1,0 +1,64 @@
+"""Serving-deployment search tests."""
+
+import pytest
+
+from repro.hardware import a100_system
+from repro.inference import (
+    DeploymentPoint,
+    candidate_deployments,
+    search_deployments,
+)
+from repro.llm import LLMConfig
+
+LLM = LLMConfig(name="dep-llm", hidden=4096, attn_heads=32, seq_size=2048,
+                num_blocks=32)
+SYS = a100_system(8)
+
+
+def test_candidates_cover_the_pool():
+    cands = list(candidate_deployments(LLM, SYS, batches=(1, 4)))
+    shapes = {(c.tensor_par, c.pipeline_par, c.data_par) for c in cands}
+    assert all(t * p * d == 8 for t, p, d in shapes)
+    assert (8, 1, 1) in shapes
+    assert (1, 1, 8) in shapes
+    assert {c.batch for c in cands} == {1, 4}
+
+
+def test_candidates_respect_model_shape():
+    narrow = LLMConfig(name="narrow", hidden=4096, attn_heads=4, seq_size=512,
+                       num_blocks=4)
+    cands = list(candidate_deployments(narrow, SYS, batches=(1,)))
+    assert all(c.tensor_par <= 4 for c in cands)
+    assert all(c.pipeline_par <= 4 for c in cands)
+
+
+def test_front_is_nonempty_and_sorted_by_latency():
+    front = search_deployments(LLM, SYS, prompt_len=512, generate_len=64,
+                               batches=(1, 4, 16))
+    assert front
+    lats = [p.result.decode_step_time for p in front]
+    assert lats == sorted(lats)
+
+
+def test_front_trades_latency_for_throughput():
+    front = search_deployments(LLM, SYS, prompt_len=512, generate_len=64,
+                               batches=(1, 4, 16, 64))
+    if len(front) > 1:
+        # Moving down the front, throughput must increase (else dominated).
+        thr = [p.result.tokens_per_second for p in front]
+        assert thr == sorted(thr)
+
+
+def test_front_members_are_feasible():
+    front = search_deployments(LLM, SYS, prompt_len=512, generate_len=64)
+    for point in front:
+        assert point.result.feasible
+        assert point.tokens_per_second_per_proc > 0
+
+
+def test_nothing_fits_returns_empty():
+    from repro.llm import MEGATRON_1T
+
+    tiny = a100_system(2)
+    assert search_deployments(MEGATRON_1T, tiny, prompt_len=128,
+                              generate_len=16) == []

@@ -1,0 +1,83 @@
+"""JSON spec round-trip tests."""
+
+import pytest
+
+from repro.execution import ExecutionStrategy
+from repro.hardware import a100_system, ddr5_offload, h100_system
+from repro.io import (
+    load_llm,
+    load_strategy,
+    load_system,
+    save_llm,
+    save_strategy,
+    save_system,
+    system_from_dict,
+    system_to_dict,
+)
+from repro.llm import GPT3_175B
+
+
+def test_llm_roundtrip(tmp_path):
+    path = tmp_path / "llm.json"
+    save_llm(GPT3_175B, path)
+    assert load_llm(path) == GPT3_175B
+
+
+def test_system_roundtrip(tmp_path):
+    sys_ = a100_system(4096)
+    path = tmp_path / "sys.json"
+    save_system(sys_, path)
+    again = load_system(path)
+    assert again == sys_
+
+
+def test_system_roundtrip_with_offload(tmp_path):
+    sys_ = h100_system(512, hbm_gib=40, offload=ddr5_offload(512))
+    path = tmp_path / "sys.json"
+    save_system(sys_, path)
+    again = load_system(path)
+    assert again == sys_
+    assert again.mem2 is not None
+
+
+def test_system_dict_preserves_efficiency_curves():
+    sys_ = a100_system(64)
+    again = system_from_dict(system_to_dict(sys_))
+    proc = again.processor
+    assert proc.matrix_efficiency(1e9) == pytest.approx(
+        sys_.processor.matrix_efficiency(1e9)
+    )
+
+
+def test_strategy_roundtrip(tmp_path):
+    strat = ExecutionStrategy(
+        tensor_par=8,
+        pipeline_par=16,
+        data_par=32,
+        batch=4096,
+        microbatch=2,
+        pp_interleaving=8,
+        seq_par=True,
+        tp_redo_sp=True,
+        pp_rs_ag=True,
+        tp_overlap="ring",
+        dp_overlap=True,
+        optimizer_sharding=True,
+        recompute="attn_only",
+        fused_activations=True,
+        weight_offload=True,
+        activation_offload=True,
+        optimizer_offload=True,
+    )
+    path = tmp_path / "exec.json"
+    save_strategy(strat, path)
+    assert load_strategy(path) == strat
+
+
+def test_saved_files_are_json(tmp_path):
+    import json
+
+    path = tmp_path / "llm.json"
+    save_llm(GPT3_175B, path)
+    data = json.loads(path.read_text())
+    assert data["hidden"] == 12288

@@ -1,0 +1,75 @@
+"""Memory-tier model tests (paper §2.2)."""
+
+import pytest
+
+from repro.hardware import INFINITE_TIER, MemoryTier
+from repro.units import GB, GiB, TB
+
+
+def tier(**kw):
+    base = dict(name="hbm", capacity=80 * GiB, bandwidth=2 * TB, efficiency=0.6)
+    base.update(kw)
+    return MemoryTier(**base)
+
+
+def test_large_access_uses_full_efficiency():
+    t = tier()
+    assert t.effective_bandwidth(1 * GiB) == pytest.approx(2 * TB * 0.6)
+
+
+def test_small_access_is_penalized():
+    t = tier()
+    assert t.effective_bandwidth(8192) < t.effective_bandwidth(1 * GiB)
+
+
+def test_tiny_access_floors_at_min_efficiency():
+    t = tier(min_efficiency=0.1)
+    assert t.effective_bandwidth(1024) == pytest.approx(2 * TB * 0.1)
+
+
+def test_access_time_scales_linearly_beyond_threshold():
+    t = tier()
+    assert t.access_time(2 * GiB) == pytest.approx(2 * t.access_time(1 * GiB))
+
+
+def test_access_time_zero_bytes():
+    assert tier().access_time(0) == 0.0
+
+
+def test_access_time_rejects_negative():
+    with pytest.raises(ValueError):
+        tier().access_time(-5)
+
+
+def test_fits_respects_capacity():
+    t = tier()
+    assert t.fits(80 * GiB)
+    assert not t.fits(80 * GiB + 1)
+
+
+def test_infinite_tier():
+    assert INFINITE_TIER.fits(1e30)
+    assert INFINITE_TIER.access_time(1e30) == 0.0
+
+
+def test_validation_rejects_bad_bandwidth():
+    with pytest.raises(ValueError):
+        tier(bandwidth=0)
+
+
+def test_validation_rejects_bad_efficiency():
+    with pytest.raises(ValueError):
+        tier(efficiency=0.0)
+    with pytest.raises(ValueError):
+        tier(efficiency=1.2)
+
+
+def test_validation_rejects_min_above_efficiency():
+    with pytest.raises(ValueError):
+        tier(efficiency=0.5, min_efficiency=0.6)
+
+
+def test_offload_tier_realistic_rate():
+    ddr = MemoryTier(name="ddr5", capacity=512 * GiB, bandwidth=100 * GB, efficiency=0.9)
+    # Moving one 100 MB tensor takes about a millisecond at 90 GB/s.
+    assert ddr.access_time(100e6) == pytest.approx(100e6 / 90e9, rel=1e-6)

@@ -1,0 +1,150 @@
+"""Mixture-of-Experts extension tests."""
+
+import pytest
+
+from repro.core import calculate
+from repro.execution import ExecutionStrategy
+from repro.hardware import a100_system
+from repro.llm import LLMConfig
+from repro.moe import MoEConfig, calculate_moe
+
+BASE = LLMConfig(name="moe-base", hidden=2048, attn_heads=16, seq_size=1024,
+                 num_blocks=16)
+BIG = a100_system(16, hbm_gib=1_000_000)
+
+
+def moe_cfg(**kw):
+    base = dict(base=BASE, num_experts=8, experts_per_token=2,
+                capacity_factor=1.25, moe_every=2)
+    base.update(kw)
+    return MoEConfig(**base)
+
+
+def strat(**kw):
+    base = dict(tensor_par=2, pipeline_par=2, data_par=4, batch=16,
+                microbatch=1, recompute="none", optimizer_sharding=True)
+    base.update(kw)
+    return ExecutionStrategy(**base)
+
+
+# ---- configuration -----------------------------------------------------------
+
+def test_moe_parameter_accounting():
+    cfg = moe_cfg()
+    # 8 MoE layers x 7 extra experts each.
+    extra = 8 * 7 * cfg.expert_parameters
+    assert cfg.total_parameters == BASE.total_parameters + extra
+    assert cfg.total_parameters > 3 * BASE.total_parameters
+
+
+def test_active_parameters_grow_with_top_k():
+    one = moe_cfg(experts_per_token=1)
+    two = moe_cfg(experts_per_token=2)
+    assert one.active_parameters_per_token == BASE.total_parameters
+    assert two.active_parameters_per_token > one.active_parameters_per_token
+
+
+def test_moe_name():
+    assert moe_cfg().name == "moe-base-moe8x2"
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        moe_cfg(num_experts=1)
+    with pytest.raises(ValueError):
+        moe_cfg(experts_per_token=9)
+    with pytest.raises(ValueError):
+        moe_cfg(capacity_factor=0.9)
+    with pytest.raises(ValueError):
+        moe_cfg(moe_every=0)
+
+
+# ---- model ----------------------------------------------------------------------
+
+def test_moe_costs_more_than_dense_backbone():
+    res = calculate_moe(moe_cfg(), BIG, strat())
+    dense = calculate(BASE, BIG, strat())
+    assert res.feasible
+    assert res.batch_time > dense.batch_time
+    assert res.moe_compute_time > 0
+    assert res.all_to_all_time > 0
+    assert res.expert_memory > 0
+    assert res.mem_total > dense.mem1.total
+
+
+def test_top1_cheaper_than_top2():
+    one = calculate_moe(moe_cfg(experts_per_token=1), BIG, strat())
+    two = calculate_moe(moe_cfg(experts_per_token=2), BIG, strat())
+    assert one.moe_compute_time < two.moe_compute_time
+    assert one.all_to_all_time < two.all_to_all_time
+
+
+def test_expert_parallelism_shards_memory():
+    ep1 = calculate_moe(moe_cfg(), BIG, strat(), expert_par=1)
+    ep4 = calculate_moe(moe_cfg(), BIG, strat(), expert_par=4)
+    assert ep4.expert_memory < ep1.expert_memory
+    # ep=1 keeps every expert local: no all-to-all at all.
+    assert ep1.all_to_all_time == 0.0
+    assert ep4.all_to_all_time > 0.0
+
+
+def test_expert_par_must_divide_experts():
+    with pytest.raises(ValueError, match="divide"):
+        calculate_moe(moe_cfg(), BIG, strat(), expert_par=3)
+
+
+def test_default_expert_par_is_dp_bounded():
+    res_default = calculate_moe(moe_cfg(), BIG, strat())
+    res_explicit = calculate_moe(moe_cfg(), BIG, strat(), expert_par=4)
+    assert res_default.batch_time == pytest.approx(res_explicit.batch_time)
+
+
+def test_capacity_factor_inflates_cost():
+    lean = calculate_moe(moe_cfg(capacity_factor=1.0), BIG, strat())
+    fat = calculate_moe(moe_cfg(capacity_factor=2.0), BIG, strat())
+    assert fat.moe_compute_time > lean.moe_compute_time
+    assert fat.all_to_all_time > lean.all_to_all_time
+
+
+def test_moe_memory_can_gate_feasibility():
+    small = a100_system(16, hbm_gib=8)
+    res = calculate_moe(moe_cfg(num_experts=64), small,
+                        strat(recompute="full"))
+    if not res.feasible:
+        assert "expert memory" in res.infeasibility or res.dense.infeasibility
+    # A huge-memory system always fits.
+    assert calculate_moe(moe_cfg(num_experts=64), BIG, strat()).feasible
+
+
+def test_infeasible_dense_propagates():
+    res = calculate_moe(moe_cfg(), BIG, strat(data_par=3))
+    assert not res.feasible
+    assert res.sample_rate == 0.0
+
+
+def test_sample_rate():
+    res = calculate_moe(moe_cfg(), BIG, strat())
+    assert res.sample_rate == pytest.approx(16 / res.batch_time)
+
+
+def test_moe_cheaper_than_dense_model_of_equal_parameters():
+    """The MoE selling point: same parameter count, far less compute."""
+    cfg = moe_cfg()
+    # A dense model with the MoE's parameter count: widen the MLP by exactly
+    # the extra parameters (d params / d feedforward = (2h + 1) per block).
+    extra = cfg.total_parameters - BASE.total_parameters
+    ff_extra = extra / (BASE.num_blocks * (2 * BASE.hidden + 1))
+    # Snap the widened MLP to a multiple of 16 so t=2 divides it evenly.
+    ff = int(BASE.feedforward + ff_extra)
+    ff -= ff % 16
+    dense_equal = LLMConfig(
+        name="dense-eq", hidden=BASE.hidden, attn_heads=BASE.attn_heads,
+        seq_size=BASE.seq_size, num_blocks=BASE.num_blocks,
+        feedforward=ff,
+    )
+    assert dense_equal.total_parameters == pytest.approx(
+        cfg.total_parameters, rel=0.02
+    )
+    moe_res = calculate_moe(cfg, BIG, strat())
+    dense_res = calculate(dense_equal, BIG, strat())
+    assert moe_res.batch_time < dense_res.batch_time

@@ -1,0 +1,165 @@
+"""Network collective-time tests (paper §2.2)."""
+
+import pytest
+
+from repro.hardware import Network
+from repro.units import GB
+
+
+def net(**kw):
+    base = dict(name="n", size=8, bandwidth=300 * GB, latency=1e-6, efficiency=0.85)
+    base.update(kw)
+    return Network(**base)
+
+
+def test_ring_allreduce_volume_factor():
+    n = net(latency=0.0)
+    g, size = 8, 1e9
+    expect = 2 * size * (g - 1) / g / (300 * GB * 0.85)
+    assert n.collective_time("all_reduce", size, g) == pytest.approx(expect)
+
+
+def test_reduce_scatter_is_half_an_allreduce():
+    n = net(latency=0.0)
+    ar = n.collective_time("all_reduce", 1e9, 8)
+    rs = n.collective_time("reduce_scatter", 1e9, 8)
+    ag = n.collective_time("all_gather", 1e9, 8)
+    assert rs + ag == pytest.approx(ar)
+
+
+def test_p2p_moves_payload_once():
+    n = net(latency=0.0)
+    assert n.collective_time("p2p", 1e9, 2) == pytest.approx(1e9 / (300 * GB * 0.85))
+
+
+def test_in_network_collectives_halve_allreduce():
+    plain = net(latency=0.0)
+    sharp = net(latency=0.0, in_network_collectives=True)
+    g, size = 8, 1e9
+    ratio = plain.collective_time("all_reduce", size, g) / sharp.collective_time(
+        "all_reduce", size, g
+    )
+    assert ratio == pytest.approx(2 * (g - 1) / g)
+
+
+def test_latency_charged_per_step():
+    n = net(latency=1e-6)
+    base = net(latency=0.0)
+    g = 8
+    extra = n.collective_time("all_gather", 1e6, g) - base.collective_time(
+        "all_gather", 1e6, g
+    )
+    assert extra == pytest.approx((g - 1) * 1e-6)
+
+
+def test_single_rank_collective_is_free():
+    assert net().collective_time("all_reduce", 1e9, 1) == 0.0
+
+
+def test_zero_bytes_is_free():
+    assert net().collective_time("all_reduce", 0.0, 8) == 0.0
+
+
+def test_time_monotone_in_payload():
+    n = net()
+    times = [n.collective_time("all_reduce", s, 8) for s in (1e6, 1e7, 1e8, 1e9)]
+    assert times == sorted(times)
+    assert times[0] < times[-1]
+
+
+def test_time_monotone_in_group_size():
+    n = net(size=64)
+    times = [n.collective_time("all_reduce", 1e9, g) for g in (2, 4, 8, 16, 64)]
+    assert times == sorted(times)
+
+
+def test_unknown_op_rejected():
+    with pytest.raises(ValueError, match="unknown collective"):
+        net().collective_time("gossip", 1e6, 8)
+
+
+def test_invalid_group_rejected():
+    with pytest.raises(ValueError):
+        net().collective_time("all_reduce", 1e6, 0)
+
+
+def test_negative_bytes_rejected():
+    with pytest.raises(ValueError):
+        net().collective_time("all_reduce", -1.0, 8)
+
+
+def test_processor_fraction_scales_with_busy_time():
+    n = net(processor_usage=0.15)
+    assert n.required_processor_fraction(1.0) == pytest.approx(0.15)
+    assert n.required_processor_fraction(0.5) == pytest.approx(0.075)
+    assert n.required_processor_fraction(0.0) == 0.0
+
+
+def test_processor_fraction_validates_input():
+    with pytest.raises(ValueError):
+        net().required_processor_fraction(1.5)
+
+
+def test_validation_rules():
+    with pytest.raises(ValueError):
+        net(size=0)
+    with pytest.raises(ValueError):
+        net(bandwidth=0)
+    with pytest.raises(ValueError):
+        net(latency=-1)
+    with pytest.raises(ValueError):
+        net(efficiency=0)
+    with pytest.raises(ValueError):
+        net(processor_usage=1.0)
+
+
+def test_op_handling_override_tree():
+    from repro.hardware.collectives import ring_time, tree_time
+
+    plain = net(latency=2e-6)
+    treed = net(latency=2e-6, op_handling=(("all_reduce", "tree"),))
+    size, g = 1e5, 8
+    assert treed.collective_time("all_reduce", size, g) == pytest.approx(
+        tree_time(treed, "all_reduce", size, g)
+    )
+    assert plain.collective_time("all_reduce", size, g) == pytest.approx(
+        ring_time(plain, "all_reduce", size, g)
+    )
+
+
+def test_op_handling_best_never_worse_than_default():
+    default = net()
+    tuned = net(op_handling=(("all_reduce", "best"),))
+    for size in (1e3, 1e6, 1e9):
+        assert tuned.collective_time("all_reduce", size, 64) <= (
+            default.collective_time("all_reduce", size, 64) + 1e-15
+        )
+
+
+def test_op_handling_in_network_override():
+    sharp = net(op_handling=(("all_reduce", "in_network"),))
+    g, size = 8, 1e9
+    expect = size / sharp.message_bandwidth(size) + sharp.latency
+    assert sharp.collective_time("all_reduce", size, g) == pytest.approx(expect)
+
+
+def test_op_handling_only_affects_named_op():
+    tuned = net(op_handling=(("all_reduce", "tree"),))
+    plain = net()
+    assert tuned.collective_time("all_gather", 1e6, 8) == pytest.approx(
+        plain.collective_time("all_gather", 1e6, 8)
+    )
+
+
+def test_op_handling_validation():
+    with pytest.raises(ValueError, match="unknown op"):
+        net(op_handling=(("gossip", "ring"),))
+    with pytest.raises(ValueError, match="unknown algorithm"):
+        net(op_handling=(("all_reduce", "magic"),))
+
+
+def test_message_bandwidth_ramp():
+    n = net()
+    assert n.message_bandwidth(64 << 20) == pytest.approx(n.effective_bandwidth)
+    assert n.message_bandwidth(8192) < n.message_bandwidth(1 << 20)
+    assert n.message_bandwidth(0) == pytest.approx(n.effective_bandwidth)

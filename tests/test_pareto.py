@@ -1,0 +1,108 @@
+"""Pareto-frontier extraction tests."""
+
+import pytest
+
+from repro.analysis.pareto import Objective, dominates, knee_point, pareto_front
+
+PERF = Objective(name="perf", key=lambda c: c["perf"], maximize=True)
+COST = Objective(name="cost", key=lambda c: c["cost"], maximize=False)
+OBJS = (PERF, COST)
+
+
+def c(perf, cost):
+    return {"perf": perf, "cost": cost}
+
+
+def test_dominates_strictly_better():
+    assert dominates(c(10, 5), c(8, 6), OBJS)
+    assert not dominates(c(8, 6), c(10, 5), OBJS)
+
+
+def test_dominates_requires_strict_improvement_somewhere():
+    assert not dominates(c(10, 5), c(10, 5), OBJS)
+    assert dominates(c(10, 4), c(10, 5), OBJS)
+
+
+def test_incomparable_points_do_not_dominate():
+    fast_dear, slow_cheap = c(10, 10), c(5, 2)
+    assert not dominates(fast_dear, slow_cheap, OBJS)
+    assert not dominates(slow_cheap, fast_dear, OBJS)
+
+
+def test_pareto_front_filters_dominated():
+    candidates = [c(10, 10), c(5, 2), c(9, 11), c(4, 3), c(10, 9)]
+    front = pareto_front(candidates, OBJS)
+    assert c(10, 9) in front
+    assert c(5, 2) in front
+    assert c(9, 11) not in front  # dominated by (10, 9)
+    assert c(4, 3) not in front  # dominated by (5, 2)
+    assert c(10, 10) not in front  # dominated by (10, 9)
+
+
+def test_pareto_front_single_objective_is_argmax():
+    candidates = [c(3, 0), c(7, 0), c(5, 0)]
+    front = pareto_front(candidates, (PERF,))
+    assert front == [c(7, 0)]
+
+
+def test_pareto_front_preserves_input_order():
+    candidates = [c(5, 2), c(10, 9)]
+    assert pareto_front(candidates, OBJS) == candidates
+
+
+def test_pareto_front_empty_input():
+    assert pareto_front([], OBJS) == []
+
+
+def test_objectives_required():
+    with pytest.raises(ValueError):
+        pareto_front([c(1, 1)], ())
+    with pytest.raises(ValueError):
+        dominates(c(1, 1), c(2, 2), ())
+
+
+def test_tolerance_merges_near_ties():
+    a, b = c(10.0, 5.0), c(10.05, 5.0)
+    assert dominates(b, a, OBJS)
+    assert not dominates(b, a, OBJS, tol=0.1)
+
+
+def test_knee_point_picks_balanced_member():
+    front = [c(10, 10), c(6, 4), c(2, 1)]
+    knee = knee_point(front, OBJS)
+    assert knee == c(6, 4)
+
+
+def test_knee_point_handles_degenerate_front():
+    assert knee_point([], OBJS) is None
+    only = [c(5, 5)]
+    assert knee_point(only, OBJS) == only[0]
+
+
+def test_end_to_end_with_performance_results():
+    """Frontier over real model outputs: time vs HBM footprint."""
+    from repro.core import calculate
+    from repro.execution import ExecutionStrategy
+    from repro.hardware import a100_system
+    from repro.llm import LLMConfig
+
+    llm = LLMConfig(name="pf", hidden=2048, attn_heads=16, seq_size=1024,
+                    num_blocks=8)
+    system = a100_system(8, hbm_gib=1_000_000)
+    results = []
+    for rc in ("none", "attn_only", "full"):
+        res = calculate(
+            llm, system,
+            ExecutionStrategy(tensor_par=8, pipeline_par=1, data_par=1,
+                              batch=8, recompute=rc),
+        )
+        results.append(res)
+    objs = (
+        Objective("rate", key=lambda r: r.sample_rate, maximize=True),
+        Objective("hbm", key=lambda r: r.mem1.total, maximize=False),
+    )
+    front = pareto_front(results, objs)
+    # 'none' is fastest, 'full' is smallest: both survive; 'attn_only'
+    # survives only if it is not dominated (it trades between them).
+    assert results[0] in front
+    assert results[2] in front

@@ -1,0 +1,89 @@
+"""Bottleneck phase-diagram tests."""
+
+import pytest
+
+from repro.analysis import PhaseCell, dominant_component, phase_diagram
+from repro.core import calculate
+from repro.execution import ExecutionStrategy
+from repro.hardware import a100_system
+from repro.llm import LLMConfig
+from repro.search import SearchOptions
+
+LLM = LLMConfig(name="pd-llm", hidden=2048, attn_heads=16, seq_size=1024,
+                num_blocks=8)
+BIG = a100_system(8, hbm_gib=1_000_000)
+OPTS = SearchOptions(
+    recompute=("full",),
+    seq_par_modes=((False, False, False),),
+    tp_overlap=("none",),
+    dp_overlap=(False,),
+    optimizer_sharding=(True,),
+    fused_activations=(False,),
+    max_microbatch=2,
+)
+
+
+def test_dominant_component_balanced_case():
+    res = calculate(
+        LLM, BIG,
+        ExecutionStrategy(tensor_par=2, pipeline_par=2, data_par=2, batch=8,
+                          recompute="none"),
+    )
+    assert dominant_component(res) == "compute"
+
+
+def test_dominant_component_bubble_case():
+    # One microbatch through a deep pipeline: nearly all bubble.
+    res = calculate(
+        LLM, BIG,
+        ExecutionStrategy(tensor_par=1, pipeline_par=8, data_par=1, batch=1,
+                          recompute="none"),
+    )
+    assert dominant_component(res) == "bubble"
+
+
+def test_dominant_component_comm_case():
+    from dataclasses import replace
+
+    slow = replace(
+        BIG,
+        networks=(
+            replace(BIG.networks[0], bandwidth=BIG.networks[0].bandwidth / 500),
+            BIG.networks[1],
+        ),
+    )
+    res = calculate(
+        LLM, slow,
+        ExecutionStrategy(tensor_par=8, pipeline_par=1, data_par=1, batch=8),
+    )
+    assert dominant_component(res) == "tp-comm"
+
+
+def test_dominant_component_infeasible():
+    res = calculate(
+        LLM, BIG,
+        ExecutionStrategy(tensor_par=2, pipeline_par=2, data_par=3, batch=9),
+    )
+    assert dominant_component(res) == "infeasible"
+
+
+def test_phase_diagram_grid_shape():
+    small = LLMConfig(name="pd-small", hidden=1024, attn_heads=8, seq_size=512,
+                      num_blocks=4)
+    rows = phase_diagram([small, LLM], lambda n: a100_system(n), [4, 8], 16,
+                         OPTS)
+    assert len(rows) == 2
+    assert all(len(r) == 2 for r in rows)
+    for row in rows:
+        for cell in row:
+            assert isinstance(cell, PhaseCell)
+            assert cell.label != ""
+            if cell.label != "infeasible":
+                assert 0 < cell.share <= 1
+                assert cell.mfu > 0
+
+
+def test_phase_cell_validation():
+    with pytest.raises(ValueError):
+        PhaseCell(llm_name="x", num_procs=8, label="compute", share=1.5,
+                  mfu=0.5)

@@ -1,0 +1,94 @@
+"""Processor and efficiency-curve tests (paper §2.2)."""
+
+import pytest
+
+from repro.hardware import A100, H100, EfficiencyCurve, Processor
+from repro.units import TFLOPS
+
+
+def test_curve_below_first_point_clamps():
+    curve = EfficiencyCurve(points=((1e6, 0.1), (1e9, 0.9)))
+    assert curve(10.0) == pytest.approx(0.1)
+
+
+def test_curve_above_last_point_clamps():
+    curve = EfficiencyCurve(points=((1e6, 0.1), (1e9, 0.9)))
+    assert curve(1e15) == pytest.approx(0.9)
+
+
+def test_curve_interpolates_log_linearly():
+    curve = EfficiencyCurve(points=((1e6, 0.2), (1e8, 0.8)))
+    # Geometric midpoint of 1e6..1e8 is 1e7 -> arithmetic midpoint efficiency.
+    assert curve(1e7) == pytest.approx(0.5)
+
+
+def test_curve_is_monotone_for_monotone_points():
+    curve = EfficiencyCurve(points=((1e6, 0.05), (1e8, 0.5), (1e11, 0.9)))
+    vals = [curve(x) for x in (1e5, 1e6, 1e7, 1e8, 1e9, 1e10, 1e11, 1e12)]
+    assert vals == sorted(vals)
+
+
+def test_curve_requires_sorted_points():
+    with pytest.raises(ValueError, match="sorted"):
+        EfficiencyCurve(points=((1e9, 0.9), (1e6, 0.1)))
+
+
+def test_curve_rejects_bad_efficiency():
+    with pytest.raises(ValueError, match="efficiency"):
+        EfficiencyCurve(points=((1e6, 1.5),))
+    with pytest.raises(ValueError, match="efficiency"):
+        EfficiencyCurve(points=((1e6, 0.0),))
+
+
+def test_curve_rejects_empty():
+    with pytest.raises(ValueError, match="at least one"):
+        EfficiencyCurve(points=())
+
+
+def test_flat_curve():
+    flat = EfficiencyCurve.flat(0.7)
+    assert flat(1.0) == flat(1e15) == pytest.approx(0.7)
+
+
+def test_a100_h100_peaks():
+    assert A100.matrix_flops == 312 * TFLOPS
+    assert H100.matrix_flops == 989 * TFLOPS
+    assert H100.matrix_flops > A100.matrix_flops
+
+
+def test_compute_time_inverse_of_rate():
+    proc = Processor(
+        name="p",
+        matrix_flops=100 * TFLOPS,
+        vector_flops=10 * TFLOPS,
+        matrix_efficiency=EfficiencyCurve.flat(0.5),
+        vector_efficiency=EfficiencyCurve.flat(1.0),
+    )
+    assert proc.compute_time("matrix", 1e12) == pytest.approx(1e12 / (100e12 * 0.5))
+    assert proc.compute_time("vector", 1e12) == pytest.approx(0.1)
+
+
+def test_compute_time_zero_flops_is_zero():
+    assert A100.compute_time("matrix", 0.0) == 0.0
+
+
+def test_compute_time_rejects_negative():
+    with pytest.raises(ValueError):
+        A100.compute_time("matrix", -1.0)
+
+
+def test_unknown_engine_rejected():
+    with pytest.raises(ValueError, match="engine"):
+        A100.compute_time("quantum", 1e9)
+
+
+def test_small_gemms_run_slower_than_proportionally():
+    # A GEMM 1000x smaller takes much more than 1000x less time.
+    big = A100.compute_time("matrix", 1e12)
+    small = A100.compute_time("matrix", 1e9)
+    assert small > big / 1000
+
+
+def test_positive_peak_required():
+    with pytest.raises(ValueError):
+        Processor(name="bad", matrix_flops=0, vector_flops=1)

@@ -1,0 +1,174 @@
+"""Property-based tests (hypothesis) on the core invariants."""
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import calculate
+from repro.execution import ExecutionStrategy, divisors, factorizations
+from repro.hardware import EfficiencyCurve, Network, a100_system
+from repro.llm import LLMConfig, build_block
+from repro.llm.layers import Engine
+from repro.simulator import PipelineParams, simulate
+from repro.units import GB
+
+# A big-memory system so property sweeps exercise timing, not capacity.
+BIG = a100_system(64, hbm_gib=1_000_000)
+
+
+small_shapes = st.sampled_from(
+    [
+        (512, 8, 256, 8),
+        (1024, 16, 512, 12),
+        (2048, 16, 1024, 16),
+        (1536, 12, 768, 6),
+        (4096, 32, 2048, 24),
+    ]
+)
+
+
+def make_llm(shape) -> LLMConfig:
+    h, a, s, L = shape
+    return LLMConfig(name=f"prop-{h}-{a}", hidden=h, attn_heads=a, seq_size=s,
+                     num_blocks=L)
+
+
+@given(shape=small_shapes, b=st.integers(1, 8), t=st.sampled_from([1, 2, 4]))
+@settings(max_examples=40, deadline=None)
+def test_gemm_flops_conserved_under_tp(shape, b, t):
+    """Sharding never changes the total math: sum of shards == unsharded."""
+    llm = make_llm(shape)
+    base = build_block(llm, microbatch=b, tensor_par=1)
+    shard = build_block(llm, microbatch=b, tensor_par=t)
+    f0 = sum(l.flops_fw for l in base.layers if l.engine is Engine.MATRIX)
+    f1 = sum(l.flops_fw for l in shard.layers if l.engine is Engine.MATRIX)
+    assert f1 * t == pytest.approx(f0, rel=1e-9)
+
+
+@given(shape=small_shapes, b=st.integers(1, 8))
+@settings(max_examples=40, deadline=None)
+def test_stash_monotone_in_recompute_aggressiveness(shape, b):
+    llm = make_llm(shape)
+    block = build_block(llm, microbatch=b, tensor_par=1)
+    none = block.stash_bytes("none")
+    attn = block.stash_bytes("attn_only")
+    full = block.stash_bytes("full")
+    assert none >= attn >= full > 0
+
+
+@given(shape=small_shapes, b=st.integers(1, 4), t=st.sampled_from([2, 4]))
+@settings(max_examples=30, deadline=None)
+def test_stash_monotone_in_tensor_par_with_seq_par(shape, b, t):
+    llm = make_llm(shape)
+    lo = build_block(llm, microbatch=b, tensor_par=1)
+    hi = build_block(llm, microbatch=b, tensor_par=t, seq_par=True)
+    assert hi.stash_bytes("none") < lo.stash_bytes("none")
+
+
+@given(
+    nbytes=st.floats(1e3, 1e12),
+    group=st.integers(2, 512),
+)
+@settings(max_examples=60, deadline=None)
+def test_collective_decomposition_identity(nbytes, group):
+    """RS + AG always equals AR on a ring."""
+    net = Network(name="n", size=512, bandwidth=100 * GB, latency=0.0)
+    ar = net.collective_time("all_reduce", nbytes, group)
+    rs = net.collective_time("reduce_scatter", nbytes, group)
+    ag = net.collective_time("all_gather", nbytes, group)
+    assert rs + ag == pytest.approx(ar, rel=1e-9)
+
+
+@given(points=st.lists(
+    st.tuples(st.floats(1.0, 1e15), st.floats(0.01, 1.0)),
+    min_size=1, max_size=6,
+))
+@settings(max_examples=60, deadline=None)
+def test_efficiency_curve_bounded(points):
+    pts = sorted(set((f, e) for f, e in points))
+    # Deduplicate flops values (curve requires strictly usable ordering).
+    seen, uniq = set(), []
+    for f, e in pts:
+        if f not in seen:
+            seen.add(f)
+            uniq.append((f, e))
+    curve = EfficiencyCurve(points=tuple(uniq))
+    los = min(e for _, e in uniq)
+    his = max(e for _, e in uniq)
+    for x in (0.5, 1.0, 1e3, 1e9, 1e18):
+        val = curve(x)
+        assert los - 1e-12 <= val <= his + 1e-12
+
+
+@given(n=st.integers(1, 512))
+@settings(max_examples=50, deadline=None)
+def test_factorizations_multiply_back(n):
+    for t, p, d in factorizations(n):
+        assert t * p * d == n
+
+
+@given(n=st.integers(1, 10_000))
+@settings(max_examples=50, deadline=None)
+def test_divisors_divide(n):
+    ds = divisors(n)
+    assert all(n % d == 0 for d in ds)
+    assert ds[0] == 1 and ds[-1] == n
+    assert ds == sorted(set(ds))
+
+
+@given(
+    t=st.sampled_from([1, 2, 4, 8]),
+    mb=st.sampled_from([1, 2, 4]),
+    recompute=st.sampled_from(["none", "attn_only", "full"]),
+)
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_model_outputs_always_consistent(t, mb, recompute):
+    """Any feasible run: non-negative components, exposed <= total, MFU in (0,1]."""
+    llm = LLMConfig(name="prop-run", hidden=1024, attn_heads=8, seq_size=512,
+                    num_blocks=8)
+    p = 2
+    d = 64 // (t * p)
+    if (64 // d) % mb:
+        return  # microbatch must divide the local batch
+    strat = ExecutionStrategy(
+        tensor_par=t, pipeline_par=p, data_par=d, batch=64, microbatch=mb,
+        recompute=recompute,
+    )
+    res = calculate(llm, BIG, strat)
+    assert res.feasible
+    tb = res.time
+    for _, val in tb.stacked():
+        assert val >= 0
+    assert tb.tp_comm_exposed <= tb.tp_comm_total + 1e-12
+    assert tb.dp_comm_exposed <= tb.dp_comm_total + 1e-12
+    assert 0 < res.mfu <= 1.0
+    assert res.mem1.total > 0
+
+
+@given(
+    p=st.integers(1, 6),
+    M=st.integers(1, 12),
+    v=st.integers(1, 3),
+)
+@settings(max_examples=25, deadline=None)
+def test_simulator_work_conservation(p, M, v):
+    """The schedule never invents or loses work."""
+    params = PipelineParams(num_stages=p, num_microbatches=M, interleaving=v,
+                            fw_time=1.0, bw_time=2.0)
+    stats = simulate(params)
+    per_device = M * v * (1.0 + 2.0)
+    assert stats.busy_time == pytest.approx(per_device)
+    assert stats.makespan >= per_device - 1e-9
+
+
+@given(batch=st.sampled_from([32, 64, 128]))
+@settings(max_examples=10, deadline=None)
+def test_sample_rate_scales_with_batch_definition(batch):
+    llm = LLMConfig(name="prop-b", hidden=1024, attn_heads=8, seq_size=512,
+                    num_blocks=8)
+    strat = ExecutionStrategy(tensor_par=8, pipeline_par=2, data_par=4,
+                              batch=batch, microbatch=1)
+    res = calculate(llm, BIG, strat)
+    assert res.sample_rate == pytest.approx(batch / res.batch_time)

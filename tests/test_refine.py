@@ -1,0 +1,95 @@
+"""Hill-climbing refinement tests: correctness vs the exhaustive engine."""
+
+import pytest
+
+from repro.core import calculate
+from repro.execution import ExecutionStrategy
+from repro.hardware import a100_system
+from repro.llm import LLMConfig
+from repro.search import SearchOptions, search
+from repro.search.refine import hill_climb, multi_start, neighbours
+
+LLM = LLMConfig(name="refine-llm", hidden=2048, attn_heads=16, seq_size=1024,
+                num_blocks=16)
+SYS = a100_system(16)
+BATCH = 32
+
+
+def seed(**kw):
+    base = dict(tensor_par=4, pipeline_par=4, data_par=1, batch=BATCH,
+                microbatch=1, recompute="full")
+    base.update(kw)
+    return ExecutionStrategy(**base)
+
+
+def test_neighbours_preserve_processor_count():
+    for n in neighbours(seed()):
+        assert n.num_procs == 16
+
+
+def test_neighbours_cover_all_dimensions():
+    ns = neighbours(seed())
+    assert any(n.tensor_par != 4 for n in ns)
+    assert any(n.microbatch == 2 for n in ns)
+    assert any(n.optimizer_sharding for n in ns)
+    assert any(n.seq_par for n in ns)
+    assert any(n.recompute == "attn_only" for n in ns)
+    assert any(n.tp_overlap == "pipe" for n in ns)
+
+
+def test_hill_climb_never_worse_than_seed():
+    s = seed()
+    start = calculate(LLM, SYS, s)
+    result = hill_climb(LLM, SYS, s)
+    assert result is not None
+    assert result.best.sample_rate >= start.sample_rate
+
+
+def test_hill_climb_terminates_at_local_optimum():
+    result = hill_climb(LLM, SYS, seed())
+    assert result is not None
+    # No neighbour of the returned strategy improves on it.
+    best_rate = result.best.sample_rate
+    for cand in neighbours(result.best_strategy):
+        res = calculate(LLM, SYS, cand)
+        if res.feasible:
+            assert res.sample_rate <= best_rate + 1e-9
+
+
+def test_hill_climb_bootstraps_from_infeasible_seed():
+    bad = seed(data_par=1, microbatch=32, recompute="none")  # act-memory heavy
+    result = hill_climb(LLM, SYS, bad)
+    assert result is not None
+    assert result.best.feasible
+
+
+def test_hill_climb_returns_none_when_hopeless():
+    tiny = a100_system(16, hbm_gib=0.0001)
+    assert hill_climb(LLM, tiny, seed()) is None
+
+
+def test_max_steps_validated():
+    with pytest.raises(ValueError):
+        hill_climb(LLM, SYS, seed(), max_steps=0)
+
+
+def test_multi_start_close_to_exhaustive():
+    exhaustive = search(
+        LLM, SYS, BATCH, SearchOptions(max_microbatch=8), workers=0, top_k=1
+    )
+    seeds = [
+        seed(),
+        seed(tensor_par=1, pipeline_par=1, data_par=16),
+        seed(tensor_par=16, pipeline_par=1, data_par=1),
+        seed(tensor_par=2, pipeline_par=8, data_par=1, recompute="none"),
+    ]
+    refined = multi_start(LLM, SYS, seeds)
+    assert refined is not None
+    # Within 10% of the exhaustive optimum at a fraction of the evaluations.
+    assert refined.best.sample_rate >= 0.90 * exhaustive.best.sample_rate
+    assert refined.evaluations < exhaustive.num_evaluated
+
+
+def test_multi_start_handles_all_infeasible():
+    tiny = a100_system(16, hbm_gib=0.0001)
+    assert multi_start(LLM, tiny, [seed()]) is None

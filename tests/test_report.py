@@ -1,0 +1,89 @@
+"""Report-exporter tests (CSV / Markdown / JSON)."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.core import calculate
+from repro.execution import ExecutionStrategy
+from repro.hardware import a100_system
+from repro.io.report import (
+    result_to_flat_dict,
+    results_to_csv,
+    results_to_markdown,
+    save_results_json,
+)
+from repro.llm import LLMConfig
+
+LLM = LLMConfig(name="rep-llm", hidden=1024, attn_heads=8, seq_size=512,
+                num_blocks=4)
+SYS = a100_system(8, hbm_gib=1_000_000)
+
+
+@pytest.fixture
+def results():
+    out = []
+    for rc in ("none", "full"):
+        out.append(
+            calculate(
+                LLM, SYS,
+                ExecutionStrategy(tensor_par=8, pipeline_par=1, data_par=1,
+                                  batch=8, recompute=rc),
+            )
+        )
+    return out
+
+
+def test_flat_dict_contains_all_components(results):
+    row = result_to_flat_dict(results[0])
+    assert row["llm"] == "rep-llm"
+    assert row["feasible"] is True
+    assert row["time.fw_pass"] > 0
+    assert row["mem.weight"] > 0
+    assert row["mem.total"] == pytest.approx(results[0].mem1.total)
+
+
+def test_flat_dict_infeasible_has_null_time():
+    bad = calculate(
+        LLM, a100_system(8, hbm_gib=0.0001),
+        ExecutionStrategy(tensor_par=8, pipeline_par=1, data_par=1, batch=8),
+    )
+    row = result_to_flat_dict(bad)
+    assert row["feasible"] is False
+    assert row["batch_time_s"] is None
+    assert row["infeasibility"]
+
+
+def test_csv_parses_back(results):
+    text = results_to_csv(results)
+    rows = list(csv.DictReader(io.StringIO(text)))
+    assert len(rows) == 2
+    assert rows[0]["llm"] == "rep-llm"
+    assert float(rows[0]["sample_rate"]) > 0
+
+
+def test_csv_requires_rows():
+    with pytest.raises(ValueError):
+        results_to_csv([])
+
+
+def test_markdown_table_shape(results):
+    md = results_to_markdown(results)
+    lines = md.splitlines()
+    assert lines[0].startswith("| strategy |")
+    assert lines[1].startswith("|---")
+    assert len(lines) == 2 + len(results)
+
+
+def test_markdown_unknown_column_rejected(results):
+    with pytest.raises(KeyError):
+        results_to_markdown(results, columns=("nope",))
+
+
+def test_json_roundtrip(results, tmp_path):
+    path = save_results_json(results, tmp_path / "out.json")
+    data = json.loads(path.read_text())
+    assert len(data) == 2
+    assert data[0]["strategy"] == results[0].strategy_name

@@ -1,0 +1,106 @@
+"""Result-structure tests (paper §2.4 outputs)."""
+
+import pytest
+
+from repro.core import (
+    MemoryBreakdown,
+    OffloadStats,
+    PerformanceResult,
+    TimeBreakdown,
+)
+
+
+def test_batch_time_sums_exposed_components():
+    t = TimeBreakdown(
+        fw_pass=1.0,
+        bw_pass=2.0,
+        fw_recompute=0.5,
+        optim_step=0.1,
+        pp_bubble=0.3,
+        tp_comm_exposed=0.2,
+        pp_comm_exposed=0.1,
+        dp_comm_exposed=0.1,
+        offload_exposed=0.05,
+        overlap_tax=0.02,
+        tp_comm_total=0.5,
+    )
+    assert t.batch_time == pytest.approx(4.37)
+
+
+def test_totals_do_not_count_toward_batch_time():
+    lo = TimeBreakdown(fw_pass=1.0, tp_comm_total=0.0)
+    hi = TimeBreakdown(fw_pass=1.0, tp_comm_total=99.0)
+    assert lo.batch_time == hi.batch_time
+
+
+def test_time_breakdown_rejects_negative():
+    with pytest.raises(ValueError):
+        TimeBreakdown(fw_pass=-1.0)
+
+
+def test_memory_total():
+    m = MemoryBreakdown(
+        weight=10, activation=20, weight_grad=10, activation_grad=5, optimizer=55
+    )
+    assert m.total == 100
+
+
+def test_memory_rejects_negative():
+    with pytest.raises(ValueError):
+        MemoryBreakdown(weight=-1)
+
+
+def test_stacked_labels_match_figure3():
+    labels = [name for name, _ in TimeBreakdown().stacked()]
+    assert labels[:8] == [
+        "FW pass",
+        "BW pass",
+        "Optim step",
+        "PP bubble",
+        "FW recompute",
+        "TP comm",
+        "PP comm",
+        "DP comm",
+    ]
+    mem_labels = [name for name, _ in MemoryBreakdown().stacked()]
+    assert mem_labels == [
+        "Weight",
+        "Activation",
+        "Weight gradients",
+        "Activation gradients",
+        "Optimizer space",
+    ]
+
+
+def test_offload_stats_validation():
+    with pytest.raises(ValueError):
+        OffloadStats(used_bytes=-1)
+    OffloadStats(used_bytes=0, required_bandwidth=0)
+
+
+def test_infeasible_constructor():
+    res = PerformanceResult.infeasible("llm", "sys", "cfg", 64, "because")
+    assert not res.feasible
+    assert res.sample_rate == 0.0
+    assert res.infeasibility == "because"
+
+
+def test_sample_rate():
+    res = PerformanceResult(
+        llm_name="l",
+        system_name="s",
+        strategy_name="c",
+        batch=100,
+        time=TimeBreakdown(fw_pass=4.0),
+        mem1=MemoryBreakdown(weight=1),
+        offload=OffloadStats(),
+        mfu=0.5,
+    )
+    assert res.sample_rate == pytest.approx(25.0)
+
+
+def test_as_dict_round():
+    t = TimeBreakdown(fw_pass=1.0, bw_pass=2.0)
+    d = t.as_dict()
+    assert d["fw_pass"] == 1.0
+    assert TimeBreakdown(**d) == t

@@ -1,0 +1,87 @@
+"""Model-family generation and Chinchilla-budget tests."""
+
+import pytest
+
+from repro.llm.scaling_laws import (
+    TOKENS_PER_PARAMETER,
+    chinchilla_tokens,
+    make_config,
+    model_ladder,
+)
+
+
+def test_chinchilla_ratio():
+    assert chinchilla_tokens(70e9) == pytest.approx(1.4e12)
+    assert chinchilla_tokens(1e9) == pytest.approx(TOKENS_PER_PARAMETER * 1e9)
+    with pytest.raises(ValueError):
+        chinchilla_tokens(0)
+
+
+@pytest.mark.parametrize("target", [1e9, 7e9, 70e9, 175e9, 530e9, 1e12])
+def test_make_config_hits_target(target):
+    cfg = make_config(target)
+    assert cfg.total_parameters == pytest.approx(target, rel=0.10)
+
+
+def test_make_config_shape_is_tp_friendly():
+    cfg = make_config(70e9)
+    assert cfg.hidden % cfg.attn_heads == 0
+    assert cfg.attn_size == 128
+    # Every power-of-two TP degree up to the head count divides the shape.
+    t = 1
+    while t <= cfg.attn_heads:
+        if (cfg.attn_heads & (cfg.attn_heads - 1)) == 0:
+            assert cfg.attn_heads % t == 0
+        t *= 2
+
+
+def test_make_config_matches_published_shapes_approximately():
+    cfg = make_config(175e9)
+    assert 10000 <= cfg.hidden <= 14500  # GPT-3 uses 12288
+    assert 70 <= cfg.num_blocks <= 130  # GPT-3 uses 96
+
+
+def test_make_config_custom_name_and_seq():
+    cfg = make_config(10e9, seq_size=4096, name="mine")
+    assert cfg.name == "mine"
+    assert cfg.seq_size == 4096
+
+
+def test_make_config_validation():
+    with pytest.raises(ValueError):
+        make_config(0)
+    with pytest.raises(ValueError):
+        make_config(1e9, head_size=0)
+
+
+def test_ladder_is_geometric_and_monotone():
+    ladder = model_ladder(1e9, 1e12, steps=4)
+    sizes = [c.total_parameters for c in ladder]
+    assert sizes == sorted(sizes)
+    assert sizes[0] == pytest.approx(1e9, rel=0.15)
+    assert sizes[-1] == pytest.approx(1e12, rel=0.15)
+    # Successive ratios are roughly constant.
+    ratios = [b / a for a, b in zip(sizes, sizes[1:])]
+    assert max(ratios) / min(ratios) < 1.6
+
+
+def test_ladder_validation():
+    with pytest.raises(ValueError):
+        model_ladder(1e9, 1e12, steps=1)
+    with pytest.raises(ValueError):
+        model_ladder(1e12, 1e9)
+
+
+def test_ladder_configs_are_usable_by_the_model():
+    from repro.core import calculate
+    from repro.execution import ExecutionStrategy
+    from repro.hardware import a100_system
+
+    cfg = make_config(3e9)
+    res = calculate(
+        cfg,
+        a100_system(8, hbm_gib=1_000_000),
+        ExecutionStrategy(tensor_par=8, pipeline_par=1, data_par=1, batch=8,
+                          recompute="full"),
+    )
+    assert res.feasible

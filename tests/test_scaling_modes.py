@@ -1,0 +1,82 @@
+"""Strong/weak-scaling study tests."""
+
+import pytest
+
+from repro.analysis import ScalingModePoint, strong_scaling, weak_scaling
+from repro.hardware import a100_system
+from repro.llm import LLMConfig
+from repro.search import SearchOptions
+
+LLM = LLMConfig(name="sm-llm", hidden=2048, attn_heads=16, seq_size=1024,
+                num_blocks=8)
+OPTS = SearchOptions(
+    recompute=("full",),
+    seq_par_modes=((False, False, False),),
+    tp_overlap=("none",),
+    dp_overlap=(False,),
+    optimizer_sharding=(True,),
+    fused_activations=(False,),
+    max_microbatch=4,
+)
+SIZES = [4, 8, 16]
+
+
+def factory(n):
+    return a100_system(n)
+
+
+def test_strong_scaling_fixed_batch():
+    points = strong_scaling(LLM, factory, SIZES, 32, OPTS)
+    assert [p.batch for p in points] == [32, 32, 32]
+    assert all(p.feasible for p in points)
+    rates = [p.sample_rate for p in points]
+    assert rates == sorted(rates)  # more GPUs, more throughput
+
+
+def test_strong_scaling_efficiency_degrades():
+    points = strong_scaling(LLM, factory, SIZES, 32, OPTS)
+    base = points[0]
+    effs = [p.efficiency(base) for p in points]
+    assert effs[0] == pytest.approx(1.0)
+    # Strong scaling cannot be superlinear in this model, and typically
+    # degrades as the fixed batch is spread thinner.
+    assert all(e <= 1.05 for e in effs)
+
+
+def test_weak_scaling_grows_batch():
+    points = weak_scaling(LLM, factory, SIZES, batch_per_proc=8, options=OPTS)
+    assert [p.batch for p in points] == [32, 64, 128]
+    assert all(p.feasible for p in points)
+
+
+def test_weak_scaling_holds_efficiency_better():
+    strong = strong_scaling(LLM, factory, SIZES, 32, OPTS)
+    weak = weak_scaling(LLM, factory, SIZES, batch_per_proc=8, options=OPTS)
+    eff_strong = strong[-1].efficiency(strong[0])
+    eff_weak = weak[-1].efficiency(weak[0])
+    assert eff_weak >= eff_strong - 0.05
+
+
+def test_speedup_and_efficiency_math():
+    a = ScalingModePoint(num_procs=4, batch=32, sample_rate=10.0,
+                         batch_time=3.2, mfu=0.5, feasible=True)
+    b = ScalingModePoint(num_procs=8, batch=32, sample_rate=18.0,
+                         batch_time=1.8, mfu=0.45, feasible=True)
+    assert b.speedup(a) == pytest.approx(1.8)
+    assert b.efficiency(a) == pytest.approx(0.9)
+
+
+def test_infeasible_points_report_zero():
+    bad = ScalingModePoint(num_procs=8, batch=32, sample_rate=0.0,
+                           batch_time=float("inf"), mfu=0.0, feasible=False)
+    ok = ScalingModePoint(num_procs=4, batch=32, sample_rate=10.0,
+                          batch_time=3.2, mfu=0.5, feasible=True)
+    assert bad.speedup(ok) == 0.0
+    assert bad.efficiency(ok) == 0.0
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        strong_scaling(LLM, factory, SIZES, 0, OPTS)
+    with pytest.raises(ValueError):
+        weak_scaling(LLM, factory, SIZES, 0.0, options=OPTS)

@@ -1,0 +1,183 @@
+"""Execution-search engine tests (paper §5.1)."""
+
+import pytest
+
+from repro.core import calculate
+from repro.execution import ExecutionStrategy
+from repro.hardware import a100_system, ddr5_offload
+from repro.llm import LLMConfig, TINY_TEST
+from repro.search import SearchOptions, candidate_strategies, search
+
+LLM = LLMConfig(name="search-llm", hidden=2048, attn_heads=16, seq_size=1024,
+                num_blocks=16)
+SYS = a100_system(16)
+
+
+def small_options(**kw):
+    base = dict(
+        recompute=("full",),
+        seq_par_modes=((False, False, False),),
+        tp_overlap=("none",),
+        dp_overlap=(False,),
+        optimizer_sharding=(False,),
+        fused_activations=(False,),
+        max_microbatch=4,
+    )
+    base.update(kw)
+    return SearchOptions(**base)
+
+
+def test_candidates_cover_all_factorizations():
+    opts = small_options()
+    cands = list(candidate_strategies(LLM, SYS, 16, opts))
+    triples = {(c.tensor_par, c.pipeline_par, c.data_par) for c in cands}
+    assert all(t * p * d == 16 for t, p, d in triples)
+    assert (16, 1, 1) in triples
+    assert (1, 16, 1) in triples
+    assert (1, 1, 16) in triples
+
+
+def test_candidates_respect_max_tensor_par():
+    opts = small_options(max_tensor_par=4)
+    cands = list(candidate_strategies(LLM, SYS, 16, opts))
+    assert all(c.tensor_par <= 4 for c in cands)
+
+
+def test_candidates_prune_structural_violations():
+    # heads=16 -> t=16 allowed but t must divide hidden/ff too; all satisfied
+    # here, so prune only p > blocks and bad batch splits.
+    opts = small_options()
+    cands = list(candidate_strategies(LLM, SYS, 16, opts))
+    assert all(c.pipeline_par <= LLM.num_blocks for c in cands)
+    assert all(c.batch % c.data_par == 0 for c in cands)
+
+
+def test_all_candidates_pass_static_validation():
+    opts = small_options()
+    for cand in candidate_strategies(LLM, SYS, 16, opts):
+        cand.validate(LLM, SYS)  # must not raise
+
+
+def test_search_returns_best_by_sample_rate():
+    opts = small_options()
+    res = search(LLM, SYS, 16, opts, workers=0)
+    assert res.best is not None
+    assert res.num_feasible > 0
+    assert res.num_evaluated >= res.num_feasible
+    # best is at least as fast as every retained configuration
+    assert all(res.best.sample_rate >= r.sample_rate for _, r in res.top)
+
+
+def test_search_best_matches_direct_evaluation():
+    opts = small_options()
+    res = search(LLM, SYS, 16, opts, workers=0)
+    direct = calculate(LLM, SYS, res.best_strategy)
+    assert direct.sample_rate == pytest.approx(res.best.sample_rate)
+
+
+def test_search_rates_array_has_feasible_length():
+    opts = small_options()
+    res = search(LLM, SYS, 16, opts, workers=0, keep_rates=True)
+    assert len(res.sample_rates) == res.num_feasible
+    assert res.feasible_fraction <= 1.0
+
+
+def test_search_top_k_limits_results():
+    opts = small_options()
+    res = search(LLM, SYS, 16, opts, workers=0, top_k=3)
+    assert len(res.top) <= 3
+    rates = [r.sample_rate for _, r in res.top]
+    assert rates == sorted(rates, reverse=True)
+
+
+def test_wider_options_never_hurt_best():
+    narrow = search(LLM, SYS, 16, small_options(), workers=0)
+    wide = search(
+        LLM,
+        SYS,
+        16,
+        small_options(
+            recompute=("none", "attn_only", "full"),
+            optimizer_sharding=(False, True),
+            seq_par_modes=((False, False, False), (True, True, True)),
+        ),
+        workers=0,
+    )
+    assert wide.best.sample_rate >= narrow.best.sample_rate - 1e-9
+
+
+def test_offload_modes_require_tier2_to_be_feasible():
+    opts = small_options(offload_modes=((True, True, True),))
+    res = search(LLM, SYS, 16, opts, workers=0)
+    assert res.num_feasible == 0  # no tier-2 memory on SYS
+    sys_off = a100_system(16, offload=ddr5_offload(4096))
+    res2 = search(LLM, sys_off, 16, opts, workers=0)
+    assert res2.num_feasible > 0
+
+
+def test_parallel_search_matches_serial():
+    opts = small_options()
+    serial = search(LLM, SYS, 16, opts, workers=0)
+    parallel = search(LLM, SYS, 16, opts, workers=2)
+    assert parallel.num_evaluated == serial.num_evaluated
+    assert parallel.num_feasible == serial.num_feasible
+    assert parallel.best.sample_rate == pytest.approx(serial.best.sample_rate)
+
+
+def test_preset_option_regimes_nest():
+    base = SearchOptions.megatron_baseline()
+    assert base.recompute == ("full",)
+    sp = SearchOptions.seq_par_regime()
+    assert (True, True, True) in sp.seq_par_modes
+    full = SearchOptions.all_optimizations()
+    assert len(full.recompute) == 3
+    off = SearchOptions.all_with_offload()
+    assert (True, True, True) in off.offload_modes
+
+
+def test_no_feasible_configuration_handled():
+    # One tiny processor cannot hold the model: search reports it gracefully.
+    tiny_sys = a100_system(1, hbm_gib=0.001)
+    res = search(TINY_TEST, tiny_sys, 4, small_options(), workers=0)
+    assert res.best is None
+    assert res.num_feasible == 0
+
+
+def test_interleaving_values_override():
+    opts = small_options(interleaving_values=(1, 2))
+    cands = list(candidate_strategies(LLM, SYS, 16, opts))
+    assert {c.pp_interleaving for c in cands} <= {1, 2}
+
+
+def test_training_flag_propagates():
+    opts = small_options(recompute=("none",), training=False)
+    cands = list(candidate_strategies(LLM, SYS, 16, opts))
+    assert cands and all(not c.training for c in cands)
+
+
+def _max_40gib(res):
+    return res.mem1.total <= 40 * 2**30
+
+
+def test_constraint_filters_results():
+    opts = small_options(recompute=("none", "attn_only", "full"))
+    free = search(LLM, SYS, 16, opts, workers=0)
+    constrained = search(LLM, SYS, 16, opts, workers=0, constraint=_max_40gib)
+    assert constrained.num_feasible <= free.num_feasible
+    for _, r in constrained.top:
+        assert r.mem1.total <= 40 * 2**30
+
+
+def test_constraint_works_in_parallel_mode():
+    opts = small_options(recompute=("none", "attn_only", "full"))
+    serial = search(LLM, SYS, 16, opts, workers=0, constraint=_max_40gib)
+    parallel = search(LLM, SYS, 16, opts, workers=2, constraint=_max_40gib)
+    assert parallel.num_feasible == serial.num_feasible
+
+
+def test_impossible_constraint_empties_search():
+    opts = small_options()
+    res = search(LLM, SYS, 16, opts, workers=0,
+                 constraint=lambda r: r.mfu > 0.999)
+    assert res.best is None
+    assert res.num_feasible == 0

@@ -1,0 +1,110 @@
+"""Hardware sensitivity-analysis tests."""
+
+import pytest
+
+from repro.analysis import sensitivity
+from repro.analysis.sensitivity import Elasticity
+from repro.execution import ExecutionStrategy
+from repro.hardware import a100_system, ddr5_offload
+from repro.llm import LLMConfig
+
+LLM = LLMConfig(name="sens-llm", hidden=4096, attn_heads=32, seq_size=2048,
+                num_blocks=16)
+SYS = a100_system(16, hbm_gib=1_000_000)
+
+
+def strat(**kw):
+    base = dict(tensor_par=8, pipeline_par=2, data_par=1, batch=8,
+                microbatch=1, recompute="full")
+    base.update(kw)
+    return ExecutionStrategy(**base)
+
+
+def knobs(elasticities):
+    return {e.knob: e for e in elasticities}
+
+
+def test_all_expected_knobs_present():
+    ks = knobs(sensitivity(LLM, SYS, strat()))
+    assert "matrix_flops" in ks
+    assert "vector_flops" in ks
+    assert "mem1_bandwidth" in ks
+    assert "net[nvlink3]_bandwidth" in ks
+    assert "net[ib-hdr]_bandwidth" in ks
+    assert "mem2_bandwidth" not in ks  # no tier-2 attached
+
+
+def test_mem2_knob_appears_with_offload():
+    sys2 = a100_system(16, hbm_gib=1_000_000, offload=ddr5_offload(100_000))
+    ks = knobs(
+        sensitivity(
+            LLM,
+            sys2,
+            strat(weight_offload=True, activation_offload=True,
+                  optimizer_offload=True),
+        )
+    )
+    assert "mem2_bandwidth" in ks
+
+
+def test_elasticities_are_nonpositive():
+    # Faster components can never slow the model down.
+    for e in sensitivity(LLM, SYS, strat()):
+        assert e.value <= 1e-9
+
+
+def test_compute_bound_config_most_sensitive_to_matrix_flops():
+    ks = knobs(sensitivity(LLM, SYS, strat()))
+    assert ks["matrix_flops"].value == min(e.value for e in ks.values())
+    assert ks["matrix_flops"].value < -0.3
+
+
+def test_elasticity_bounded_by_minus_one():
+    for e in sensitivity(LLM, SYS, strat()):
+        assert e.value >= -1.0 - 1e-6
+
+
+def test_results_sorted_most_critical_first():
+    es = sensitivity(LLM, SYS, strat())
+    vals = [e.value for e in es]
+    assert vals == sorted(vals)
+
+
+def test_speedup_at_2x():
+    e = Elasticity(knob="k", baseline_time=1.0, scaled_time=0.8, scale=1.25)
+    # elasticity = ln(0.8)/ln(1.25) = -1 -> doubling the knob doubles speed.
+    assert e.value == pytest.approx(-1.0)
+    assert e.speedup_at_2x == pytest.approx(2.0)
+
+
+def test_zero_elasticity_for_off_path_component():
+    e = Elasticity(knob="k", baseline_time=1.0, scaled_time=1.0, scale=1.25)
+    assert e.value == 0.0
+    assert e.speedup_at_2x == pytest.approx(1.0)
+
+
+def test_scale_validation():
+    with pytest.raises(ValueError, match="scale"):
+        sensitivity(LLM, SYS, strat(), scale=1.0)
+
+
+def test_infeasible_baseline_raises():
+    tiny = a100_system(16, hbm_gib=0.001)
+    with pytest.raises(ValueError, match="infeasible"):
+        sensitivity(LLM, tiny, strat())
+
+
+def test_comm_heavy_config_sensitive_to_network():
+    # Extreme TP over a deliberately slow fabric shifts sensitivity to it.
+    from dataclasses import replace
+
+    slow_net = replace(
+        SYS,
+        networks=(
+            replace(SYS.networks[0], bandwidth=SYS.networks[0].bandwidth / 100),
+            SYS.networks[1],
+        ),
+    )
+    # t=8 stays inside the (slowed) NVLink domain.
+    ks = knobs(sensitivity(LLM, slow_net, strat(tensor_par=8, pipeline_par=2)))
+    assert ks["net[nvlink3]_bandwidth"].value < -0.3

@@ -1,0 +1,59 @@
+"""The shipped spec files under specs/ load and evaluate cleanly."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.core import calculate
+from repro.io import load_llm, load_strategy, load_system
+from repro.llm import get_preset
+
+SPECS = Path(__file__).resolve().parent.parent / "specs"
+
+
+def spec_files(kind: str):
+    return sorted((SPECS / kind).glob("*.json"))
+
+
+def test_spec_tree_exists():
+    assert spec_files("llms"), "specs/llms is empty"
+    assert spec_files("systems"), "specs/systems is empty"
+    assert spec_files("executions"), "specs/executions is empty"
+
+
+@pytest.mark.parametrize("path", spec_files("llms"), ids=lambda p: p.stem)
+def test_llm_specs_match_presets(path):
+    llm = load_llm(path)
+    assert llm == get_preset(path.stem)
+
+
+@pytest.mark.parametrize("path", spec_files("systems"), ids=lambda p: p.stem)
+def test_system_specs_load(path):
+    system = load_system(path)
+    assert system.num_procs >= 1
+    assert system.mem1.capacity > 0
+    assert system.networks
+
+
+@pytest.mark.parametrize("path", spec_files("executions"), ids=lambda p: p.stem)
+def test_execution_specs_load(path):
+    strat = load_strategy(path)
+    assert strat.num_procs == 4096
+
+
+def test_fig3_spec_reproduces_fig3():
+    llm = load_llm(SPECS / "llms" / "gpt3-175b.json")
+    system = load_system(SPECS / "systems" / "a100-80g-x4096.json")
+    strat = load_strategy(SPECS / "executions" / "fig3-gpt3-175b.json")
+    res = calculate(llm, system, strat)
+    assert res.feasible
+    assert 10 < res.batch_time < 30
+
+
+def test_table4_offload_spec_runs_on_offload_system():
+    llm = load_llm(SPECS / "llms" / "megatron-1t.json")
+    system = load_system(SPECS / "systems" / "a100-80g-ddr512-x4096.json")
+    strat = load_strategy(SPECS / "executions" / "table4-calculon-sw-offload.json")
+    res = calculate(llm, system, strat)
+    assert res.feasible
+    assert res.mem1.total < 30 * 2**30  # the offload strategy's small HBM use

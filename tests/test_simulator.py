@@ -1,0 +1,83 @@
+"""Pipeline-schedule simulator tests and analytical cross-validation (Fig. 2)."""
+
+import pytest
+
+from repro.simulator import (
+    PipelineParams,
+    analytical_bubble,
+    simulate,
+)
+
+
+def test_single_stage_has_no_bubble():
+    stats = simulate(PipelineParams(num_stages=1, num_microbatches=8))
+    assert stats.bubble_time == pytest.approx(0.0)
+    assert stats.makespan == pytest.approx(8 * (1.0 + 2.0))
+
+
+def test_makespan_lower_bound_is_busy_time():
+    params = PipelineParams(num_stages=4, num_microbatches=8)
+    stats = simulate(params)
+    assert stats.makespan >= max(stats.device_busy)
+
+
+def test_every_device_does_equal_work():
+    params = PipelineParams(num_stages=4, num_microbatches=8, interleaving=2)
+    stats = simulate(params)
+    assert max(stats.device_busy) == pytest.approx(min(stats.device_busy))
+
+
+@pytest.mark.parametrize("p,M", [(2, 4), (4, 8), (4, 16), (8, 16)])
+def test_noninterleaved_bubble_matches_closed_form(p, M):
+    params = PipelineParams(num_stages=p, num_microbatches=M)
+    stats = simulate(params)
+    expected = analytical_bubble(params)
+    assert stats.bubble_time == pytest.approx(expected, rel=0.25)
+
+
+@pytest.mark.parametrize("p,v,M", [(2, 2, 8), (4, 2, 8), (4, 4, 16)])
+def test_interleaved_bubble_shrinks_roughly_by_v(p, v, M):
+    # With interleaving the per-chunk work is 1/v of the stage, so the
+    # simulated bubble should be well below the non-interleaved one.
+    plain = simulate(
+        PipelineParams(num_stages=p, num_microbatches=M, fw_time=1.0, bw_time=2.0)
+    )
+    inter = simulate(
+        PipelineParams(
+            num_stages=p,
+            num_microbatches=M,
+            interleaving=v,
+            fw_time=1.0 / v,
+            bw_time=2.0 / v,
+        )
+    )
+    assert inter.bubble_time < plain.bubble_time
+    # Same useful work in both cases.
+    assert inter.busy_time == pytest.approx(plain.busy_time)
+
+
+def test_bubble_fraction_decreases_with_more_microbatches():
+    f4 = simulate(PipelineParams(num_stages=4, num_microbatches=4)).bubble_fraction
+    f32 = simulate(PipelineParams(num_stages=4, num_microbatches=32)).bubble_fraction
+    assert f32 < f4
+
+
+def test_p2p_time_lengthens_makespan():
+    fast = simulate(PipelineParams(num_stages=4, num_microbatches=8))
+    slow = simulate(PipelineParams(num_stages=4, num_microbatches=8, p2p_time=0.5))
+    assert slow.makespan > fast.makespan
+
+
+def test_param_validation():
+    with pytest.raises(ValueError):
+        PipelineParams(num_stages=0, num_microbatches=1)
+    with pytest.raises(ValueError):
+        PipelineParams(num_stages=1, num_microbatches=1, fw_time=-1)
+
+
+def test_makespan_formula_ideal_pipeline():
+    # Ideal 1F1B: makespan = (M + p - 1) * (tf + tb) for equal chunk times.
+    p, M = 4, 16
+    stats = simulate(PipelineParams(num_stages=p, num_microbatches=M, fw_time=1.0,
+                                    bw_time=1.0))
+    assert stats.makespan <= (M + p - 1) * 2.0 * 1.3  # within 30% of ideal

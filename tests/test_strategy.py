@@ -1,0 +1,174 @@
+"""Execution-strategy validation tests (paper §2.3, Table 1 ranges)."""
+
+import pytest
+
+from repro.execution import (
+    ExecutionStrategy,
+    StrategyError,
+    divisors,
+    factorizations,
+)
+from repro.hardware import a100_system, ddr5_offload
+from repro.llm import GPT3_175B, LLMConfig
+
+SYS64 = a100_system(64)
+
+
+def strat(**kw):
+    base = dict(tensor_par=8, pipeline_par=8, data_par=1, batch=64, microbatch=1)
+    base.update(kw)
+    return ExecutionStrategy(**base)
+
+
+def test_valid_megatron_strategy_passes():
+    strat().validate(GPT3_175B, SYS64)
+
+
+def test_processor_count_must_match():
+    with pytest.raises(StrategyError, match="system size"):
+        strat(data_par=2).validate(GPT3_175B, SYS64)
+
+
+def test_tp_cannot_exceed_heads():
+    llm = LLMConfig(name="x", hidden=256, attn_heads=4, seq_size=64, num_blocks=64)
+    with pytest.raises(StrategyError, match="attn_heads"):
+        strat().validate(llm, SYS64)
+
+
+def test_tp_must_divide_shape():
+    llm = LLMConfig(name="x", hidden=768, attn_heads=12, seq_size=64, num_blocks=8)
+    s = ExecutionStrategy(tensor_par=8, pipeline_par=8, data_par=1, batch=8)
+    with pytest.raises(StrategyError, match="divide"):
+        s.validate(llm, SYS64)
+
+
+def test_pp_cannot_exceed_blocks():
+    llm = LLMConfig(name="x", hidden=512, attn_heads=8, seq_size=64, num_blocks=4)
+    with pytest.raises(StrategyError, match="num_blocks"):
+        strat().validate(llm, SYS64)
+
+
+def test_dp_must_divide_batch():
+    with pytest.raises(StrategyError, match="divide"):
+        strat(tensor_par=8, pipeline_par=4, data_par=2, batch=63).validate(
+            GPT3_175B, SYS64
+        )
+
+
+def test_microbatch_must_divide_local_batch():
+    with pytest.raises(StrategyError, match="microbatch"):
+        strat(microbatch=3).validate(GPT3_175B, SYS64)
+
+
+def test_interleaving_range():
+    # blocks/p = 96/8 = 12; v=13 is out of range.
+    with pytest.raises(StrategyError, match="interleaving"):
+        strat(pp_interleaving=13).validate(GPT3_175B, SYS64)
+    strat(pp_interleaving=12).validate(GPT3_175B, SYS64)
+
+
+def test_interleaving_requires_pp():
+    s = strat(tensor_par=8, pipeline_par=1, data_par=8, pp_interleaving=2)
+    with pytest.raises(StrategyError, match="requires pipeline"):
+        s.validate(GPT3_175B, SYS64)
+
+
+def test_tp_redo_requires_seq_par():
+    with pytest.raises(StrategyError, match="tp_redo_sp"):
+        strat(tp_redo_sp=True).validate(GPT3_175B, SYS64)
+
+
+def test_pp_rs_ag_requires_seq_par():
+    with pytest.raises(StrategyError, match="pp_rs_ag"):
+        strat(pp_rs_ag=True).validate(GPT3_175B, SYS64)
+
+
+def test_seq_par_needs_divisible_seq():
+    llm = LLMConfig(name="x", hidden=512, attn_heads=8, seq_size=100, num_blocks=8)
+    with pytest.raises(StrategyError, match="seq_par"):
+        strat(seq_par=True).validate(llm, SYS64)
+
+
+def test_offload_requires_tier2():
+    with pytest.raises(StrategyError, match="tier-2"):
+        strat(weight_offload=True).validate(GPT3_175B, SYS64)
+    sys2 = a100_system(64, offload=ddr5_offload(512))
+    strat(weight_offload=True).validate(GPT3_175B, sys2)
+
+
+def test_inference_forbids_recompute():
+    with pytest.raises(StrategyError, match="inference"):
+        strat(training=False, recompute="full").validate(GPT3_175B, SYS64)
+
+
+def test_unknown_modes_rejected():
+    with pytest.raises(StrategyError, match="recompute"):
+        strat(recompute="sometimes").validate(GPT3_175B, SYS64)
+    with pytest.raises(StrategyError, match="tp_overlap"):
+        strat(tp_overlap="magic").validate(GPT3_175B, SYS64)
+
+
+def test_is_valid_wrapper():
+    assert strat().is_valid(GPT3_175B, SYS64)
+    assert not strat(data_par=2).is_valid(GPT3_175B, SYS64)
+
+
+def test_derived_quantities():
+    s = strat(tensor_par=8, pipeline_par=4, data_par=2, batch=64, microbatch=2)
+    assert s.num_procs == 64
+    assert s.local_batch == 32
+    assert s.num_microbatches == 16
+
+
+def test_blocks_per_stage_and_chunk():
+    s = strat(pipeline_par=8, pp_interleaving=3)
+    assert s.blocks_per_stage(96) == 12
+    assert s.blocks_per_chunk(96) == 4
+    # Uneven division rounds up (the busiest stage governs).
+    assert strat(pipeline_par=7, tensor_par=8, data_par=1).blocks_per_stage(96) == 14
+
+
+def test_evolve_returns_modified_copy():
+    s = strat()
+    s2 = s.evolve(recompute="full")
+    assert s2.recompute == "full"
+    assert s.recompute == "none"
+
+
+def test_dict_roundtrip():
+    s = strat(seq_par=True, tp_redo_sp=True, recompute="attn_only")
+    assert ExecutionStrategy.from_dict(s.to_dict()) == s
+
+
+def test_short_name():
+    assert strat().short_name() == "t8p8d1m1v1"
+
+
+def test_factorizations_complete_and_exact():
+    triples = list(factorizations(12))
+    assert all(t * p * d == 12 for t, p, d in triples)
+    assert len(triples) == len(set(triples))
+    # d(12) applied twice: sum over divisors t of d(12/t) = 18 triples.
+    assert len(triples) == 18
+
+
+def test_factorizations_of_one():
+    assert list(factorizations(1)) == [(1, 1, 1)]
+
+
+def test_factorizations_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        list(factorizations(0))
+
+
+def test_divisors():
+    assert divisors(1) == [1]
+    assert divisors(12) == [1, 2, 3, 4, 6, 12]
+    assert divisors(64) == [1, 2, 4, 8, 16, 32, 64]
+    with pytest.raises(ValueError):
+        divisors(0)
+
+
+def test_offloading_property():
+    assert not strat().offloading
+    assert strat(activation_offload=True).offloading

@@ -1,0 +1,72 @@
+"""Strategy-preset tests."""
+
+import pytest
+
+from repro.core import calculate
+from repro.execution import (
+    PRESETS,
+    calculon_software,
+    get_strategy_preset,
+    megatron_baseline,
+    megatron_seq_par,
+    zero_offload,
+)
+from repro.hardware import a100_system, ddr5_offload
+from repro.llm import LLMConfig
+
+LLM = LLMConfig(name="preset-llm", hidden=2048, attn_heads=16, seq_size=1024,
+                num_blocks=16)
+
+
+def test_all_presets_registered():
+    assert set(PRESETS) == {
+        "megatron-baseline",
+        "megatron-seq-par",
+        "calculon-software",
+        "zero-offload",
+    }
+    assert get_strategy_preset("megatron-baseline") is megatron_baseline
+    with pytest.raises(KeyError, match="unknown strategy preset"):
+        get_strategy_preset("nope")
+
+
+def test_baseline_flags():
+    s = megatron_baseline(8, 2, 1, 16)
+    assert s.recompute == "full"
+    assert not s.seq_par
+    assert not s.optimizer_sharding
+    assert s.pp_1f1b
+
+
+def test_seq_par_flags():
+    s = megatron_seq_par(8, 2, 1, 16)
+    assert s.recompute == "attn_only"
+    assert s.seq_par and s.tp_redo_sp and s.pp_rs_ag
+
+
+def test_calculon_software_flags():
+    s = calculon_software(8, 2, 1, 16)
+    assert s.optimizer_sharding and s.dp_overlap and s.fused_activations
+    assert s.tp_overlap == "ring"
+    # Interleaving collapses to 1 when there is no pipeline.
+    assert calculon_software(8, 1, 2, 16).pp_interleaving == 1
+
+
+def test_zero_offload_flags():
+    s = zero_offload(8, 1, 2, 16)
+    assert s.weight_offload and s.activation_offload and s.optimizer_offload
+    assert s.recompute == "none"
+
+
+def test_presets_run_end_to_end():
+    sys_plain = a100_system(16, hbm_gib=1_000_000)
+    sys_off = a100_system(16, hbm_gib=1_000_000, offload=ddr5_offload(100_000))
+    base = calculate(LLM, sys_plain, megatron_baseline(8, 2, 1, 16))
+    sp = calculate(LLM, sys_plain, megatron_seq_par(8, 2, 1, 16))
+    sw = calculate(LLM, sys_plain, calculon_software(8, 2, 1, 16))
+    off = calculate(LLM, sys_off, zero_offload(8, 1, 2, 16))
+    for res in (base, sp, sw, off):
+        assert res.feasible, res.infeasibility
+    # The paper's ladder ordering holds on this small model too.
+    assert sp.batch_time < base.batch_time
+    assert sw.batch_time <= sp.batch_time * 1.05

@@ -1,0 +1,127 @@
+"""System composition and preset tests (paper §2.2)."""
+
+import pytest
+
+from repro.hardware import (
+    MemoryTier,
+    Network,
+    System,
+    a100_system,
+    ddr5_offload,
+    h100_system,
+)
+from repro.units import GB, GiB, TB
+
+
+def test_a100_preset_shape():
+    s = a100_system(4096)
+    assert s.num_procs == 4096
+    assert s.mem1.capacity == 80 * GiB
+    assert s.mem1.bandwidth == 2 * TB
+    assert [n.name for n in s.networks] == ["nvlink3", "ib-hdr"]
+    assert s.mem2 is None
+
+
+def test_h100_preset_with_offload():
+    s = h100_system(512, hbm_gib=40, offload=ddr5_offload(512))
+    assert s.mem1.capacity == 40 * GiB
+    assert s.mem1.bandwidth == 3 * TB
+    assert s.mem2 is not None
+    assert s.mem2.capacity == 512 * GiB
+    assert s.mem2.bandwidth == 100 * GB
+
+
+def test_network_for_span_picks_innermost():
+    s = a100_system(4096)
+    assert s.network_for_span(2).name == "nvlink3"
+    assert s.network_for_span(8).name == "nvlink3"
+    assert s.network_for_span(9).name == "ib-hdr"
+    assert s.network_for_span(4096).name == "ib-hdr"
+
+
+def test_network_for_span_validates():
+    s = a100_system(64)
+    with pytest.raises(ValueError):
+        s.network_for_span(0)
+    with pytest.raises(ValueError):
+        s.network_for_span(65)
+
+
+def test_nvlink_domain_size_configurable():
+    s = a100_system(4096, nvlink_size=32)
+    assert s.network_for_span(32).name == "nvlink3"
+    assert s.network_for_span(33).name == "ib-hdr"
+
+
+def test_with_num_procs_grows_outer_network():
+    s = a100_system(64).with_num_procs(8192)
+    assert s.num_procs == 8192
+    assert s.networks[-1].size >= 8192
+    assert s.network_for_span(8192).name == "ib-hdr"
+
+
+def test_with_mem1_capacity():
+    s = a100_system(8).with_mem1_capacity(160 * GiB)
+    assert s.mem1.capacity == 160 * GiB
+    assert s.mem1.bandwidth == 2 * TB  # unchanged
+
+
+def test_with_mem2():
+    tier = ddr5_offload(256)
+    s = a100_system(8).with_mem2(tier)
+    assert s.has_offload
+    assert s.with_mem2(None).mem2 is None
+
+
+def test_networks_must_be_ordered():
+    tiny = Network(name="a", size=8, bandwidth=1 * GB)
+    big = Network(name="b", size=64, bandwidth=1 * GB)
+    hbm = MemoryTier(name="m", capacity=1 * GiB, bandwidth=1 * TB)
+    from repro.hardware import A100
+
+    with pytest.raises(ValueError, match="innermost-first"):
+        System(name="bad", num_procs=64, processor=A100, mem1=hbm, networks=(big, tiny))
+
+
+def test_outer_network_must_span_system():
+    small = Network(name="a", size=8, bandwidth=1 * GB)
+    hbm = MemoryTier(name="m", capacity=1 * GiB, bandwidth=1 * TB)
+    from repro.hardware import A100
+
+    with pytest.raises(ValueError, match="does not span"):
+        System(name="bad", num_procs=64, processor=A100, mem1=hbm, networks=(small,))
+
+
+def test_nvlink_processor_tax_larger_than_ib():
+    s = a100_system(64)
+    nvl, ib = s.networks
+    assert nvl.processor_usage > ib.processor_usage  # 15% vs 2% (paper §6)
+
+
+def test_single_proc_system_allowed():
+    s = a100_system(1)
+    assert s.network_for_span(1).name == "nvlink3"
+
+
+def test_v100_preset():
+    from repro.hardware import v100_system
+
+    s = v100_system(64)
+    assert s.processor.name == "v100"
+    assert s.mem1.capacity == 32 * GiB
+    assert s.networks[0].name == "nvlink2"
+
+
+def test_h200_preset():
+    from repro.hardware import h200_system
+
+    s = h200_system(64)
+    assert s.mem1.capacity == 141 * GiB
+    assert s.mem1.bandwidth == 4.8 * TB
+
+
+def test_generation_ordering_holds():
+    from repro.hardware import H200, V100, A100, H100
+
+    assert V100.matrix_flops < A100.matrix_flops <= H100.matrix_flops
+    assert H200.matrix_flops == H100.matrix_flops  # same compute die

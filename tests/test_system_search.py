@@ -1,0 +1,122 @@
+"""System-size search and scaling-curve tests (paper §5.2, Figs. 7/10/11)."""
+
+import math
+
+import pytest
+
+from repro.hardware import a100_system, ddr5_offload
+from repro.llm import LLMConfig
+from repro.search import (
+    SearchOptions,
+    ScalingCurve,
+    ScalingPoint,
+    best_at_size,
+    offload_speedups,
+    scaling_sweep,
+)
+
+LLM = LLMConfig(name="scale-llm", hidden=2048, attn_heads=16, seq_size=1024,
+                num_blocks=12)
+
+OPTS = SearchOptions(
+    recompute=("full",),
+    seq_par_modes=((False, False, False),),
+    tp_overlap=("none",),
+    dp_overlap=(False,),
+    optimizer_sharding=(True,),
+    fused_activations=(False,),
+    max_microbatch=4,
+)
+
+
+def factory(n):
+    return a100_system(n)
+
+
+def offload_factory(n):
+    return a100_system(n, offload=ddr5_offload(512))
+
+
+def test_best_at_size_returns_feasible_point():
+    point = best_at_size(LLM, factory, 8, 32, OPTS)
+    assert point.feasible
+    assert point.num_procs == 8
+    assert point.sample_rate > 0
+    assert point.strategy is not None
+    assert point.strategy.num_procs == 8
+
+
+def test_infeasible_size_flagged():
+    tiny = lambda n: a100_system(n, hbm_gib=0.01)
+    point = best_at_size(LLM, tiny, 8, 32, OPTS)
+    assert not point.feasible
+    assert point.sample_rate == 0.0
+
+
+def test_scaling_sweep_shapes():
+    sizes = [4, 8, 12, 16]
+    curve = scaling_sweep(LLM, factory, sizes, 32, OPTS)
+    assert [p.num_procs for p in curve.points] == sizes
+    assert len(curve.rates()) == 4
+    assert curve.llm_name == LLM.name
+
+
+def test_bigger_systems_are_not_slower_in_envelope():
+    # Overall envelope increases with size (Fig. 7's trend), even if
+    # individual points dip (cliffs).
+    sizes = [4, 8, 16]
+    curve = scaling_sweep(LLM, factory, sizes, 32, OPTS)
+    rates = curve.rates()
+    assert rates[-1] >= rates[0]
+
+
+def test_relative_scaling_normalized():
+    curve = scaling_sweep(LLM, factory, [4, 8, 16], 32, OPTS)
+    rel = curve.relative_scaling()
+    assert rel.max() == pytest.approx(1.0)
+    assert (rel >= 0).all()
+
+
+def test_cliff_depths_nonnegative():
+    curve = scaling_sweep(LLM, factory, [4, 8, 12, 16], 32, OPTS)
+    depths = curve.cliff_depths()
+    assert (depths >= -1e-12).all()
+
+
+def test_awkward_sizes_create_cliffs():
+    # Sizes that do not factor nicely for the LLM shape score worse per-proc.
+    curve = scaling_sweep(LLM, factory, [16, 28], 112, OPTS)
+    even, odd = curve.points
+    assert even.per_proc_rate >= odd.per_proc_rate * 0.9
+
+
+def test_offload_speedups_alignment_required():
+    a = ScalingCurve("x", [ScalingPoint(8, 1.0, 1.0, 0.5, None, True)])
+    b = ScalingCurve("x", [ScalingPoint(16, 1.0, 1.0, 0.5, None, True)])
+    with pytest.raises(ValueError, match="identical size grids"):
+        offload_speedups(a, b)
+
+
+def test_offload_speedups_reports_infinite_for_newly_feasible():
+    base = ScalingCurve(
+        "x",
+        [
+            ScalingPoint(8, 0.0, math.inf, 0.0, None, False),
+            ScalingPoint(16, 10.0, 1.0, 0.5, None, True),
+        ],
+    )
+    off = ScalingCurve(
+        "x",
+        [
+            ScalingPoint(8, 5.0, 2.0, 0.5, None, True),
+            ScalingPoint(16, 12.0, 0.9, 0.55, None, True),
+        ],
+    )
+    out = dict(offload_speedups(base, off))
+    assert out[8] == math.inf
+    assert out[16] == pytest.approx(20.0)
+
+
+def test_per_proc_rate():
+    p = ScalingPoint(8, 16.0, 1.0, 0.5, None, True)
+    assert p.per_proc_rate == pytest.approx(2.0)

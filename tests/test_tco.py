@@ -1,0 +1,105 @@
+"""TCO-model tests (paper §6's "analyze total cost of ownership" directive)."""
+
+import pytest
+
+from repro.search.cost import BudgetEntry, SystemDesign
+from repro.search.tco import HOURS_PER_YEAR, PowerModel, TCOReport, tco_report
+
+
+def entry(**kw):
+    base = dict(
+        design=SystemDesign(80, 0),
+        llm_name="llm",
+        max_gpus=4096,
+        used_gpus=4096,
+        sample_rate=1000.0,
+        mfu=0.5,
+        cost=4096 * 30_000.0,
+    )
+    base.update(kw)
+    return BudgetEntry(**base)
+
+
+def test_watts_include_ddr_and_pue():
+    pm = PowerModel(gpu_watts=700, ddr_watts_per_gib=0.4, infra_watts=300,
+                    pue=1.3, utilization=1.0)
+    no_ddr = pm.watts_per_gpu(SystemDesign(80, 0))
+    with_ddr = pm.watts_per_gpu(SystemDesign(80, 512))
+    assert no_ddr == pytest.approx((700 + 300) * 1.3)
+    assert with_ddr - no_ddr == pytest.approx(512 * 0.4 * 1.3)
+
+
+def test_annual_energy_cost():
+    pm = PowerModel(gpu_watts=1000, infra_watts=0, pue=1.0,
+                    dollars_per_kwh=0.10, utilization=1.0)
+    # 1 kW * 8766 h * $0.10 = $876.6 per GPU-year.
+    assert pm.annual_energy_cost(SystemDesign(80, 0), 1) == pytest.approx(876.6)
+    assert pm.annual_energy_cost(SystemDesign(80, 0), 100) == pytest.approx(87_660)
+
+
+def test_power_model_validation():
+    with pytest.raises(ValueError):
+        PowerModel(gpu_watts=0)
+    with pytest.raises(ValueError):
+        PowerModel(pue=0.9)
+    with pytest.raises(ValueError):
+        PowerModel(utilization=0.0)
+    with pytest.raises(ValueError):
+        PowerModel(dollars_per_kwh=-1)
+    pm = PowerModel()
+    with pytest.raises(ValueError):
+        pm.annual_energy_cost(SystemDesign(80, 0), -1)
+
+
+def test_tco_total_cost_composition():
+    report = tco_report(entry(), lifetime_years=4.0)
+    assert report.capex == pytest.approx(4096 * 30_000.0)
+    assert report.total_cost == pytest.approx(
+        report.capex + 4 * report.annual_opex
+    )
+    assert report.annual_opex > 0
+
+
+def test_samples_per_dollar():
+    report = tco_report(entry(), lifetime_years=4.0)
+    lifetime_samples = 1000.0 * 4 * HOURS_PER_YEAR * 3600
+    assert report.samples_per_dollar == pytest.approx(
+        lifetime_samples / report.total_cost
+    )
+    assert report.dollars_per_million_samples == pytest.approx(
+        1e6 / report.samples_per_dollar
+    )
+
+
+def test_zero_rate_reports_infinite_cost_per_sample():
+    report = tco_report(entry(sample_rate=0.0, used_gpus=0, cost=0.0))
+    assert report.samples_per_dollar == 0.0
+    assert report.dollars_per_million_samples == float("inf")
+
+
+def test_lifetime_validation():
+    with pytest.raises(ValueError):
+        tco_report(entry(), lifetime_years=0.0)
+
+
+def test_opex_can_flip_a_capex_ranking():
+    """A cheaper-to-buy design can lose on TCO once power is counted — the
+    §6 point that efficiency gains accumulate over the system's life."""
+    slow_cheap = tco_report(
+        entry(design=SystemDesign(20, 0), sample_rate=800.0,
+              cost=4096 * 22_250.0),
+        lifetime_years=6.0,
+    )
+    fast_dear = tco_report(
+        entry(design=SystemDesign(20, 256), sample_rate=1100.0,
+              cost=4096 * 24_750.0),
+        lifetime_years=6.0,
+    )
+    assert slow_cheap.capex < fast_dear.capex
+    assert fast_dear.samples_per_dollar > slow_cheap.samples_per_dollar
+
+
+def test_longer_lifetime_amortizes_capex():
+    short = tco_report(entry(), lifetime_years=1.0)
+    long = tco_report(entry(), lifetime_years=8.0)
+    assert long.samples_per_dollar > short.samples_per_dollar

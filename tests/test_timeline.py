@@ -1,0 +1,89 @@
+"""Timeline recording and Gantt rendering tests."""
+
+import pytest
+
+from repro.simulator import (
+    PipelineParams,
+    ScheduledItem,
+    render_gantt,
+    simulate,
+    simulate_timeline,
+)
+
+
+def params(**kw):
+    base = dict(num_stages=4, num_microbatches=4, interleaving=1,
+                fw_time=1.0, bw_time=2.0)
+    base.update(kw)
+    return PipelineParams(**base)
+
+
+def test_timeline_matches_simulation_makespan():
+    p = params()
+    tl = simulate_timeline(p)
+    stats = simulate(p)
+    assert max(it.finish for it in tl.items) == pytest.approx(stats.makespan)
+
+
+def test_every_item_recorded_once():
+    p = params(interleaving=2)
+    tl = simulate_timeline(p)
+    expected = p.num_stages * p.interleaving * p.num_microbatches * 2
+    assert len(tl.items) == expected
+    keys = {(it.microbatch, it.vstage, it.phase) for it in tl.items}
+    assert len(keys) == expected
+
+
+def test_items_live_on_their_vstage_device():
+    tl = simulate_timeline(params(interleaving=2))
+    for it in tl.items:
+        assert it.device == it.vstage % 4
+
+
+def test_device_items_sorted_and_non_overlapping():
+    tl = simulate_timeline(params())
+    for dev in range(4):
+        items = tl.device_items(dev)
+        assert items == sorted(items, key=lambda it: it.start)
+        for a, b in zip(items, items[1:]):
+            assert b.start >= a.finish - 1e-9
+
+
+def test_chunk_of():
+    tl = simulate_timeline(params(interleaving=2))
+    assert tl.chunk_of(0) == 0
+    assert tl.chunk_of(3) == 0
+    assert tl.chunk_of(4) == 1
+    assert tl.chunk_of(7) == 1
+
+
+def test_durations_match_phase():
+    tl = simulate_timeline(params())
+    for it in tl.items:
+        expect = 1.0 if it.phase == "f" else 2.0
+        assert it.finish - it.start == pytest.approx(expect)
+
+
+def test_scheduled_item_validation():
+    with pytest.raises(ValueError, match="phase"):
+        ScheduledItem(device=0, microbatch=0, vstage=0, phase="x",
+                      start=0.0, finish=1.0)
+    with pytest.raises(ValueError, match="finish"):
+        ScheduledItem(device=0, microbatch=0, vstage=0, phase="f",
+                      start=2.0, finish=1.0)
+
+
+def test_render_gantt_shape():
+    tl = simulate_timeline(params(num_microbatches=2))
+    text = render_gantt(tl)
+    lines = text.splitlines()
+    assert len(lines) == 5  # 4 devices + legend
+    assert lines[0].startswith("dev0 |")
+    assert "legend" in lines[-1]
+    assert "[0.0]" in text  # at least one backward slot rendered
+
+
+def test_render_gantt_shows_interleaving_chunks():
+    tl = simulate_timeline(params(interleaving=2, num_microbatches=2))
+    text = render_gantt(tl)
+    assert "1.0" in text  # chunk-1 slots appear

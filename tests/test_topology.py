@@ -1,0 +1,79 @@
+"""Network-topology derating tests (fat-tree / dragonfly)."""
+
+import pytest
+
+from repro.hardware import Network
+from repro.hardware.topology import Dragonfly, FatTree, effective_network
+from repro.units import GB
+
+NET = Network(name="ib", size=4096, bandwidth=50 * GB, latency=2e-6,
+              efficiency=0.85)
+
+
+def test_full_bisection_fat_tree_never_derates():
+    ft = FatTree(leaf_size=32, oversubscription=1.0)
+    for span in (2, 32, 1024, 4096):
+        assert ft.bandwidth_factor(span) == 1.0
+
+
+def test_oversubscribed_fat_tree_derates_beyond_leaf():
+    ft = FatTree(leaf_size=32, oversubscription=4.0)
+    assert ft.bandwidth_factor(32) == 1.0
+    assert ft.bandwidth_factor(33) == pytest.approx(0.25)
+    assert ft.bandwidth_factor(4096) == pytest.approx(0.25)
+
+
+def test_fat_tree_latency_grows_with_levels():
+    shallow = FatTree(leaf_size=32, levels=2, per_hop_latency=1e-6)
+    deep = FatTree(leaf_size=32, levels=3, per_hop_latency=1e-6)
+    assert deep.extra_latency(1000) > shallow.extra_latency(1000)
+    assert shallow.extra_latency(8) == pytest.approx(1e-6)  # one leaf hop
+
+
+def test_dragonfly_in_group_is_cheap():
+    df = Dragonfly(group_size=64, global_taper=2.0)
+    assert df.bandwidth_factor(64) == 1.0
+    assert df.bandwidth_factor(65) == pytest.approx(0.5)
+    assert df.extra_latency(64) < df.extra_latency(65)
+
+
+def test_effective_network_scales_bandwidth_and_latency():
+    ft = FatTree(leaf_size=32, oversubscription=4.0, per_hop_latency=1e-6)
+    inside = effective_network(NET, ft, 16)
+    outside = effective_network(NET, ft, 1024)
+    assert inside.bandwidth == pytest.approx(NET.bandwidth)
+    assert outside.bandwidth == pytest.approx(NET.bandwidth / 4)
+    assert outside.latency > inside.latency
+
+
+def test_effective_network_collectives_slow_down_across_the_taper():
+    ft = FatTree(leaf_size=32, oversubscription=4.0)
+    inside = effective_network(NET, ft, 32)
+    outside = effective_network(NET, ft, 256)
+    t_in = inside.collective_time("all_reduce", 1e9, 32)
+    t_out = outside.collective_time("all_reduce", 1e9, 256)
+    assert t_out > t_in
+    # Bandwidth term scales by about the oversubscription ratio.
+    assert t_out / t_in > 3.0
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        FatTree(leaf_size=0)
+    with pytest.raises(ValueError):
+        FatTree(leaf_size=8, oversubscription=0.5)
+    with pytest.raises(ValueError):
+        Dragonfly(group_size=8, global_taper=0.9)
+    with pytest.raises(ValueError):
+        FatTree(leaf_size=8).bandwidth_factor(0)
+
+
+def test_topologies_compose_with_existing_models():
+    """The derated copy is a plain Network — hierarchical collectives work."""
+    from repro.hardware import hierarchical_all_reduce
+
+    nvl = Network(name="nvl", size=8, bandwidth=300 * GB, latency=0.7e-6)
+    ft = FatTree(leaf_size=256, oversubscription=2.0)
+    derated = effective_network(NET, ft, 2048)
+    t = hierarchical_all_reduce(nvl, derated, 1e9, 8, 256)
+    assert t > 0

@@ -1,0 +1,121 @@
+"""2-D tensor-parallelism tests (paper §6's multi-dimensional GEMM point)."""
+
+import pytest
+
+from repro.core import calculate
+from repro.execution import ExecutionStrategy, StrategyError
+from repro.hardware import a100_system
+from repro.llm import LLMConfig, build_block
+from repro.llm.layers import Engine
+
+LLM = LLMConfig(name="tp2d-llm", hidden=4096, attn_heads=64, seq_size=2048,
+                num_blocks=16)
+
+
+def test_2d_requires_square_degree():
+    with pytest.raises(ValueError, match="square"):
+        build_block(LLM, microbatch=1, tensor_par=8, tp_mode="2d")
+    build_block(LLM, microbatch=1, tensor_par=16, tp_mode="2d")  # 4x4 ok
+
+
+def test_2d_rejects_seq_par():
+    with pytest.raises(ValueError, match="seq_par"):
+        build_block(LLM, microbatch=1, tensor_par=16, tp_mode="2d", seq_par=True)
+
+
+def test_unknown_mode_rejected():
+    with pytest.raises(ValueError, match="tp_mode"):
+        build_block(LLM, microbatch=1, tensor_par=4, tp_mode="3d")
+
+
+def test_2d_preserves_gemm_flops():
+    one_d = build_block(LLM, microbatch=2, tensor_par=16, tp_mode="1d")
+    two_d = build_block(LLM, microbatch=2, tensor_par=16, tp_mode="2d")
+    f1 = sum(l.flops_fw for l in one_d.layers if l.engine is Engine.MATRIX)
+    f2 = sum(l.flops_fw for l in two_d.layers if l.engine is Engine.MATRIX)
+    assert f1 == pytest.approx(f2)
+
+
+def test_2d_comm_schedule_shape():
+    block = build_block(LLM, microbatch=1, tensor_par=16, tp_mode="2d")
+    assert len(block.tp_comm_fw) == 8  # 4 GEMMs x (activation AG + weight AG)
+    assert all(c.group == 4 for c in block.tp_comm_fw)  # sqrt(16) grid rows
+    assert all(c.op == "all_gather" for c in block.tp_comm_fw)
+    bsh_e = 1 * LLM.seq_size * LLM.hidden * 2
+    # The first event gathers the QKV input row: bsh * e / grid.
+    assert block.tp_comm_fw[0].nbytes == pytest.approx(bsh_e / 4)
+    # The second gathers the QKV weight column: 3 h^2 e / grid.
+    assert block.tp_comm_fw[1].nbytes == pytest.approx(3 * LLM.hidden**2 * 2 / 4)
+
+
+def _ring_volume(comms, t):
+    vol = 0.0
+    for c in comms:
+        g = c.group or t
+        factor = 2 * (g - 1) / g if c.op == "all_reduce" else (g - 1) / g
+        vol += factor * c.nbytes
+    return vol
+
+
+def test_2d_comm_volume_beats_1d_at_large_t():
+    """The §6 claim: multi-dimensional distribution wins at large TP — with a
+    big enough microbatch for activations to dominate the weight tiles."""
+    t = 64  # 8x8 grid
+    one_d = build_block(LLM, microbatch=16, tensor_par=t, tp_mode="1d")
+    two_d = build_block(LLM, microbatch=16, tensor_par=t, tp_mode="2d")
+    assert _ring_volume(two_d.tp_comm_fw, t) < _ring_volume(one_d.tp_comm_fw, t)
+
+
+def test_1d_comm_volume_wins_at_small_t():
+    """At a small grid, gathering weight tiles costs 2-D more than the
+    activation saving — 1-D stays ahead (the paper's "TP up to 16" regime)."""
+    t = 4  # 2x2 grid
+    one_d = build_block(LLM, microbatch=1, tensor_par=t, tp_mode="1d")
+    two_d = build_block(LLM, microbatch=1, tensor_par=t, tp_mode="2d")
+    assert _ring_volume(one_d.tp_comm_fw, t) <= _ring_volume(two_d.tp_comm_fw, t)
+
+
+def test_2d_shards_residual_stream():
+    one_d = build_block(LLM, microbatch=1, tensor_par=16, tp_mode="1d")
+    two_d = build_block(LLM, microbatch=1, tensor_par=16, tp_mode="2d")
+    assert two_d.stash_bytes("none") < one_d.stash_bytes("none")
+    assert two_d.pp_activation_bytes == pytest.approx(
+        one_d.pp_activation_bytes / 16
+    )
+
+
+def test_strategy_validation_2d():
+    sys64 = a100_system(64, hbm_gib=1_000_000)
+    ok = ExecutionStrategy(tensor_par=16, pipeline_par=2, data_par=2, batch=16,
+                           tp_mode="2d")
+    ok.validate(LLM, sys64)
+    with pytest.raises(StrategyError, match="square"):
+        ExecutionStrategy(tensor_par=8, pipeline_par=4, data_par=2, batch=16,
+                          tp_mode="2d").validate(LLM, sys64)
+    with pytest.raises(StrategyError, match="seq_par"):
+        ExecutionStrategy(tensor_par=16, pipeline_par=2, data_par=2, batch=16,
+                          tp_mode="2d", seq_par=True).validate(LLM, sys64)
+    with pytest.raises(StrategyError, match="tp_mode"):
+        ExecutionStrategy(tensor_par=16, pipeline_par=2, data_par=2, batch=16,
+                          tp_mode="3d").validate(LLM, sys64)
+
+
+def test_model_end_to_end_with_2d():
+    sys64 = a100_system(64, hbm_gib=1_000_000, nvlink_size=64)
+    base = dict(pipeline_par=1, data_par=1, batch=8, microbatch=1,
+                recompute="full")
+    one_d = calculate(
+        LLM, sys64, ExecutionStrategy(tensor_par=64, tp_mode="1d", **base)
+    )
+    two_d = calculate(
+        LLM, sys64, ExecutionStrategy(tensor_par=64, tp_mode="2d", **base)
+    )
+    assert one_d.feasible and two_d.feasible
+    # At t=64 the 2-D distribution spends less time in TP communication.
+    assert two_d.time.tp_comm_total < one_d.time.tp_comm_total
+
+
+def test_dict_roundtrip_includes_tp_mode():
+    s = ExecutionStrategy(tensor_par=16, pipeline_par=1, data_par=1, batch=4,
+                          tp_mode="2d")
+    assert ExecutionStrategy.from_dict(s.to_dict()).tp_mode == "2d"

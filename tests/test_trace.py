@@ -1,0 +1,50 @@
+"""Chrome-trace export tests."""
+
+import json
+
+import pytest
+
+from repro.simulator import PipelineParams, simulate_timeline
+from repro.simulator.trace import timeline_to_trace_events, write_trace
+
+
+@pytest.fixture
+def timeline():
+    return simulate_timeline(
+        PipelineParams(num_stages=2, num_microbatches=3, interleaving=2,
+                       fw_time=1.0, bw_time=2.0)
+    )
+
+
+def test_event_count(timeline):
+    events = timeline_to_trace_events(timeline)
+    meta = [e for e in events if e["ph"] == "M"]
+    slots = [e for e in events if e["ph"] == "X"]
+    assert len(meta) == 2  # one thread_name per device
+    assert len(slots) == 2 * 2 * 3 * 2  # stages * chunks * microbatches * phases
+
+
+def test_events_have_microsecond_timestamps(timeline):
+    slots = [e for e in timeline_to_trace_events(timeline) if e["ph"] == "X"]
+    fw = [e for e in slots if e["cat"] == "forward"]
+    assert all(e["dur"] == pytest.approx(1e6) for e in fw)
+    bw = [e for e in slots if e["cat"] == "backward"]
+    assert all(e["dur"] == pytest.approx(2e6) for e in bw)
+
+
+def test_events_carry_schedule_coordinates(timeline):
+    slots = [e for e in timeline_to_trace_events(timeline) if e["ph"] == "X"]
+    for e in slots:
+        assert set(e["args"]) == {"microbatch", "chunk", "vstage"}
+        assert e["tid"] == e["args"]["vstage"] % 2
+
+
+def test_write_trace_roundtrip(timeline, tmp_path):
+    path = write_trace(timeline, tmp_path / "schedule.json")
+    data = json.loads(path.read_text())
+    assert data["otherData"]["stages"] == 2
+    assert data["otherData"]["interleaving"] == 2
+    assert len(data["traceEvents"]) > 0
+    names = {e["name"] for e in data["traceEvents"] if e["ph"] == "X"}
+    assert "forward c0 m0" in names
+    assert "backward c1 m2" in names

@@ -1,0 +1,94 @@
+"""Training-run planner tests, including the paper's intro-scale claims."""
+
+import pytest
+
+from repro.analysis import plan_training_run
+from repro.core import calculate
+from repro.execution import ExecutionStrategy
+from repro.hardware import a100_system
+from repro.llm import MEGATRON_1T, LLMConfig
+
+SMALL = LLMConfig(name="plan-llm", hidden=2048, attn_heads=16, seq_size=1024,
+                  num_blocks=8)
+
+
+def small_plan(tokens=1e9, **kw):
+    system = a100_system(8, hbm_gib=1_000_000)
+    strat = ExecutionStrategy(
+        tensor_par=8, pipeline_par=1, data_par=1, batch=16, microbatch=1, **kw
+    )
+    return plan_training_run(SMALL, system, strat, tokens=tokens)
+
+
+def test_plan_basic_arithmetic():
+    plan = small_plan(tokens=1e9)
+    assert plan.batch_tokens == 16 * 1024
+    assert plan.num_batches == -(-int(1e9) // (16 * 1024))
+    assert plan.total_seconds == pytest.approx(plan.num_batches * plan.batch_time)
+    assert plan.gpu_hours == pytest.approx(plan.total_seconds / 3600 * 8)
+    assert plan.days == pytest.approx(plan.total_seconds / 86400)
+
+
+def test_total_flops_follows_6nd_rule():
+    plan = small_plan(tokens=1e9)
+    assert plan.total_flops == pytest.approx(6 * SMALL.total_parameters * 1e9)
+
+
+def test_cost_scales_with_rate():
+    plan = small_plan()
+    assert plan.cost(2.0) == pytest.approx(2 * plan.cost(1.0))
+    assert plan.cost(0.0) == 0.0
+    with pytest.raises(ValueError):
+        plan.cost(-1.0)
+
+
+def test_tokens_must_be_positive():
+    with pytest.raises(ValueError, match="tokens"):
+        small_plan(tokens=0)
+
+
+def test_infeasible_configuration_raises():
+    system = a100_system(8, hbm_gib=0.001)
+    strat = ExecutionStrategy(tensor_par=8, pipeline_par=1, data_par=1, batch=16)
+    with pytest.raises(ValueError, match="infeasible"):
+        plan_training_run(SMALL, system, strat, tokens=1e9)
+
+
+def test_precomputed_result_shortcut():
+    system = a100_system(8, hbm_gib=1_000_000)
+    strat = ExecutionStrategy(tensor_par=8, pipeline_par=1, data_par=1, batch=16)
+    res = calculate(SMALL, system, strat)
+    plan = plan_training_run(SMALL, system, strat, tokens=1e9, result=res)
+    assert plan.batch_time == pytest.approx(res.batch_time)
+
+
+def test_summary_text():
+    text = small_plan().summary()
+    assert "days" in text
+    assert "zettaFLOP" in text
+    assert "GPU-hour" in text
+
+
+def test_paper_intro_megatron_1t_campaign():
+    """The paper's motivating numbers: Megatron-1T over 450B tokens on 3,072
+    A100s took 84 days, >1,000 zettaFLOP, ~700 GPU-years, >$6M at $1/hr."""
+    system = a100_system(3072)
+    strat = ExecutionStrategy(
+        tensor_par=8,
+        pipeline_par=64,
+        data_par=6,
+        batch=2160,  # Megatron-1T's published global batch size
+        microbatch=1,
+        recompute="full",
+        optimizer_sharding=True,
+    )
+    plan = plan_training_run(MEGATRON_1T, system, strat, tokens=450e9)
+
+    # >1,000 zettaFLOP of useful model compute (paper: "more than 1,000").
+    assert plan.zetta_flops > 1000
+    assert plan.zetta_flops < 4000
+    # Wall-clock in the published ballpark (paper: 84 days).
+    assert 50 < plan.days < 160
+    # Roughly seven hundred GPU-years and several million dollars.
+    assert 400 < plan.gpu_years < 1400
+    assert 4e6 < plan.cost(1.0) < 12e6

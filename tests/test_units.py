@@ -1,0 +1,76 @@
+"""Unit-helper tests."""
+
+import pytest
+
+from repro import units
+
+
+def test_binary_prefixes_are_powers_of_1024():
+    assert units.KiB == 1024
+    assert units.MiB == 1024**2
+    assert units.GiB == 1024**3
+    assert units.TiB == 1024**4
+
+
+def test_decimal_prefixes_are_powers_of_ten():
+    assert units.GB == 10**9
+    assert units.TB == 10**12
+    assert units.TFLOPS == 10**12
+
+
+def test_gib_conversion_roundtrip():
+    assert units.gib(80 * units.GiB) == pytest.approx(80.0)
+    assert units.tib(4 * units.TiB) == pytest.approx(4.0)
+
+
+def test_gbps_and_tflops():
+    assert units.gbps(100 * units.GB) == pytest.approx(100.0)
+    assert units.tflops(312 * units.TFLOPS) == pytest.approx(312.0)
+
+
+@pytest.mark.parametrize(
+    "nbytes,expect",
+    [
+        (512, "512 B"),
+        (2048, "2.00 KiB"),
+        (17.4 * units.GiB, "17.40 GiB"),
+        (4 * units.TiB, "4.00 TiB"),
+    ],
+)
+def test_human_bytes(nbytes, expect):
+    assert units.human_bytes(nbytes) == expect
+
+
+def test_human_bytes_rejects_negative():
+    with pytest.raises(ValueError):
+        units.human_bytes(-1)
+
+
+@pytest.mark.parametrize(
+    "rate,expect",
+    [
+        (100 * units.GB, "100.00 GB/s"),
+        (3 * units.TB, "3.00 TB/s"),
+        (500, "500 B/s"),
+    ],
+)
+def test_human_rate(rate, expect):
+    assert units.human_rate(rate) == expect
+
+
+def test_human_flops_zetta():
+    assert units.human_flops(1.5 * units.ZETTA) == "1.50 ZFLOP"
+    assert units.human_flops(312 * units.TFLOPS) == "312.00 TFLOP"
+
+
+@pytest.mark.parametrize(
+    "seconds,expect",
+    [(16.7, "16.7 s"), (3.2e-3, "3.2 ms"), (450e-6, "450 us"), (5e-9, "5 ns")],
+)
+def test_human_time(seconds, expect):
+    assert units.human_time(seconds) == expect
+
+
+def test_human_time_rejects_negative():
+    with pytest.raises(ValueError):
+        units.human_time(-0.1)

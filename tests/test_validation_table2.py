@@ -1,0 +1,106 @@
+"""Validation against the paper's Table 2 (Selene measurements).
+
+The paper validates Calculon against measured batch times on NVIDIA's Selene
+for Megatron 22B/175B/530B/1T under (a) full activation recomputation and
+(b) sequence parallelism + selective recomputation.  We re-run the same eight
+configurations with our re-derived model and require agreement with the
+*measured* numbers within a modest band (the paper's own model shows up to
+8.9% error; ours is calibrated to a similar envelope — see EXPERIMENTS.md).
+"""
+
+import pytest
+
+from repro.core import calculate
+from repro.execution import ExecutionStrategy
+from repro.hardware import a100_system
+from repro.llm import get_preset
+
+# (llm preset, gpus, t, p, d, global batch) — the Selene run shapes of
+# Korthikanti et al. '22, which Table 2 reproduces.
+RUNS = [
+    ("megatron-22b", 8, 8, 1, 1, 4),
+    ("gpt3-175b", 64, 8, 8, 1, 64),
+    ("turing-530b", 280, 8, 35, 1, 280),
+    ("megatron-1t", 512, 8, 64, 1, 512),
+]
+
+SELENE_FULL = {"megatron-22b": 1.42, "gpt3-175b": 18.13, "turing-530b": 49.05,
+               "megatron-1t": 94.42}
+SELENE_SEQSEL = {"megatron-22b": 1.10, "gpt3-175b": 13.75, "turing-530b": 37.83,
+                 "megatron-1t": 71.49}
+PAPER_CALC_FULL = {"megatron-22b": 1.40, "gpt3-175b": 18.03, "turing-530b": 49.89,
+                   "megatron-1t": 90.08}
+PAPER_CALC_SEQSEL = {"megatron-22b": 1.14, "gpt3-175b": 13.64, "turing-530b": 34.47,
+                     "megatron-1t": 66.04}
+
+TOLERANCE = 0.15  # relative to the Selene measurement
+
+
+def best_time(name, n, t, p, d, batch, **kw):
+    llm = get_preset(name)
+    system = a100_system(n)
+    best = None
+    for mb in (1, 2, 4):
+        if (batch // d) % mb:
+            continue
+        res = calculate(
+            llm,
+            system,
+            ExecutionStrategy(
+                tensor_par=t, pipeline_par=p, data_par=d, batch=batch,
+                microbatch=mb, **kw,
+            ),
+        )
+        if res.feasible and (best is None or res.batch_time < best):
+            best = res.batch_time
+    assert best is not None, f"no feasible microbatch for {name}"
+    return best
+
+
+@pytest.mark.parametrize("name,n,t,p,d,batch", RUNS)
+def test_full_recompute_within_band(name, n, t, p, d, batch):
+    ours = best_time(name, n, t, p, d, batch, recompute="full")
+    selene = SELENE_FULL[name]
+    assert abs(ours / selene - 1) < TOLERANCE, (
+        f"{name}: predicted {ours:.2f}s vs Selene {selene:.2f}s"
+    )
+
+
+@pytest.mark.parametrize("name,n,t,p,d,batch", RUNS)
+def test_seqpar_selective_within_band(name, n, t, p, d, batch):
+    ours = best_time(
+        name, n, t, p, d, batch,
+        recompute="attn_only", seq_par=True, tp_redo_sp=True,
+    )
+    selene = SELENE_SEQSEL[name]
+    assert abs(ours / selene - 1) < TOLERANCE, (
+        f"{name}: predicted {ours:.2f}s vs Selene {selene:.2f}s"
+    )
+
+
+def test_seqpar_always_beats_full_recompute():
+    """Table 2's structural shape: seq+sel is uniformly faster than full."""
+    for name, n, t, p, d, batch in RUNS:
+        full = best_time(name, n, t, p, d, batch, recompute="full")
+        ss = best_time(
+            name, n, t, p, d, batch,
+            recompute="attn_only", seq_par=True, tp_redo_sp=True,
+        )
+        assert ss < full
+
+
+def test_ordering_matches_model_size():
+    """Bigger models take longer on their (proportionally bigger) systems."""
+    times = [
+        best_time(name, n, t, p, d, batch, recompute="full")
+        for name, n, t, p, d, batch in RUNS
+    ]
+    assert times == sorted(times)
+
+
+def test_within_paper_model_band():
+    """Our model tracks the paper's own Calculon predictions closely."""
+    for name, n, t, p, d, batch in RUNS:
+        ours = best_time(name, n, t, p, d, batch, recompute="full")
+        theirs = PAPER_CALC_FULL[name]
+        assert abs(ours / theirs - 1) < 0.15

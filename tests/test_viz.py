@@ -1,0 +1,91 @@
+"""Terminal-rendering helper tests."""
+
+import pytest
+
+from repro.viz import hbar, heat_grid, scaling_plot, stacked_bars, table
+
+
+def test_hbar_proportional_widths():
+    bar = hbar([("a", 3.0), ("b", 1.0)], total_width=40)
+    assert bar.count("#") == 30
+    assert bar.count("=") == 10
+
+
+def test_hbar_with_external_scale():
+    bar = hbar([("a", 1.0)], total_width=40, scale_max=2.0)
+    assert bar.count("#") == 20
+
+
+def test_hbar_empty():
+    assert hbar([], total_width=40) == "(empty)"
+    assert hbar([("a", 0.0)]) == "(empty)"
+
+
+def test_stacked_bars_shared_scale_and_legend():
+    out = stacked_bars(
+        [
+            ("row1", [("fw", 2.0), ("bw", 4.0)]),
+            ("row2", [("fw", 1.0), ("bw", 2.0)]),
+        ],
+        width=30,
+        unit=" s",
+    )
+    lines = out.splitlines()
+    assert len(lines) == 3
+    assert "6 s" in lines[0]
+    assert "3 s" in lines[1]
+    assert lines[2].startswith("legend:")
+    assert "fw" in lines[2] and "bw" in lines[2]
+    # Shared scale: row2's bar is half of row1's.
+    assert lines[1].count("#") + lines[1].count("=") < lines[0].count("#") + lines[
+        0
+    ].count("=")
+
+
+def test_stacked_bars_no_rows():
+    assert stacked_bars([]) == "(no rows)"
+
+
+def test_table_alignment_and_floats():
+    out = table(["name", "value"], [("x", 1.23456), ("longer", 2)])
+    lines = out.splitlines()
+    assert lines[0].startswith("name")
+    assert set(lines[1]) <= {"-", "+"}
+    assert "1.235" in out  # .4g float formatting
+    assert len(lines) == 4
+
+
+def test_table_empty_rows():
+    out = table(["a", "b"], [])
+    assert "a" in out and "b" in out
+
+
+def test_scaling_plot_shape():
+    out = scaling_plot([8, 16, 32, 64], [0.5, 1.0, 0.8, 0.9], height=6, width=20)
+    lines = out.splitlines()
+    assert len(lines) == 7  # height rows + x-axis label line
+    assert out.count("*") == 4
+    assert "system size" in lines[-1]
+
+
+def test_scaling_plot_validates():
+    with pytest.raises(ValueError):
+        scaling_plot([], [])
+    with pytest.raises(ValueError):
+        scaling_plot([1, 2], [1.0])
+
+
+def test_heat_grid_layout():
+    out = heat_grid(["t=1", "t=2"], ["p=1", "p=2"], [["a/1", "b/2"], ["--", "c/3"]])
+    lines = out.splitlines()
+    assert len(lines) == 3
+    assert "p=1" in lines[0] and "p=2" in lines[0]
+    assert lines[1].strip().startswith("t=1")
+    assert "--" in lines[2]
+
+
+def test_heat_grid_validates_shape():
+    with pytest.raises(ValueError):
+        heat_grid(["r"], ["c1", "c2"], [["only-one"]])
+    with pytest.raises(ValueError):
+        heat_grid(["r1", "r2"], ["c"], [["x"]])
