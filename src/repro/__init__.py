@@ -28,6 +28,13 @@ from .core import (
     TimeBreakdown,
     calculate,
 )
+from .engine import (
+    EvalContext,
+    FeasibilityReport,
+    check_feasible,
+    evaluate,
+    evaluate_many,
+)
 from .execution import ExecutionStrategy, StrategyError
 from .hardware import MemoryTier, Network, Processor, System
 from .llm import LLMConfig
@@ -35,7 +42,9 @@ from .llm import LLMConfig
 __version__ = "1.0.0"
 
 __all__ = [
+    "EvalContext",
     "ExecutionStrategy",
+    "FeasibilityReport",
     "LLMConfig",
     "MemoryBreakdown",
     "MemoryTier",
@@ -47,5 +56,8 @@ __all__ = [
     "System",
     "TimeBreakdown",
     "calculate",
+    "check_feasible",
+    "evaluate",
+    "evaluate_many",
     "__version__",
 ]

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Sequence
 
-from ..core.model import calculate
+from ..engine import evaluate_many
 from ..execution.strategy import ExecutionStrategy
 from ..hardware.system import System
 from ..llm.config import LLMConfig
@@ -44,13 +44,19 @@ def batch_sweep_fixed(
 
     Batches that the strategy cannot divide are reported infeasible rather
     than skipped, so the caller sees the exact usable set.
+
+    The whole sweep is one batched engine call: every point shares the same
+    block profile (the microbatch is fixed), so the profile is computed once
+    and memory-infeasible batches never reach the timing stages.
     """
-    points = []
     for batch in batches:
         if batch < 1:
             raise ValueError("batch sizes must be positive")
-        strat = replace(strategy, batch=batch)
-        res = calculate(llm, system, strat)
+    strats = [replace(strategy, batch=batch) for batch in batches]
+    points = []
+    for batch, strat, res in zip(
+        batches, strats, evaluate_many(llm, system, strats, prune=True)
+    ):
         points.append(
             BatchPoint(
                 batch=batch,

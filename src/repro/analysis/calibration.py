@@ -15,8 +15,7 @@ from typing import Sequence
 
 import numpy as np
 
-from ..core import model as _model
-from ..core.model import calculate
+from ..engine import clear_caches, evaluate
 from ..execution.strategy import ExecutionStrategy
 from ..hardware.processor import EfficiencyCurve
 from ..hardware.system import System
@@ -66,7 +65,7 @@ def _errors(
     preds = []
     for run in runs:
         sys_ = _apply_knobs(run.system, plateau, hbm_eff)
-        res = calculate(run.llm, sys_, run.strategy)
+        res = evaluate(run.llm, sys_, run.strategy)
         preds.append(res.batch_time if res.feasible else float("inf"))
     preds_arr = np.asarray(preds)
     meas = np.asarray([r.measured_time for r in runs])
@@ -96,7 +95,7 @@ def calibrate(
                       else np.linspace(0.3, 1.0, 8))
 
     def objective(p: float, h: float) -> float:
-        _model._profile_block.cache_clear()
+        clear_caches()
         _, rel = _errors(runs, p, h)
         if not np.isfinite(rel).all():
             return float("inf")
@@ -121,7 +120,7 @@ def calibrate(
                 best = (err, float(p), float(h))
 
     err, p_fit, h_fit = best
-    _model._profile_block.cache_clear()
+    clear_caches()
     preds, rel = _errors(runs, p_fit, h_fit)
     return CalibrationResult(
         matrix_plateau=p_fit,

@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
-from ..core.model import calculate
+from ..engine import check_feasible
 from ..execution.strategy import ExecutionStrategy
 from ..hardware.system import System
 from ..llm.config import LLMConfig
@@ -23,18 +23,19 @@ def minimum_hbm(
 ) -> float:
     """Tier-1 bytes a strategy needs, independent of the system's capacity.
 
-    Evaluates the strategy on a capacity-unconstrained clone of the system
-    and returns the resident footprint.
+    Runs the engine's feasibility fast path on a capacity-unconstrained
+    clone of the system and returns the resident footprint — a pure
+    memory-plan question, so no timing work is done at all.
 
     Raises:
         ValueError: if the strategy is invalid for reasons other than
             capacity (shape mismatches, divisibility, missing tier-2).
     """
     unconstrained = system.with_mem1_capacity(float("inf"))
-    res = calculate(llm, unconstrained, strategy)
-    if not res.feasible:
-        raise ValueError(f"strategy invalid beyond capacity: {res.infeasibility}")
-    return res.mem1.total
+    report = check_feasible(llm, unconstrained, strategy)
+    if not report.feasible:
+        raise ValueError(f"strategy invalid beyond capacity: {report.reason}")
+    return report.mem1.total
 
 
 @dataclass(frozen=True)

@@ -14,7 +14,7 @@ import math
 from dataclasses import dataclass, replace
 from typing import Iterator
 
-from ..core.model import calculate
+from ..engine import evaluate
 from ..execution.strategy import ExecutionStrategy
 from ..hardware.system import System
 from ..llm.config import LLMConfig
@@ -93,13 +93,13 @@ def sensitivity(
     """
     if scale <= 1.0:
         raise ValueError("scale must be > 1")
-    baseline = calculate(llm, system, strategy)
+    baseline = evaluate(llm, system, strategy)
     if not baseline.feasible:
         raise ValueError(f"baseline infeasible: {baseline.infeasibility}")
 
     out = []
     for knob, scaled_system in _scaled_systems(system, scale):
-        res = calculate(llm, scaled_system, strategy)
+        res = evaluate(llm, scaled_system, strategy)
         scaled_time = res.batch_time if res.feasible else baseline.batch_time
         out.append(
             Elasticity(

@@ -13,8 +13,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-from ..core.model import calculate
 from ..core.results import PerformanceResult
+from ..engine import evaluate
 from ..execution.strategy import ExecutionStrategy
 from ..hardware.system import System
 from ..llm.config import LLMConfig
@@ -95,7 +95,7 @@ def plan_training_run(
     """
     if tokens <= 0:
         raise ValueError("tokens must be positive")
-    res = result if result is not None else calculate(llm, system, strategy)
+    res = result if result is not None else evaluate(llm, system, strategy)
     if not res.feasible:
         raise ValueError(f"infeasible configuration: {res.infeasibility}")
 

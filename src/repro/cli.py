@@ -21,7 +21,8 @@ import time
 from pathlib import Path
 
 from .analysis import MeasuredRun, calibrate, plan_training_run, sensitivity
-from .core import calculate, hottest_layers, profile_layers
+from .core import hottest_layers, profile_layers
+from .engine import evaluate
 from .execution import ExecutionStrategy
 from .hardware import (
     System,
@@ -113,7 +114,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             optimizer_offload=args.offload,
         )
     start = time.perf_counter()
-    result = calculate(llm, system, strategy)
+    result = evaluate(llm, system, strategy)
     elapsed = time.perf_counter() - start
     if args.format == "csv":
         from .io import results_to_csv
@@ -459,7 +460,8 @@ def main(argv: list[str] | None = None) -> int:
     swp.add_argument("--max-size", type=int, default=8192)
     swp.add_argument("--step", type=int, default=512)
     swp.add_argument("--options", default="all")
-    swp.add_argument("--workers", type=int, default=0)
+    swp.add_argument("--workers", type=int, default=None,
+                     help="processes per inner search (default: auto)")
     swp.set_defaults(func=_cmd_sweep)
 
     bud = sub.add_parser("budget", help="budgeted optimal-system search")

@@ -1,166 +1,46 @@
-"""The core analytical performance model (paper §2.4).
+"""The core analytical performance model (paper §2.4) — stable wrapper.
 
-Given the three specifications — LLM, system, execution strategy — this module
-performs a single calculation of time and resource usage.  It exploits the
-regular structure of the transformer: one sharded block is profiled once and
-its results reused for every block/microbatch, which keeps a full analysis
-well under a millisecond.
+Given the three specifications — LLM, system, execution strategy — a single
+call to :func:`calculate` returns the full time and resource estimation.  The
+implementation lives in :mod:`repro.engine`, which decomposes the calculation
+into five composable stages (validate → profile → memory plan → comm
+exposure → time assembly); this module keeps the historical entry point and
+the internal names older code imports (``_profile_block``,
+``_in_flight_microbatches``, ...) pointing at the staged engine, so outputs
+stay numerically identical to the original monolith.
 
-The calculation captures the interactions the paper calls out explicitly:
-
-* DP communication may overlap the backward pass, but the all-gather phase of
-  sharded optimizer state never overlaps the optimizer step;
-* offload traffic is throttled while tier-1 (HBM) memory is in active use —
-  only HBM-idle portions of a block's execution window hide transfers;
-* driving a network at full bandwidth taxes the processor
-  (``Network.processor_usage``), degrading overlapped computation;
-* recomputation replays forward compute *and* forward TP communication.
+Sweep-shaped callers should prefer the engine's batched API
+(:func:`repro.engine.evaluate_many`) or the feasibility fast path
+(:func:`repro.engine.check_feasible`) over per-candidate ``calculate`` loops.
 """
 
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass
-from functools import lru_cache
 
-from ..execution.strategy import ExecutionStrategy, StrategyError
-from ..hardware.network import Network
-from ..hardware.system import System
-from ..llm.blocks import build_block
-from ..llm.config import LLMConfig
-from .flops import layer_bw_time, layer_fw_time
-from .results import (
-    MemoryBreakdown,
-    OffloadStats,
-    PerformanceResult,
-    TimeBreakdown,
+from ..engine.api import evaluate
+from ..engine.profile import BlockProfile, profile_block
+from ..engine.stages import (
+    OFFLOAD_WORKING_BLOCKS as _OFFLOAD_WORKING_BLOCKS,  # noqa: F401
+    TP_OVERLAP_WINDOW as _TP_OVERLAP_WINDOW,  # noqa: F401
+    exposed_and_tax,
+    in_flight_microbatches,
 )
+from ..execution.strategy import ExecutionStrategy
+from ..hardware.system import System
+from ..llm.config import LLMConfig
+from .results import PerformanceResult
 
-# Fraction of a block's compute window usable to hide TP collectives.
-_TP_OVERLAP_WINDOW = {"none": 0.0, "pipe": 0.5, "ring": 0.8}
-
-# Blocks of working set kept resident when a tensor class is offloaded:
-# the block being computed plus one prefetch and one writeback buffer (Fig. 8).
-_OFFLOAD_WORKING_BLOCKS = 3
+# Historical internal names; the canonical definitions moved to repro.engine.
+_BlockProfile = BlockProfile
+_profile_block = profile_block
+_exposed_and_tax = exposed_and_tax
+_in_flight_microbatches = in_flight_microbatches
 
 # When REPRO_DEBUG_CHECK is set, every calculate() output is run through the
 # internal-consistency checker (repro.core.consistency) before returning —
 # a tripwire for development; off by default for search throughput.
 _DEBUG_CHECK = bool(os.environ.get("REPRO_DEBUG_CHECK"))
-
-
-@dataclass(frozen=True)
-class _BlockProfile:
-    """Cached per-block timing and footprint figures (per microbatch)."""
-
-    fw_time: float
-    bw_time: float
-    recompute_time: float
-    fw_hbm_idle: float  # portion of fw window with tier-1 memory idle
-    bw_hbm_idle: float
-    flops_fw: float
-    flops_bw: float
-    weight_bytes: float
-    weight_grad_bytes: float
-    optimizer_bytes: float
-    stash_bytes: float
-    input_bytes: float
-    act_grad_bytes: float
-    tp_fw_comm: float
-    tp_bw_comm: float
-    tp_recompute_comm: float
-
-
-@lru_cache(maxsize=65536)
-def _profile_block(
-    llm: LLMConfig,
-    system: System,
-    microbatch: int,
-    tensor_par: int,
-    seq_par: bool,
-    fused: bool,
-    tp_redo_sp: bool,
-    recompute: str,
-    tp_mode: str = "1d",
-) -> _BlockProfile:
-    """Profile one sharded transformer block on one processor."""
-    block = build_block(
-        llm,
-        microbatch=microbatch,
-        tensor_par=tensor_par,
-        seq_par=seq_par,
-        fused_activations=fused,
-        tp_redo_sp=tp_redo_sp,
-        tp_mode=tp_mode,
-    )
-    proc, hbm = system.processor, system.mem1
-
-    fw_time = bw_time = 0.0
-    fw_idle = bw_idle = 0.0
-    recompute_time = 0.0
-    for layer in block.layers:
-        f = layer_fw_time(proc, hbm, layer)
-        b = layer_bw_time(proc, hbm, layer)
-        fw_time += f.total
-        bw_time += b.total
-        fw_idle += f.total - f.memory
-        bw_idle += b.total - b.memory
-        replayed = recompute == "full" or (recompute == "attn_only" and layer.attn_only)
-        if replayed:
-            recompute_time += f.total
-
-    tp_net = system.network_for_span(tensor_par) if tensor_par > 1 else None
-
-    def comm_time(events) -> float:
-        if tp_net is None:
-            return 0.0
-        return sum(
-            tp_net.collective_time(ev.op, ev.nbytes, ev.group or tensor_par)
-            for ev in events
-        )
-
-    tp_fw = comm_time(block.tp_comm_fw)
-    tp_bw = comm_time(block.tp_comm_bw)
-    # Full recompute replays the forward pass communication as well; the
-    # attention core contains no TP boundary, so selective recompute adds none.
-    tp_recompute = tp_fw if recompute == "full" else 0.0
-
-    return _BlockProfile(
-        fw_time=fw_time,
-        bw_time=bw_time,
-        recompute_time=recompute_time,
-        fw_hbm_idle=fw_idle,
-        bw_hbm_idle=bw_idle,
-        flops_fw=block.flops_fw(),
-        flops_bw=block.flops_bw(),
-        weight_bytes=block.weight_bytes(),
-        weight_grad_bytes=block.weight_grad_bytes(),
-        optimizer_bytes=block.optimizer_bytes(),
-        stash_bytes=block.stash_bytes(recompute),
-        input_bytes=block.input_bytes,
-        act_grad_bytes=2.0 * block.max_output_bytes(),
-        tp_fw_comm=tp_fw,
-        tp_bw_comm=tp_bw,
-        tp_recompute_comm=tp_recompute,
-    )
-
-
-def _exposed_and_tax(
-    comm: float, window: float, net: Network | None
-) -> tuple[float, float]:
-    """Split a communication time into exposed part + compute-slowdown tax.
-
-    ``window`` is the compute time available for hiding.  The hidden portion
-    steals ``processor_usage`` of the processor, slowing concurrent compute by
-    ``pu / (1 - pu)`` of the hidden duration.
-    """
-    if net is None or comm <= 0:
-        return max(comm, 0.0), 0.0
-    exposed = max(0.0, comm - window)
-    hidden = comm - exposed
-    pu = net.processor_usage
-    tax = hidden * pu / (1.0 - pu) if pu > 0 else 0.0
-    return exposed, tax
 
 
 def calculate(
@@ -172,290 +52,9 @@ def calculate(
     strategy violates a constraint or exceeds a memory capacity, so search
     engines can sweep the space without exception handling.
     """
-    try:
-        strategy.validate(llm, system)
-    except StrategyError as err:
-        return PerformanceResult.infeasible(
-            llm.name, system.name, strategy.short_name(), strategy.batch, str(err)
-        )
-
-    t, p, d = strategy.tensor_par, strategy.pipeline_par, strategy.data_par
-    v = strategy.pp_interleaving
-    M = strategy.num_microbatches
-    L = llm.num_blocks
-    bpstage = strategy.blocks_per_stage(L)
-    e = llm.bytes_per_element
-    b = strategy.microbatch
-
-    prof = _profile_block(
-        llm,
-        system,
-        b,
-        t,
-        strategy.seq_par,
-        strategy.fused_activations,
-        strategy.tp_redo_sp,
-        strategy.recompute,
-        strategy.tp_mode,
-    )
-
-    tp_net = system.network_for_span(t) if t > 1 else None
-    pp_net = system.network_for_span(min(system.num_procs, t * p)) if p > 1 else None
-    dp_net = (
-        system.network_for_span(min(system.num_procs, t * p * d)) if d > 1 else None
-    )
-
-    training = strategy.training
-
-    # ---- per-block TP communication exposure --------------------------------
-    win_frac = _TP_OVERLAP_WINDOW[strategy.tp_overlap]
-    tp_fw_exp, tp_fw_tax = _exposed_and_tax(
-        prof.tp_fw_comm, win_frac * prof.fw_time, tp_net
-    )
-    tp_bw_exp, tp_bw_tax = _exposed_and_tax(
-        prof.tp_bw_comm, win_frac * prof.bw_time, tp_net
-    )
-    tp_rc_exp, tp_rc_tax = _exposed_and_tax(
-        prof.tp_recompute_comm, win_frac * prof.recompute_time, tp_net
-    )
-
-    # ---- per-microbatch stage times ------------------------------------------
-    t_f_mb = bpstage * (prof.fw_time + tp_fw_exp + tp_fw_tax)
-    if training:
-        t_b_mb = bpstage * (
-            prof.bw_time
-            + prof.recompute_time
-            + tp_bw_exp
-            + tp_bw_tax
-            + tp_rc_exp
-            + tp_rc_tax
-        )
-    else:
-        t_b_mb = 0.0
-
-    # ---- pipeline point-to-point ---------------------------------------------
-    # In the 1F1B steady state the asynchronous sends/receives hide behind the
-    # per-chunk compute of other microbatches; a crossing is exposed only when
-    # the transfer outlasts the chunk it overlaps.  The (p-1) fill (and drain)
-    # crossings of the prologue/epilogue are serial and always exposed.
-    pp_total = pp_exposed = 0.0
-    if pp_net is not None:
-        full_act = b * llm.seq_size * llm.hidden * e
-        pp_bytes = full_act / t if strategy.pp_rs_ag else full_act
-        p2p = pp_net.collective_time("p2p", pp_bytes, 2)
-        if strategy.pp_rs_ag and tp_net is not None:
-            # Re-gather / scatter around the transfer rides the TP network.
-            p2p += tp_net.collective_time("all_gather", full_act, t)
-            p2p += tp_net.collective_time("reduce_scatter", full_act, t)
-        crossings = v * (2 if training else 1)  # fw (+ bw) per chunk boundary
-        pp_total = M * crossings * p2p
-        chunk_f = t_f_mb / v
-        chunk_b = t_b_mb / v if training else 0.0
-        pp_exposed = M * v * max(0.0, p2p - chunk_f)
-        if training:
-            pp_exposed += M * v * max(0.0, p2p - chunk_b)
-        pp_exposed += (p - 1) * p2p  # pipeline fill hand-offs
-
-    # ---- pipeline bubble -------------------------------------------------------
-    if p > 1:
-        chunk = (t_f_mb + t_b_mb) / v
-        pp_bubble = (p - 1) * chunk
-    else:
-        pp_bubble = 0.0
-
-    # ---- data-parallel gradient communication ---------------------------------
-    dp_total = dp_exposed = dp_tax = 0.0
-    if training and dp_net is not None:
-        grad_bytes = bpstage * prof.weight_grad_bytes
-        if strategy.optimizer_sharding:
-            rs = dp_net.collective_time("reduce_scatter", grad_bytes, d)
-            ag = dp_net.collective_time("all_gather", grad_bytes, d)
-            dp_total = rs + ag
-        else:
-            rs = dp_net.collective_time("all_reduce", grad_bytes, d)
-            ag = 0.0
-            dp_total = rs
-        if strategy.dp_overlap and bpstage > 0:
-            # The gradient reduction overlaps layer-wise with the last
-            # microbatch's backward pass (Fig. 2b); the final block's
-            # communication is always exposed.  With optimizer sharding, the
-            # weight all-gather never overlaps the optimizer step itself but
-            # hides behind the next iteration's forward pass (ZeRO prefetch).
-            blocks = bpstage * v
-            win_bw = t_b_mb * (blocks - 1) / blocks if blocks > 1 else 0.0
-            exp_rs, tax_rs = _exposed_and_tax(rs, win_bw, dp_net)
-            dp_exposed = max(rs / blocks, exp_rs)
-            dp_tax = tax_rs
-            if ag > 0:
-                win_fw = t_f_mb * (blocks - 1) / blocks if blocks > 1 else 0.0
-                exp_ag, tax_ag = _exposed_and_tax(ag, win_fw, dp_net)
-                dp_exposed += max(ag / blocks, exp_ag)
-                dp_tax += tax_ag
-        else:
-            dp_exposed = dp_total
-
-    # ---- optimizer step ---------------------------------------------------------
-    optim_time = 0.0
-    opt_shard = d if strategy.optimizer_sharding else 1
-    opt_bytes = bpstage * prof.optimizer_bytes / opt_shard
-    if training:
-        params = opt_bytes / 12.0
-        opt_flops = 12.0 * params  # Adam: moments update, bias-correct, apply
-        traffic = (
-            2.0 * opt_bytes
-            + bpstage * (prof.weight_grad_bytes + prof.weight_bytes) / opt_shard
-        )
-        opt_mem = system.mem2 if strategy.optimizer_offload and system.mem2 else system.mem1
-        compute_t = system.processor.compute_time("vector", opt_flops)
-        optim_time = max(compute_t, traffic / opt_mem.effective_bandwidth(traffic))
-
-    # ---- memory accounting -------------------------------------------------------
-    in_flight = _in_flight_microbatches(M, p, v, strategy.pp_1f1b)
-    stash_total = prof.stash_bytes * bpstage * in_flight
-    weight_total = bpstage * prof.weight_bytes
-    grad_total = bpstage * prof.weight_grad_bytes if training else 0.0
-
-    tier2_used = 0.0
-    if strategy.weight_offload:
-        weight_res = min(bpstage, _OFFLOAD_WORKING_BLOCKS) * prof.weight_bytes
-        tier2_used += weight_total
-    else:
-        weight_res = weight_total
-    if training and strategy.activation_offload:
-        act_res = min(bpstage * in_flight, _OFFLOAD_WORKING_BLOCKS) * prof.stash_bytes
-        tier2_used += stash_total
-    else:
-        act_res = stash_total if training else prof.stash_bytes
-    if training and strategy.optimizer_offload:
-        opt_res = min(bpstage, 1) * prof.optimizer_bytes / opt_shard
-        grad_res = min(bpstage, _OFFLOAD_WORKING_BLOCKS) * prof.weight_grad_bytes
-        # With the distributed (sharded) optimizer, gradients are
-        # reduce-scattered before being stashed, so the tier-2 copy is
-        # sharded across the data-parallel group.
-        tier2_used += opt_bytes + grad_total / opt_shard
-    else:
-        opt_res = opt_bytes if training else 0.0
-        grad_res = grad_total
-
-    mem1 = MemoryBreakdown(
-        weight=weight_res,
-        activation=act_res,
-        weight_grad=grad_res,
-        activation_grad=prof.act_grad_bytes if training else 0.0,
-        optimizer=opt_res,
-    )
-
-    # ---- offload traffic, bandwidth requirement, exposure -------------------------
-    offload_total = offload_exposed = 0.0
-    required_bw = 0.0
-    if strategy.offloading and system.mem2 is not None:
-        mem2_bw = system.mem2.effective_bandwidth(float("inf"))
-        bytes_fw = (prof.stash_bytes if strategy.activation_offload else 0.0) + (
-            prof.weight_bytes if strategy.weight_offload else 0.0
-        )
-        bytes_bw = (
-            (prof.stash_bytes if strategy.activation_offload else 0.0)
-            + (prof.weight_bytes if strategy.weight_offload else 0.0)
-            + (prof.weight_grad_bytes if strategy.optimizer_offload else 0.0)
-        )
-        win_fw = prof.fw_time + tp_fw_exp  # HBM idles during exposed comm too
-        win_bw = prof.bw_time + prof.recompute_time + tp_bw_exp + tp_rc_exp
-        # Throttled overlap: only HBM-idle portions of the window hide traffic.
-        idle_fw = prof.fw_hbm_idle + tp_fw_exp
-        idle_bw = prof.bw_hbm_idle + tp_bw_exp + tp_rc_exp
-        if bytes_fw > 0 and win_fw > 0:
-            required_bw = max(required_bw, bytes_fw / win_fw)
-        if training and bytes_bw > 0 and win_bw > 0:
-            required_bw = max(required_bw, bytes_bw / win_bw)
-        n_fw = M * bpstage
-        n_bw = M * bpstage if training else 0
-        offload_total = (n_fw * bytes_fw + n_bw * bytes_bw) / mem2_bw
-        offload_exposed = n_fw * max(0.0, bytes_fw / mem2_bw - idle_fw)
-        offload_exposed += n_bw * max(0.0, bytes_bw / mem2_bw - idle_bw)
-
-    # ---- feasibility ----------------------------------------------------------------
-    if mem1.total > system.mem1.capacity:
-        return PerformanceResult.infeasible(
-            llm.name,
-            system.name,
-            strategy.short_name(),
-            strategy.batch,
-            f"tier-1 memory {mem1.total / 2**30:.1f} GiB exceeds capacity "
-            f"{system.mem1.capacity / 2**30:.1f} GiB",
-        )
-    if system.mem2 is not None and tier2_used > system.mem2.capacity:
-        return PerformanceResult.infeasible(
-            llm.name,
-            system.name,
-            strategy.short_name(),
-            strategy.batch,
-            f"tier-2 memory {tier2_used / 2**30:.1f} GiB exceeds capacity "
-            f"{system.mem2.capacity / 2**30:.1f} GiB",
-        )
-
-    # ---- assemble the time breakdown ---------------------------------------------
-    time = TimeBreakdown(
-        fw_pass=M * bpstage * prof.fw_time,
-        bw_pass=M * bpstage * prof.bw_time if training else 0.0,
-        fw_recompute=M * bpstage * prof.recompute_time if training else 0.0,
-        optim_step=optim_time,
-        pp_bubble=pp_bubble,
-        tp_comm_exposed=M
-        * bpstage
-        * (tp_fw_exp + (tp_bw_exp + tp_rc_exp if training else 0.0)),
-        pp_comm_exposed=pp_exposed,
-        dp_comm_exposed=dp_exposed,
-        offload_exposed=offload_exposed,
-        overlap_tax=M
-        * bpstage
-        * (tp_fw_tax + (tp_bw_tax + tp_rc_tax if training else 0.0))
-        + dp_tax,
-        tp_comm_total=M
-        * bpstage
-        * (
-            prof.tp_fw_comm
-            + (prof.tp_bw_comm + prof.tp_recompute_comm if training else 0.0)
-        ),
-        pp_comm_total=pp_total,
-        dp_comm_total=dp_total,
-        offload_total=offload_total,
-    )
-
-    # ---- model FLOPs utilization ----------------------------------------------------
-    useful_flops = (
-        (prof.flops_fw + (prof.flops_bw if training else 0.0)) * t * L * M * d
-    )
-    peak = system.processor.matrix_flops * system.num_procs
-    mfu = useful_flops / (time.batch_time * peak) if time.batch_time > 0 else 0.0
-
-    result = PerformanceResult(
-        llm_name=llm.name,
-        system_name=system.name,
-        strategy_name=strategy.short_name(),
-        batch=strategy.batch,
-        time=time,
-        mem1=mem1,
-        offload=OffloadStats(used_bytes=tier2_used, required_bandwidth=required_bw),
-        mfu=mfu,
-    )
-    if _DEBUG_CHECK:
+    result = evaluate(llm, system, strategy)
+    if _DEBUG_CHECK and result.feasible:
         from .consistency import assert_consistent
 
         assert_consistent(result)
     return result
-
-
-def _in_flight_microbatches(M: int, p: int, v: int, one_f_one_b: bool) -> float:
-    """Microbatches whose activations are simultaneously stashed per stage.
-
-    1F1B bounds in-flight microbatches by the pipeline depth ``p``; the
-    interleaved variant stores an extra ``(p-1)/v`` partial set (Korthikanti
-    et al. '22, Eq. 6).  Without 1F1B (GPipe-style), every microbatch of the
-    flush is live at the fill peak.
-    """
-    if p == 1:
-        return 1.0
-    if not one_f_one_b:
-        return float(M)
-    base = float(p) if v == 1 else p + (p - 1) / v
-    return min(float(M) if v == 1 else M + (p - 1) / v, base)

@@ -1,0 +1,58 @@
+"""Staged evaluation engine: the analytical model as composable phases.
+
+The monolithic ``calculate()`` of ``repro.core.model`` is implemented here as
+an explicit five-stage pipeline over an :class:`EvalContext`::
+
+    validate -> profile -> memory plan -> comm exposure -> time assembly
+
+On top of the stages sit a feasibility fast path (:func:`check_feasible`) and
+a batched sweep primitive (:func:`evaluate_many`) that groups candidates by
+block-profile key and fully evaluates only memory-feasible survivors.
+``repro.core.calculate`` remains the stable single-configuration wrapper.
+"""
+
+from .api import (
+    FAST_PATH,
+    PIPELINE,
+    check_feasible,
+    evaluate,
+    evaluate_many,
+    iter_evaluate,
+)
+from .context import CommExposure, EvalContext, FeasibilityReport, MemoryPlan
+from .profile import BlockProfile, clear_caches, profile_block, profile_key
+from .stages import (
+    exposed_and_tax,
+    in_flight_microbatches,
+    infeasible_result,
+    stage_assemble,
+    stage_comm,
+    stage_memory,
+    stage_profile,
+    stage_validate,
+)
+
+__all__ = [
+    "BlockProfile",
+    "CommExposure",
+    "EvalContext",
+    "FAST_PATH",
+    "FeasibilityReport",
+    "MemoryPlan",
+    "PIPELINE",
+    "check_feasible",
+    "clear_caches",
+    "evaluate",
+    "evaluate_many",
+    "exposed_and_tax",
+    "in_flight_microbatches",
+    "infeasible_result",
+    "iter_evaluate",
+    "profile_block",
+    "profile_key",
+    "stage_assemble",
+    "stage_comm",
+    "stage_memory",
+    "stage_profile",
+    "stage_validate",
+]

@@ -1,0 +1,200 @@
+"""Public entry points of the staged evaluation engine.
+
+Three ways to run the pipeline:
+
+* :func:`evaluate` — one candidate through every stage; the staged
+  replacement for (and implementation of) ``repro.core.calculate``.
+* :func:`check_feasible` — the fast path: validate + profile + memory plan
+  only.  Answers "does this configuration fit?" without touching a network
+  or timing formula, returning the same infeasibility reason the full model
+  would.
+* :func:`evaluate_many` — a batched sweep primitive: groups candidates by
+  their block-profile key, profiles each distinct block once, runs the fast
+  path on every candidate, and fully evaluates only the survivors.  On
+  memory-constrained spaces (where most of the Table-1 space is rejected on
+  capacity) this skips the expensive comm/timing stages for the rejected
+  majority.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+from ..core.results import PerformanceResult
+from ..execution.strategy import ExecutionStrategy, StrategyError
+from ..hardware.system import System
+from ..llm.config import LLMConfig
+from .context import EvalContext, FeasibilityReport, MemoryPlan
+from .profile import profile_block, profile_key
+from .stages import (
+    fill_scalars,
+    infeasible_result,
+    stage_assemble,
+    stage_comm,
+    stage_memory,
+    stage_profile,
+    stage_validate,
+)
+
+# The full pipeline, in execution order.  Exposed for documentation and for
+# tooling that wants to run/instrument the stages one at a time.
+PIPELINE = (stage_validate, stage_profile, stage_memory, stage_comm, stage_assemble)
+
+# The fast path stops after the memory plan: everything needed to decide
+# feasibility, nothing priced in seconds.
+FAST_PATH = (stage_validate, stage_profile, stage_memory)
+
+
+def evaluate(
+    llm: LLMConfig, system: System, strategy: ExecutionStrategy
+) -> PerformanceResult:
+    """Run the full staged pipeline for one configuration.
+
+    Returns an infeasible :class:`PerformanceResult` (never raises) when the
+    strategy violates a constraint or exceeds a memory capacity, so search
+    engines can sweep the space without exception handling.  Infeasible
+    candidates stop at the stage that rejected them — capacity violations
+    never pay for the comm/timing stages.
+    """
+    ctx = EvalContext(llm, system, strategy)
+    for stage in PIPELINE:
+        stage(ctx)
+        if ctx.error is not None:
+            return infeasible_result(ctx)
+    return ctx.result
+
+
+def check_feasible(
+    llm: LLMConfig, system: System, strategy: ExecutionStrategy
+) -> FeasibilityReport:
+    """The feasibility fast path: validate + profile + memory plan only.
+
+    The returned report carries the infeasibility reason verbatim as the full
+    model would produce it, plus the tier-1 memory breakdown whenever the
+    memory plan ran (so callers can see how far over capacity a candidate
+    lands, or how much headroom a feasible one has).
+    """
+    ctx = EvalContext(llm, system, strategy)
+    stage_validate(ctx)
+    if ctx.error is not None:
+        return FeasibilityReport(feasible=False, reason=ctx.error, stage="validate")
+    stage_profile(ctx)
+    stage_memory(ctx)
+    if ctx.error is not None:
+        return FeasibilityReport(
+            feasible=False,
+            reason=ctx.error,
+            stage="memory",
+            mem1=ctx.mem.mem1_breakdown(),
+            tier2_bytes=ctx.mem.tier2_used,
+        )
+    return FeasibilityReport(
+        feasible=True,
+        mem1=ctx.mem.mem1_breakdown(),
+        tier2_bytes=ctx.mem.tier2_used,
+    )
+
+
+def iter_evaluate(
+    llm: LLMConfig,
+    system: System,
+    strategies: Sequence[ExecutionStrategy],
+    *,
+    prune: bool = True,
+) -> Iterator[tuple[int, PerformanceResult]]:
+    """Evaluate a candidate list, yielding ``(index, result)`` pairs.
+
+    Results stream in profile-group order (not input order) so sweeps can
+    keep running statistics without materializing one result per candidate;
+    ``index`` maps each result back to ``strategies``.  See
+    :func:`evaluate_many` for the ``prune`` semantics.
+    """
+    if not prune:
+        for i, strategy in enumerate(strategies):
+            yield i, evaluate(llm, system, strategy)
+        return
+
+    # Pass 1: validate everything, reject structural violations immediately,
+    # and bucket the remainder by block-profile key.
+    groups: dict[tuple, list[tuple[int, ExecutionStrategy]]] = {}
+    for i, strategy in enumerate(strategies):
+        try:
+            strategy.validate(llm, system)
+        except StrategyError as err:
+            ctx = EvalContext(llm, system, strategy, error=str(err))
+            yield i, infeasible_result(ctx)
+            continue
+        groups.setdefault(profile_key(strategy), []).append((i, strategy))
+
+    # Pass 2: one profile per group; fast path per candidate; full pipeline
+    # only for the survivors.  Within a group, candidates that differ only in
+    # overlap knobs (tp_overlap, dp_overlap, pp_rs_ag) read the exact same
+    # memory plan, so plans are computed once per bucket of memory-relevant
+    # fields — and a capacity-rejected bucket shares one frozen result (every
+    # field of it, including the reason string, is bucket-constant, so the
+    # rejected majority of a sweep never even allocates a context).
+    for key, members in groups.items():
+        prof = profile_block(llm, system, *key)
+        group_memo: dict = {}
+        buckets: dict[
+            tuple, tuple[MemoryPlan | None, PerformanceResult | None, dict]
+        ] = {}
+        for i, strategy in members:
+            mkey = (
+                strategy.pipeline_par, strategy.data_par, strategy.batch,
+                strategy.pp_interleaving, strategy.pp_1f1b,
+                strategy.optimizer_sharding, strategy.weight_offload,
+                strategy.activation_offload, strategy.optimizer_offload,
+                strategy.training,
+            )
+            hit = buckets.get(mkey)
+            if hit is None:
+                ctx = EvalContext(llm, system, strategy)
+                fill_scalars(ctx)
+                ctx.prof = prof
+                stage_memory(ctx)
+                if ctx.error is not None:
+                    rejected = infeasible_result(ctx)
+                    buckets[mkey] = (None, rejected, {})
+                    yield i, rejected
+                    continue
+                bucket_memo: dict = {}
+                buckets[mkey] = (ctx.mem, None, bucket_memo)
+            else:
+                plan, rejected, bucket_memo = hit
+                if rejected is not None:
+                    yield i, rejected
+                    continue
+                ctx = EvalContext(llm, system, strategy)
+                fill_scalars(ctx)
+                ctx.prof = prof
+                ctx.mem = plan
+            stage_comm(ctx, group_memo, bucket_memo)
+            stage_assemble(ctx)
+            yield i, ctx.result
+
+
+def evaluate_many(
+    llm: LLMConfig,
+    system: System,
+    strategies: Iterable[ExecutionStrategy],
+    *,
+    prune: bool = True,
+) -> list[PerformanceResult]:
+    """Evaluate many candidates; results align with the input order.
+
+    With ``prune=True`` (the default) candidates are grouped by their
+    block-profile key and the feasibility fast path runs first: capacity
+    rejections never reach the comm/timing stages, and each distinct block is
+    profiled exactly once per group rather than once per candidate.  With
+    ``prune=False`` every candidate runs through :func:`evaluate`
+    individually — same results, no batching.
+
+    Outputs are identical to mapping :func:`evaluate` (and therefore the
+    legacy ``calculate``) over the list, including infeasibility reasons.
+    """
+    strategies = list(strategies)
+    results: list[PerformanceResult | None] = [None] * len(strategies)
+    for i, result in iter_evaluate(llm, system, strategies, prune=prune):
+        results[i] = result
+    return results

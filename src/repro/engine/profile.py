@@ -1,0 +1,146 @@
+"""Stage 2 of the staged engine: profile one sharded transformer block.
+
+The transformer's regular structure means one sharded block profiled once can
+be reused for every block and microbatch of a configuration — and, across a
+sweep, for every *candidate* that shares the same block-level parameters.
+:func:`profile_key` extracts exactly those parameters from an
+:class:`~repro.execution.strategy.ExecutionStrategy`, so batched evaluation
+(:func:`repro.engine.evaluate_many`) can group candidates and profile each
+distinct block once.
+
+This module is the canonical home of the profiler; ``repro.core.model``
+re-exports it under its historical ``_profile_block`` name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from ..core.flops import layer_bw_time, layer_fw_time
+from ..execution.strategy import ExecutionStrategy
+from ..hardware.system import System
+from ..llm.blocks import build_block
+from ..llm.config import LLMConfig
+
+
+@dataclass(frozen=True)
+class BlockProfile:
+    """Cached per-block timing and footprint figures (per microbatch)."""
+
+    fw_time: float
+    bw_time: float
+    recompute_time: float
+    fw_hbm_idle: float  # portion of fw window with tier-1 memory idle
+    bw_hbm_idle: float
+    flops_fw: float
+    flops_bw: float
+    weight_bytes: float
+    weight_grad_bytes: float
+    optimizer_bytes: float
+    stash_bytes: float
+    input_bytes: float
+    act_grad_bytes: float
+    tp_fw_comm: float
+    tp_bw_comm: float
+    tp_recompute_comm: float
+
+
+def profile_key(
+    strategy: ExecutionStrategy,
+) -> tuple[int, int, bool, bool, bool, str, str]:
+    """The block-level parameters that determine a strategy's profile.
+
+    Two strategies with equal keys share one :class:`BlockProfile` on a given
+    (LLM, system); everything else (p, d, batch, overlap, offload, ...) only
+    affects the later stages.  The tuple matches :func:`profile_block`'s
+    argument order after ``(llm, system)``.
+    """
+    return (
+        strategy.microbatch,
+        strategy.tensor_par,
+        strategy.seq_par,
+        strategy.fused_activations,
+        strategy.tp_redo_sp,
+        strategy.recompute,
+        strategy.tp_mode,
+    )
+
+
+@lru_cache(maxsize=65536)
+def profile_block(
+    llm: LLMConfig,
+    system: System,
+    microbatch: int,
+    tensor_par: int,
+    seq_par: bool,
+    fused: bool,
+    tp_redo_sp: bool,
+    recompute: str,
+    tp_mode: str = "1d",
+) -> BlockProfile:
+    """Profile one sharded transformer block on one processor."""
+    block = build_block(
+        llm,
+        microbatch=microbatch,
+        tensor_par=tensor_par,
+        seq_par=seq_par,
+        fused_activations=fused,
+        tp_redo_sp=tp_redo_sp,
+        tp_mode=tp_mode,
+    )
+    proc, hbm = system.processor, system.mem1
+
+    fw_time = bw_time = 0.0
+    fw_idle = bw_idle = 0.0
+    recompute_time = 0.0
+    for layer in block.layers:
+        f = layer_fw_time(proc, hbm, layer)
+        b = layer_bw_time(proc, hbm, layer)
+        fw_time += f.total
+        bw_time += b.total
+        fw_idle += f.total - f.memory
+        bw_idle += b.total - b.memory
+        replayed = recompute == "full" or (recompute == "attn_only" and layer.attn_only)
+        if replayed:
+            recompute_time += f.total
+
+    tp_net = system.network_for_span(tensor_par) if tensor_par > 1 else None
+
+    def comm_time(events) -> float:
+        if tp_net is None:
+            return 0.0
+        return sum(
+            tp_net.collective_time(ev.op, ev.nbytes, ev.group or tensor_par)
+            for ev in events
+        )
+
+    tp_fw = comm_time(block.tp_comm_fw)
+    tp_bw = comm_time(block.tp_comm_bw)
+    # Full recompute replays the forward pass communication as well; the
+    # attention core contains no TP boundary, so selective recompute adds none.
+    tp_recompute = tp_fw if recompute == "full" else 0.0
+
+    return BlockProfile(
+        fw_time=fw_time,
+        bw_time=bw_time,
+        recompute_time=recompute_time,
+        fw_hbm_idle=fw_idle,
+        bw_hbm_idle=bw_idle,
+        flops_fw=block.flops_fw(),
+        flops_bw=block.flops_bw(),
+        weight_bytes=block.weight_bytes(),
+        weight_grad_bytes=block.weight_grad_bytes(),
+        optimizer_bytes=block.optimizer_bytes(),
+        stash_bytes=block.stash_bytes(recompute),
+        input_bytes=block.input_bytes,
+        act_grad_bytes=2.0 * block.max_output_bytes(),
+        tp_fw_comm=tp_fw,
+        tp_bw_comm=tp_bw,
+        tp_recompute_comm=tp_recompute,
+    )
+
+
+def clear_caches() -> None:
+    """Drop every memoized block profile (e.g. between calibration passes)."""
+    profile_block.cache_clear()

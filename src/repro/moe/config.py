@@ -70,11 +70,9 @@ class MoEConfig:
     @property
     def active_parameters_per_token(self) -> float:
         """Parameters touched per token (the dense-equivalent compute size)."""
-        moe_fraction = self.num_moe_blocks / self.base.num_blocks
         extra_active = (
             self.num_moe_blocks
             * (self.experts_per_token - 1)
             * self.expert_parameters
         )
-        del moe_fraction
         return self.base.total_parameters + extra_active

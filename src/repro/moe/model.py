@@ -18,8 +18,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..core.model import calculate
 from ..core.results import PerformanceResult
+from ..engine import evaluate
 from ..execution.strategy import ExecutionStrategy
 from ..hardware.system import System
 from .config import MoEConfig
@@ -77,7 +77,7 @@ def calculate_moe(
                 f"expert_par={ep} must divide num_experts={moe.num_experts}"
             )
 
-    dense = calculate(moe.base, system, strategy)
+    dense = evaluate(moe.base, system, strategy)
     if not dense.feasible:
         return MoEResult(
             dense=dense, moe_compute_time=0.0, all_to_all_time=0.0,

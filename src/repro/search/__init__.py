@@ -13,6 +13,7 @@ from .cost import (
 from .execution_search import (
     SearchOptions,
     SearchResult,
+    auto_workers,
     candidate_strategies,
     search,
 )
@@ -40,6 +41,7 @@ __all__ = [
     "SystemDesign",
     "TCOReport",
     "all_designs",
+    "auto_workers",
     "best_at_size",
     "budget_table",
     "candidate_strategies",

@@ -13,6 +13,7 @@ configurations are independent, so the sweep parallelizes trivially.
 
 from __future__ import annotations
 
+import heapq
 import itertools
 import math
 import os
@@ -21,11 +22,16 @@ from dataclasses import dataclass, replace
 
 import numpy as np
 
-from ..core.model import calculate
 from ..core.results import PerformanceResult
+from ..engine import iter_evaluate
 from ..execution.strategy import ExecutionStrategy, divisors, factorizations
 from ..hardware.system import System
 from ..llm.config import LLMConfig
+
+# Below this many candidates per worker, pool startup + pickling costs more
+# than the evaluation itself (the per-candidate model runs in ~tens of
+# microseconds), so the auto heuristic stays serial.  See auto_workers().
+MIN_STRATEGIES_PER_WORKER = 2000
 
 
 @dataclass(frozen=True)
@@ -191,27 +197,45 @@ def candidate_strategies(
                 )
 
 
+def auto_workers(num_strategies: int, cpu_count: int | None = None) -> int:
+    """Process count for a sweep of ``num_strategies`` candidates.
+
+    The heuristic: one worker per :data:`MIN_STRATEGIES_PER_WORKER`
+    candidates, capped at the machine's core count and floored at one.
+    Small sweeps therefore run serially *by design* — even on a many-core
+    machine — because forking a pool and pickling the problem costs more
+    than evaluating a few thousand sub-millisecond candidates.  Callers who
+    know better pass ``workers`` explicitly.
+    """
+    cpus = cpu_count if cpu_count is not None else (os.cpu_count() or 1)
+    return max(1, min(cpus, num_strategies // MIN_STRATEGIES_PER_WORKER))
+
+
 def _evaluate_chunk(
     args: tuple[LLMConfig, System, list[ExecutionStrategy], int, object]
 ) -> tuple[int, int, list[tuple[ExecutionStrategy, PerformanceResult]], list[float]]:
     llm, system, strategies, top_k, constraint = args
-    top: list[tuple[ExecutionStrategy, PerformanceResult]] = []
+    # Bounded min-heap of (rate, tiebreak, strategy, result): O(n log k) with
+    # k live entries, instead of periodically re-sorting a 4k-long list.
+    heap: list[tuple[float, int, ExecutionStrategy, PerformanceResult]] = []
     rates: list[float] = []
     feasible = 0
-    for strat in strategies:
-        res = calculate(llm, system, strat)
+    for idx, res in iter_evaluate(llm, system, strategies, prune=True):
         if not res.feasible:
             continue
         if constraint is not None and not constraint(res):
             continue
         feasible += 1
-        rates.append(res.sample_rate)
-        top.append((strat, res))
-        if len(top) > 4 * top_k:
-            top.sort(key=lambda sr: -sr[1].sample_rate)
-            del top[top_k:]
-    top.sort(key=lambda sr: -sr[1].sample_rate)
-    return len(strategies), feasible, top[:top_k], rates
+        rate = res.sample_rate
+        rates.append(rate)
+        entry = (rate, idx, strategies[idx], res)
+        if len(heap) < top_k:
+            heapq.heappush(heap, entry)
+        elif rate > heap[0][0]:
+            heapq.heapreplace(heap, entry)
+    ranked = sorted(heap, key=lambda entry: (-entry[0], entry[1]))
+    top = [(strat, res) for _, _, strat, res in ranked]
+    return len(strategies), feasible, top, rates
 
 
 def search(
@@ -231,7 +255,9 @@ def search(
         llm, system, batch: the fixed problem.
         options: sweep restrictions; defaults to the full Table-1 space.
         top_k: how many best configurations to retain.
-        workers: process count; ``None`` auto-selects (0/1 forces serial).
+        workers: process count; ``None`` applies :func:`auto_workers`
+            (serial below ~2k candidates per core, documented there);
+            0/1 forces serial.
         keep_rates: retain every feasible sample rate (Fig. 6 histograms).
         constraint: optional predicate on feasible results — return False to
             reject a configuration (e.g. a memory or MFU floor).  Must be a
@@ -239,7 +265,7 @@ def search(
     """
     strategies = list(candidate_strategies(llm, system, batch, options))
     if workers is None:
-        workers = min(os.cpu_count() or 1, max(1, len(strategies) // 2000))
+        workers = auto_workers(len(strategies))
     chunks: list[list[ExecutionStrategy]] = []
     if workers > 1:
         step = math.ceil(len(strategies) / (workers * 4))

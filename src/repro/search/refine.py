@@ -14,8 +14,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..core.model import calculate
 from ..core.results import PerformanceResult
+from ..engine import evaluate, evaluate_many
 from ..execution.strategy import ExecutionStrategy
 from ..hardware.system import System
 from ..llm.config import LLMConfig
@@ -102,12 +102,12 @@ def hill_climb(
     if max_steps < 1:
         raise ValueError("max_steps must be >= 1")
     current_strategy = seed
-    current = calculate(llm, system, seed)
+    current = evaluate(llm, system, seed)
     evaluations = 1
     if not current.feasible:
         # Try to bootstrap from any feasible neighbour.
         for cand in neighbours(seed):
-            res = calculate(llm, system, cand)
+            res = evaluate(llm, system, cand)
             evaluations += 1
             if res.feasible:
                 current_strategy, current = cand, res
@@ -117,9 +117,12 @@ def hill_climb(
 
     steps = 0
     for _ in range(max_steps):
+        # One batched engine call per step: the neighbourhood shares block
+        # profiles heavily (only t/m/recompute moves change the profile) and
+        # memory-infeasible moves are pruned before any timing work.
+        moves = neighbours(current_strategy)
         best_move: tuple[ExecutionStrategy, PerformanceResult] | None = None
-        for cand in neighbours(current_strategy):
-            res = calculate(llm, system, cand)
+        for cand, res in zip(moves, evaluate_many(llm, system, moves, prune=True)):
             evaluations += 1
             if res.feasible and res.sample_rate > current.sample_rate and (
                 best_move is None or res.sample_rate > best_move[1].sample_rate

@@ -72,9 +72,14 @@ def best_at_size(
     batch: int,
     options: SearchOptions | None = None,
     *,
-    workers: int | None = 0,
+    workers: int | None = None,
 ) -> ScalingPoint:
-    """Search the execution space at one system size."""
+    """Search the execution space at one system size.
+
+    ``workers`` is forwarded to :func:`repro.search.search`; the default
+    ``None`` applies its :func:`~repro.search.auto_workers` heuristic, so
+    large per-size spaces parallelize while small ones stay serial.
+    """
     system = system_factory(num_procs)
     result = search(
         llm, system, batch, options, workers=workers, keep_rates=False, top_k=1
@@ -105,9 +110,14 @@ def scaling_sweep(
     batch: int,
     options: SearchOptions | None = None,
     *,
-    workers: int | None = 0,
+    workers: int | None = None,
 ) -> ScalingCurve:
-    """Best performance at each system size (one Fig. 7 / Fig. 10 panel)."""
+    """Best performance at each system size (one Fig. 7 / Fig. 10 panel).
+
+    ``workers`` is honored by every inner per-size search (``None`` =
+    auto-select, 0/1 = serial, N = process count), so a Fig. 7 sweep over
+    thousands of processors can use the whole machine.
+    """
     points = [
         best_at_size(llm, system_factory, n, batch, options, workers=workers)
         for n in sizes

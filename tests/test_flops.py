@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import OpTime, op_time
+from repro.core import op_time
 from repro.core.flops import layer_bw_time, layer_fw_time
 from repro.hardware import EfficiencyCurve, MemoryTier, Processor
 from repro.llm.layers import Engine, Layer, Role

@@ -1,13 +1,7 @@
 """Serving-deployment search tests."""
 
-import pytest
-
 from repro.hardware import a100_system
-from repro.inference import (
-    DeploymentPoint,
-    candidate_deployments,
-    search_deployments,
-)
+from repro.inference import candidate_deployments, search_deployments
 from repro.llm import LLMConfig
 
 LLM = LLMConfig(name="dep-llm", hidden=4096, attn_heads=32, seq_size=2048,

@@ -5,7 +5,7 @@ import pytest
 from repro.core import calculate
 from repro.execution import ExecutionStrategy
 from repro.hardware import a100_system, ddr5_offload, h100_system
-from repro.llm import GPT3_175B, MEGATRON_1T, TINY_TEST, LLMConfig
+from repro.llm import GPT3_175B, TINY_TEST, LLMConfig
 from repro.units import GiB
 
 SYS64 = a100_system(64)

@@ -1,7 +1,5 @@
 """Property-based tests (hypothesis) on the core invariants."""
 
-import math
-
 import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st

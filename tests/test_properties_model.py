@@ -1,7 +1,5 @@
 """Second property-test suite: invariants of the full model and searches."""
 
-import math
-
 import pytest
 from hypothesis import HealthCheck, assume, given, settings
 from hypothesis import strategies as st

@@ -3,10 +3,10 @@
 import pytest
 
 from repro.core import calculate
-from repro.execution import ExecutionStrategy
 from repro.hardware import a100_system, ddr5_offload
 from repro.llm import LLMConfig, TINY_TEST
-from repro.search import SearchOptions, candidate_strategies, search
+from repro.search import SearchOptions, auto_workers, candidate_strategies, search
+from repro.search.execution_search import MIN_STRATEGIES_PER_WORKER
 
 LLM = LLMConfig(name="search-llm", hidden=2048, attn_heads=16, seq_size=1024,
                 num_blocks=16)
@@ -181,3 +181,40 @@ def test_impossible_constraint_empties_search():
                  constraint=lambda r: r.mfu > 0.999)
     assert res.best is None
     assert res.num_feasible == 0
+
+
+def test_auto_workers_stays_serial_for_small_sweeps():
+    assert auto_workers(0, cpu_count=64) == 1
+    assert auto_workers(MIN_STRATEGIES_PER_WORKER - 1, cpu_count=64) == 1
+
+
+def test_auto_workers_scales_with_candidates_and_caps_at_cores():
+    per = MIN_STRATEGIES_PER_WORKER
+    assert auto_workers(2 * per, cpu_count=64) == 2
+    assert auto_workers(10 * per, cpu_count=64) == 10
+    assert auto_workers(10_000 * per, cpu_count=8) == 8  # core-count cap
+    assert auto_workers(10 * per, cpu_count=1) == 1
+
+
+def test_search_workers_none_matches_explicit_serial():
+    opts = small_options()
+    auto = search(LLM, SYS, 16, opts, workers=None)
+    serial = search(LLM, SYS, 16, opts, workers=0)
+    assert auto.num_evaluated == serial.num_evaluated
+    assert auto.num_feasible == serial.num_feasible
+    assert auto.best.sample_rate == serial.best.sample_rate
+
+
+def test_top_k_heap_matches_brute_force_ranking():
+    opts = small_options(recompute=("none", "attn_only", "full"),
+                         optimizer_sharding=(False, True))
+    cands = list(candidate_strategies(LLM, SYS, 16, opts))
+    brute = sorted(
+        (r.sample_rate for r in (calculate(LLM, SYS, c) for c in cands)
+         if r.feasible),
+        reverse=True,
+    )
+    for top_k in (1, 5, len(brute) + 10):
+        res = search(LLM, SYS, 16, opts, workers=0, top_k=top_k)
+        got = [r.sample_rate for _, r in res.top]
+        assert got == brute[:top_k]

@@ -47,7 +47,9 @@ def test_best_at_size_returns_feasible_point():
 
 
 def test_infeasible_size_flagged():
-    tiny = lambda n: a100_system(n, hbm_gib=0.01)
+    def tiny(n):
+        return a100_system(n, hbm_gib=0.01)
+
     point = best_at_size(LLM, tiny, 8, 32, OPTS)
     assert not point.feasible
     assert point.sample_rate == 0.0

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.search.cost import BudgetEntry, SystemDesign
-from repro.search.tco import HOURS_PER_YEAR, PowerModel, TCOReport, tco_report
+from repro.search.tco import HOURS_PER_YEAR, PowerModel, tco_report
 
 
 def entry(**kw):
