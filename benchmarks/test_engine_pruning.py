@@ -6,7 +6,9 @@ are profiled once per group instead of once per call, and (b) the memory plan
 rejects most candidates (on GPT-3 175B at 80 GiB/GPU, the large-batch space
 is dominated by activation overflow) before any communication or timing work
 runs.  This bench sweeps a slice of the paper's 4,096-GPU batch-4096 space
-both ways and reports the pruned fraction and the wall-clock ratio.
+both ways and asserts the pruning structure against the engine's own
+``PruneStats`` counters — the instrumentation that ships with the sweep, not
+a re-derivation — then bounds the wall-clock overhead of collecting them.
 """
 
 import gc
@@ -47,33 +49,71 @@ def _run():
     batched = evaluate_many(GPT3_175B, system, strategies, prune=True)
     t_batched = time.perf_counter() - t0
     batched_feasible = [r.feasible for r in batched]
+    del batched
 
-    return strategies, naive_feasible, batched_feasible, t_naive, t_batched
+    # Same sweep once more with the counters attached, to measure what the
+    # stats collection itself costs on the hot path.
+    clear_caches()
+    gc.collect()
+    t0 = time.perf_counter()
+    counted, stats = evaluate_many(
+        GPT3_175B, system, strategies, prune=True, stats=True
+    )
+    t_stats = time.perf_counter() - t0
+    del counted
+
+    return (
+        strategies, naive_feasible, batched_feasible,
+        t_naive, t_batched, t_stats, stats,
+    )
 
 
 def test_engine_pruning_speedup(benchmark):
-    strategies, naive_feasible, batched_feasible, t_naive, t_batched = (
-        benchmark.pedantic(_run, rounds=1, iterations=1)
-    )
+    (
+        strategies, naive_feasible, batched_feasible,
+        t_naive, t_batched, t_stats, stats,
+    ) = benchmark.pedantic(_run, rounds=1, iterations=1)
 
     feasible = sum(batched_feasible)
-    pruned = 1.0 - feasible / len(strategies)
     ratio = t_naive / t_batched
+    overhead = t_stats / t_batched - 1.0
 
     banner("engine pruning — GPT-3 175B, a100:4096, batch 4096")
-    print(f"candidates          {len(strategies):,}")
-    print(f"memory-pruned       {pruned * 100:.1f}% ({len(strategies) - feasible:,})")
+    print(stats.summary())
     print(f"naive calculate()   {t_naive:.2f} s "
           f"({t_naive / len(strategies) * 1e6:.0f} us/candidate)")
     print(f"evaluate_many       {t_batched:.2f} s "
           f"({t_batched / len(strategies) * 1e6:.0f} us/candidate)")
+    print(f"with stats=True     {t_stats:.2f} s ({overhead * 100:+.1f}%)")
     print(f"speedup             {ratio:.2f}x")
 
     # Identical results either way (the golden-equivalence suite checks every
     # field; here we spot-check the decisions that drive the pruning).
     assert naive_feasible == batched_feasible
 
-    # The memory-constrained space is mostly infeasible, only survivors reach
-    # the timing stages, and batching must pay off by a healthy margin.
+    # The engine's own counters must tell the same story as the results:
+    # every candidate accounted for, survivors equal to the feasible set,
+    # and each validated candidate either formed a memory bucket or hit one.
+    assert stats.candidates == len(strategies)
+    assert stats.evaluated_full == feasible
+    assert stats.candidates == (
+        stats.rejected_validate + stats.rejected_memory + stats.evaluated_full
+    )
+    assert stats.memory_buckets + stats.bucket_hits == stats.validated
+
+    # The structural facts the speedup rests on, read off the counters:
+    # grouping collapses most profiles, buckets are shared heavily, and the
+    # memory plan rejects most of the space before any timing work.
+    assert stats.profile_groups < 0.5 * stats.validated
+    assert stats.bucket_hit_rate > 0.5
+    assert stats.shared_infeasible > 0
+    pruned = stats.rejected / stats.candidates
     assert pruned > 0.5
+
+    # Batching must pay off by a healthy margin.  Counting what it did costs
+    # real time — two clock reads per candidate against a ~13 us/candidate
+    # hot path, measured around +40% — but must stay bounded and must not
+    # eat the speedup: even the counted sweep beats the naive loop.
     assert ratio >= 1.3
+    assert overhead < 0.75
+    assert t_naive / t_stats > 1.0

@@ -21,6 +21,8 @@ Typical use::
     print(result.summary())
 """
 
+import logging as _logging
+
 from .core import (
     MemoryBreakdown,
     OffloadStats,
@@ -38,6 +40,11 @@ from .engine import (
 from .execution import ExecutionStrategy, StrategyError
 from .hardware import MemoryTier, Network, Processor, System
 from .llm import LLMConfig
+
+# Library logging hygiene: every module logs under the "repro" hierarchy and
+# the root of that hierarchy carries a NullHandler, so importing applications
+# see no output unless they configure logging themselves (PEP 282 etiquette).
+_logging.getLogger(__name__).addHandler(_logging.NullHandler())
 
 __version__ = "1.0.0"
 

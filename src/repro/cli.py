@@ -11,6 +11,12 @@ Subcommands mirror the reference tool's workflows:
 
 LLMs and systems may be given as preset names (``gpt3-175b``,
 ``a100:4096``, ``h100:4096:80:512``) or as JSON spec files.
+
+``run``, ``search``, ``sweep`` and ``refine`` accept the shared
+observability flags: ``--trace FILE`` (Chrome trace_event JSON of the
+pipeline stages and search chunks), ``--stats`` (per-stage rejection
+counts, dedup hit rates, candidates/sec) and ``--progress`` (live
+candidates/sec and ETA on stderr).  See ``docs/OBSERVABILITY.md``.
 """
 
 from __future__ import annotations
@@ -35,6 +41,8 @@ from .hardware import (
 from .inference import InferenceStrategy, calculate_inference
 from .io import load_llm, load_strategy, load_system
 from .llm import LLMConfig, get_preset, iter_presets
+from .obs import MetricsRegistry, ProgressReporter, PruneStats, Tracer
+from .obs.stats import STAGE_NAMES, stage_metric
 from .search import (
     SearchOptions,
     budget_table,
@@ -76,6 +84,36 @@ def _parse_system(spec: str) -> System:
     return factory(n, hbm_gib=hbm, offload=offload)
 
 
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    """The shared observability flags: --trace FILE, --stats, --progress."""
+    parser.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help="write a Chrome trace_event JSON file (chrome://tracing, Perfetto)",
+    )
+    parser.add_argument(
+        "--stats", action="store_true",
+        help="print per-stage rejection counts, dedup hit rates and throughput",
+    )
+    parser.add_argument(
+        "--progress", action="store_true",
+        help="report live progress (candidates/sec, ETA) on stderr",
+    )
+
+
+def _make_obs(
+    args: argparse.Namespace,
+) -> tuple[Tracer | None, ProgressReporter | None]:
+    tracer = Tracer() if args.trace else None
+    progress = ProgressReporter(stream=sys.stderr) if args.progress else None
+    return tracer, progress
+
+
+def _finish_trace(tracer: Tracer | None, args: argparse.Namespace) -> None:
+    if tracer is not None:
+        path = tracer.write(args.trace)
+        sys.stderr.write(f"trace written to {path}\n")
+
+
 def _options_from_name(name: str) -> SearchOptions:
     presets = {
         "baseline": SearchOptions.megatron_baseline,
@@ -113,9 +151,20 @@ def _cmd_run(args: argparse.Namespace) -> int:
             activation_offload=args.offload,
             optimizer_offload=args.offload,
         )
+    tracer, _ = _make_obs(args)
+    metrics = MetricsRegistry() if args.stats else None
     start = time.perf_counter()
-    result = evaluate(llm, system, strategy)
+    result = evaluate(llm, system, strategy, tracer=tracer, metrics=metrics)
     elapsed = time.perf_counter() - start
+    _finish_trace(tracer, args)
+    if metrics is not None:
+        # Per-stage wall time; routed to stderr for machine formats so piped
+        # CSV/JSON stays clean.
+        out = sys.stdout if args.format == "text" else sys.stderr
+        for stage in STAGE_NAMES:
+            h = metrics.histograms.get(stage_metric(stage))
+            if h is not None and h.count:
+                out.write(f"stage {stage:<10} {h.total * 1e6:8.1f} us\n")
     if args.format == "csv":
         from .io import results_to_csv
 
@@ -136,16 +185,21 @@ def _cmd_search(args: argparse.Namespace) -> int:
     llm = _parse_llm(args.llm)
     system = _parse_system(args.system)
     opts = _options_from_name(args.options)
+    tracer, progress = _make_obs(args)
     start = time.perf_counter()
     result = search(
-        llm, system, args.batch, opts, top_k=args.top, workers=args.workers
+        llm, system, args.batch, opts, top_k=args.top, workers=args.workers,
+        tracer=tracer, collect_stats=args.stats, progress=progress,
     )
     elapsed = time.perf_counter() - start
+    _finish_trace(tracer, args)
     print(
         f"evaluated {result.num_evaluated} configurations "
         f"({result.num_feasible} feasible, "
         f"{result.feasible_fraction * 100:.1f}%) in {elapsed:.1f} s"
     )
+    if result.stats is not None:
+        print(result.stats.summary())
     if result.best is None:
         print("no feasible configuration")
         return 1
@@ -180,7 +234,16 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
     sizes = list(range(args.step, args.max_size + 1, args.step))
     opts = _options_from_name(args.options)
-    curve = scaling_sweep(llm, factory, sizes, args.batch, opts, workers=args.workers)
+    tracer, progress = _make_obs(args)
+    curve = scaling_sweep(
+        llm, factory, sizes, args.batch, opts, workers=args.workers,
+        tracer=tracer, collect_stats=args.stats, progress=progress,
+    )
+    _finish_trace(tracer, args)
+    if args.stats:
+        total = curve.total_stats()
+        if total is not None:
+            print(total.summary())
     rel = curve.relative_scaling()
     rows = [
         (p.num_procs, p.sample_rate, f"{r:.3f}", p.strategy.short_name() if p.strategy else "-")
@@ -293,9 +356,12 @@ def _cmd_refine(args: argparse.Namespace) -> int:
                 microbatch=1, recompute="full", optimizer_sharding=True,
             )
         )
+    tracer, _ = _make_obs(args)
+    metrics = MetricsRegistry() if args.stats else None
     start = time.perf_counter()
-    result = multi_start(llm, system, seeds)
+    result = multi_start(llm, system, seeds, tracer=tracer, metrics=metrics)
     elapsed = time.perf_counter() - start
+    _finish_trace(tracer, args)
     if result is None:
         print("no feasible configuration found from any seed")
         return 1
@@ -303,6 +369,12 @@ def _cmd_refine(args: argparse.Namespace) -> int:
         f"hill-climbed to {result.best_strategy.short_name()} in "
         f"{result.evaluations} evaluations ({elapsed:.1f} s)"
     )
+    if metrics is not None:
+        print(
+            f"seeds {int(metrics.value('refine.seeds'))}, "
+            f"accepted steps {int(metrics.value('refine.steps'))}"
+        )
+        print(PruneStats.from_metrics(metrics).summary())
     print(result.best.summary())
     return 0
 
@@ -442,6 +514,7 @@ def main(argv: list[str] | None = None) -> int:
     run.add_argument("--fused", action="store_true")
     run.add_argument("--offload", action="store_true")
     run.add_argument("--format", choices=("text", "csv", "json"), default="text")
+    _add_obs_flags(run)
     run.set_defaults(func=_cmd_run)
 
     srch = sub.add_parser("search", help="exhaustive execution search")
@@ -451,6 +524,7 @@ def main(argv: list[str] | None = None) -> int:
     srch.add_argument("--options", default="all")
     srch.add_argument("--top", type=int, default=10)
     srch.add_argument("--workers", type=int, default=None)
+    _add_obs_flags(srch)
     srch.set_defaults(func=_cmd_search)
 
     swp = sub.add_parser("sweep", help="optimal performance vs system size")
@@ -462,6 +536,7 @@ def main(argv: list[str] | None = None) -> int:
     swp.add_argument("--options", default="all")
     swp.add_argument("--workers", type=int, default=None,
                      help="processes per inner search (default: auto)")
+    _add_obs_flags(swp)
     swp.set_defaults(func=_cmd_sweep)
 
     bud = sub.add_parser("budget", help="budgeted optimal-system search")
@@ -493,6 +568,7 @@ def main(argv: list[str] | None = None) -> int:
     ref.add_argument("llm")
     ref.add_argument("system")
     ref.add_argument("--batch", type=int, default=4096)
+    _add_obs_flags(ref)
     ref.set_defaults(func=_cmd_refine)
 
     inf = sub.add_parser("inference", help="serving latency/throughput estimate")

@@ -14,6 +14,7 @@ block-profile key and fully evaluates only memory-feasible survivors.
 from .api import (
     FAST_PATH,
     PIPELINE,
+    STAGE_SHORT_NAMES,
     check_feasible,
     evaluate,
     evaluate_many,
@@ -40,6 +41,7 @@ __all__ = [
     "FeasibilityReport",
     "MemoryPlan",
     "PIPELINE",
+    "STAGE_SHORT_NAMES",
     "check_feasible",
     "clear_caches",
     "evaluate",

@@ -18,12 +18,26 @@ Three ways to run the pipeline:
 
 from __future__ import annotations
 
+import logging
+from time import perf_counter
 from typing import Iterable, Iterator, Sequence
 
 from ..core.results import PerformanceResult
 from ..execution.strategy import ExecutionStrategy, StrategyError
 from ..hardware.system import System
 from ..llm.config import LLMConfig
+from ..obs import MetricsRegistry, PruneStats, Tracer
+from ..obs.stats import (
+    M_BUCKET_HITS,
+    M_CANDIDATES,
+    M_EVALUATED_FULL,
+    M_MEMORY_BUCKETS,
+    M_PROFILE_GROUPS,
+    M_REJECT_MEMORY,
+    M_REJECT_VALIDATE,
+    M_SHARED_INFEASIBLE,
+    stage_metric,
+)
 from .context import EvalContext, FeasibilityReport, MemoryPlan
 from .profile import profile_block, profile_key
 from .stages import (
@@ -36,6 +50,8 @@ from .stages import (
     stage_validate,
 )
 
+logger = logging.getLogger(__name__)
+
 # The full pipeline, in execution order.  Exposed for documentation and for
 # tooling that wants to run/instrument the stages one at a time.
 PIPELINE = (stage_validate, stage_profile, stage_memory, stage_comm, stage_assemble)
@@ -44,9 +60,26 @@ PIPELINE = (stage_validate, stage_profile, stage_memory, stage_comm, stage_assem
 # feasibility, nothing priced in seconds.
 FAST_PATH = (stage_validate, stage_profile, stage_memory)
 
+# Span/metric names per stage function, e.g. stage_memory -> "memory".
+STAGE_SHORT_NAMES = {fn: fn.__name__.removeprefix("stage_") for fn in PIPELINE}
+
+# Metric-name constants are precomputed per stage so the instrumented hot
+# path never formats strings.
+_STAGE_METRICS = {fn: stage_metric(name) for fn, name in STAGE_SHORT_NAMES.items()}
+_M_VALIDATE = stage_metric("validate")
+_M_PROFILE = stage_metric("profile")
+_M_MEMORY = stage_metric("memory")
+_M_COMM = stage_metric("comm")
+_M_ASSEMBLE = stage_metric("assemble")
+
 
 def evaluate(
-    llm: LLMConfig, system: System, strategy: ExecutionStrategy
+    llm: LLMConfig,
+    system: System,
+    strategy: ExecutionStrategy,
+    *,
+    tracer: Tracer | None = None,
+    metrics: MetricsRegistry | None = None,
 ) -> PerformanceResult:
     """Run the full staged pipeline for one configuration.
 
@@ -55,12 +88,41 @@ def evaluate(
     engines can sweep the space without exception handling.  Infeasible
     candidates stop at the stage that rejected them — capacity violations
     never pay for the comm/timing stages.
+
+    ``tracer`` records one span per pipeline stage; ``metrics`` accumulates
+    the ``engine.*`` counters and per-stage wall-time histograms.  Both
+    default to ``None`` and the uninstrumented path pays only the initial
+    branch — instrumentation never changes the arithmetic (the golden-
+    equivalence suite holds instrumented results bit-identical).
     """
     ctx = EvalContext(llm, system, strategy)
+    if tracer is None and metrics is None:
+        for stage in PIPELINE:
+            stage(ctx)
+            if ctx.error is not None:
+                return infeasible_result(ctx)
+        return ctx.result
+
+    if metrics is not None:
+        metrics.inc(M_CANDIDATES)
     for stage in PIPELINE:
-        stage(ctx)
+        t0 = perf_counter()
+        if tracer is not None:
+            with tracer.span(STAGE_SHORT_NAMES[stage], cat="engine.stage"):
+                stage(ctx)
+        else:
+            stage(ctx)
+        if metrics is not None:
+            metrics.observe(_STAGE_METRICS[stage], perf_counter() - t0)
         if ctx.error is not None:
+            if metrics is not None:
+                rejected = (
+                    M_REJECT_VALIDATE if stage is stage_validate else M_REJECT_MEMORY
+                )
+                metrics.inc(rejected)
             return infeasible_result(ctx)
+    if metrics is not None:
+        metrics.inc(M_EVALUATED_FULL)
     return ctx.result
 
 
@@ -101,6 +163,7 @@ def iter_evaluate(
     strategies: Sequence[ExecutionStrategy],
     *,
     prune: bool = True,
+    metrics: MetricsRegistry | None = None,
 ) -> Iterator[tuple[int, PerformanceResult]]:
     """Evaluate a candidate list, yielding ``(index, result)`` pairs.
 
@@ -108,22 +171,39 @@ def iter_evaluate(
     keep running statistics without materializing one result per candidate;
     ``index`` maps each result back to ``strategies``.  See
     :func:`evaluate_many` for the ``prune`` semantics.
+
+    With ``metrics`` attached, the ``engine.*`` counters (candidates,
+    per-stage rejections, profile groups, memory buckets and their hit
+    counts) and per-stage wall-time histograms accumulate into the
+    registry.  Timing is observed at the granularity the pruned path runs
+    the work: validate per candidate, profile per group, memory plan per
+    bucket, comm/assembly per survivor.  ``metrics=None`` (the default)
+    costs only untaken branches.
     """
+    mx = metrics
     if not prune:
         for i, strategy in enumerate(strategies):
-            yield i, evaluate(llm, system, strategy)
+            yield i, evaluate(llm, system, strategy, metrics=mx)
         return
 
     # Pass 1: validate everything, reject structural violations immediately,
     # and bucket the remainder by block-profile key.
     groups: dict[tuple, list[tuple[int, ExecutionStrategy]]] = {}
     for i, strategy in enumerate(strategies):
+        if mx is not None:
+            mx.inc(M_CANDIDATES)
+            t0 = perf_counter()
         try:
             strategy.validate(llm, system)
         except StrategyError as err:
+            if mx is not None:
+                mx.observe(_M_VALIDATE, perf_counter() - t0)
+                mx.inc(M_REJECT_VALIDATE)
             ctx = EvalContext(llm, system, strategy, error=str(err))
             yield i, infeasible_result(ctx)
             continue
+        if mx is not None:
+            mx.observe(_M_VALIDATE, perf_counter() - t0)
         groups.setdefault(profile_key(strategy), []).append((i, strategy))
 
     # Pass 2: one profile per group; fast path per candidate; full pipeline
@@ -134,7 +214,12 @@ def iter_evaluate(
     # field of it, including the reason string, is bucket-constant, so the
     # rejected majority of a sweep never even allocates a context).
     for key, members in groups.items():
+        if mx is not None:
+            mx.inc(M_PROFILE_GROUPS)
+            t0 = perf_counter()
         prof = profile_block(llm, system, *key)
+        if mx is not None:
+            mx.observe(_M_PROFILE, perf_counter() - t0)
         group_memo: dict = {}
         buckets: dict[
             tuple, tuple[MemoryPlan | None, PerformanceResult | None, dict]
@@ -149,11 +234,18 @@ def iter_evaluate(
             )
             hit = buckets.get(mkey)
             if hit is None:
+                if mx is not None:
+                    mx.inc(M_MEMORY_BUCKETS)
+                    t0 = perf_counter()
                 ctx = EvalContext(llm, system, strategy)
                 fill_scalars(ctx)
                 ctx.prof = prof
                 stage_memory(ctx)
+                if mx is not None:
+                    mx.observe(_M_MEMORY, perf_counter() - t0)
                 if ctx.error is not None:
+                    if mx is not None:
+                        mx.inc(M_REJECT_MEMORY)
                     rejected = infeasible_result(ctx)
                     buckets[mkey] = (None, rejected, {})
                     yield i, rejected
@@ -162,15 +254,29 @@ def iter_evaluate(
                 buckets[mkey] = (ctx.mem, None, bucket_memo)
             else:
                 plan, rejected, bucket_memo = hit
+                if mx is not None:
+                    mx.inc(M_BUCKET_HITS)
                 if rejected is not None:
+                    if mx is not None:
+                        mx.inc(M_REJECT_MEMORY)
+                        mx.inc(M_SHARED_INFEASIBLE)
                     yield i, rejected
                     continue
                 ctx = EvalContext(llm, system, strategy)
                 fill_scalars(ctx)
                 ctx.prof = prof
                 ctx.mem = plan
-            stage_comm(ctx, group_memo, bucket_memo)
-            stage_assemble(ctx)
+            if mx is None:
+                stage_comm(ctx, group_memo, bucket_memo)
+                stage_assemble(ctx)
+            else:
+                t0 = perf_counter()
+                stage_comm(ctx, group_memo, bucket_memo)
+                t1 = perf_counter()
+                stage_assemble(ctx)
+                mx.observe(_M_ASSEMBLE, perf_counter() - t1)
+                mx.observe(_M_COMM, t1 - t0)
+                mx.inc(M_EVALUATED_FULL)
             yield i, ctx.result
 
 
@@ -180,7 +286,9 @@ def evaluate_many(
     strategies: Iterable[ExecutionStrategy],
     *,
     prune: bool = True,
-) -> list[PerformanceResult]:
+    metrics: MetricsRegistry | None = None,
+    stats: bool = False,
+) -> list[PerformanceResult] | tuple[list[PerformanceResult], PruneStats]:
     """Evaluate many candidates; results align with the input order.
 
     With ``prune=True`` (the default) candidates are grouped by their
@@ -192,9 +300,23 @@ def evaluate_many(
 
     Outputs are identical to mapping :func:`evaluate` (and therefore the
     legacy ``calculate``) over the list, including infeasibility reasons.
+
+    ``stats=True`` returns ``(results, PruneStats)`` instead of discarding
+    the pruning bookkeeping: how many profile groups formed, how many
+    candidates shared a memory bucket, and how many were short-circuited by
+    a shared rejection.  ``metrics`` accumulates into a caller-owned
+    registry (e.g. one shared across a hill-climb); pass both to get the
+    stats of this call while also feeding the larger aggregate.
     """
     strategies = list(strategies)
+    # With stats requested, accumulate into a fresh registry so the returned
+    # PruneStats covers exactly this call, then fold into the caller's.
+    reg = MetricsRegistry() if stats else metrics
     results: list[PerformanceResult | None] = [None] * len(strategies)
-    for i, result in iter_evaluate(llm, system, strategies, prune=prune):
+    for i, result in iter_evaluate(llm, system, strategies, prune=prune, metrics=reg):
         results[i] = result
+    if stats:
+        if metrics is not None:
+            metrics.merge(reg.snapshot())
+        return results, PruneStats.from_metrics(reg)
     return results

@@ -1,0 +1,60 @@
+"""Observability: tracing spans, metrics, progress, and sweep summaries.
+
+This package is the instrumentation layer the staged engine
+(:mod:`repro.engine`), the search engines (:mod:`repro.search`) and the CLI
+thread their telemetry through:
+
+* :class:`Tracer` — context-manager span tracing with Chrome
+  ``trace_event`` JSON export (``chrome://tracing`` / Perfetto), free when
+  disabled;
+* :class:`MetricsRegistry` — counters and wall-time histograms whose
+  snapshots merge associatively across ``ProcessPoolExecutor`` workers;
+* :class:`ProgressReporter` — throttled candidates/sec / ETA / feasible-
+  fraction reporting;
+* :class:`PruneStats` / :class:`SweepStats` — typed summaries of what a
+  batched evaluation or full search actually did.
+
+Everything here is standalone stdlib code: the obs layer never imports the
+model, so any subsystem can adopt it without dependency cycles.
+"""
+
+from .metrics import Counter, Histogram, MetricsRegistry
+from .progress import ProgressReporter
+from .stats import (
+    M_BUCKET_HITS,
+    M_CANDIDATES,
+    M_EVALUATED_FULL,
+    M_MEMORY_BUCKETS,
+    M_PROFILE_GROUPS,
+    M_REJECT_MEMORY,
+    M_REJECT_VALIDATE,
+    M_SHARED_INFEASIBLE,
+    STAGE_NAMES,
+    PruneStats,
+    SweepStats,
+    stage_metric,
+)
+from .trace import NULL_SPAN, Tracer, validate_trace, validate_trace_file
+
+__all__ = [
+    "Counter",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "ProgressReporter",
+    "PruneStats",
+    "STAGE_NAMES",
+    "SweepStats",
+    "Tracer",
+    "M_BUCKET_HITS",
+    "M_CANDIDATES",
+    "M_EVALUATED_FULL",
+    "M_MEMORY_BUCKETS",
+    "M_PROFILE_GROUPS",
+    "M_REJECT_MEMORY",
+    "M_REJECT_VALIDATE",
+    "M_SHARED_INFEASIBLE",
+    "stage_metric",
+    "validate_trace",
+    "validate_trace_file",
+]

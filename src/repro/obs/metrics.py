@@ -1,0 +1,160 @@
+"""Counters and wall-time histograms with associative cross-process merging.
+
+A :class:`MetricsRegistry` is the mutable accumulator the engine and search
+layers increment while instrumented.  Its :meth:`~MetricsRegistry.snapshot`
+is a plain, picklable dict, so ``ProcessPoolExecutor`` workers return one
+snapshot per chunk and the parent folds them back in with
+:meth:`~MetricsRegistry.merge` — the merge is associative and commutative
+(counters add; histogram count/sum add, min/max combine, buckets add), so
+the aggregate is independent of chunk order and worker count.
+
+Histograms keep count/sum/min/max plus sparse power-of-two buckets keyed by
+the value's binary exponent: enough to report means, extremes and a
+log-scale distribution of per-stage evaluation times without storing
+samples.
+"""
+
+from __future__ import annotations
+
+import logging
+import math
+from typing import Any, Iterable, Mapping
+
+logger = logging.getLogger(__name__)
+
+
+class Counter:
+    """A monotonically-growing scalar."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: float = 0.0):
+        self.value = value
+
+    def inc(self, n: float = 1.0) -> None:
+        self.value += n
+
+    def __repr__(self) -> str:
+        return f"Counter({self.value!r})"
+
+
+class Histogram:
+    """Streaming distribution summary over non-negative observations."""
+
+    __slots__ = ("count", "total", "min", "max", "buckets")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        # binary exponent of the observation -> number of observations
+        self.buckets: dict[int, int] = {}
+
+    def observe(self, x: float) -> None:
+        self.count += 1
+        self.total += x
+        if x < self.min:
+            self.min = x
+        if x > self.max:
+            self.max = x
+        exp = math.frexp(x)[1] if x > 0 else 0
+        self.buckets[exp] = self.buckets.get(exp, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def merge(self, other: "Histogram") -> None:
+        self.count += other.count
+        self.total += other.total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+        for exp, n in other.buckets.items():
+            self.buckets[exp] = self.buckets.get(exp, 0) + n
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "buckets": dict(self.buckets),
+        }
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, Any]) -> "Histogram":
+        h = cls()
+        h.count = int(d["count"])
+        h.total = float(d["total"])
+        h.min = float(d["min"])
+        h.max = float(d["max"])
+        h.buckets = {int(k): int(v) for k, v in d["buckets"].items()}
+        return h
+
+    def __repr__(self) -> str:
+        return f"Histogram(count={self.count}, total={self.total:.6g})"
+
+
+class MetricsRegistry:
+    """Named counters and histograms, created on first touch."""
+
+    __slots__ = ("counters", "histograms")
+
+    def __init__(self) -> None:
+        self.counters: dict[str, Counter] = {}
+        self.histograms: dict[str, Histogram] = {}
+
+    # -- accumulation --------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        c = self.counters.get(name)
+        if c is None:
+            c = self.counters[name] = Counter()
+        return c
+
+    def histogram(self, name: str) -> Histogram:
+        h = self.histograms.get(name)
+        if h is None:
+            h = self.histograms[name] = Histogram()
+        return h
+
+    def inc(self, name: str, n: float = 1.0) -> None:
+        self.counter(name).inc(n)
+
+    def observe(self, name: str, x: float) -> None:
+        self.histogram(name).observe(x)
+
+    # -- reading -------------------------------------------------------------
+
+    def value(self, name: str, default: float = 0.0) -> float:
+        c = self.counters.get(name)
+        return c.value if c is not None else default
+
+    def stage_total(self, name: str) -> float:
+        """Sum of all observations of histogram ``name`` (0.0 if absent)."""
+        h = self.histograms.get(name)
+        return h.total if h is not None else 0.0
+
+    # -- snapshot / merge ----------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """A plain-dict copy, safe to pickle across process boundaries."""
+        return {
+            "counters": {k: c.value for k, c in self.counters.items()},
+            "histograms": {k: h.to_dict() for k, h in self.histograms.items()},
+        }
+
+    def merge(self, snap: Mapping[str, Any]) -> None:
+        """Fold a snapshot into this registry (associative, commutative)."""
+        for name, value in snap.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, hd in snap.get("histograms", {}).items():
+            self.histogram(name).merge(Histogram.from_dict(hd))
+
+    @classmethod
+    def from_snapshots(cls, snaps: Iterable[Mapping[str, Any]]) -> "MetricsRegistry":
+        reg = cls()
+        for snap in snaps:
+            reg.merge(snap)
+        return reg

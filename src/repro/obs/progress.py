@@ -1,0 +1,122 @@
+"""Progress reporting for long sweeps: candidates/sec, ETA, feasible fraction.
+
+A :class:`ProgressReporter` is fed completion deltas by the search layer
+(one update per finished chunk, or per system size in a scaling sweep) and
+relays throttled snapshots to a callback — by default a single rewritten
+status line on a stream (the CLI passes ``sys.stderr`` so reports never
+contaminate piped stdout).
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from typing import Callable, TextIO
+
+logger = logging.getLogger(__name__)
+
+
+class ProgressReporter:
+    """Tracks sweep completion and emits throttled progress reports.
+
+    Args:
+        total: expected number of items; may be ``None`` until the search
+            layer has enumerated the space and calls :meth:`set_total`.
+        callback: called with the reporter on every (throttled) update and
+            once from :meth:`finish`.  Overrides the default stream line.
+        stream: where the default callback writes its status line.
+        min_interval: minimum seconds between callback invocations.
+        clock: injectable time source (tests pass a fake).
+        unit: noun used in the default status line.
+    """
+
+    def __init__(
+        self,
+        total: int | None = None,
+        *,
+        callback: Callable[["ProgressReporter"], None] | None = None,
+        stream: TextIO | None = None,
+        min_interval: float = 0.2,
+        clock: Callable[[], float] = time.perf_counter,
+        unit: str = "candidates",
+    ):
+        self.total = total
+        self.done = 0
+        self.feasible = 0
+        self.unit = unit
+        self._callback = callback
+        self._stream = stream
+        self._min_interval = min_interval
+        self._clock = clock
+        self._start = clock()
+        self._last_report = -float("inf")
+        self.updates = 0  # number of callback invocations (telemetry/tests)
+
+    def set_total(self, total: int) -> None:
+        self.total = total
+
+    # -- accumulation --------------------------------------------------------
+
+    def update(self, done: int, feasible: int = 0) -> None:
+        """Record ``done`` newly-finished items, ``feasible`` of which passed."""
+        self.done += done
+        self.feasible += feasible
+        now = self._clock()
+        complete = self.total is not None and self.done >= self.total
+        if complete or now - self._last_report >= self._min_interval:
+            self._last_report = now
+            self._report(final=False)
+
+    def finish(self) -> None:
+        """Force a final report (and terminate the status line)."""
+        self._report(final=True)
+
+    # -- derived rates -------------------------------------------------------
+
+    @property
+    def elapsed(self) -> float:
+        return self._clock() - self._start
+
+    @property
+    def rate(self) -> float:
+        """Items completed per second so far."""
+        dt = self.elapsed
+        return self.done / dt if dt > 0 else 0.0
+
+    @property
+    def eta(self) -> float | None:
+        """Estimated seconds remaining (``None`` before any completion)."""
+        if self.total is None or self.done == 0:
+            return None
+        remaining = max(self.total - self.done, 0)
+        return remaining / self.rate if self.rate > 0 else None
+
+    @property
+    def feasible_fraction(self) -> float:
+        return self.feasible / self.done if self.done else 0.0
+
+    # -- output --------------------------------------------------------------
+
+    def status_line(self) -> str:
+        total = f"/{self.total:,}" if self.total is not None else ""
+        line = (
+            f"{self.done:,}{total} {self.unit} · {self.rate:,.0f}/s · "
+            f"{self.feasible_fraction * 100:.1f}% feasible"
+        )
+        eta = self.eta
+        if eta is not None:
+            line += f" · ETA {eta:.1f}s"
+        return line
+
+    def _report(self, final: bool) -> None:
+        self.updates += 1
+        if self._callback is not None:
+            self._callback(self)
+            return
+        if self._stream is not None:
+            self._stream.write("\r" + self.status_line().ljust(72))
+            if final:
+                self._stream.write("\n")
+            self._stream.flush()
+        else:
+            logger.debug("progress: %s", self.status_line())

@@ -1,0 +1,191 @@
+"""Structured summaries of instrumented runs: pruning and sweep statistics.
+
+The engine increments the ``engine.*`` metrics named here while evaluating
+with a :class:`~repro.obs.metrics.MetricsRegistry` attached;
+:class:`PruneStats` reads them back as a typed summary of one
+``evaluate_many`` call, and :class:`SweepStats` wraps that with wall-clock
+context (elapsed time, worker count, search-level feasibility) for
+attachment to a :class:`~repro.search.SearchResult`.
+
+Both are frozen dataclasses assembled *after* the hot path finishes — the
+sweep itself only touches counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import TYPE_CHECKING, Iterable, Mapping
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .metrics import MetricsRegistry
+
+# The five pipeline stages, in execution order (mirrors repro.engine.PIPELINE).
+STAGE_NAMES = ("validate", "profile", "memory", "comm", "assemble")
+
+# -- engine metric names ------------------------------------------------------
+M_CANDIDATES = "engine.candidates"
+M_REJECT_VALIDATE = "engine.rejected.validate"
+M_REJECT_MEMORY = "engine.rejected.memory"
+M_SHARED_INFEASIBLE = "engine.memory.shared_infeasible"
+M_PROFILE_GROUPS = "engine.profile.groups"
+M_MEMORY_BUCKETS = "engine.memory.buckets"
+M_BUCKET_HITS = "engine.memory.bucket_hits"
+M_EVALUATED_FULL = "engine.evaluated_full"
+
+
+def stage_metric(stage: str) -> str:
+    """Histogram name recording wall seconds spent in ``stage``."""
+    return f"engine.stage.{stage}.seconds"
+
+
+@dataclass(frozen=True)
+class PruneStats:
+    """What one batched ``evaluate_many(prune=True)`` call actually did.
+
+    ``shared_infeasible`` counts candidates short-circuited by an already-
+    rejected memory bucket (they never allocated an evaluation context);
+    ``bucket_hits`` counts every candidate served an existing memory plan or
+    rejection, feasible or not.  ``stage_seconds`` is aggregate wall time
+    per pipeline stage, at the granularity the pruned path runs them
+    (validate per candidate, profile per group, memory per bucket,
+    comm/assemble per survivor).
+    """
+
+    candidates: int = 0
+    rejected_validate: int = 0
+    rejected_memory: int = 0
+    shared_infeasible: int = 0
+    profile_groups: int = 0
+    memory_buckets: int = 0
+    bucket_hits: int = 0
+    evaluated_full: int = 0
+    stage_seconds: Mapping[str, float] = field(default_factory=dict)
+
+    @classmethod
+    def from_metrics(cls, reg: "MetricsRegistry") -> "PruneStats":
+        return cls(
+            candidates=int(reg.value(M_CANDIDATES)),
+            rejected_validate=int(reg.value(M_REJECT_VALIDATE)),
+            rejected_memory=int(reg.value(M_REJECT_MEMORY)),
+            shared_infeasible=int(reg.value(M_SHARED_INFEASIBLE)),
+            profile_groups=int(reg.value(M_PROFILE_GROUPS)),
+            memory_buckets=int(reg.value(M_MEMORY_BUCKETS)),
+            bucket_hits=int(reg.value(M_BUCKET_HITS)),
+            evaluated_full=int(reg.value(M_EVALUATED_FULL)),
+            stage_seconds=MappingProxyType(
+                {s: reg.stage_total(stage_metric(s)) for s in STAGE_NAMES}
+            ),
+        )
+
+    # -- derived rates -------------------------------------------------------
+
+    @property
+    def validated(self) -> int:
+        """Candidates that survived structural validation."""
+        return self.candidates - self.rejected_validate
+
+    @property
+    def rejected(self) -> int:
+        return self.rejected_validate + self.rejected_memory
+
+    @property
+    def profile_dedup_rate(self) -> float:
+        """Fraction of validated candidates that shared another's profile."""
+        if self.validated == 0:
+            return 0.0
+        return 1.0 - self.profile_groups / self.validated
+
+    @property
+    def bucket_hit_rate(self) -> float:
+        """Fraction of validated candidates served a memoized memory plan."""
+        if self.validated == 0:
+            return 0.0
+        return self.bucket_hits / self.validated
+
+    def merged(self, other: "PruneStats") -> "PruneStats":
+        seconds = dict(self.stage_seconds)
+        for k, v in other.stage_seconds.items():
+            seconds[k] = seconds.get(k, 0.0) + v
+        return PruneStats(
+            candidates=self.candidates + other.candidates,
+            rejected_validate=self.rejected_validate + other.rejected_validate,
+            rejected_memory=self.rejected_memory + other.rejected_memory,
+            shared_infeasible=self.shared_infeasible + other.shared_infeasible,
+            profile_groups=self.profile_groups + other.profile_groups,
+            memory_buckets=self.memory_buckets + other.memory_buckets,
+            bucket_hits=self.bucket_hits + other.bucket_hits,
+            evaluated_full=self.evaluated_full + other.evaluated_full,
+            stage_seconds=MappingProxyType(seconds),
+        )
+
+    def summary(self) -> str:
+        lines = [
+            f"candidates            {self.candidates:,}",
+            f"rejected: validate    {self.rejected_validate:,}",
+            f"rejected: memory      {self.rejected_memory:,} "
+            f"({self.shared_infeasible:,} shared a bucket rejection)",
+            f"fully evaluated       {self.evaluated_full:,}",
+            f"profile groups        {self.profile_groups:,} "
+            f"({self.profile_dedup_rate * 100:.1f}% dedup)",
+            f"memory buckets        {self.memory_buckets:,} "
+            f"({self.bucket_hit_rate * 100:.1f}% hit rate)",
+        ]
+        total = sum(self.stage_seconds.values())
+        if total > 0:
+            per = "  ".join(
+                f"{s} {self.stage_seconds.get(s, 0.0):.3f}s" for s in STAGE_NAMES
+            )
+            lines.append(f"stage wall time       {per}")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class SweepStats:
+    """One sweep's engine statistics plus wall-clock context.
+
+    ``num_evaluated`` / ``num_feasible`` are the *search-level* figures (a
+    result constraint can reject engine-feasible candidates, so
+    ``num_feasible <= engine.evaluated_full``).
+    """
+
+    engine: PruneStats
+    elapsed: float
+    workers: int = 1
+    num_evaluated: int = 0
+    num_feasible: int = 0
+
+    @property
+    def candidates_per_sec(self) -> float:
+        return self.num_evaluated / self.elapsed if self.elapsed > 0 else 0.0
+
+    @property
+    def feasible_fraction(self) -> float:
+        return self.num_feasible / self.num_evaluated if self.num_evaluated else 0.0
+
+    @classmethod
+    def merge(cls, items: Iterable["SweepStats"]) -> "SweepStats":
+        """Combine stats from sequential sweeps (e.g. one per system size)."""
+        items = list(items)
+        if not items:
+            return cls(engine=PruneStats(), elapsed=0.0)
+        engine = items[0].engine
+        for s in items[1:]:
+            engine = engine.merged(s.engine)
+        return cls(
+            engine=engine,
+            elapsed=sum(s.elapsed for s in items),
+            workers=max(s.workers for s in items),
+            num_evaluated=sum(s.num_evaluated for s in items),
+            num_feasible=sum(s.num_feasible for s in items),
+        )
+
+    def summary(self) -> str:
+        head = (
+            f"evaluated {self.num_evaluated:,} candidates in {self.elapsed:.2f} s "
+            f"({self.candidates_per_sec:,.0f} candidates/s, {self.workers} "
+            f"worker{'s' if self.workers != 1 else ''})\n"
+            f"feasible              {self.num_feasible:,} "
+            f"({self.feasible_fraction * 100:.1f}%)"
+        )
+        return head + "\n" + self.engine.summary()

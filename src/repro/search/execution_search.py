@@ -15,10 +15,12 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import logging
 import math
 import os
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, replace
+from time import perf_counter
 
 import numpy as np
 
@@ -27,6 +29,16 @@ from ..engine import iter_evaluate
 from ..execution.strategy import ExecutionStrategy, divisors, factorizations
 from ..hardware.system import System
 from ..llm.config import LLMConfig
+from ..obs import (
+    MetricsRegistry,
+    ProgressReporter,
+    PruneStats,
+    SweepStats,
+    Tracer,
+)
+from ..obs.stats import STAGE_NAMES, stage_metric
+
+logger = logging.getLogger(__name__)
 
 # Below this many candidates per worker, pool startup + pickling costs more
 # than the evaluation itself (the per-candidate model runs in ~tens of
@@ -104,7 +116,12 @@ class SearchOptions:
 
 @dataclass
 class SearchResult:
-    """Outcome of one exhaustive execution search."""
+    """Outcome of one exhaustive execution search.
+
+    ``stats`` is populated when the search ran with ``collect_stats=True``:
+    a :class:`~repro.obs.SweepStats` whose engine counters are merged
+    across every worker chunk.
+    """
 
     best: PerformanceResult | None
     best_strategy: ExecutionStrategy | None
@@ -112,6 +129,7 @@ class SearchResult:
     num_evaluated: int
     num_feasible: int
     sample_rates: np.ndarray  # feasible configurations' sample rates
+    stats: SweepStats | None = None
 
     @property
     def feasible_fraction(self) -> float:
@@ -211,16 +229,62 @@ def auto_workers(num_strategies: int, cpu_count: int | None = None) -> int:
     return max(1, min(cpus, num_strategies // MIN_STRATEGIES_PER_WORKER))
 
 
+def _chunk_trace_events(
+    tracer: Tracer,
+    chunk_index: int,
+    registry: MetricsRegistry,
+    start: float,
+    elapsed: float,
+    n_strategies: int,
+    feasible: int,
+) -> None:
+    """Record one chunk span plus per-stage aggregate child spans.
+
+    Per-candidate stage spans at sweep scale would dwarf the work being
+    traced, so each chunk carries five synthetic child spans — one per
+    pipeline stage, sized by the chunk's accumulated stage wall time and
+    laid out sequentially from the chunk start.  They render as an in-chunk
+    breakdown in Perfetto; only their durations (not their placement) are
+    measurements.
+    """
+    tracer.add_span(
+        f"chunk[{chunk_index}]",
+        "search.chunk",
+        start,
+        elapsed,
+        candidates=n_strategies,
+        feasible=feasible,
+    )
+    offset = start
+    for stage in STAGE_NAMES:
+        dur = registry.stage_total(stage_metric(stage))
+        if dur <= 0.0:
+            continue
+        tracer.add_span(stage, "engine.stage", offset, dur, aggregate=True)
+        offset += dur
+
+
 def _evaluate_chunk(
-    args: tuple[LLMConfig, System, list[ExecutionStrategy], int, object]
-) -> tuple[int, int, list[tuple[ExecutionStrategy, PerformanceResult]], list[float]]:
-    llm, system, strategies, top_k, constraint = args
+    args: tuple[LLMConfig, System, list[ExecutionStrategy], int, object, bool, int]
+) -> tuple[
+    int,
+    int,
+    list[tuple[ExecutionStrategy, PerformanceResult]],
+    list[float],
+    dict | None,
+    list[dict] | None,
+]:
+    llm, system, strategies, top_k, constraint, instrument, chunk_index = args
+    registry = MetricsRegistry() if instrument else None
+    start = perf_counter()
     # Bounded min-heap of (rate, tiebreak, strategy, result): O(n log k) with
     # k live entries, instead of periodically re-sorting a 4k-long list.
     heap: list[tuple[float, int, ExecutionStrategy, PerformanceResult]] = []
     rates: list[float] = []
     feasible = 0
-    for idx, res in iter_evaluate(llm, system, strategies, prune=True):
+    for idx, res in iter_evaluate(
+        llm, system, strategies, prune=True, metrics=registry
+    ):
         if not res.feasible:
             continue
         if constraint is not None and not constraint(res):
@@ -235,7 +299,16 @@ def _evaluate_chunk(
             heapq.heapreplace(heap, entry)
     ranked = sorted(heap, key=lambda entry: (-entry[0], entry[1]))
     top = [(strat, res) for _, _, strat, res in ranked]
-    return len(strategies), feasible, top, rates
+    snapshot = events = None
+    if registry is not None:
+        tracer = Tracer()
+        _chunk_trace_events(
+            tracer, chunk_index, registry, start, perf_counter() - start,
+            len(strategies), feasible,
+        )
+        snapshot = registry.snapshot()
+        events = tracer.events()
+    return len(strategies), feasible, top, rates, snapshot, events
 
 
 def search(
@@ -248,6 +321,9 @@ def search(
     workers: int | None = None,
     keep_rates: bool = True,
     constraint=None,
+    tracer: Tracer | None = None,
+    collect_stats: bool = False,
+    progress: ProgressReporter | None = None,
 ) -> SearchResult:
     """Exhaustively search the execution space; return the best performer.
 
@@ -262,26 +338,64 @@ def search(
         constraint: optional predicate on feasible results — return False to
             reject a configuration (e.g. a memory or MFU floor).  Must be a
             picklable (module-level) callable when ``workers > 1``.
+        tracer: records enumeration/chunk/stage spans (worker events merge
+            onto the parent timeline; CLOCK_MONOTONIC is machine-wide).
+        collect_stats: attach a :class:`~repro.obs.SweepStats` (per-stage
+            rejection counts, dedup hit rates, candidates/sec) to the
+            result, aggregated across worker chunks.
+        progress: fed one update per finished chunk (its total is set to
+            the candidate count once enumeration finishes).
     """
+    t_start = perf_counter()
+    instrument = collect_stats or tracer is not None
+    t0 = perf_counter()
     strategies = list(candidate_strategies(llm, system, batch, options))
+    if tracer is not None:
+        tracer.add_span("enumerate", "search", t0, perf_counter() - t0,
+                        candidates=len(strategies))
+    if progress is not None:
+        progress.set_total(len(strategies))
     if workers is None:
         workers = auto_workers(len(strategies))
-    chunks: list[list[ExecutionStrategy]] = []
-    if workers > 1:
-        step = math.ceil(len(strategies) / (workers * 4))
+    # Instrumented or progress-reporting serial runs are chunked too, so the
+    # trace shows search chunking and progress ticks mid-sweep; a plain
+    # serial run stays single-chunk (identical behavior to the fast path).
+    chunked = workers > 1 or ((instrument or progress is not None)
+                              and len(strategies) > 1)
+    chunks: list[list[ExecutionStrategy]] = [strategies]
+    if chunked:
+        step = math.ceil(len(strategies) / (max(workers, 1) * 4))
         chunks = [strategies[i : i + step] for i in range(0, len(strategies), step)]
+    logger.debug(
+        "search: %d candidates, %d workers, %d chunks (instrumented=%s)",
+        len(strategies), workers, len(chunks), instrument,
+    )
 
-    results: list[tuple[int, int, list, list]] = []
+    args = [
+        (llm, system, c, top_k, constraint, instrument, n)
+        for n, c in enumerate(chunks)
+    ]
+    results: list[tuple[int, int, list, list, dict | None, list | None]]
     if workers > 1 and len(chunks) > 1:
+        results = [None] * len(chunks)  # type: ignore[list-item]
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            results = list(
-                pool.map(
-                    _evaluate_chunk,
-                    [(llm, system, c, top_k, constraint) for c in chunks],
-                )
-            )
+            pending = {pool.submit(_evaluate_chunk, a): n for n, a in enumerate(args)}
+            while pending:
+                done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    n = pending.pop(future)
+                    results[n] = future.result()
+                    if progress is not None:
+                        progress.update(results[n][0], results[n][1])
     else:
-        results = [_evaluate_chunk((llm, system, strategies, top_k, constraint))]
+        results = []
+        for a in args:
+            r = _evaluate_chunk(a)
+            results.append(r)
+            if progress is not None:
+                progress.update(r[0], r[1])
+    if progress is not None:
+        progress.finish()
 
     num_eval = sum(r[0] for r in results)
     num_feasible = sum(r[1] for r in results)
@@ -294,6 +408,24 @@ def search(
         else np.empty(0)
     )
     best_strategy, best = (merged[0][0], merged[0][1]) if merged else (None, None)
+
+    stats = None
+    if instrument:
+        registry = MetricsRegistry.from_snapshots(
+            r[4] for r in results if r[4] is not None
+        )
+        if tracer is not None:
+            for r in results:
+                if r[5]:
+                    tracer.add_events(r[5])
+        if collect_stats:
+            stats = SweepStats(
+                engine=PruneStats.from_metrics(registry),
+                elapsed=perf_counter() - t_start,
+                workers=max(workers, 1),
+                num_evaluated=num_eval,
+                num_feasible=num_feasible,
+            )
     return SearchResult(
         best=best,
         best_strategy=best_strategy,
@@ -301,4 +433,5 @@ def search(
         num_evaluated=num_eval,
         num_feasible=num_feasible,
         sample_rates=rates,
+        stats=stats,
     )

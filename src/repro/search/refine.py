@@ -12,6 +12,7 @@ multi-start hill climbing lands within a few percent of it on small spaces.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 
 from ..core.results import PerformanceResult
@@ -19,6 +20,15 @@ from ..engine import evaluate, evaluate_many
 from ..execution.strategy import ExecutionStrategy
 from ..hardware.system import System
 from ..llm.config import LLMConfig
+from ..obs import NULL_SPAN, MetricsRegistry, Tracer
+
+logger = logging.getLogger(__name__)
+
+# Refine-layer metric names (the engine's own counters accumulate alongside
+# these in the same registry).
+M_REFINE_STEPS = "refine.steps"
+M_REFINE_EVALUATIONS = "refine.evaluations"
+M_REFINE_SEEDS = "refine.seeds"
 
 
 @dataclass(frozen=True)
@@ -93,26 +103,61 @@ def hill_climb(
     seed: ExecutionStrategy,
     *,
     max_steps: int = 100,
+    tracer: Tracer | None = None,
+    metrics: MetricsRegistry | None = None,
 ) -> RefineResult | None:
     """Greedy ascent on sample rate from a seed strategy.
 
     Returns ``None`` when the seed itself is infeasible and no neighbour is
     feasible either.
+
+    ``tracer`` wraps the climb in a ``hill_climb`` span with one
+    ``refine.step`` child per accepted move; ``metrics`` accumulates the
+    ``refine.*`` counters plus the engine's own counters for every batched
+    neighbourhood evaluation.
     """
     if max_steps < 1:
         raise ValueError("max_steps must be >= 1")
+    climb_span = (
+        tracer.span("hill_climb", cat="refine", seed=seed.short_name())
+        if tracer is not None
+        else None
+    )
+    if climb_span is not None:
+        climb_span.__enter__()
+    try:
+        result = _hill_climb_inner(
+            llm, system, seed, max_steps=max_steps, tracer=tracer, metrics=metrics
+        )
+    finally:
+        if climb_span is not None:
+            climb_span.__exit__(None, None, None)
+    return result
+
+
+def _hill_climb_inner(
+    llm: LLMConfig,
+    system: System,
+    seed: ExecutionStrategy,
+    *,
+    max_steps: int,
+    tracer: Tracer | None,
+    metrics: MetricsRegistry | None,
+) -> RefineResult | None:
     current_strategy = seed
-    current = evaluate(llm, system, seed)
+    current = evaluate(llm, system, seed, metrics=metrics)
     evaluations = 1
     if not current.feasible:
         # Try to bootstrap from any feasible neighbour.
         for cand in neighbours(seed):
-            res = evaluate(llm, system, cand)
+            res = evaluate(llm, system, cand, metrics=metrics)
             evaluations += 1
             if res.feasible:
                 current_strategy, current = cand, res
                 break
         else:
+            if metrics is not None:
+                metrics.inc(M_REFINE_EVALUATIONS, evaluations)
             return None
 
     steps = 0
@@ -121,18 +166,33 @@ def hill_climb(
         # profiles heavily (only t/m/recompute moves change the profile) and
         # memory-infeasible moves are pruned before any timing work.
         moves = neighbours(current_strategy)
-        best_move: tuple[ExecutionStrategy, PerformanceResult] | None = None
-        for cand, res in zip(moves, evaluate_many(llm, system, moves, prune=True)):
-            evaluations += 1
-            if res.feasible and res.sample_rate > current.sample_rate and (
-                best_move is None or res.sample_rate > best_move[1].sample_rate
+        span = (
+            tracer.span("refine.step", cat="refine", moves=len(moves))
+            if tracer is not None
+            else NULL_SPAN
+        )
+        with span:
+            best_move: tuple[ExecutionStrategy, PerformanceResult] | None = None
+            for cand, res in zip(
+                moves, evaluate_many(llm, system, moves, prune=True, metrics=metrics)
             ):
-                best_move = (cand, res)
+                evaluations += 1
+                if res.feasible and res.sample_rate > current.sample_rate and (
+                    best_move is None or res.sample_rate > best_move[1].sample_rate
+                ):
+                    best_move = (cand, res)
         if best_move is None:
             break
         current_strategy, current = best_move
         steps += 1
 
+    if metrics is not None:
+        metrics.inc(M_REFINE_EVALUATIONS, evaluations)
+        metrics.inc(M_REFINE_STEPS, steps)
+    logger.debug(
+        "hill climb from %s: %d steps, %d evaluations",
+        seed.short_name(), steps, evaluations,
+    )
     return RefineResult(
         best=current,
         best_strategy=current_strategy,
@@ -147,12 +207,18 @@ def multi_start(
     seeds: list[ExecutionStrategy],
     *,
     max_steps: int = 100,
+    tracer: Tracer | None = None,
+    metrics: MetricsRegistry | None = None,
 ) -> RefineResult | None:
     """Hill climb from several seeds, returning the overall best."""
     best: RefineResult | None = None
     total_evals = 0
+    if metrics is not None:
+        metrics.inc(M_REFINE_SEEDS, len(seeds))
     for seed in seeds:
-        res = hill_climb(llm, system, seed, max_steps=max_steps)
+        res = hill_climb(
+            llm, system, seed, max_steps=max_steps, tracer=tracer, metrics=metrics
+        )
         if res is None:
             continue
         total_evals += res.evaluations

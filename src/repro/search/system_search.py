@@ -8,7 +8,8 @@ shape does not map evenly onto the processor count.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import logging
+from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 import numpy as np
@@ -16,7 +17,10 @@ import numpy as np
 from ..execution.strategy import ExecutionStrategy
 from ..hardware.system import System
 from ..llm.config import LLMConfig
+from ..obs import ProgressReporter, SweepStats, Tracer
 from .execution_search import SearchOptions, search
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -29,6 +33,7 @@ class ScalingPoint:
     mfu: float
     strategy: ExecutionStrategy | None
     feasible: bool
+    stats: SweepStats | None = field(default=None, compare=False)
 
     @property
     def per_proc_rate(self) -> float:
@@ -64,6 +69,11 @@ class ScalingCurve:
         envelope = np.maximum.accumulate(rel)
         return envelope - rel
 
+    def total_stats(self) -> SweepStats | None:
+        """Merged sweep statistics across every instrumented size."""
+        stats = [p.stats for p in self.points if p.stats is not None]
+        return SweepStats.merge(stats) if stats else None
+
 
 def best_at_size(
     llm: LLMConfig,
@@ -73,16 +83,21 @@ def best_at_size(
     options: SearchOptions | None = None,
     *,
     workers: int | None = None,
+    tracer: Tracer | None = None,
+    collect_stats: bool = False,
 ) -> ScalingPoint:
     """Search the execution space at one system size.
 
     ``workers`` is forwarded to :func:`repro.search.search`; the default
     ``None`` applies its :func:`~repro.search.auto_workers` heuristic, so
     large per-size spaces parallelize while small ones stay serial.
+    ``tracer`` and ``collect_stats`` instrument the inner search; the
+    point's :class:`~repro.obs.SweepStats` lands on ``ScalingPoint.stats``.
     """
     system = system_factory(num_procs)
     result = search(
-        llm, system, batch, options, workers=workers, keep_rates=False, top_k=1
+        llm, system, batch, options, workers=workers, keep_rates=False, top_k=1,
+        tracer=tracer, collect_stats=collect_stats,
     )
     if result.best is None:
         return ScalingPoint(
@@ -92,6 +107,7 @@ def best_at_size(
             mfu=0.0,
             strategy=None,
             feasible=False,
+            stats=result.stats,
         )
     return ScalingPoint(
         num_procs=num_procs,
@@ -100,6 +116,7 @@ def best_at_size(
         mfu=result.best.mfu,
         strategy=result.best_strategy,
         feasible=True,
+        stats=result.stats,
     )
 
 
@@ -111,17 +128,42 @@ def scaling_sweep(
     options: SearchOptions | None = None,
     *,
     workers: int | None = None,
+    tracer: Tracer | None = None,
+    collect_stats: bool = False,
+    progress: ProgressReporter | None = None,
 ) -> ScalingCurve:
     """Best performance at each system size (one Fig. 7 / Fig. 10 panel).
 
     ``workers`` is honored by every inner per-size search (``None`` =
     auto-select, 0/1 = serial, N = process count), so a Fig. 7 sweep over
     thousands of processors can use the whole machine.
+
+    With a ``tracer``, each per-size search is wrapped in a ``size=N`` span
+    (chunk and stage spans of the inner searches nest beneath it);
+    ``collect_stats`` records a :class:`~repro.obs.SweepStats` per point
+    (merge them with :meth:`ScalingCurve.total_stats`); ``progress`` ticks
+    once per completed size, with feasibility as the success count.
     """
-    points = [
-        best_at_size(llm, system_factory, n, batch, options, workers=workers)
-        for n in sizes
-    ]
+    if progress is not None:
+        progress.set_total(len(sizes))
+        progress.unit = "sizes"
+    logger.debug("scaling sweep: %s over %d sizes", llm.name, len(sizes))
+    points = []
+    span = tracer.span if tracer is not None else None
+    for n in sizes:
+        if span is not None:
+            with span(f"size={n}", cat="sweep.size"):
+                point = best_at_size(llm, system_factory, n, batch, options,
+                                     workers=workers, tracer=tracer,
+                                     collect_stats=collect_stats)
+        else:
+            point = best_at_size(llm, system_factory, n, batch, options,
+                                 workers=workers, collect_stats=collect_stats)
+        points.append(point)
+        if progress is not None:
+            progress.update(1, int(point.feasible))
+    if progress is not None:
+        progress.finish()
     return ScalingCurve(llm_name=llm.name, points=points)
 
 

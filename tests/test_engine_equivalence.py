@@ -19,10 +19,11 @@ from itertools import product
 import pytest
 
 from repro.core import calculate
-from repro.engine import check_feasible, evaluate_many
+from repro.engine import check_feasible, evaluate, evaluate_many
 from repro.execution import ExecutionStrategy
 from repro.hardware import a100_system, ddr5_offload
 from repro.llm import GPT3_175B, TINY_TEST
+from repro.obs import MetricsRegistry, Tracer
 
 SYS64 = a100_system(64)  # 80 GiB HBM: large-batch no-recompute runs overflow
 OFF64 = a100_system(64, offload=ddr5_offload(512))
@@ -120,6 +121,33 @@ def test_fast_path_covers_both_failure_stages():
         if not report.feasible:
             stages.add(report.stage)
     assert stages == {"validate", "memory"}
+
+
+@pytest.mark.parametrize("llm, system", CASES)
+def test_instrumented_evaluation_bit_identical(llm, system):
+    """Tracing and metrics must observe, never perturb.
+
+    Every result field stays bit-identical when spans and counters are
+    attached, for both the single-candidate path and the pruned batch path.
+    """
+    singles = [calculate(llm, system, s) for s in GRID]
+
+    tracer = Tracer()
+    metrics = MetricsRegistry()
+    instrumented = [
+        evaluate(llm, system, s, tracer=tracer, metrics=metrics) for s in GRID
+    ]
+    batched, stats = evaluate_many(llm, system, GRID, prune=True, stats=True)
+    for strat, one, single_inst, batch_inst in zip(
+        GRID, singles, instrumented, batched
+    ):
+        label = strat.short_name()
+        assert _as_fields(one) == _as_fields(single_inst), label
+        assert _as_fields(one) == _as_fields(batch_inst), label
+    # The instrumentation did run: spans and counters were recorded.
+    assert len(tracer.events()) > 0
+    assert metrics.value("engine.candidates") == len(GRID)
+    assert stats.candidates == len(GRID)
 
 
 def test_memory_stage_failures_carry_the_memory_plan():
