@@ -44,6 +44,7 @@ from .llm import LLMConfig, get_preset, iter_presets
 from .obs import MetricsRegistry, ProgressReporter, PruneStats, Tracer
 from .obs.stats import STAGE_NAMES, stage_metric
 from .search import (
+    RetryPolicy,
     SearchOptions,
     budget_table,
     scaling_sweep,
@@ -106,6 +107,64 @@ def _make_obs(
     tracer = Tracer() if args.trace else None
     progress = ProgressReporter(stream=sys.stderr) if args.progress else None
     return tracer, progress
+
+
+def _add_fault_flags(parser: argparse.ArgumentParser) -> None:
+    """The fault-tolerance flags shared by the long-running sweeps."""
+    parser.add_argument(
+        "--checkpoint", metavar="FILE", default=None,
+        help="journal completed chunks to FILE (JSONL) for later --resume",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="skip chunks already journaled in --checkpoint FILE",
+    )
+    parser.add_argument(
+        "--deadline", type=float, metavar="SECONDS", default=None,
+        help="wall-clock budget; stop cleanly at a chunk boundary when it passes",
+    )
+    parser.add_argument(
+        "--max-retries", type=int, metavar="N", default=None,
+        help="retries per failed chunk before it is skipped (default 2)",
+    )
+    parser.add_argument(
+        "--chunk-timeout", type=float, metavar="SECONDS", default=None,
+        help="per-chunk timeout; a hung worker chunk is killed and retried",
+    )
+
+
+def _fault_kwargs(args: argparse.Namespace) -> dict:
+    """Translate the fault flags into search()/scaling_sweep() keywords."""
+    if args.resume and not args.checkpoint:
+        raise SystemExit("--resume requires --checkpoint FILE")
+    policy = None
+    if args.max_retries is not None or args.chunk_timeout is not None:
+        policy = RetryPolicy(
+            max_retries=args.max_retries if args.max_retries is not None else 2,
+            timeout=args.chunk_timeout,
+        )
+    return {
+        "checkpoint": args.checkpoint,
+        "resume": args.resume,
+        "deadline": args.deadline,
+        "retry_policy": policy,
+    }
+
+
+def _report_fault_outcome(stats, truncated: bool) -> None:
+    if stats is not None and stats.resumed_chunks:
+        sys.stderr.write(
+            f"resumed {stats.resumed_chunks} chunks from the checkpoint journal\n"
+        )
+    if stats is not None and stats.skipped:
+        ranges = ", ".join(f"[{a}, {b})" for a, b in stats.skipped)
+        sys.stderr.write(
+            f"warning: skipped candidate ranges after repeated failures: {ranges}\n"
+        )
+    if truncated:
+        sys.stderr.write(
+            "warning: deadline hit; results cover only the evaluated prefix\n"
+        )
 
 
 def _finish_trace(tracer: Tracer | None, args: argparse.Namespace) -> None:
@@ -190,9 +249,11 @@ def _cmd_search(args: argparse.Namespace) -> int:
     result = search(
         llm, system, args.batch, opts, top_k=args.top, workers=args.workers,
         tracer=tracer, collect_stats=args.stats, progress=progress,
+        **_fault_kwargs(args),
     )
     elapsed = time.perf_counter() - start
     _finish_trace(tracer, args)
+    _report_fault_outcome(result.stats, result.truncated)
     print(
         f"evaluated {result.num_evaluated} configurations "
         f"({result.num_feasible} feasible, "
@@ -235,11 +296,15 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     sizes = list(range(args.step, args.max_size + 1, args.step))
     opts = _options_from_name(args.options)
     tracer, progress = _make_obs(args)
+    fault = _fault_kwargs(args)
+    fault.pop("retry_policy")  # per-size searches stay unsupervised for now
     curve = scaling_sweep(
         llm, factory, sizes, args.batch, opts, workers=args.workers,
         tracer=tracer, collect_stats=args.stats, progress=progress,
+        **fault,
     )
     _finish_trace(tracer, args)
+    _report_fault_outcome(curve.total_stats(), curve.truncated)
     if args.stats:
         total = curve.total_stats()
         if total is not None:
@@ -356,10 +421,13 @@ def _cmd_refine(args: argparse.Namespace) -> int:
                 microbatch=1, recompute="full", optimizer_sharding=True,
             )
         )
+    if args.resume and not args.checkpoint:
+        raise SystemExit("--resume requires --checkpoint FILE")
     tracer, _ = _make_obs(args)
     metrics = MetricsRegistry() if args.stats else None
     start = time.perf_counter()
-    result = multi_start(llm, system, seeds, tracer=tracer, metrics=metrics)
+    result = multi_start(llm, system, seeds, tracer=tracer, metrics=metrics,
+                         checkpoint=args.checkpoint, resume=args.resume)
     elapsed = time.perf_counter() - start
     _finish_trace(tracer, args)
     if result is None:
@@ -525,6 +593,7 @@ def main(argv: list[str] | None = None) -> int:
     srch.add_argument("--top", type=int, default=10)
     srch.add_argument("--workers", type=int, default=None)
     _add_obs_flags(srch)
+    _add_fault_flags(srch)
     srch.set_defaults(func=_cmd_search)
 
     swp = sub.add_parser("sweep", help="optimal performance vs system size")
@@ -537,6 +606,7 @@ def main(argv: list[str] | None = None) -> int:
     swp.add_argument("--workers", type=int, default=None,
                      help="processes per inner search (default: auto)")
     _add_obs_flags(swp)
+    _add_fault_flags(swp)
     swp.set_defaults(func=_cmd_sweep)
 
     bud = sub.add_parser("budget", help="budgeted optimal-system search")
@@ -568,6 +638,10 @@ def main(argv: list[str] | None = None) -> int:
     ref.add_argument("llm")
     ref.add_argument("system")
     ref.add_argument("--batch", type=int, default=4096)
+    ref.add_argument("--checkpoint", metavar="FILE", default=None,
+                     help="journal completed climbs to FILE for later --resume")
+    ref.add_argument("--resume", action="store_true",
+                     help="skip seeds already journaled in --checkpoint FILE")
     _add_obs_flags(ref)
     ref.set_defaults(func=_cmd_refine)
 

@@ -12,6 +12,7 @@ block-profile key and fully evaluates only memory-feasible survivors.
 """
 
 from .api import (
+    ENGINE_VERSION,
     FAST_PATH,
     PIPELINE,
     STAGE_SHORT_NAMES,
@@ -36,6 +37,7 @@ from .stages import (
 __all__ = [
     "BlockProfile",
     "CommExposure",
+    "ENGINE_VERSION",
     "EvalContext",
     "FAST_PATH",
     "FeasibilityReport",

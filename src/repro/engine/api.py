@@ -52,6 +52,12 @@ from .stages import (
 
 logger = logging.getLogger(__name__)
 
+# Version of the evaluation semantics.  Bump whenever a change makes the
+# engine produce different numbers for the same (llm, system, strategy) —
+# checkpoint journals embed it in their run key, so a resumed sweep can
+# never silently mix results from two model revisions.
+ENGINE_VERSION = 1
+
 # The full pipeline, in execution order.  Exposed for documentation and for
 # tooling that wants to run/instrument the stages one at a time.
 PIPELINE = (stage_validate, stage_profile, stage_memory, stage_comm, stage_assemble)

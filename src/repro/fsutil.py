@@ -1,0 +1,47 @@
+"""Crash-safe filesystem helpers.
+
+Every file this package writes — reports, CSV/JSON exports, Chrome traces,
+checkpoint journals — goes through :func:`atomic_write_text`: the content is
+written to a temporary file in the destination directory, flushed and
+fsync'd, then moved over the target with ``os.replace``.  POSIX guarantees
+the replace is atomic, so a reader (or a resumed run) sees either the old
+complete file or the new complete file, never a truncated intermediate —
+even if the writing process is killed mid-write.
+
+This module is intentionally dependency-free (stdlib only, no intra-package
+imports) so any subsystem — ``repro.obs``, ``repro.io``, ``repro.search`` —
+can use it without creating import cycles.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import tempfile
+from pathlib import Path
+
+logger = logging.getLogger(__name__)
+
+
+def atomic_write_text(path: str | Path, text: str, encoding: str = "utf-8") -> Path:
+    """Write ``text`` to ``path`` atomically; returns the path.
+
+    The temporary file is created next to the destination (``os.replace``
+    must not cross filesystems) and removed if anything fails before the
+    final rename.
+    """
+    path = Path(path)
+    fd, tmp_name = tempfile.mkstemp(prefix=f".{path.name}.", suffix=".tmp", dir=path.parent)
+    try:
+        with os.fdopen(fd, "w", encoding=encoding) as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:  # pragma: no cover - already replaced or never created
+            pass
+        raise
+    return path

@@ -1,5 +1,6 @@
 """JSON spec I/O for the three model inputs."""
 
+from ..fsutil import atomic_write_text
 from .report import (
     result_to_flat_dict,
     results_to_csv,
@@ -18,6 +19,7 @@ from .specs import (
 )
 
 __all__ = [
+    "atomic_write_text",
     "result_to_flat_dict",
     "results_to_csv",
     "results_to_markdown",

@@ -14,6 +14,7 @@ from pathlib import Path
 from typing import Sequence
 
 from ..core.results import PerformanceResult
+from ..fsutil import atomic_write_text
 
 
 def result_to_flat_dict(result: PerformanceResult) -> dict:
@@ -90,9 +91,13 @@ def results_to_markdown(
 def save_results_json(
     results: Sequence[PerformanceResult], path: str | Path
 ) -> Path:
-    """Write results as a JSON array of flat dicts; returns the path."""
+    """Write results as a JSON array of flat dicts; returns the path.
+
+    The write is atomic (temp file + ``os.replace``), so an interrupted run
+    never leaves a truncated results file.
+    """
     path = Path(path)
-    path.write_text(
-        json.dumps([result_to_flat_dict(r) for r in results], indent=1) + "\n"
+    atomic_write_text(
+        path, json.dumps([result_to_flat_dict(r) for r in results], indent=1) + "\n"
     )
     return path

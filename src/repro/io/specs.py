@@ -11,6 +11,7 @@ from pathlib import Path
 from typing import Any
 
 from ..execution.strategy import ExecutionStrategy
+from ..fsutil import atomic_write_text
 from ..hardware.memory import MemoryTier
 from ..hardware.network import Network
 from ..hardware.processor import EfficiencyCurve, Processor
@@ -105,7 +106,7 @@ def _net_from_dict(data: dict[str, Any]) -> Network:
 # ---------------------------------------------------------------------------
 
 def save_llm(llm: LLMConfig, path: str | Path) -> None:
-    Path(path).write_text(json.dumps(llm.to_dict(), indent=2) + "\n")
+    atomic_write_text(path, json.dumps(llm.to_dict(), indent=2) + "\n")
 
 
 def load_llm(path: str | Path) -> LLMConfig:
@@ -113,7 +114,7 @@ def load_llm(path: str | Path) -> LLMConfig:
 
 
 def save_system(system: System, path: str | Path) -> None:
-    Path(path).write_text(json.dumps(system_to_dict(system), indent=2) + "\n")
+    atomic_write_text(path, json.dumps(system_to_dict(system), indent=2) + "\n")
 
 
 def load_system(path: str | Path) -> System:
@@ -121,7 +122,7 @@ def load_system(path: str | Path) -> System:
 
 
 def save_strategy(strategy: ExecutionStrategy, path: str | Path) -> None:
-    Path(path).write_text(json.dumps(strategy.to_dict(), indent=2) + "\n")
+    atomic_write_text(path, json.dumps(strategy.to_dict(), indent=2) + "\n")
 
 
 def load_strategy(path: str | Path) -> ExecutionStrategy:

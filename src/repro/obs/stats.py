@@ -147,6 +147,14 @@ class SweepStats:
     ``num_evaluated`` / ``num_feasible`` are the *search-level* figures (a
     result constraint can reject engine-feasible candidates, so
     ``num_feasible <= engine.evaluated_full``).
+
+    The fault-tolerance fields describe what the supervision layer did:
+    ``retries`` counts chunk re-attempts (including serial fallback runs),
+    ``skipped`` lists the candidate-index ranges ``[start, stop)`` of
+    chunks that failed every retry and were dropped from the sweep,
+    ``resumed_chunks`` counts chunks restored from a checkpoint journal
+    instead of evaluated, and ``truncated`` is set when a ``--deadline``
+    stopped the sweep at a chunk boundary.
     """
 
     engine: PruneStats
@@ -154,6 +162,15 @@ class SweepStats:
     workers: int = 1
     num_evaluated: int = 0
     num_feasible: int = 0
+    retries: int = 0
+    skipped: tuple[tuple[int, int], ...] = ()
+    resumed_chunks: int = 0
+    truncated: bool = False
+
+    @property
+    def num_skipped(self) -> int:
+        """Candidates lost to skipped ranges."""
+        return sum(stop - start for start, stop in self.skipped)
 
     @property
     def candidates_per_sec(self) -> float:
@@ -178,6 +195,10 @@ class SweepStats:
             workers=max(s.workers for s in items),
             num_evaluated=sum(s.num_evaluated for s in items),
             num_feasible=sum(s.num_feasible for s in items),
+            retries=sum(s.retries for s in items),
+            skipped=tuple(r for s in items for r in s.skipped),
+            resumed_chunks=sum(s.resumed_chunks for s in items),
+            truncated=any(s.truncated for s in items),
         )
 
     def summary(self) -> str:
@@ -188,4 +209,17 @@ class SweepStats:
             f"feasible              {self.num_feasible:,} "
             f"({self.feasible_fraction * 100:.1f}%)"
         )
-        return head + "\n" + self.engine.summary()
+        fault_lines = []
+        if self.resumed_chunks:
+            fault_lines.append(f"resumed from journal  {self.resumed_chunks:,} chunks")
+        if self.retries:
+            fault_lines.append(f"chunk retries         {self.retries:,}")
+        if self.skipped:
+            ranges = ", ".join(f"[{a}, {b})" for a, b in self.skipped)
+            fault_lines.append(
+                f"skipped ranges        {ranges} ({self.num_skipped:,} candidates)"
+            )
+        if self.truncated:
+            fault_lines.append("truncated             deadline hit; results are partial")
+        tail = ("\n" + "\n".join(fault_lines)) if fault_lines else ""
+        return head + "\n" + self.engine.summary() + tail

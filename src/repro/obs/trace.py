@@ -36,6 +36,8 @@ import time
 from pathlib import Path
 from typing import Any
 
+from ..fsutil import atomic_write_text
+
 logger = logging.getLogger(__name__)
 
 # Trace-event timestamps are microseconds.
@@ -195,9 +197,14 @@ class Tracer:
         return {"traceEvents": meta + events, "displayTimeUnit": "ms"}
 
     def write(self, path: str | Path) -> Path:
-        """Serialize the trace to ``path`` as Chrome trace-event JSON."""
+        """Serialize the trace to ``path`` as Chrome trace-event JSON.
+
+        The write is atomic (temp file + ``os.replace``): an interrupted
+        run leaves either the previous trace or the new one, never a
+        truncated file the viewer cannot load.
+        """
         path = Path(path)
-        path.write_text(json.dumps(self.to_chrome(), indent=1))
+        atomic_write_text(path, json.dumps(self.to_chrome(), indent=1))
         logger.debug("wrote %d trace events to %s", len(self._events), path)
         return path
 

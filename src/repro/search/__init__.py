@@ -1,5 +1,12 @@
-"""Search engines: execution-space, system-size and budgeted system search."""
+"""Search engines: execution-space, system-size and budgeted system search.
 
+Long-running sweeps are fault-tolerant: :mod:`repro.search.checkpoint`
+journals completed chunks for ``resume``, and :mod:`repro.search.faults`
+supervises worker dispatch (retry with backoff, per-chunk timeout, skip
+ranges, wall-clock deadlines).  See ``docs/RELIABILITY.md``.
+"""
+
+from .checkpoint import CheckpointJournal, CheckpointMismatch, run_key
 from .cost import (
     BudgetEntry,
     DDR5_PRICES,
@@ -17,6 +24,13 @@ from .execution_search import (
     candidate_strategies,
     search,
 )
+from .faults import (
+    FaultInjected,
+    FaultInjector,
+    RetryPolicy,
+    SupervisionReport,
+    run_supervised,
+)
 from .refine import RefineResult, hill_climb, multi_start, neighbours
 from .tco import PowerModel, TCOReport, tco_report
 from .system_search import (
@@ -29,10 +43,16 @@ from .system_search import (
 
 __all__ = [
     "BudgetEntry",
+    "CheckpointJournal",
+    "CheckpointMismatch",
     "DDR5_PRICES",
+    "FaultInjected",
+    "FaultInjector",
     "H100_BASE_PRICE",
     "HBM3_PRICES",
     "RefineResult",
+    "RetryPolicy",
+    "SupervisionReport",
     "ScalingCurve",
     "ScalingPoint",
     "SearchOptions",
@@ -50,6 +70,8 @@ __all__ = [
     "multi_start",
     "neighbours",
     "offload_speedups",
+    "run_key",
+    "run_supervised",
     "scaling_sweep",
     "search",
     "tco_report",

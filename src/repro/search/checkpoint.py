@@ -1,0 +1,212 @@
+"""Chunk-granularity checkpoint journal for resumable sweeps.
+
+A multi-hour search campaign must survive a worker crash, an OOM kill or a
+Ctrl-C without throwing away every evaluated chunk.  The journal is a JSONL
+file: a header line identifying the run, then one record per completed unit
+of work (an execution-search chunk, a scaling-sweep size, a multi-start
+seed).  Three properties make it safe to resume from:
+
+* **Content-keyed.**  The header carries a SHA-256 :func:`run_key` over the
+  LLM spec, the system spec, the search options and the engine version.  A
+  ``--resume`` against a journal whose key does not match the current
+  problem raises :class:`CheckpointMismatch` instead of silently mixing
+  results from two different runs.
+* **Atomically written.**  Every flush rewrites the whole journal through
+  :func:`repro.fsutil.atomic_write_text` (temp file + ``os.replace``), so
+  the file on disk is always a complete, parseable journal — a run killed
+  mid-write loses at most the chunk being recorded, never the journal.
+* **Order-independent.**  Records are keyed by a record id; loading is a
+  pure set-merge, so any permutation of the record lines — or any prefix of
+  a run — reconstructs the same state.  Resuming after *any* interruption
+  point therefore reproduces the uninterrupted result bit-identically
+  (property-tested in ``tests/test_checkpoint.py``).
+
+Journals deliberately store *strategies and scalars*, not pickled result
+objects: on resume, the few journaled top-k strategies are re-evaluated
+through the (deterministic) engine, which keeps journals small, humanly
+inspectable, and robust to dataclass evolution.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import logging
+from dataclasses import asdict, is_dataclass
+from pathlib import Path
+from typing import Any, Iterator, Mapping
+
+from ..engine import ENGINE_VERSION
+from ..fsutil import atomic_write_text
+from ..hardware.system import System
+from ..io.specs import system_to_dict
+from ..llm.config import LLMConfig
+
+logger = logging.getLogger(__name__)
+
+JOURNAL_MAGIC = "calculon-journal"
+JOURNAL_VERSION = 1
+
+
+class CheckpointMismatch(RuntimeError):
+    """A resume attempt against a journal written for a different run."""
+
+
+def run_key(
+    llm: LLMConfig,
+    system: System,
+    batch: int,
+    options: Any,
+    *,
+    kind: str = "search",
+    extra: Mapping[str, Any] | None = None,
+) -> str:
+    """Content hash identifying one sweep: same key ⇔ same results.
+
+    Everything that can change the numbers goes in: the full LLM and system
+    specs (not their names), the batch, the option space, the engine
+    version, and any caller extras (top-k, size grid, constraint name, …).
+    """
+    payload = {
+        "kind": kind,
+        "engine_version": ENGINE_VERSION,
+        "llm": llm.to_dict(),
+        "system": system_to_dict(system),
+        "batch": batch,
+        "options": asdict(options) if is_dataclass(options) else options,
+        "extra": dict(extra) if extra else None,
+    }
+    blob = json.dumps(payload, sort_keys=True, default=str)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class CheckpointJournal:
+    """An append-style journal of completed work units, keyed by record id.
+
+    ``meta`` carries run-shape facts a resume must reuse (e.g. the chunk
+    size that determines chunk boundaries); on resume the *journal's* meta
+    wins over the caller's, so a resumed run slices the candidate space
+    exactly as the original did.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        key: str,
+        meta: Mapping[str, Any] | None = None,
+    ):
+        self.path = Path(path)
+        self.key = key
+        self.meta: dict[str, Any] = dict(meta or {})
+        self._records: dict[str, Any] = {}
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def open(
+        cls,
+        path: str | Path,
+        key: str,
+        *,
+        resume: bool = False,
+        meta: Mapping[str, Any] | None = None,
+    ) -> "CheckpointJournal":
+        """Create (or, with ``resume``, reload) the journal at ``path``.
+
+        Without ``resume`` an existing file is started over.  With it, a
+        matching journal's records and meta are adopted; a key mismatch
+        raises :class:`CheckpointMismatch`; a missing or unparseable file
+        degrades to a fresh journal (there is nothing to resume from).
+        """
+        journal = cls(path, key, meta)
+        if resume:
+            existing = cls.load(path)
+            if existing is not None:
+                if existing.key != key:
+                    raise CheckpointMismatch(
+                        f"journal {path} was written for a different run "
+                        f"(journal key {existing.key[:12]}…, expected {key[:12]}…); "
+                        "delete it or drop --resume to start over"
+                    )
+                journal.meta = existing.meta or journal.meta
+                journal._records = existing._records
+                logger.info(
+                    "resuming from %s: %d completed records",
+                    path, len(existing._records),
+                )
+        journal.flush()
+        return journal
+
+    @classmethod
+    def load(cls, path: str | Path) -> "CheckpointJournal | None":
+        """Parse a journal file; ``None`` if absent or headerless.
+
+        Malformed lines are skipped (the atomic writer never produces them,
+        but a journal that passed through mail or got hand-edited should
+        still yield its intact records).  Record order is irrelevant; a
+        duplicated id keeps the last occurrence.
+        """
+        path = Path(path)
+        try:
+            text = path.read_text()
+        except OSError:
+            return None
+        journal: CheckpointJournal | None = None
+        for n, line in enumerate(text.splitlines()):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError:
+                logger.warning("%s:%d: skipping malformed journal line", path, n + 1)
+                continue
+            kind = obj.get("kind")
+            if kind == JOURNAL_MAGIC:
+                journal = cls(path, obj.get("key", ""), obj.get("meta") or {})
+            elif kind == "record" and journal is not None and "id" in obj:
+                journal._records[str(obj["id"])] = obj.get("data")
+            else:
+                logger.warning("%s:%d: skipping unrecognized journal line", path, n + 1)
+        return journal
+
+    # -- recording -----------------------------------------------------------
+
+    def record(self, record_id: str, data: Any) -> None:
+        """Journal one completed unit of work and flush to disk."""
+        self._records[str(record_id)] = data
+        self.flush()
+
+    def flush(self) -> None:
+        lines = [
+            json.dumps(
+                {
+                    "kind": JOURNAL_MAGIC,
+                    "version": JOURNAL_VERSION,
+                    "key": self.key,
+                    "meta": self.meta,
+                }
+            )
+        ]
+        lines += [
+            json.dumps({"kind": "record", "id": rid, "data": data})
+            for rid, data in sorted(self._records.items())
+        ]
+        atomic_write_text(self.path, "\n".join(lines) + "\n")
+
+    # -- reading -------------------------------------------------------------
+
+    def __contains__(self, record_id: str) -> bool:
+        return str(record_id) in self._records
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def get(self, record_id: str) -> Any:
+        return self._records[str(record_id)]
+
+    def ids(self) -> Iterator[str]:
+        return iter(sorted(self._records))
+
+    def records(self) -> dict[str, Any]:
+        return dict(self._records)

@@ -25,7 +25,7 @@ from time import perf_counter
 import numpy as np
 
 from ..core.results import PerformanceResult
-from ..engine import iter_evaluate
+from ..engine import evaluate, iter_evaluate
 from ..execution.strategy import ExecutionStrategy, divisors, factorizations
 from ..hardware.system import System
 from ..llm.config import LLMConfig
@@ -37,6 +37,8 @@ from ..obs import (
     Tracer,
 )
 from ..obs.stats import STAGE_NAMES, stage_metric
+from .checkpoint import CheckpointJournal, run_key
+from .faults import FaultInjector, RetryPolicy, run_supervised
 
 logger = logging.getLogger(__name__)
 
@@ -118,9 +120,13 @@ class SearchOptions:
 class SearchResult:
     """Outcome of one exhaustive execution search.
 
-    ``stats`` is populated when the search ran with ``collect_stats=True``:
-    a :class:`~repro.obs.SweepStats` whose engine counters are merged
-    across every worker chunk.
+    ``stats`` is populated when the search ran with ``collect_stats=True``
+    or with any fault-tolerance feature active: a
+    :class:`~repro.obs.SweepStats` whose engine counters are merged across
+    every worker chunk and whose retry/skip/resume counters describe what
+    the supervision layer did.  ``truncated`` is set when a ``deadline``
+    stopped the sweep at a chunk boundary — the result is then valid but
+    covers only the evaluated prefix of the space.
     """
 
     best: PerformanceResult | None
@@ -130,6 +136,7 @@ class SearchResult:
     num_feasible: int
     sample_rates: np.ndarray  # feasible configurations' sample rates
     stats: SweepStats | None = None
+    truncated: bool = False
 
     @property
     def feasible_fraction(self) -> float:
@@ -265,7 +272,10 @@ def _chunk_trace_events(
 
 
 def _evaluate_chunk(
-    args: tuple[LLMConfig, System, list[ExecutionStrategy], int, object, bool, int]
+    args: tuple[
+        LLMConfig, System, list[ExecutionStrategy], int, object, bool, int,
+        FaultInjector | None,
+    ]
 ) -> tuple[
     int,
     int,
@@ -274,7 +284,9 @@ def _evaluate_chunk(
     dict | None,
     list[dict] | None,
 ]:
-    llm, system, strategies, top_k, constraint, instrument, chunk_index = args
+    llm, system, strategies, top_k, constraint, instrument, chunk_index, injector = args
+    if injector is not None:
+        injector.fire(chunk_index)
     registry = MetricsRegistry() if instrument else None
     start = perf_counter()
     # Bounded min-heap of (rate, tiebreak, strategy, result): O(n log k) with
@@ -311,6 +323,40 @@ def _evaluate_chunk(
     return len(strategies), feasible, top, rates, snapshot, events
 
 
+def _chunk_payload(result: tuple, keep_rates: bool) -> dict:
+    """A chunk result as a JSON-safe journal record.
+
+    Top-k entries store the strategy and its rate, not the full
+    :class:`PerformanceResult` — resume re-evaluates the handful of
+    journaled strategies through the deterministic engine, keeping the
+    journal small and schema-stable.
+    """
+    n, feasible, top, rates, snapshot, _events = result
+    return {
+        "n": n,
+        "feasible": feasible,
+        "top": [[res.sample_rate, strat.to_dict()] for strat, res in top],
+        "rates": list(rates) if keep_rates else None,
+        "snapshot": snapshot,
+    }
+
+
+def _chunk_from_payload(llm: LLMConfig, system: System, payload: dict) -> tuple:
+    """Reconstruct a chunk result tuple from its journal record."""
+    top = []
+    for _rate, strat_dict in payload["top"]:
+        strat = ExecutionStrategy.from_dict(strat_dict)
+        top.append((strat, evaluate(llm, system, strat)))
+    return (
+        int(payload["n"]),
+        int(payload["feasible"]),
+        top,
+        list(payload.get("rates") or []),
+        payload.get("snapshot"),
+        None,
+    )
+
+
 def search(
     llm: LLMConfig,
     system: System,
@@ -324,6 +370,11 @@ def search(
     tracer: Tracer | None = None,
     collect_stats: bool = False,
     progress: ProgressReporter | None = None,
+    checkpoint: str | os.PathLike | None = None,
+    resume: bool = False,
+    deadline: float | None = None,
+    retry_policy: RetryPolicy | None = None,
+    fault_injector: FaultInjector | None = None,
 ) -> SearchResult:
     """Exhaustively search the execution space; return the best performer.
 
@@ -345,7 +396,28 @@ def search(
             result, aggregated across worker chunks.
         progress: fed one update per finished chunk (its total is set to
             the candidate count once enumeration finishes).
+        checkpoint: path of a JSONL checkpoint journal; every completed
+            chunk is journaled so an interrupted sweep can be resumed.
+        resume: reload ``checkpoint`` and skip already-journaled chunks
+            (bit-identical to an uninterrupted run); raises
+            :class:`~repro.search.checkpoint.CheckpointMismatch` when the
+            journal belongs to a different problem.
+        deadline: wall-clock budget in seconds (measured from this call).
+            Enumeration stops cleanly at a chunk boundary once it passes
+            and the partial result is flagged ``truncated=True``.
+        retry_policy: per-chunk timeout / bounded-retry / backoff policy
+            (see :class:`~repro.search.faults.RetryPolicy`).  A chunk that
+            fails every pool retry is re-run serially; if it still fails
+            its range is recorded in ``stats.skipped`` instead of aborting.
+        fault_injector: deterministic test hook that makes one chunk raise,
+            hang or crash (see :class:`~repro.search.faults.FaultInjector`).
+
+    Any of the last five arguments engages the supervised dispatch path
+    (and forces chunked evaluation); without them the fast legacy dispatch
+    is used and behavior is unchanged.
     """
+    if resume and checkpoint is None:
+        raise ValueError("resume=True requires a checkpoint path")
     t_start = perf_counter()
     instrument = collect_stats or tracer is not None
     t0 = perf_counter()
@@ -357,26 +429,95 @@ def search(
         progress.set_total(len(strategies))
     if workers is None:
         workers = auto_workers(len(strategies))
-    # Instrumented or progress-reporting serial runs are chunked too, so the
-    # trace shows search chunking and progress ticks mid-sweep; a plain
-    # serial run stays single-chunk (identical behavior to the fast path).
-    chunked = workers > 1 or ((instrument or progress is not None)
+    fault_mode = (
+        checkpoint is not None
+        or deadline is not None
+        or retry_policy is not None
+        or fault_injector is not None
+    )
+    # Instrumented, progress-reporting or fault-supervised serial runs are
+    # chunked too — checkpoints, deadlines and retries all operate at chunk
+    # granularity; a plain serial run stays single-chunk (identical behavior
+    # to the fast path).
+    chunked = workers > 1 or ((instrument or progress is not None or fault_mode)
                               and len(strategies) > 1)
-    chunks: list[list[ExecutionStrategy]] = [strategies]
+    step = max(len(strategies), 1)
     if chunked:
         step = math.ceil(len(strategies) / (max(workers, 1) * 4))
+
+    journal = None
+    if checkpoint is not None:
+        key = run_key(
+            llm, system, batch, options or SearchOptions(), kind="search",
+            extra={
+                "top_k": top_k,
+                "keep_rates": keep_rates,
+                "constraint": getattr(constraint, "__qualname__", str(constraint))
+                if constraint is not None else None,
+            },
+        )
+        journal = CheckpointJournal.open(
+            checkpoint, key, resume=resume,
+            meta={"step": step, "num_candidates": len(strategies)},
+        )
+        # The journal's chunk layout wins: resuming with a different worker
+        # count must slice the space exactly as the original run did.
+        step = int(journal.meta.get("step", step)) or step
+
+    chunks: list[list[ExecutionStrategy]] = [strategies]
+    if chunked:
         chunks = [strategies[i : i + step] for i in range(0, len(strategies), step)]
     logger.debug(
-        "search: %d candidates, %d workers, %d chunks (instrumented=%s)",
-        len(strategies), workers, len(chunks), instrument,
+        "search: %d candidates, %d workers, %d chunks (instrumented=%s, "
+        "supervised=%s)",
+        len(strategies), workers, len(chunks), instrument, fault_mode,
     )
 
     args = [
-        (llm, system, c, top_k, constraint, instrument, n)
+        (llm, system, c, top_k, constraint, instrument, n, fault_injector)
         for n, c in enumerate(chunks)
     ]
+    truncated = False
+    retries = 0
+    resumed = 0
+    skipped_ranges: tuple[tuple[int, int], ...] = ()
     results: list[tuple[int, int, list, list, dict | None, list | None]]
-    if workers > 1 and len(chunks) > 1:
+    if fault_mode:
+        chunk_results: dict[int, tuple] = {}
+        tasks: dict[int, tuple] = {}
+        for n, a in enumerate(args):
+            if journal is not None and str(n) in journal:
+                chunk_results[n] = _chunk_from_payload(llm, system, journal.get(str(n)))
+                resumed += 1
+            else:
+                tasks[n] = a
+        if progress is not None:
+            for n in sorted(chunk_results):
+                progress.update(chunk_results[n][0], chunk_results[n][1])
+
+        def _on_chunk(n: int, r: tuple) -> None:
+            chunk_results[n] = r
+            if journal is not None:
+                journal.record(str(n), _chunk_payload(r, keep_rates))
+            if progress is not None:
+                progress.update(r[0], r[1])
+
+        report = run_supervised(
+            _evaluate_chunk,
+            tasks,
+            workers=max(workers, 1),
+            policy=retry_policy,
+            deadline=t_start + deadline if deadline is not None else None,
+            on_result=_on_chunk,
+        )
+        truncated = report.truncated
+        retries = report.retries
+        skipped_ranges = tuple(
+            (n * step, min((n + 1) * step, len(strategies)))
+            for n in report.skipped
+        )
+        results = [chunk_results[n] for n in sorted(chunk_results)]
+    elif workers > 1 and len(chunks) > 1:
         results = [None] * len(chunks)  # type: ignore[list-item]
         with ProcessPoolExecutor(max_workers=workers) as pool:
             pending = {pool.submit(_evaluate_chunk, a): n for n, a in enumerate(args)}
@@ -410,22 +551,25 @@ def search(
     best_strategy, best = (merged[0][0], merged[0][1]) if merged else (None, None)
 
     stats = None
-    if instrument:
+    if tracer is not None:
+        for r in results:
+            if r[5]:
+                tracer.add_events(r[5])
+    if collect_stats or fault_mode:
         registry = MetricsRegistry.from_snapshots(
             r[4] for r in results if r[4] is not None
         )
-        if tracer is not None:
-            for r in results:
-                if r[5]:
-                    tracer.add_events(r[5])
-        if collect_stats:
-            stats = SweepStats(
-                engine=PruneStats.from_metrics(registry),
-                elapsed=perf_counter() - t_start,
-                workers=max(workers, 1),
-                num_evaluated=num_eval,
-                num_feasible=num_feasible,
-            )
+        stats = SweepStats(
+            engine=PruneStats.from_metrics(registry),
+            elapsed=perf_counter() - t_start,
+            workers=max(workers, 1),
+            num_evaluated=num_eval,
+            num_feasible=num_feasible,
+            retries=retries,
+            skipped=skipped_ranges,
+            resumed_chunks=resumed,
+            truncated=truncated,
+        )
     return SearchResult(
         best=best,
         best_strategy=best_strategy,
@@ -434,4 +578,5 @@ def search(
         num_feasible=num_feasible,
         sample_rates=rates,
         stats=stats,
+        truncated=truncated,
     )

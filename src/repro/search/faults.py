@@ -1,0 +1,353 @@
+"""Fault supervision for long-running sweeps: retry, timeout, degrade, stop.
+
+A Fig.-6-scale search dispatches thousands of independent chunks to a
+process pool over minutes or hours.  At that scale worker failures stop
+being exceptional: a chunk can OOM, a worker can be killed by the OS, a
+machine can wedge.  :func:`run_supervised` wraps chunk dispatch with the
+supervision policy the search engines share:
+
+* **bounded retry with exponential backoff** — a failed chunk is retried up
+  to :attr:`RetryPolicy.max_retries` times, waiting
+  ``backoff_base * backoff_factor**attempt`` (capped at ``backoff_max``)
+  between attempts;
+* **per-chunk timeout** — with :attr:`RetryPolicy.timeout` set, a chunk
+  running longer than the budget is presumed hung: the pool is torn down
+  (hung workers are terminated), innocent in-flight chunks are re-queued
+  without an attempt penalty, and the hung chunk is charged one attempt;
+* **graceful degradation** — a chunk that exhausts its pool retries is
+  re-run serially in the parent process (``serial_fallback``); if it still
+  fails it is recorded as *skipped* and the sweep continues, so one
+  poisoned range cannot abort an hours-long campaign;
+* **wall-clock deadline** — enumeration stops cleanly at a chunk boundary
+  once the deadline passes; chunks never started are reported as
+  *pending* and the caller flags its result ``truncated``.
+
+:class:`FaultInjector` is the deterministic test hook behind all of this:
+it makes the Nth chunk raise, hang, or kill its process, for the first
+``fail_attempts`` attempts, so every recovery path above is exercisable in
+tests and CI without flaky timing games.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Any, Callable, Mapping
+
+logger = logging.getLogger(__name__)
+
+# Poll interval of the supervision loop.  Failures are rare; completions are
+# harvested with ``wait(..., FIRST_COMPLETED)``, so the tick only bounds how
+# quickly timeouts and backoff expiries are noticed.
+TICK = 0.05
+
+
+class FaultInjected(RuntimeError):
+    """The error a :class:`FaultInjector` raises in ``exception`` mode."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How chunk failures are retried, backed off, timed out and degraded.
+
+    ``max_retries`` counts *re*-tries: a chunk is attempted at most
+    ``max_retries + 1`` times in the pool before degradation kicks in.
+    ``timeout`` is seconds of wall clock per chunk attempt (``None``
+    disables hang detection).  ``serial_fallback`` controls the final
+    in-parent re-run; disable it when a hang is suspected (a serial re-run
+    of a hanging chunk would hang the parent).
+    """
+
+    max_retries: int = 2
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max: float = 2.0
+    timeout: float | None = None
+    serial_fallback: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.backoff_base < 0 or self.backoff_factor < 1 or self.backoff_max < 0:
+            raise ValueError("backoff must be non-negative and non-shrinking")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError("timeout must be positive (or None)")
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before re-attempt ``attempt + 1`` (``attempt`` is 0-based)."""
+        return min(self.backoff_max, self.backoff_base * self.backoff_factor**attempt)
+
+    def delays(self) -> list[float]:
+        """The full backoff schedule, one entry per allowed retry."""
+        return [self.delay(a) for a in range(self.max_retries)]
+
+
+class FaultInjector:
+    """Deterministically fail one chunk: raise, hang, or kill the process.
+
+    ``fire(chunk_index)`` is called by the chunk evaluator at the start of
+    every attempt; it does nothing unless ``chunk_index`` matches.  The
+    first ``fail_attempts`` matching attempts fail in the configured
+    ``mode``; later attempts succeed, which is how retry-then-recover paths
+    are tested.  Attempts are counted in-process by default; pass a
+    ``state_path`` (one byte is appended per attempt) to count across
+    processes — a pickled injector cannot carry mutable state back from a
+    pool worker.
+    """
+
+    MODES = ("exception", "hang", "crash")
+
+    def __init__(
+        self,
+        chunk_index: int,
+        mode: str = "exception",
+        *,
+        fail_attempts: int = 1,
+        state_path: str | os.PathLike | None = None,
+        hang_seconds: float = 3600.0,
+        exit_code: int = 23,
+    ):
+        if mode not in self.MODES:
+            raise ValueError(f"mode must be one of {self.MODES}, got {mode!r}")
+        self.chunk_index = chunk_index
+        self.mode = mode
+        self.fail_attempts = fail_attempts
+        self.state_path = os.fspath(state_path) if state_path is not None else None
+        self.hang_seconds = hang_seconds
+        self.exit_code = exit_code
+        self._local_attempts = 0
+
+    def _next_attempt(self) -> int:
+        if self.state_path is None:
+            n = self._local_attempts
+            self._local_attempts += 1
+            return n
+        # O_APPEND keeps the count monotonic even when attempts land in
+        # different worker processes.
+        fd = os.open(self.state_path, os.O_CREAT | os.O_WRONLY | os.O_APPEND, 0o600)
+        try:
+            n = os.fstat(fd).st_size
+            os.write(fd, b"x")
+        finally:
+            os.close(fd)
+        return n
+
+    def fire(self, chunk_index: int) -> None:
+        """Fail (or not) according to the configured mode and attempt count."""
+        if chunk_index != self.chunk_index:
+            return
+        attempt = self._next_attempt()
+        if attempt >= self.fail_attempts:
+            return
+        if self.mode == "exception":
+            raise FaultInjected(
+                f"injected failure on chunk {chunk_index} (attempt {attempt})"
+            )
+        if self.mode == "hang":
+            time.sleep(self.hang_seconds)
+            return
+        os._exit(self.exit_code)  # "crash": die without cleanup, like a SIGKILL
+
+
+@dataclass
+class SupervisionReport:
+    """What :func:`run_supervised` actually ran, retried, skipped or left."""
+
+    results: dict[int, Any] = field(default_factory=dict)
+    skipped: list[int] = field(default_factory=list)
+    pending: list[int] = field(default_factory=list)
+    retries: int = 0
+    truncated: bool = False
+
+
+def run_supervised(
+    fn: Callable[[Any], Any],
+    tasks: Mapping[int, Any],
+    *,
+    workers: int,
+    policy: RetryPolicy | None = None,
+    deadline: float | None = None,
+    on_result: Callable[[int, Any], None] | None = None,
+) -> SupervisionReport:
+    """Run ``fn(tasks[i])`` for every task under the supervision policy.
+
+    ``tasks`` maps a chunk index to the (picklable) argument for ``fn``;
+    results land in :attr:`SupervisionReport.results` keyed the same way.
+    ``deadline`` is an absolute ``time.perf_counter()`` instant — tasks not
+    yet started when it passes are left in ``pending`` and the report is
+    flagged ``truncated``.  ``on_result`` is invoked in the parent, in
+    completion order, as each chunk finishes (this is where the search
+    layer journals checkpoints and ticks progress).
+
+    ``workers <= 1`` runs serially in-process: retries and backoff apply,
+    but a crash-mode fault kills the caller (there is no isolation to fall
+    back on) and ``timeout`` cannot interrupt a hung chunk.
+    """
+    policy = policy or RetryPolicy()
+    report = SupervisionReport()
+    if workers <= 1:
+        _run_serial(fn, tasks, policy, deadline, on_result, report)
+    else:
+        _run_pool(fn, tasks, workers, policy, deadline, on_result, report)
+    report.skipped.sort()
+    report.pending.sort()
+    return report
+
+
+def _record(report, on_result, index, result) -> None:
+    report.results[index] = result
+    if on_result is not None:
+        on_result(index, result)
+
+
+def _run_serial(fn, tasks, policy, deadline, on_result, report) -> None:
+    order = sorted(tasks)
+    for pos, index in enumerate(order):
+        if deadline is not None and perf_counter() >= deadline:
+            report.truncated = True
+            report.pending.extend(order[pos:])
+            return
+        for attempt in range(policy.max_retries + 1):
+            try:
+                result = fn(tasks[index])
+            except Exception as err:
+                logger.warning(
+                    "chunk %d failed (attempt %d/%d): %s",
+                    index, attempt + 1, policy.max_retries + 1, err,
+                )
+                if attempt < policy.max_retries:
+                    report.retries += 1
+                    time.sleep(policy.delay(attempt))
+                    continue
+                report.skipped.append(index)
+                break
+            else:
+                _record(report, on_result, index, result)
+                break
+
+
+def _kill_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear a pool down even if its workers are hung or dead."""
+    processes = list(getattr(pool, "_processes", {}).values())
+    pool.shutdown(wait=False, cancel_futures=True)
+    for proc in processes:
+        try:
+            proc.terminate()
+        except Exception:  # pragma: no cover - already-dead process races
+            pass
+
+
+def _run_pool(fn, tasks, workers, policy, deadline, on_result, report) -> None:
+    queue: list[int] = sorted(tasks)
+    attempts: dict[int, int] = {}
+    not_before: dict[int, float] = {}
+    pool = ProcessPoolExecutor(max_workers=workers)
+    inflight: dict[Any, tuple[int, float]] = {}
+
+    def fail(index: int, err: BaseException) -> None:
+        attempt = attempts.get(index, 0)
+        logger.warning(
+            "chunk %d failed (attempt %d/%d): %s",
+            index, attempt + 1, policy.max_retries + 1, err,
+        )
+        if attempt < policy.max_retries:
+            attempts[index] = attempt + 1
+            report.retries += 1
+            not_before[index] = perf_counter() + policy.delay(attempt)
+            queue.append(index)
+            return
+        if policy.serial_fallback:
+            # Last resort before giving up on the range: out of the pool,
+            # in the parent, where no pickling or worker state is involved.
+            logger.warning("chunk %d: retries exhausted, re-running serially", index)
+            report.retries += 1
+            try:
+                _record(report, on_result, index, fn(tasks[index]))
+                return
+            except Exception as serial_err:
+                logger.error("chunk %d failed serially too: %s", index, serial_err)
+        report.skipped.append(index)
+
+    def submit(index: int) -> bool:
+        nonlocal pool
+        try:
+            future = pool.submit(fn, tasks[index])
+        except BrokenProcessPool:
+            _kill_pool(pool)
+            pool = ProcessPoolExecutor(max_workers=workers)
+            future = pool.submit(fn, tasks[index])
+        inflight[future] = (index, perf_counter())
+        return True
+
+    try:
+        while queue or inflight:
+            now = perf_counter()
+            if deadline is not None and now >= deadline and queue:
+                report.truncated = True
+                report.pending.extend(queue)
+                queue.clear()
+            while queue and len(inflight) < workers:
+                ready = next(
+                    (i for i in queue if now >= not_before.get(i, 0.0)), None
+                )
+                if ready is None:
+                    break
+                queue.remove(ready)
+                submit(ready)
+            if not inflight:
+                if queue:
+                    time.sleep(TICK)  # everything eligible is backing off
+                    continue
+                break
+
+            done, _ = wait(set(inflight), timeout=TICK, return_when=FIRST_COMPLETED)
+            broken = False
+            for future in done:
+                index, _started = inflight.pop(future)
+                try:
+                    result = future.result()
+                except BrokenProcessPool as err:
+                    broken = True
+                    fail(index, err)
+                except Exception as err:
+                    fail(index, err)
+                else:
+                    _record(report, on_result, index, result)
+            if broken:
+                # A dead worker poisons every future in the pool; siblings are
+                # charged an attempt too (the crasher is indistinguishable).
+                for future, (index, _started) in list(inflight.items()):
+                    del inflight[future]
+                    fail(index, BrokenProcessPool("sibling worker died"))
+                _kill_pool(pool)
+                pool = ProcessPoolExecutor(max_workers=workers)
+
+            if policy.timeout is not None and inflight:
+                now = perf_counter()
+                hung = [
+                    (future, index)
+                    for future, (index, started) in inflight.items()
+                    if now - started > policy.timeout
+                ]
+                if hung:
+                    # No portable way to kill one pool worker: tear the pool
+                    # down, charge the hung chunks an attempt, and re-queue
+                    # the innocent in-flight chunks without penalty.
+                    for future, index in hung:
+                        del inflight[future]
+                    for future, (index, _started) in list(inflight.items()):
+                        del inflight[future]
+                        queue.insert(0, index)
+                    _kill_pool(pool)
+                    pool = ProcessPoolExecutor(max_workers=workers)
+                    for _future, index in hung:
+                        fail(index, TimeoutError(
+                            f"chunk exceeded {policy.timeout:.3g}s timeout"
+                        ))
+    finally:
+        _kill_pool(pool)

@@ -13,6 +13,7 @@ multi-start hill climbing lands within a few percent of it on small spaces.
 from __future__ import annotations
 
 import logging
+import os
 from dataclasses import dataclass
 
 from ..core.results import PerformanceResult
@@ -21,6 +22,7 @@ from ..execution.strategy import ExecutionStrategy
 from ..hardware.system import System
 from ..llm.config import LLMConfig
 from ..obs import NULL_SPAN, MetricsRegistry, Tracer
+from .checkpoint import CheckpointJournal, run_key
 
 logger = logging.getLogger(__name__)
 
@@ -209,16 +211,46 @@ def multi_start(
     max_steps: int = 100,
     tracer: Tracer | None = None,
     metrics: MetricsRegistry | None = None,
+    checkpoint: str | os.PathLike | None = None,
+    resume: bool = False,
 ) -> RefineResult | None:
-    """Hill climb from several seeds, returning the overall best."""
+    """Hill climb from several seeds, returning the overall best.
+
+    ``checkpoint`` journals each finished climb so an interrupted
+    multi-start can ``resume`` and skip completed seeds; a restored climb's
+    best strategy is re-evaluated through the deterministic engine and its
+    journaled evaluation/step counts are restored, so the resumed answer
+    matches an uninterrupted run.
+    """
+    if resume and checkpoint is None:
+        raise ValueError("resume=True requires a checkpoint path")
+    journal = None
+    if checkpoint is not None:
+        key = run_key(
+            llm, system, 0, None, kind="refine",
+            extra={
+                "seeds": [s.to_dict() for s in seeds],
+                "max_steps": max_steps,
+            },
+        )
+        journal = CheckpointJournal.open(
+            checkpoint, key, resume=resume, meta={"llm": llm.name},
+        )
     best: RefineResult | None = None
     total_evals = 0
     if metrics is not None:
         metrics.inc(M_REFINE_SEEDS, len(seeds))
-    for seed in seeds:
-        res = hill_climb(
-            llm, system, seed, max_steps=max_steps, tracer=tracer, metrics=metrics
-        )
+    for i, seed in enumerate(seeds):
+        record_id = f"seed={i}"
+        if journal is not None and record_id in journal:
+            res = _climb_from_payload(llm, system, journal.get(record_id))
+        else:
+            res = hill_climb(
+                llm, system, seed, max_steps=max_steps, tracer=tracer,
+                metrics=metrics,
+            )
+            if journal is not None:
+                journal.record(record_id, _climb_payload(res))
         if res is None:
             continue
         total_evals += res.evaluations
@@ -237,3 +269,28 @@ def multi_start(
                 steps=best.steps,
             )
     return best
+
+
+def _climb_payload(res: RefineResult | None) -> dict | None:
+    if res is None:
+        return None
+    return {
+        "strategy": res.best_strategy.to_dict(),
+        "rate": res.best.sample_rate,
+        "evaluations": res.evaluations,
+        "steps": res.steps,
+    }
+
+
+def _climb_from_payload(
+    llm: LLMConfig, system: System, payload: dict | None
+) -> RefineResult | None:
+    if payload is None:
+        return None
+    strategy = ExecutionStrategy.from_dict(payload["strategy"])
+    return RefineResult(
+        best=evaluate(llm, system, strategy),
+        best_strategy=strategy,
+        evaluations=int(payload["evaluations"]),
+        steps=int(payload["steps"]),
+    )

@@ -9,7 +9,9 @@ shape does not map evenly onto the processor count.
 from __future__ import annotations
 
 import logging
+import os
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Callable, Sequence
 
 import numpy as np
@@ -18,6 +20,8 @@ from ..execution.strategy import ExecutionStrategy
 from ..hardware.system import System
 from ..llm.config import LLMConfig
 from ..obs import ProgressReporter, SweepStats, Tracer
+from ..obs.stats import PruneStats
+from .checkpoint import CheckpointJournal, run_key
 from .execution_search import SearchOptions, search
 
 logger = logging.getLogger(__name__)
@@ -42,10 +46,15 @@ class ScalingPoint:
 
 @dataclass
 class ScalingCurve:
-    """A perf-vs-system-size sweep for one LLM."""
+    """A perf-vs-system-size sweep for one LLM.
+
+    ``truncated`` is set when a wall-clock deadline stopped the sweep at a
+    size boundary; ``points`` then covers only the sizes completed in time.
+    """
 
     llm_name: str
     points: list[ScalingPoint]
+    truncated: bool = False
 
     def sizes(self) -> np.ndarray:
         return np.array([p.num_procs for p in self.points])
@@ -131,6 +140,9 @@ def scaling_sweep(
     tracer: Tracer | None = None,
     collect_stats: bool = False,
     progress: ProgressReporter | None = None,
+    checkpoint: str | os.PathLike | None = None,
+    resume: bool = False,
+    deadline: float | None = None,
 ) -> ScalingCurve:
     """Best performance at each system size (one Fig. 7 / Fig. 10 panel).
 
@@ -143,14 +155,44 @@ def scaling_sweep(
     ``collect_stats`` records a :class:`~repro.obs.SweepStats` per point
     (merge them with :meth:`ScalingCurve.total_stats`); ``progress`` ticks
     once per completed size, with feasibility as the success count.
+
+    ``checkpoint`` journals each completed size so an interrupted sweep can
+    ``resume`` without redoing finished sizes (restored points carry
+    ``stats=None``).  ``deadline`` is a wall-clock budget in seconds; when
+    it passes the sweep stops cleanly at a size boundary and the returned
+    curve is flagged ``truncated=True``.
     """
+    if resume and checkpoint is None:
+        raise ValueError("resume=True requires a checkpoint path")
     if progress is not None:
         progress.set_total(len(sizes))
         progress.unit = "sizes"
     logger.debug("scaling sweep: %s over %d sizes", llm.name, len(sizes))
+    journal = None
+    if checkpoint is not None and sizes:
+        key = run_key(
+            llm, system_factory(max(sizes)), batch,
+            options or SearchOptions(), kind="sweep",
+            extra={"sizes": [int(n) for n in sizes]},
+        )
+        journal = CheckpointJournal.open(
+            checkpoint, key, resume=resume, meta={"llm": llm.name},
+        )
+    t_start = perf_counter()
     points = []
+    truncated = False
     span = tracer.span if tracer is not None else None
     for n in sizes:
+        record_id = f"size={n}"
+        if journal is not None and record_id in journal:
+            points.append(_point_from_payload(journal.get(record_id)))
+            if progress is not None:
+                progress.update(1, int(points[-1].feasible))
+            continue
+        if deadline is not None and perf_counter() - t_start >= deadline:
+            truncated = True
+            logger.warning("scaling sweep deadline hit; stopping before size %d", n)
+            break
         if span is not None:
             with span(f"size={n}", cat="sweep.size"):
                 point = best_at_size(llm, system_factory, n, batch, options,
@@ -160,11 +202,39 @@ def scaling_sweep(
             point = best_at_size(llm, system_factory, n, batch, options,
                                  workers=workers, collect_stats=collect_stats)
         points.append(point)
+        if journal is not None:
+            journal.record(record_id, _point_payload(point))
         if progress is not None:
             progress.update(1, int(point.feasible))
     if progress is not None:
         progress.finish()
-    return ScalingCurve(llm_name=llm.name, points=points)
+    return ScalingCurve(llm_name=llm.name, points=points, truncated=truncated)
+
+
+def _point_payload(point: ScalingPoint) -> dict:
+    return {
+        "num_procs": point.num_procs,
+        "sample_rate": point.sample_rate,
+        "batch_time": point.batch_time,
+        "mfu": point.mfu,
+        "strategy": point.strategy.to_dict() if point.strategy is not None else None,
+        "feasible": point.feasible,
+    }
+
+
+def _point_from_payload(payload: dict) -> ScalingPoint:
+    strategy = payload.get("strategy")
+    return ScalingPoint(
+        num_procs=int(payload["num_procs"]),
+        sample_rate=float(payload["sample_rate"]),
+        batch_time=float(payload["batch_time"]),
+        mfu=float(payload["mfu"]),
+        strategy=ExecutionStrategy.from_dict(strategy) if strategy else None,
+        feasible=bool(payload["feasible"]),
+        # A marker SweepStats: no engine work happened, but total_stats()
+        # should still report that this size came from the journal.
+        stats=SweepStats(engine=PruneStats(), elapsed=0.0, resumed_chunks=1),
+    )
 
 
 def offload_speedups(

@@ -11,6 +11,7 @@ import json
 from pathlib import Path
 from typing import Any
 
+from ..fsutil import atomic_write_text
 from .timeline import Timeline
 
 # Trace timestamps are microseconds; scale simulated seconds up.
@@ -69,5 +70,5 @@ def write_trace(timeline: Timeline, path: str | Path) -> Path:
             "microbatches": timeline.params.num_microbatches,
         },
     }
-    path.write_text(json.dumps(payload, indent=1))
+    atomic_write_text(path, json.dumps(payload, indent=1))
     return path

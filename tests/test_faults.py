@@ -1,0 +1,293 @@
+"""Fault supervision: retry/backoff math, injection, recovery, degradation."""
+
+import time
+
+import pytest
+
+from repro.hardware import a100_system
+from repro.llm import LLMConfig
+from repro.search import (
+    FaultInjected,
+    FaultInjector,
+    RetryPolicy,
+    SearchOptions,
+    run_supervised,
+    search,
+)
+import repro.search.faults as faults_mod
+
+LLM = LLMConfig(name="faults-llm", hidden=2048, attn_heads=16, seq_size=1024,
+                num_blocks=16)
+SYS = a100_system(16)
+
+
+def small_options(**kw):
+    base = dict(
+        recompute=("full",),
+        seq_par_modes=((False, False, False),),
+        tp_overlap=("none",),
+        dp_overlap=(False,),
+        optimizer_sharding=(False,),
+        fused_activations=(False,),
+        max_microbatch=4,
+    )
+    base.update(kw)
+    return SearchOptions(**base)
+
+
+def _work(args):
+    """Module-level (hence picklable) chunk function for pool tests."""
+    index, injector, delay = args
+    if injector is not None:
+        injector.fire(index)
+    if delay:
+        time.sleep(delay)
+    return index * 10
+
+
+def _tasks(n, injector=None, delay=0.0):
+    return {i: (i, injector, delay) for i in range(n)}
+
+
+# ---------------------------------------------------------------------------
+# RetryPolicy
+# ---------------------------------------------------------------------------
+
+def test_retry_policy_delay_schedule():
+    policy = RetryPolicy(max_retries=4, backoff_base=0.1, backoff_factor=2.0,
+                         backoff_max=0.5)
+    assert policy.delay(0) == pytest.approx(0.1)
+    assert policy.delay(1) == pytest.approx(0.2)
+    assert policy.delay(2) == pytest.approx(0.4)
+    assert policy.delay(3) == pytest.approx(0.5)  # capped
+    assert policy.delays() == [policy.delay(a) for a in range(4)]
+
+
+def test_retry_policy_zero_base_never_sleeps():
+    policy = RetryPolicy(max_retries=3, backoff_base=0.0)
+    assert policy.delays() == [0.0, 0.0, 0.0]
+
+
+@pytest.mark.parametrize("kw", [
+    dict(max_retries=-1),
+    dict(backoff_base=-0.1),
+    dict(backoff_factor=0.5),
+    dict(backoff_max=-1.0),
+    dict(timeout=0.0),
+    dict(timeout=-1.0),
+])
+def test_retry_policy_validation(kw):
+    with pytest.raises(ValueError):
+        RetryPolicy(**kw)
+
+
+# ---------------------------------------------------------------------------
+# FaultInjector
+# ---------------------------------------------------------------------------
+
+def test_injector_rejects_unknown_mode():
+    with pytest.raises(ValueError):
+        FaultInjector(0, mode="brownout")
+
+
+def test_injector_only_fires_on_matching_chunk():
+    inj = FaultInjector(2, mode="exception")
+    inj.fire(0)
+    inj.fire(1)
+    with pytest.raises(FaultInjected):
+        inj.fire(2)
+
+
+def test_injector_recovers_after_fail_attempts():
+    inj = FaultInjector(0, mode="exception", fail_attempts=2)
+    with pytest.raises(FaultInjected):
+        inj.fire(0)
+    with pytest.raises(FaultInjected):
+        inj.fire(0)
+    inj.fire(0)  # third attempt succeeds
+
+
+def test_injector_state_file_counts_across_instances(tmp_path):
+    # Each pool attempt unpickles a fresh injector; the state file is what
+    # makes "fail once, then recover" deterministic across processes.
+    state = tmp_path / "attempts"
+    first = FaultInjector(0, mode="exception", fail_attempts=1, state_path=state)
+    with pytest.raises(FaultInjected):
+        first.fire(0)
+    second = FaultInjector(0, mode="exception", fail_attempts=1, state_path=state)
+    second.fire(0)  # sees attempt #1 via the file: no failure
+    assert state.stat().st_size == 2
+
+
+# ---------------------------------------------------------------------------
+# run_supervised: serial path
+# ---------------------------------------------------------------------------
+
+def test_serial_all_success():
+    report = run_supervised(_work, _tasks(4), workers=0)
+    assert report.results == {0: 0, 1: 10, 2: 20, 3: 30}
+    assert report.retries == 0
+    assert not report.skipped and not report.pending and not report.truncated
+
+
+def test_serial_retry_then_recover():
+    inj = FaultInjector(1, mode="exception", fail_attempts=1)
+    report = run_supervised(
+        _work, _tasks(3, inj), workers=0,
+        policy=RetryPolicy(max_retries=2, backoff_base=0.0),
+    )
+    assert report.results == {0: 0, 1: 10, 2: 20}
+    assert report.retries == 1
+    assert not report.skipped
+
+
+def test_serial_exhaustion_skips_and_continues():
+    inj = FaultInjector(0, mode="exception", fail_attempts=10**9)
+    report = run_supervised(
+        _work, _tasks(3, inj), workers=0,
+        policy=RetryPolicy(max_retries=1, backoff_base=0.0),
+    )
+    assert report.skipped == [0]
+    assert report.results == {1: 10, 2: 20}
+    assert report.retries == 1
+
+
+def test_serial_on_result_sees_completion_order():
+    seen = []
+    run_supervised(_work, _tasks(3), workers=0,
+                   on_result=lambda i, r: seen.append((i, r)))
+    assert seen == [(0, 0), (1, 10), (2, 20)]
+
+
+def test_serial_deadline_truncates_at_chunk_boundary(monkeypatch):
+    # A fake clock makes the truncation point exact: each perf_counter()
+    # call advances one second, and the deadline passes before chunk 2.
+    ticks = iter(range(1, 100))
+    monkeypatch.setattr(faults_mod, "perf_counter", lambda: float(next(ticks)))
+    report = run_supervised(_work, _tasks(4), workers=0, deadline=2.5)
+    assert report.truncated
+    assert sorted(report.results) == [0, 1]
+    assert report.pending == [2, 3]
+
+
+def test_deadline_already_passed_runs_nothing():
+    report = run_supervised(
+        _work, _tasks(3), workers=0, deadline=faults_mod.perf_counter() - 1.0
+    )
+    assert report.truncated
+    assert report.results == {}
+    assert report.pending == [0, 1, 2]
+
+
+# ---------------------------------------------------------------------------
+# run_supervised: pool path
+# ---------------------------------------------------------------------------
+
+def test_pool_all_success():
+    report = run_supervised(_work, _tasks(5), workers=2)
+    assert report.results == {i: i * 10 for i in range(5)}
+    assert not report.skipped and not report.truncated
+
+
+def test_pool_exception_retry_then_recover(tmp_path):
+    inj = FaultInjector(1, mode="exception", fail_attempts=1,
+                        state_path=tmp_path / "state")
+    report = run_supervised(
+        _work, _tasks(4, inj), workers=2,
+        policy=RetryPolicy(max_retries=2, backoff_base=0.0),
+    )
+    assert report.results == {0: 0, 1: 10, 2: 20, 3: 30}
+    assert report.retries == 1
+
+
+def test_pool_crash_recovery(tmp_path):
+    # A worker dying via os._exit breaks the whole pool; supervision must
+    # rebuild it and still complete every chunk.
+    inj = FaultInjector(1, mode="crash", fail_attempts=1,
+                        state_path=tmp_path / "state")
+    report = run_supervised(
+        _work, _tasks(4, inj), workers=2,
+        policy=RetryPolicy(max_retries=3, backoff_base=0.0),
+    )
+    assert report.results == {0: 0, 1: 10, 2: 20, 3: 30}
+    assert report.retries >= 1
+    assert not report.skipped
+
+
+def test_pool_hang_timeout_recovery(tmp_path):
+    inj = FaultInjector(2, mode="hang", fail_attempts=1,
+                        state_path=tmp_path / "state", hang_seconds=60.0)
+    report = run_supervised(
+        _work, _tasks(4, inj), workers=2,
+        policy=RetryPolicy(max_retries=2, backoff_base=0.0, timeout=1.0),
+    )
+    assert report.results == {0: 0, 1: 10, 2: 20, 3: 30}
+    assert report.retries >= 1
+
+
+def test_pool_exhaustion_skips_with_serial_fallback():
+    inj = FaultInjector(0, mode="exception", fail_attempts=10**9)
+    report = run_supervised(
+        _work, _tasks(3, inj), workers=2,
+        policy=RetryPolicy(max_retries=1, backoff_base=0.0),
+    )
+    assert report.skipped == [0]
+    assert report.results == {1: 10, 2: 20}
+
+
+def test_pool_deadline_leaves_pending():
+    report = run_supervised(
+        _work, _tasks(6), workers=2,
+        deadline=faults_mod.perf_counter() - 1.0,
+    )
+    assert report.truncated
+    assert report.results == {}
+    assert report.pending == list(range(6))
+
+
+# ---------------------------------------------------------------------------
+# search() integration: the ISSUE acceptance criteria
+# ---------------------------------------------------------------------------
+
+def test_search_survives_always_failing_chunk():
+    # An injected chunk that fails every pool retry AND the serial fallback
+    # must not abort the sweep: its candidate range lands in stats.skipped.
+    inj = FaultInjector(0, mode="exception", fail_attempts=10**9)
+    result = search(
+        LLM, SYS, batch=32, options=small_options(), workers=0, top_k=5,
+        retry_policy=RetryPolicy(max_retries=1, backoff_base=0.0),
+        fault_injector=inj,
+    )
+    assert result.stats is not None
+    assert len(result.stats.skipped) == 1
+    lo, hi = result.stats.skipped[0]
+    assert lo == 0 and hi > lo
+    # The rest of the space was still evaluated.
+    assert result.num_evaluated > 0
+    assert result.best is not None
+
+
+def test_search_retry_recovers_bit_identical():
+    ref = search(LLM, SYS, batch=32, options=small_options(), workers=0,
+                 top_k=5, retry_policy=RetryPolicy(max_retries=2))
+    inj = FaultInjector(1, mode="exception", fail_attempts=1)
+    got = search(
+        LLM, SYS, batch=32, options=small_options(), workers=0, top_k=5,
+        retry_policy=RetryPolicy(max_retries=2, backoff_base=0.0),
+        fault_injector=inj,
+    )
+    assert got.stats is not None and got.stats.retries == 1
+    assert got.num_evaluated == ref.num_evaluated
+    assert got.num_feasible == ref.num_feasible
+    assert [s.to_dict() for s, _ in got.top] == [s.to_dict() for s, _ in ref.top]
+    assert [r.sample_rate for _, r in got.top] == [
+        r.sample_rate for _, r in ref.top
+    ]
+
+
+def test_search_deadline_zero_truncates():
+    result = search(LLM, SYS, batch=32, options=small_options(), workers=0,
+                    top_k=5, deadline=0.0)
+    assert result.truncated
+    assert result.num_evaluated == 0
+    assert result.stats is not None and result.stats.truncated
