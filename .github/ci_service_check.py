@@ -1,0 +1,134 @@
+"""CI end-to-end check of the evaluation service over real HTTP.
+
+Boots ``python -m repro serve`` as a subprocess, fires cold, warm and
+concurrent-identical requests through :class:`repro.service.ServiceClient`,
+asserts ``/healthz`` and the cache-hit/coalescing metrics, SIGTERMs the
+server and verifies the graceful drain (exit code 0).  Latency and
+coalescing measurements land in ``BENCH_service.json`` for the artifact
+upload.
+
+Run from the repository root:  PYTHONPATH=src python .github/ci_service_check.py
+"""
+
+import json
+import os
+import signal
+import statistics
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+from repro.execution import ExecutionStrategy
+from repro.fsutil import atomic_write_text
+from repro.service import ServiceClient
+
+STRATEGY = ExecutionStrategy(
+    tensor_par=8, pipeline_par=8, data_par=1, batch=64, recompute="full"
+)
+N_CLIENTS = 8
+
+
+def main() -> int:
+    env = dict(os.environ, PYTHONUNBUFFERED="1")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--cache-dir", "service-cache"],
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+    try:
+        banner = proc.stderr.readline()
+        assert "http://" in banner, f"unexpected serve banner: {banner!r}"
+        url = "http://" + banner.split("http://", 1)[1].split()[0]
+        client = ServiceClient(url)
+        print(f"service up at {url}")
+
+        health = client.healthz()
+        assert health["status"] == "ok", health
+
+        # -- cold ------------------------------------------------------------
+        t0 = time.perf_counter()
+        cold = client.evaluate("gpt3-175b", "a100:64", STRATEGY)
+        cold_s = time.perf_counter() - t0
+        assert cold["cache"] == "miss", cold["cache"]
+        assert cold["result"]["feasible"] is True
+
+        # -- warm ------------------------------------------------------------
+        warm_times = []
+        for _ in range(10):
+            t0 = time.perf_counter()
+            warm = client.evaluate("gpt3-175b", "a100:64", STRATEGY)
+            warm_times.append(time.perf_counter() - t0)
+            assert warm["cache"] == "memory", warm["cache"]
+        warm_s = statistics.median(warm_times)
+
+        # -- concurrent identical queries ------------------------------------
+        slow = STRATEGY.evolve(microbatch=16)
+        barrier = threading.Barrier(N_CLIENTS)
+        sources, errors = [], []
+
+        def worker():
+            try:
+                barrier.wait(timeout=10)
+                sources.append(client.evaluate("gpt3-175b", "a100:64", slow)["cache"])
+            except Exception as err:
+                errors.append(err)
+
+        threads = [threading.Thread(target=worker) for _ in range(N_CLIENTS)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert not errors, errors
+
+        # -- metrics ---------------------------------------------------------
+        hits = client.metric_value("service_cache_hit_memory")
+        coalesced = client.metric_value("service_coalesced")
+        requests = client.metric_value("service_requests")
+        assert hits >= 10, f"expected >= 10 memory hits, metrics report {hits}"
+        assert requests >= N_CLIENTS + 11, requests
+        served_cold = sources.count("miss")
+        assert served_cold == 1, f"expected 1 leader, saw {sources}"
+        coalescing_factor = N_CLIENTS / served_cold
+
+        print(f"cold {cold_s * 1e3:.1f} ms, warm {warm_s * 1e3:.2f} ms "
+              f"(speedup {cold_s / warm_s:.1f}x over HTTP)")
+        print(f"{N_CLIENTS} concurrent identical queries -> sources {sources} "
+              f"(coalesced metric {coalesced:.0f})")
+
+        atomic_write_text(
+            Path("BENCH_service.json"),
+            json.dumps(
+                {
+                    "transport": "http",
+                    "cold_s": cold_s,
+                    "warm_median_s": warm_s,
+                    "http_warm_speedup": cold_s / warm_s,
+                    "concurrent_clients": N_CLIENTS,
+                    "leader_requests": served_cold,
+                    "coalesced_requests": coalesced,
+                    "coalescing_factor": coalescing_factor,
+                    "cache_memory_hits": hits,
+                },
+                indent=1,
+            )
+            + "\n",
+        )
+
+        # -- graceful drain on SIGTERM ---------------------------------------
+        proc.send_signal(signal.SIGTERM)
+        rc = proc.wait(timeout=60)
+        assert rc == 0, f"server exited {rc} on SIGTERM"
+        print("SIGTERM drained cleanly (exit 0)")
+        return 0
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=10)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

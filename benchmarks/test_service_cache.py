@@ -1,0 +1,120 @@
+"""Service benchmark: warm-cache speedup and coalescing factor.
+
+Acceptance criterion for the evaluation service (ISSUE 4): a warm-cache
+repeat of a preset evaluation must be >= 10x faster than the cold pass
+through the engine, and N concurrent identical queries must collapse to
+one engine call.  The measured numbers are written to
+``BENCH_service.json`` (CI uploads it as an artifact).
+
+The benchmark drives the transport-free :class:`EvaluationService` — the
+cache/coalesce/dispatch pipeline itself — so the recorded speedup is the
+subsystem's, not the HTTP stack's.
+"""
+
+import json
+import statistics
+import threading
+import time
+from pathlib import Path
+
+from repro.execution import ExecutionStrategy
+from repro.fsutil import atomic_write_text
+from repro.obs import MetricsRegistry
+from repro.service import EvaluationService, MicroBatcher, ResultCache
+from repro.service.dispatch import M_ENGINE_CALLS
+from repro.service.server import M_COALESCED
+
+STRATEGY = ExecutionStrategy(
+    tensor_par=8, pipeline_par=8, data_par=1, batch=64, recompute="full"
+)
+
+
+def _payload(strategy=STRATEGY):
+    return {"llm": "gpt3-175b", "system": "a100:64", "strategy": strategy.to_dict()}
+
+
+def _service(window=0.002):
+    metrics = MetricsRegistry()
+    service = EvaluationService(
+        cache=ResultCache(capacity=1024, metrics=metrics),
+        batcher=MicroBatcher(window=window, metrics=metrics),
+        metrics=metrics,
+    )
+    return service.start()
+
+
+def test_warm_cache_speedup_and_coalescing():
+    service = _service()
+    try:
+        # -- cold vs warm latency -------------------------------------------
+        # Each cold query is a distinct strategy (so none hits the cache);
+        # the warm pass repeats one cached query.
+        cold_times = []
+        for microbatch in (1, 2, 4, 8):
+            payload = _payload(STRATEGY.evolve(microbatch=microbatch))
+            t0 = time.perf_counter()
+            response = service.evaluate_payload(payload)
+            cold_times.append(time.perf_counter() - t0)
+            assert response["cache"] == "miss"
+        warm_times = []
+        for _ in range(20):
+            t0 = time.perf_counter()
+            response = service.evaluate_payload(_payload())
+            warm_times.append(time.perf_counter() - t0)
+            assert response["cache"] == "memory"
+        cold = statistics.median(cold_times)
+        warm = statistics.median(warm_times)
+        speedup = cold / warm
+
+        # -- coalescing factor ----------------------------------------------
+        slow_strategy = STRATEGY.evolve(microbatch=16)
+        n_clients = 8
+        barrier = threading.Barrier(n_clients)
+        errors = []
+
+        def worker():
+            try:
+                barrier.wait(timeout=5)
+                service.evaluate_payload(_payload(slow_strategy))
+            except Exception as err:  # pragma: no cover - failure reporting
+                errors.append(err)
+
+        calls_before = service.metrics.value(M_ENGINE_CALLS)
+        threads = [threading.Thread(target=worker) for _ in range(n_clients)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10)
+        assert not errors
+        engine_calls = service.metrics.value(M_ENGINE_CALLS) - calls_before
+        coalesced = service.metrics.value(M_COALESCED)
+        coalescing_factor = n_clients / max(engine_calls, 1)
+    finally:
+        service.stop()
+
+    print(f"\ncold median      {cold * 1e3:8.3f} ms")
+    print(f"warm median      {warm * 1e6:8.1f} us")
+    print(f"warm speedup     {speedup:8.1f}x   (criterion: >= 10x)")
+    print(f"coalescing       {n_clients} clients -> {engine_calls:.0f} engine call(s), "
+          f"factor {coalescing_factor:.1f}")
+
+    atomic_write_text(
+        Path("BENCH_service.json"),
+        json.dumps(
+            {
+                "cold_median_s": cold,
+                "warm_median_s": warm,
+                "warm_speedup": speedup,
+                "concurrent_clients": n_clients,
+                "engine_calls": engine_calls,
+                "coalesced_requests": coalesced,
+                "coalescing_factor": coalescing_factor,
+            },
+            indent=1,
+        )
+        + "\n",
+    )
+
+    assert speedup >= 10.0, f"warm cache only {speedup:.1f}x faster than cold"
+    assert engine_calls == 1.0, f"expected 1 engine call, saw {engine_calls:.0f}"
+    assert coalescing_factor >= n_clients

@@ -1,0 +1,72 @@
+"""Content-addressed keys for results that must never be silently mixed.
+
+Two subsystems need to answer "is this *exactly* the evaluation I ran
+before?": the checkpoint journal (``repro.search.checkpoint``) when a sweep
+resumes, and the evaluation service's result cache
+(``repro.service.cache``) when a query repeats.  Both answer it the same
+way: hash everything that can change the numbers — the full LLM and system
+specs (not their names), the batch, the option/strategy space, the engine
+version — into one SHA-256 hex digest.  Same key ⇔ same results; a bumped
+``ENGINE_VERSION`` changes every key, so stale caches and journals age out
+instead of serving numbers from an older model revision.
+
+Module-level imports here are stdlib-only, so any subsystem can import
+:func:`content_key`/:func:`canonical_json` without creating an import
+cycle; :func:`run_key` resolves its spec serializers lazily for the same
+reason.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, is_dataclass
+from typing import Any, Mapping
+
+
+def canonical_json(payload: Any) -> str:
+    """Serialize ``payload`` deterministically (sorted keys, ``str`` fallback)."""
+    return json.dumps(payload, sort_keys=True, default=str)
+
+
+def content_key(payload: Any) -> str:
+    """SHA-256 hex digest of the canonical JSON form of ``payload``."""
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+def run_key(
+    llm: Any,
+    system: Any,
+    batch: int,
+    options: Any,
+    *,
+    kind: str = "search",
+    extra: Mapping[str, Any] | None = None,
+    engine_version: int | None = None,
+) -> str:
+    """Content hash identifying one evaluation problem: same key ⇔ same results.
+
+    Everything that can change the numbers goes in: the full LLM and system
+    specs (not their names), the batch, the option space (a dataclass such
+    as ``SearchOptions`` or an ``ExecutionStrategy``, or any JSON-able
+    value), the engine version, and any caller extras (top-k, size grid,
+    constraint name, …).  ``engine_version`` defaults to the live
+    ``repro.engine.ENGINE_VERSION``; tests pass an explicit value to prove
+    key sensitivity without reloading the engine.
+    """
+    if engine_version is None:
+        from .engine import ENGINE_VERSION
+
+        engine_version = ENGINE_VERSION
+    from .io.specs import system_to_dict
+
+    payload = {
+        "kind": kind,
+        "engine_version": engine_version,
+        "llm": llm.to_dict(),
+        "system": system_to_dict(system),
+        "batch": batch,
+        "options": asdict(options) if is_dataclass(options) else options,
+        "extra": dict(extra) if extra else None,
+    }
+    return content_key(payload)

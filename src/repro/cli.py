@@ -30,17 +30,10 @@ from .analysis import MeasuredRun, calibrate, plan_training_run, sensitivity
 from .core import hottest_layers, profile_layers
 from .engine import evaluate
 from .execution import ExecutionStrategy
-from .hardware import (
-    System,
-    a100_system,
-    ddr5_offload,
-    h100_system,
-    h200_system,
-    v100_system,
-)
+from .hardware import System
 from .inference import InferenceStrategy, calculate_inference
-from .io import load_llm, load_strategy, load_system
-from .llm import LLMConfig, get_preset, iter_presets
+from .io import llm_from_spec, load_strategy, system_from_spec
+from .llm import LLMConfig, iter_presets
 from .obs import MetricsRegistry, ProgressReporter, PruneStats, Tracer
 from .obs.stats import STAGE_NAMES, stage_metric
 from .search import (
@@ -54,35 +47,15 @@ from .viz import table
 
 
 def _parse_llm(spec: str) -> LLMConfig:
-    if Path(spec).suffix == ".json" and Path(spec).exists():
-        return load_llm(spec)
-    return get_preset(spec)
+    return llm_from_spec(spec)
 
 
 def _parse_system(spec: str) -> System:
     """Parse ``a100:<n>[:<hbm_gib>]`` / ``h100:<n>[:<hbm>[:<ddr>]]`` or a JSON path."""
-    if Path(spec).suffix == ".json" and Path(spec).exists():
-        return load_system(spec)
-    parts = spec.split(":")
-    kind = parts[0]
-    factories = {
-        "v100": (v100_system, 32.0),
-        "a100": (a100_system, 80.0),
-        "h100": (h100_system, 80.0),
-        "h200": (h200_system, 141.0),
-    }
-    if kind not in factories:
-        raise SystemExit(
-            f"unknown system spec {spec!r} (want one of {sorted(factories)}, "
-            "e.g. a100:4096 or h100:512:80:512)"
-        )
-    factory, default_hbm = factories[kind]
-    n = int(parts[1])
-    hbm = float(parts[2]) if len(parts) > 2 else default_hbm
-    offload = None
-    if len(parts) > 3 and float(parts[3]) > 0:
-        offload = ddr5_offload(float(parts[3]))
-    return factory(n, hbm_gib=hbm, offload=offload)
+    try:
+        return system_from_spec(spec)
+    except ValueError as err:
+        raise SystemExit(str(err))
 
 
 def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
@@ -186,30 +159,34 @@ def _options_from_name(name: str) -> SearchOptions:
         raise SystemExit(f"unknown option preset {name!r}; choose from {sorted(presets)}")
 
 
+def _strategy_from_args(args: argparse.Namespace) -> ExecutionStrategy:
+    """Build the execution strategy from the flags shared by run/query."""
+    if args.strategy:
+        return load_strategy(args.strategy)
+    return ExecutionStrategy(
+        tensor_par=args.tp,
+        pipeline_par=args.pp,
+        data_par=args.dp,
+        batch=args.batch,
+        microbatch=args.microbatch,
+        pp_interleaving=args.interleave,
+        recompute=args.recompute,
+        seq_par=args.seq_par,
+        tp_redo_sp=args.seq_par,
+        optimizer_sharding=args.optimizer_sharding,
+        dp_overlap=args.dp_overlap,
+        tp_overlap=args.tp_overlap,
+        fused_activations=args.fused,
+        weight_offload=args.offload,
+        activation_offload=args.offload,
+        optimizer_offload=args.offload,
+    )
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     llm = _parse_llm(args.llm)
     system = _parse_system(args.system)
-    if args.strategy:
-        strategy = load_strategy(args.strategy)
-    else:
-        strategy = ExecutionStrategy(
-            tensor_par=args.tp,
-            pipeline_par=args.pp,
-            data_par=args.dp,
-            batch=args.batch,
-            microbatch=args.microbatch,
-            pp_interleaving=args.interleave,
-            recompute=args.recompute,
-            seq_par=args.seq_par,
-            tp_redo_sp=args.seq_par,
-            optimizer_sharding=args.optimizer_sharding,
-            dp_overlap=args.dp_overlap,
-            tp_overlap=args.tp_overlap,
-            fused_activations=args.fused,
-            weight_offload=args.offload,
-            activation_offload=args.offload,
-            optimizer_offload=args.offload,
-        )
+    strategy = _strategy_from_args(args)
     tracer, _ = _make_obs(args)
     metrics = MetricsRegistry() if args.stats else None
     start = time.perf_counter()
@@ -557,6 +534,85 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service import make_server, serve
+
+    server = make_server(
+        host=args.host,
+        port=args.port,
+        cache_dir=args.cache_dir,
+        cache_entries=args.cache_entries,
+        max_pending=args.max_pending,
+        batch_window=args.batch_window,
+        max_batch=args.max_batch,
+        request_timeout=args.request_timeout,
+    )
+    host, port = server.server_address[0], server.port
+    sys.stderr.write(
+        f"repro-calculon service on http://{host}:{port} "
+        f"(cache {args.cache_dir or 'memory-only'}, "
+        f"{args.cache_entries} entries; SIGTERM drains gracefully)\n"
+    )
+    serve(server)
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    from .search import RetryPolicy
+    from .service import RequestFailed, ServiceClient, ServiceUnavailable
+
+    client = ServiceClient(
+        args.url,
+        retry=RetryPolicy(
+            max_retries=args.retries, backoff_base=0.1, backoff_max=2.0
+        ),
+        timeout=args.timeout,
+    )
+    strategy = _strategy_from_args(args)
+    try:
+        payload = client.evaluate(args.llm, args.system, strategy)
+    except (RequestFailed, ServiceUnavailable) as err:
+        sys.stderr.write(f"error: {err}\n")
+        return 2
+    flat = payload["result"]
+    if args.format == "json":
+        import json as _json
+
+        print(_json.dumps(payload, indent=1))
+    else:
+        print(f"cache: {payload['cache']}   key: {payload['key'][:16]}…")
+        if flat["feasible"]:
+            print(
+                f"{flat['llm']} on {flat['system']} [{flat['strategy']}]: "
+                f"batch time {flat['batch_time_s']:.3f} s, "
+                f"{flat['sample_rate']:.1f} samples/s, "
+                f"MFU {flat['mfu'] * 100:.1f}%"
+            )
+        else:
+            print(f"INFEASIBLE: {flat['infeasibility']}")
+    return 0 if flat["feasible"] else 1
+
+
+def _add_strategy_flags(parser: argparse.ArgumentParser) -> None:
+    """The single-configuration strategy flags shared by run and query."""
+    parser.add_argument("--strategy", help="execution strategy JSON")
+    parser.add_argument("--tp", type=int, default=8)
+    parser.add_argument("--pp", type=int, default=8)
+    parser.add_argument("--dp", type=int, default=1)
+    parser.add_argument("--batch", type=int, default=64)
+    parser.add_argument("--microbatch", type=int, default=1)
+    parser.add_argument("--interleave", type=int, default=1)
+    parser.add_argument("--recompute", choices=("none", "attn_only", "full"),
+                        default="none")
+    parser.add_argument("--seq-par", action="store_true", dest="seq_par")
+    parser.add_argument("--optimizer-sharding", action="store_true")
+    parser.add_argument("--dp-overlap", action="store_true")
+    parser.add_argument("--tp-overlap", choices=("none", "pipe", "ring"),
+                        default="none")
+    parser.add_argument("--fused", action="store_true")
+    parser.add_argument("--offload", action="store_true")
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-calculon",
@@ -567,23 +623,43 @@ def main(argv: list[str] | None = None) -> int:
     run = sub.add_parser("run", help="evaluate one configuration")
     run.add_argument("llm", help="LLM preset name or spec JSON")
     run.add_argument("system", help="system spec (a100:<n> | h100:<n>[:hbm[:ddr]] | JSON)")
-    run.add_argument("--strategy", help="execution strategy JSON")
-    run.add_argument("--tp", type=int, default=8)
-    run.add_argument("--pp", type=int, default=8)
-    run.add_argument("--dp", type=int, default=1)
-    run.add_argument("--batch", type=int, default=64)
-    run.add_argument("--microbatch", type=int, default=1)
-    run.add_argument("--interleave", type=int, default=1)
-    run.add_argument("--recompute", choices=("none", "attn_only", "full"), default="none")
-    run.add_argument("--seq-par", action="store_true", dest="seq_par")
-    run.add_argument("--optimizer-sharding", action="store_true")
-    run.add_argument("--dp-overlap", action="store_true")
-    run.add_argument("--tp-overlap", choices=("none", "pipe", "ring"), default="none")
-    run.add_argument("--fused", action="store_true")
-    run.add_argument("--offload", action="store_true")
+    _add_strategy_flags(run)
     run.add_argument("--format", choices=("text", "csv", "json"), default="text")
     _add_obs_flags(run)
     run.set_defaults(func=_cmd_run)
+
+    srv = sub.add_parser(
+        "serve", help="run the persistent evaluation service (HTTP JSON API)"
+    )
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument("--port", type=int, default=8100,
+                     help="TCP port (0 picks a free one; default 8100)")
+    srv.add_argument("--cache-dir", default=None, metavar="DIR",
+                     help="disk tier of the result cache (omit for memory-only)")
+    srv.add_argument("--cache-entries", type=int, default=4096,
+                     help="capacity of the in-memory LRU tier (default 4096)")
+    srv.add_argument("--max-pending", type=int, default=256,
+                     help="dispatch backlog before 503 backpressure (default 256)")
+    srv.add_argument("--batch-window", type=float, default=0.002, metavar="SECONDS",
+                     help="micro-batch collection window (default 0.002)")
+    srv.add_argument("--max-batch", type=int, default=64,
+                     help="max evaluations per micro-batch (default 64)")
+    srv.add_argument("--request-timeout", type=float, default=60.0, metavar="SECONDS")
+    srv.set_defaults(func=_cmd_serve)
+
+    qry = sub.add_parser(
+        "query", help="evaluate one configuration via a running service"
+    )
+    qry.add_argument("llm", help="LLM preset name or spec JSON")
+    qry.add_argument("system", help="system spec (a100:<n> | h100:<n>[:hbm[:ddr]] | JSON)")
+    _add_strategy_flags(qry)
+    qry.add_argument("--url", default="http://127.0.0.1:8100",
+                     help="service base URL (default http://127.0.0.1:8100)")
+    qry.add_argument("--retries", type=int, default=3,
+                     help="retry attempts on connection errors and 5xx (default 3)")
+    qry.add_argument("--timeout", type=float, default=60.0, metavar="SECONDS")
+    qry.add_argument("--format", choices=("text", "json"), default="text")
+    qry.set_defaults(func=_cmd_query)
 
     srch = sub.add_parser("search", help="exhaustive execution search")
     srch.add_argument("llm")

@@ -28,7 +28,11 @@ def atomic_write_text(path: str | Path, text: str, encoding: str = "utf-8") -> P
 
     The temporary file is created next to the destination (``os.replace``
     must not cross filesystems) and removed if anything fails before the
-    final rename.
+    final rename.  After the rename the parent directory is fsync'd too:
+    ``os.replace`` updates a directory entry, and that update lives in the
+    directory's own metadata — without the directory fsync a power failure
+    can durably keep the *old* entry even though the new file's data blocks
+    were synced.
     """
     path = Path(path)
     fd, tmp_name = tempfile.mkstemp(prefix=f".{path.name}.", suffix=".tmp", dir=path.parent)
@@ -44,4 +48,29 @@ def atomic_write_text(path: str | Path, text: str, encoding: str = "utf-8") -> P
         except OSError:  # pragma: no cover - already replaced or never created
             pass
         raise
+    fsync_dir(path.parent)
     return path
+
+
+def fsync_dir(path: str | Path) -> bool:
+    """Best-effort fsync of a directory; True when the sync happened.
+
+    Directory fsync is a durability upgrade, not a correctness requirement:
+    on filesystems or platforms where opening or fsyncing a directory fails
+    (network mounts, some containers, non-POSIX systems), the atomic-rename
+    semantics of :func:`atomic_write_text` still hold, so failures degrade
+    to a debug log instead of an exception.
+    """
+    try:
+        fd = os.open(os.fspath(path), os.O_RDONLY)
+    except OSError as err:
+        logger.debug("cannot open directory %s for fsync: %s", path, err)
+        return False
+    try:
+        os.fsync(fd)
+    except OSError as err:
+        logger.debug("directory fsync of %s failed: %s", path, err)
+        return False
+    finally:
+        os.close(fd)
+    return True

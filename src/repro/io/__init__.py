@@ -8,6 +8,7 @@ from .report import (
     save_results_json,
 )
 from .specs import (
+    llm_from_spec,
     load_llm,
     load_strategy,
     load_system,
@@ -15,6 +16,7 @@ from .specs import (
     save_strategy,
     save_system,
     system_from_dict,
+    system_from_spec,
     system_to_dict,
 )
 
@@ -24,6 +26,7 @@ __all__ = [
     "results_to_csv",
     "results_to_markdown",
     "save_results_json",
+    "llm_from_spec",
     "load_llm",
     "load_strategy",
     "load_system",
@@ -31,5 +34,6 @@ __all__ = [
     "save_strategy",
     "save_system",
     "system_from_dict",
+    "system_from_spec",
     "system_to_dict",
 ]

@@ -127,3 +127,61 @@ def save_strategy(strategy: ExecutionStrategy, path: str | Path) -> None:
 
 def load_strategy(path: str | Path) -> ExecutionStrategy:
     return ExecutionStrategy.from_dict(json.loads(Path(path).read_text()))
+
+
+# ---------------------------------------------------------------------------
+# Spec strings — the shorthand accepted by the CLI and the service API
+# ---------------------------------------------------------------------------
+
+def llm_from_spec(spec: str | dict) -> LLMConfig:
+    """Resolve an LLM spec: a full dict, a preset name, or a JSON file path."""
+    if isinstance(spec, dict):
+        return LLMConfig.from_dict(spec)
+    if Path(spec).suffix == ".json" and Path(spec).exists():
+        return load_llm(spec)
+    from ..llm.config import get_preset
+
+    return get_preset(spec)
+
+
+def system_from_spec(spec: str | dict) -> System:
+    """Resolve a system spec: a full dict, a JSON file path, or shorthand.
+
+    The shorthand is the CLI's ``<kind>:<n>[:<hbm_gib>[:<ddr_gib>]]`` form,
+    e.g. ``a100:4096`` or ``h100:512:80:512``.  Raises :class:`ValueError`
+    on an unknown kind so HTTP callers get a 400, not a process exit.
+    """
+    if isinstance(spec, dict):
+        return system_from_dict(spec)
+    if Path(spec).suffix == ".json" and Path(spec).exists():
+        return load_system(spec)
+    from ..hardware.system import (
+        a100_system,
+        ddr5_offload,
+        h100_system,
+        h200_system,
+        v100_system,
+    )
+
+    factories = {
+        "v100": (v100_system, 32.0),
+        "a100": (a100_system, 80.0),
+        "h100": (h100_system, 80.0),
+        "h200": (h200_system, 141.0),
+    }
+    parts = str(spec).split(":")
+    kind = parts[0]
+    if kind not in factories or len(parts) < 2:
+        raise ValueError(
+            f"unknown system spec {spec!r} (want one of {sorted(factories)}, "
+            "e.g. a100:4096 or h100:512:80:512)"
+        )
+    factory, default_hbm = factories[kind]
+    try:
+        n = int(parts[1])
+        hbm = float(parts[2]) if len(parts) > 2 else default_hbm
+        ddr = float(parts[3]) if len(parts) > 3 else 0.0
+    except ValueError:
+        raise ValueError(f"malformed system spec {spec!r}") from None
+    offload = ddr5_offload(ddr) if ddr > 0 else None
+    return factory(n, hbm_gib=hbm, offload=offload)

@@ -20,6 +20,7 @@ model, so any subsystem can adopt it without dependency cycles.
 
 from .metrics import Counter, Histogram, MetricsRegistry
 from .progress import ProgressReporter
+from .prometheus import prometheus_name, render_prometheus
 from .stats import (
     M_BUCKET_HITS,
     M_CANDIDATES,
@@ -54,6 +55,8 @@ __all__ = [
     "M_REJECT_MEMORY",
     "M_REJECT_VALIDATE",
     "M_SHARED_INFEASIBLE",
+    "prometheus_name",
+    "render_prometheus",
     "stage_metric",
     "validate_trace",
     "validate_trace_file",

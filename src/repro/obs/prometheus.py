@@ -1,0 +1,65 @@
+"""Prometheus text-format rendering of a :class:`MetricsRegistry`.
+
+The evaluation service exposes ``GET /metrics`` in the Prometheus
+text exposition format (version 0.0.4) so a stock Prometheus scrape — or a
+``curl | grep`` — can watch cache hit rates and queue depths without any
+client library.  Only the registry's own structures are rendered: counters
+become ``counter`` samples, histograms become ``summary``-style
+``_count``/``_sum`` pairs plus ``_min``/``_max`` gauges (the registry keeps
+extremes, not quantiles).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Mapping
+
+from .metrics import MetricsRegistry
+
+_INVALID = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def prometheus_name(name: str) -> str:
+    """Map a registry metric name onto the Prometheus grammar.
+
+    Dots (the registry's namespace separator) become underscores; any other
+    character outside ``[a-zA-Z0-9_:]`` is squashed to ``_``; a leading
+    digit gets a ``_`` prefix.
+    """
+    out = _INVALID.sub("_", name.replace(".", "_"))
+    if out and out[0].isdigit():
+        out = "_" + out
+    return out
+
+
+def render_prometheus(
+    registry: MetricsRegistry,
+    *,
+    gauges: Mapping[str, float] | None = None,
+) -> str:
+    """Render the registry (plus caller-supplied ``gauges``) as scrape text.
+
+    ``gauges`` carries point-in-time server state the registry deliberately
+    does not accumulate — queue depth, in-flight requests, uptime.
+    """
+    lines: list[str] = []
+    for name in sorted(registry.counters):
+        pname = prometheus_name(name)
+        lines.append(f"# TYPE {pname} counter")
+        lines.append(f"{pname} {registry.counters[name].value:g}")
+    for name in sorted(registry.histograms):
+        hist = registry.histograms[name]
+        pname = prometheus_name(name)
+        lines.append(f"# TYPE {pname} summary")
+        lines.append(f"{pname}_count {hist.count}")
+        lines.append(f"{pname}_sum {hist.total:g}")
+        if hist.count:
+            lines.append(f"# TYPE {pname}_min gauge")
+            lines.append(f"{pname}_min {hist.min:g}")
+            lines.append(f"# TYPE {pname}_max gauge")
+            lines.append(f"{pname}_max {hist.max:g}")
+    for name in sorted(gauges or {}):
+        pname = prometheus_name(name)
+        lines.append(f"# TYPE {pname} gauge")
+        lines.append(f"{pname} {gauges[name]:g}")
+    return "\n".join(lines) + "\n"

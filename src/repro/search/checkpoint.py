@@ -29,18 +29,18 @@ inspectable, and robust to dataclass evolution.
 
 from __future__ import annotations
 
-import hashlib
 import json
 import logging
-from dataclasses import asdict, is_dataclass
 from pathlib import Path
 from typing import Any, Iterator, Mapping
 
-from ..engine import ENGINE_VERSION
+# run_key lives in repro.cachekey since the evaluation service's result
+# cache shares it; re-exported here because journals and callers predate
+# the move (``from repro.search.checkpoint import run_key`` keeps working).
+from ..cachekey import run_key
 from ..fsutil import atomic_write_text
-from ..hardware.system import System
-from ..io.specs import system_to_dict
-from ..llm.config import LLMConfig
+
+__all__ = ["CheckpointJournal", "CheckpointMismatch", "run_key"]
 
 logger = logging.getLogger(__name__)
 
@@ -50,34 +50,6 @@ JOURNAL_VERSION = 1
 
 class CheckpointMismatch(RuntimeError):
     """A resume attempt against a journal written for a different run."""
-
-
-def run_key(
-    llm: LLMConfig,
-    system: System,
-    batch: int,
-    options: Any,
-    *,
-    kind: str = "search",
-    extra: Mapping[str, Any] | None = None,
-) -> str:
-    """Content hash identifying one sweep: same key ⇔ same results.
-
-    Everything that can change the numbers goes in: the full LLM and system
-    specs (not their names), the batch, the option space, the engine
-    version, and any caller extras (top-k, size grid, constraint name, …).
-    """
-    payload = {
-        "kind": kind,
-        "engine_version": ENGINE_VERSION,
-        "llm": llm.to_dict(),
-        "system": system_to_dict(system),
-        "batch": batch,
-        "options": asdict(options) if is_dataclass(options) else options,
-        "extra": dict(extra) if extra else None,
-    }
-    blob = json.dumps(payload, sort_keys=True, default=str)
-    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
 class CheckpointJournal:

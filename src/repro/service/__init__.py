@@ -1,0 +1,50 @@
+"""Persistent evaluation service: cache, coalesce, micro-batch, serve.
+
+The batch tool answers one query per process; this package keeps a process
+alive and makes repeat and concurrent queries cheap:
+
+* :class:`ResultCache` — two-tier (bounded LRU over a sharded JSONL disk
+  store) result cache keyed by the content-addressed
+  :func:`repro.cachekey.run_key`;
+* :class:`MicroBatcher` — short-window request batching through
+  :func:`repro.engine.evaluate_many`;
+* :class:`EvaluationService` / :func:`make_server` / :func:`serve` — the
+  request pipeline and its stdlib HTTP JSON API (``POST /evaluate``,
+  ``POST /evaluate_many``, ``GET /presets``, ``GET /healthz``,
+  ``GET /metrics``);
+* :class:`ServiceClient` — ``urllib`` client with
+  :class:`~repro.search.faults.RetryPolicy` backoff.
+
+``repro-calculon serve`` / ``repro-calculon query`` are the CLI faces of
+this package.  See ``docs/SERVICE.md``.
+"""
+
+from .cache import ResultCache
+from .client import RequestFailed, ServiceClient, ServiceUnavailable
+from .dispatch import MicroBatcher
+from .server import (
+    BadRequest,
+    Draining,
+    EvaluationService,
+    Overloaded,
+    ServiceError,
+    ServiceHTTPServer,
+    make_server,
+    serve,
+)
+
+__all__ = [
+    "BadRequest",
+    "Draining",
+    "EvaluationService",
+    "MicroBatcher",
+    "Overloaded",
+    "RequestFailed",
+    "ResultCache",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceHTTPServer",
+    "ServiceUnavailable",
+    "make_server",
+    "serve",
+]

@@ -1,0 +1,184 @@
+"""Two-tier content-addressed result cache for the evaluation service.
+
+Tier 1 is a bounded in-memory LRU (an :class:`~collections.OrderedDict`
+moved-to-end on hit, evicted from the front when full).  Tier 2 is an
+on-disk store sharded into JSONL files by the first byte of the key —
+``<dir>/<kk>.jsonl``, one ``{"key": …, "value": …}`` object per line —
+rewritten through :func:`repro.fsutil.atomic_write_text`, so a killed
+server never leaves a truncated shard and a restarted server warms itself
+from disk.
+
+Keys are the sha256 :func:`repro.cachekey.run_key` over the full LLM spec,
+system spec, execution strategy and ``ENGINE_VERSION``: a cache entry can
+only ever be served for the exact evaluation that produced it, and bumping
+the engine version orphans (rather than corrupts) every old entry.
+
+Values are JSON-able response payloads (flat result dicts), not live
+result objects — the disk tier round-trips them verbatim.
+
+All operations are thread-safe; the service's HTTP handlers run in a
+thread pool.  Hit/miss/eviction counters accumulate into the registry
+passed at construction (``service.cache.*``), which the server renders at
+``GET /metrics``.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+from collections import OrderedDict
+from pathlib import Path
+from typing import Any
+
+from ..fsutil import atomic_write_text
+from ..obs import MetricsRegistry
+
+logger = logging.getLogger(__name__)
+
+# -- service cache metric names ----------------------------------------------
+M_CACHE_HIT_MEMORY = "service.cache.hit.memory"
+M_CACHE_HIT_DISK = "service.cache.hit.disk"
+M_CACHE_MISS = "service.cache.miss"
+M_CACHE_EVICTIONS = "service.cache.evictions"
+M_CACHE_PUTS = "service.cache.puts"
+
+
+class ResultCache:
+    """Bounded LRU over a sharded JSONL disk store; both tiers optional-ish.
+
+    ``capacity`` bounds only the memory tier; the disk tier (enabled by
+    passing ``cache_dir``) keeps everything ever stored.  A disk hit is
+    promoted back into the memory tier.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 4096,
+        cache_dir: str | Path | None = None,
+        *,
+        metrics: MetricsRegistry | None = None,
+    ):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._memory: OrderedDict[str, Any] = OrderedDict()
+        self._shards: dict[str, dict[str, Any]] = {}
+        self._lock = threading.RLock()
+        if self.cache_dir is not None:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+
+    # -- lookup --------------------------------------------------------------
+
+    def get(self, key: str) -> Any | None:
+        """The cached value for ``key``, or ``None``; LRU order is updated."""
+        with self._lock:
+            if key in self._memory:
+                self._memory.move_to_end(key)
+                self.metrics.inc(M_CACHE_HIT_MEMORY)
+                return self._memory[key]
+            if self.cache_dir is not None:
+                shard = self._load_shard(self._shard_name(key))
+                if key in shard:
+                    self.metrics.inc(M_CACHE_HIT_DISK)
+                    value = shard[key]
+                    self._admit(key, value)
+                    return value
+            self.metrics.inc(M_CACHE_MISS)
+            return None
+
+    def tier(self, key: str) -> str | None:
+        """Which tier would serve ``key`` (``"memory"``, ``"disk"``, ``None``);
+        no counters move and the LRU order is untouched."""
+        with self._lock:
+            if key in self._memory:
+                return "memory"
+            if self.cache_dir is not None and key in self._load_shard(self._shard_name(key)):
+                return "disk"
+            return None
+
+    # -- store ---------------------------------------------------------------
+
+    def put(self, key: str, value: Any) -> None:
+        """Store ``value`` in both tiers (write-through)."""
+        with self._lock:
+            self.metrics.inc(M_CACHE_PUTS)
+            self._admit(key, value)
+            if self.cache_dir is not None:
+                name = self._shard_name(key)
+                shard = self._load_shard(name)
+                shard[key] = value
+                self._write_shard(name, shard)
+
+    def _admit(self, key: str, value: Any) -> None:
+        self._memory[key] = value
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.capacity:
+            evicted, _ = self._memory.popitem(last=False)
+            self.metrics.inc(M_CACHE_EVICTIONS)
+            logger.debug("evicted %s… from the memory tier", evicted[:12])
+
+    # -- disk tier -----------------------------------------------------------
+
+    def _shard_name(self, key: str) -> str:
+        return key[:2] if len(key) >= 2 else "xx"
+
+    def _shard_path(self, name: str) -> Path:
+        assert self.cache_dir is not None
+        return self.cache_dir / f"{name}.jsonl"
+
+    def _load_shard(self, name: str) -> dict[str, Any]:
+        shard = self._shards.get(name)
+        if shard is not None:
+            return shard
+        shard = {}
+        path = self._shard_path(name)
+        try:
+            text = path.read_text()
+        except OSError:
+            text = ""
+        for n, line in enumerate(text.splitlines()):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                obj = json.loads(line)
+                shard[str(obj["key"])] = obj["value"]
+            except (json.JSONDecodeError, KeyError, TypeError):
+                logger.warning("%s:%d: skipping malformed cache line", path, n + 1)
+        self._shards[name] = shard
+        return shard
+
+    def _write_shard(self, name: str, shard: dict[str, Any]) -> None:
+        lines = [
+            json.dumps({"key": k, "value": v}) for k, v in sorted(shard.items())
+        ]
+        atomic_write_text(self._shard_path(name), "\n".join(lines) + "\n")
+
+    # -- introspection -------------------------------------------------------
+
+    def __len__(self) -> int:
+        """Entries resident in the memory tier."""
+        with self._lock:
+            return len(self._memory)
+
+    def memory_keys(self) -> list[str]:
+        """Memory-tier keys, least- to most-recently used."""
+        with self._lock:
+            return list(self._memory)
+
+    def disk_entries(self) -> int:
+        """Entries in the loaded+on-disk shards (0 without a disk tier)."""
+        if self.cache_dir is None:
+            return 0
+        with self._lock:
+            names = {p.stem for p in self.cache_dir.glob("*.jsonl")}
+            names.update(self._shards)
+            return sum(len(self._load_shard(name)) for name in names)
+
+    def clear_memory(self) -> None:
+        """Drop the memory tier (the disk tier is untouched)."""
+        with self._lock:
+            self._memory.clear()

@@ -1,0 +1,165 @@
+"""HTTP client for the evaluation service (stdlib ``urllib`` only).
+
+Transient failure handling reuses the sweep layer's
+:class:`repro.search.faults.RetryPolicy`: connection errors and 5xx
+responses are retried with the same bounded exponential backoff a chunked
+search applies to crashed workers, and a 503 carrying ``Retry-After``
+(the server's backpressure signal) waits at least that long before the
+next attempt.  400s are the caller's fault and never retried.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import urllib.error
+import urllib.request
+from time import sleep
+from typing import Any, Sequence
+
+from ..execution.strategy import ExecutionStrategy
+from ..search.faults import RetryPolicy
+
+logger = logging.getLogger(__name__)
+
+# Service-appropriate defaults: quicker first retry than the sweep default,
+# same cap, a couple of attempts.
+DEFAULT_RETRY = RetryPolicy(max_retries=3, backoff_base=0.1, backoff_max=2.0)
+
+
+class ServiceUnavailable(RuntimeError):
+    """The service could not be reached or kept failing across retries."""
+
+
+class RequestFailed(RuntimeError):
+    """The service answered with a non-retryable error (4xx)."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class ServiceClient:
+    """A thin JSON client over the service's five endpoints."""
+
+    def __init__(
+        self,
+        base_url: str = "http://127.0.0.1:8100",
+        *,
+        retry: RetryPolicy | None = None,
+        timeout: float = 60.0,
+    ):
+        self.base_url = base_url.rstrip("/")
+        self.retry = retry if retry is not None else DEFAULT_RETRY
+        self.timeout = timeout
+
+    # -- endpoints -----------------------------------------------------------
+
+    def evaluate(
+        self,
+        llm: str | dict,
+        system: str | dict,
+        strategy: ExecutionStrategy | dict,
+    ) -> dict:
+        """Evaluate one configuration; returns the service's response payload
+        (``result`` holds the flat result dict, ``cache`` says which tier —
+        or coalesced peer — served it)."""
+        return self._request(
+            "POST",
+            "/evaluate",
+            {"llm": llm, "system": system, "strategy": _strategy_dict(strategy)},
+        )
+
+    def evaluate_many(
+        self,
+        llm: str | dict,
+        system: str | dict,
+        strategies: Sequence[ExecutionStrategy | dict],
+    ) -> list[dict]:
+        """Evaluate a list of strategies; response payloads align with input."""
+        response = self._request(
+            "POST",
+            "/evaluate_many",
+            {
+                "llm": llm,
+                "system": system,
+                "strategies": [_strategy_dict(s) for s in strategies],
+            },
+        )
+        return response["results"]
+
+    def healthz(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def presets(self) -> list[dict]:
+        return self._request("GET", "/presets")["presets"]
+
+    def metrics_text(self) -> str:
+        return self._request("GET", "/metrics", raw=True)
+
+    def metric_value(self, name: str, default: float = 0.0) -> float:
+        """One sample from ``/metrics`` by its Prometheus name."""
+        for line in self.metrics_text().splitlines():
+            if line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) == 2 and parts[0] == name:
+                return float(parts[1])
+        return default
+
+    # -- transport -----------------------------------------------------------
+
+    def _request(
+        self, method: str, path: str, payload: dict | None = None, *, raw: bool = False
+    ) -> Any:
+        url = self.base_url + path
+        body = None if payload is None else json.dumps(payload).encode("utf-8")
+        last_error: Exception | None = None
+        for attempt in range(self.retry.max_retries + 1):
+            if attempt:
+                sleep(max(self.retry.delay(attempt - 1), _retry_after(last_error)))
+            request = urllib.request.Request(
+                url,
+                data=body,
+                method=method,
+                headers={"Content-Type": "application/json"},
+            )
+            try:
+                with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+                    text = resp.read().decode("utf-8")
+                    return text if raw else json.loads(text)
+            except urllib.error.HTTPError as err:
+                message = _error_message(err)
+                if err.code < 500 and err.code != 503:
+                    raise RequestFailed(err.code, message) from None
+                logger.debug("attempt %d: HTTP %d (%s)", attempt, err.code, message)
+                last_error = err
+            except (urllib.error.URLError, OSError) as err:
+                logger.debug("attempt %d: %s", attempt, err)
+                last_error = err
+        raise ServiceUnavailable(
+            f"{method} {url} failed after {self.retry.max_retries + 1} attempts: "
+            f"{last_error}"
+        )
+
+
+def _strategy_dict(strategy: ExecutionStrategy | dict) -> dict:
+    return strategy.to_dict() if isinstance(strategy, ExecutionStrategy) else dict(strategy)
+
+
+def _error_message(err: urllib.error.HTTPError) -> str:
+    try:
+        return json.loads(err.read().decode("utf-8")).get("error", str(err))
+    except Exception:
+        return str(err)
+
+
+def _retry_after(err: Exception | None) -> float:
+    if isinstance(err, urllib.error.HTTPError):
+        value = err.headers.get("Retry-After")
+        if value:
+            try:
+                return float(value)
+            except ValueError:
+                pass
+    return 0.0

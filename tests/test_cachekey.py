@@ -1,0 +1,60 @@
+"""The shared content-addressed run key (repro.cachekey)."""
+
+from repro.cachekey import canonical_json, content_key, run_key
+from repro.engine import ENGINE_VERSION
+from repro.execution import ExecutionStrategy
+from repro.hardware import a100_system
+from repro.llm import get_preset
+from repro.search import SearchOptions
+from repro.search import checkpoint as checkpoint_mod
+
+
+def _strategy(**kw):
+    base = dict(tensor_par=8, pipeline_par=8, data_par=1, batch=64)
+    base.update(kw)
+    return ExecutionStrategy(**base)
+
+
+def test_checkpoint_reexports_the_shared_run_key():
+    # Compatibility promise: the journal's run_key IS the cachekey one.
+    assert checkpoint_mod.run_key is run_key
+
+
+def test_same_problem_same_key():
+    llm, system = get_preset("gpt3-175b"), a100_system(64)
+    opts = SearchOptions.megatron_baseline()
+    assert run_key(llm, system, 64, opts) == run_key(llm, system, 64, opts)
+
+
+def test_key_covers_every_input_axis():
+    llm, system = get_preset("gpt3-175b"), a100_system(64)
+    opts = SearchOptions.megatron_baseline()
+    base = run_key(llm, system, 64, opts)
+    assert run_key(get_preset("megatron-22b"), system, 64, opts) != base
+    assert run_key(llm, a100_system(128), 64, opts) != base
+    assert run_key(llm, system, 128, opts) != base
+    assert run_key(llm, system, 64, SearchOptions.all_optimizations()) != base
+    assert run_key(llm, system, 64, opts, kind="sweep") != base
+    assert run_key(llm, system, 64, opts, extra={"top_k": 5}) != base
+
+
+def test_key_is_sensitive_to_engine_version():
+    llm, system = get_preset("gpt3-175b"), a100_system(64)
+    strat = _strategy()
+    current = run_key(llm, system, 64, strat)
+    assert current == run_key(llm, system, 64, strat, engine_version=ENGINE_VERSION)
+    assert current != run_key(
+        llm, system, 64, strat, engine_version=ENGINE_VERSION + 1
+    )
+
+
+def test_strategies_are_hashable_options():
+    llm, system = get_preset("gpt3-175b"), a100_system(64)
+    a = run_key(llm, system, 64, _strategy())
+    b = run_key(llm, system, 64, _strategy(microbatch=2))
+    assert a != b
+
+
+def test_canonical_json_is_order_independent():
+    assert canonical_json({"b": 1, "a": 2}) == canonical_json({"a": 2, "b": 1})
+    assert content_key({"b": 1, "a": 2}) == content_key({"a": 2, "b": 1})

@@ -1,0 +1,67 @@
+"""Crash-safe write helpers (repro.fsutil), incl. the directory-fsync fix."""
+
+import os
+
+import pytest
+
+from repro import fsutil
+from repro.fsutil import atomic_write_text, fsync_dir
+
+
+def test_atomic_write_roundtrip(tmp_path):
+    path = tmp_path / "out.txt"
+    assert atomic_write_text(path, "hello\n") == path
+    assert path.read_text() == "hello\n"
+
+
+def test_atomic_write_replaces_existing(tmp_path):
+    path = tmp_path / "out.txt"
+    atomic_write_text(path, "old")
+    atomic_write_text(path, "new")
+    assert path.read_text() == "new"
+    # No temp files left behind.
+    assert [p.name for p in tmp_path.iterdir()] == ["out.txt"]
+
+
+def test_atomic_write_fsyncs_parent_directory(tmp_path, monkeypatch):
+    synced = []
+    real_fsync = os.fsync
+    monkeypatch.setattr(os, "fsync", lambda fd: (synced.append(fd), real_fsync(fd)))
+    atomic_write_text(tmp_path / "out.txt", "data")
+    # One fsync for the temp file's data, one for the directory entry.
+    assert len(synced) >= 2
+
+
+def test_directory_fsync_failure_is_tolerated(tmp_path, monkeypatch):
+    """On filesystems where directory fsync raises, the write still works."""
+    real_fsync = os.fsync
+
+    def picky_fsync(fd):
+        import stat
+
+        if stat.S_ISDIR(os.fstat(fd).st_mode):
+            raise OSError(22, "directory fsync not supported here")
+        return real_fsync(fd)
+
+    monkeypatch.setattr(os, "fsync", picky_fsync)
+    path = tmp_path / "out.txt"
+    assert atomic_write_text(path, "survives") == path
+    assert path.read_text() == "survives"
+    assert fsync_dir(tmp_path) is False
+
+
+def test_fsync_dir_reports_success(tmp_path):
+    assert fsync_dir(tmp_path) is True
+
+
+def test_fsync_dir_missing_directory(tmp_path):
+    assert fsync_dir(tmp_path / "nope") is False
+
+
+def test_failed_write_cleans_up_temp_file(tmp_path, monkeypatch):
+    monkeypatch.setattr(
+        fsutil.os, "replace", lambda a, b: (_ for _ in ()).throw(OSError("boom"))
+    )
+    with pytest.raises(OSError):
+        atomic_write_text(tmp_path / "out.txt", "data")
+    assert list(tmp_path.iterdir()) == []

@@ -1,0 +1,105 @@
+"""The service's two-tier result cache (repro.service.cache)."""
+
+import json
+
+from repro.obs import MetricsRegistry
+from repro.service.cache import (
+    M_CACHE_EVICTIONS,
+    M_CACHE_HIT_DISK,
+    M_CACHE_HIT_MEMORY,
+    M_CACHE_MISS,
+    ResultCache,
+)
+
+
+def test_memory_hit_and_miss_counters():
+    reg = MetricsRegistry()
+    cache = ResultCache(capacity=4, metrics=reg)
+    assert cache.get("k1") is None
+    cache.put("k1", {"x": 1})
+    assert cache.get("k1") == {"x": 1}
+    assert reg.value(M_CACHE_MISS) == 1
+    assert reg.value(M_CACHE_HIT_MEMORY) == 1
+
+
+def test_lru_eviction_order():
+    reg = MetricsRegistry()
+    cache = ResultCache(capacity=3, metrics=reg)
+    for k in ("a", "b", "c"):
+        cache.put(k, k.upper())
+    cache.get("a")  # refresh: b is now least-recently used
+    cache.put("d", "D")
+    assert cache.memory_keys() == ["c", "a", "d"]
+    assert cache.get("b") is None  # evicted
+    assert reg.value(M_CACHE_EVICTIONS) == 1
+
+
+def test_eviction_is_bounded_under_churn():
+    cache = ResultCache(capacity=2)
+    for i in range(50):
+        cache.put(f"k{i}", i)
+    assert len(cache) == 2
+    assert cache.memory_keys() == ["k48", "k49"]
+
+
+def test_disk_tier_round_trip_after_restart(tmp_path):
+    reg = MetricsRegistry()
+    cache = ResultCache(capacity=8, cache_dir=tmp_path, metrics=reg)
+    cache.put("deadbeef" * 8, {"sample_rate": 1.5, "feasible": True})
+
+    # A "restarted server": a fresh cache over the same directory.
+    reborn = ResultCache(capacity=8, cache_dir=tmp_path, metrics=reg)
+    assert len(reborn) == 0
+    value = reborn.get("deadbeef" * 8)
+    assert value == {"sample_rate": 1.5, "feasible": True}
+    assert reg.value(M_CACHE_HIT_DISK) == 1
+    # The disk hit was promoted into the memory tier.
+    assert reborn.tier("deadbeef" * 8) == "memory"
+
+
+def test_disk_shards_by_key_prefix(tmp_path):
+    cache = ResultCache(capacity=8, cache_dir=tmp_path)
+    cache.put("aa11", 1)
+    cache.put("aa22", 2)
+    cache.put("bb33", 3)
+    assert sorted(p.name for p in tmp_path.glob("*.jsonl")) == [
+        "aa.jsonl",
+        "bb.jsonl",
+    ]
+    lines = (tmp_path / "aa.jsonl").read_text().splitlines()
+    assert [json.loads(line)["key"] for line in lines] == ["aa11", "aa22"]
+    assert cache.disk_entries() == 3
+
+
+def test_memory_eviction_does_not_lose_disk_entries(tmp_path):
+    cache = ResultCache(capacity=1, cache_dir=tmp_path)
+    cache.put("aa11", 1)
+    cache.put("bb22", 2)  # evicts aa11 from memory
+    assert cache.memory_keys() == ["bb22"]
+    assert cache.get("aa11") == 1  # served from disk
+
+
+def test_malformed_shard_lines_are_skipped(tmp_path):
+    (tmp_path / "aa.jsonl").write_text(
+        json.dumps({"key": "aa11", "value": 7}) + "\nnot json\n{\"no\": \"key\"}\n"
+    )
+    cache = ResultCache(capacity=4, cache_dir=tmp_path)
+    assert cache.get("aa11") == 7
+    assert cache.disk_entries() == 1
+
+
+def test_tier_probe_moves_no_counters(tmp_path):
+    reg = MetricsRegistry()
+    cache = ResultCache(capacity=4, cache_dir=tmp_path, metrics=reg)
+    cache.put("aa11", 1)
+    assert cache.tier("aa11") == "memory"
+    assert cache.tier("zz99") is None
+    assert reg.value(M_CACHE_HIT_MEMORY) == 0
+    assert reg.value(M_CACHE_MISS) == 0
+
+
+def test_memory_only_cache_has_no_disk(tmp_path):
+    cache = ResultCache(capacity=4)
+    cache.put("aa11", 1)
+    assert cache.disk_entries() == 0
+    assert cache.tier("aa11") == "memory"
