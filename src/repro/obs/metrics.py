@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import logging
 import math
+import threading
 from typing import Any, Iterable, Mapping
 
 logger = logging.getLogger(__name__)
@@ -97,60 +98,82 @@ class Histogram:
 
 
 class MetricsRegistry:
-    """Named counters and histograms, created on first touch."""
+    """Named counters and histograms, created on first touch.
 
-    __slots__ = ("counters", "histograms")
+    :meth:`inc`, :meth:`observe`, :meth:`merge` and the readers hold an
+    internal lock, so a registry can be shared across threads (the service's
+    HTTP handler pool and dispatch thread all increment one registry).  The
+    handles returned by :meth:`counter` / :meth:`histogram` are *not*
+    individually synchronized — mutate through the registry when sharing it.
+    """
+
+    __slots__ = ("counters", "histograms", "_lock")
 
     def __init__(self) -> None:
         self.counters: dict[str, Counter] = {}
         self.histograms: dict[str, Histogram] = {}
+        self._lock = threading.Lock()
 
     # -- accumulation --------------------------------------------------------
 
-    def counter(self, name: str) -> Counter:
+    def _counter_locked(self, name: str) -> Counter:
         c = self.counters.get(name)
         if c is None:
             c = self.counters[name] = Counter()
         return c
 
-    def histogram(self, name: str) -> Histogram:
+    def _histogram_locked(self, name: str) -> Histogram:
         h = self.histograms.get(name)
         if h is None:
             h = self.histograms[name] = Histogram()
         return h
 
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            return self._counter_locked(name)
+
+    def histogram(self, name: str) -> Histogram:
+        with self._lock:
+            return self._histogram_locked(name)
+
     def inc(self, name: str, n: float = 1.0) -> None:
-        self.counter(name).inc(n)
+        with self._lock:
+            self._counter_locked(name).inc(n)
 
     def observe(self, name: str, x: float) -> None:
-        self.histogram(name).observe(x)
+        with self._lock:
+            self._histogram_locked(name).observe(x)
 
     # -- reading -------------------------------------------------------------
 
     def value(self, name: str, default: float = 0.0) -> float:
-        c = self.counters.get(name)
-        return c.value if c is not None else default
+        with self._lock:
+            c = self.counters.get(name)
+            return c.value if c is not None else default
 
     def stage_total(self, name: str) -> float:
         """Sum of all observations of histogram ``name`` (0.0 if absent)."""
-        h = self.histograms.get(name)
-        return h.total if h is not None else 0.0
+        with self._lock:
+            h = self.histograms.get(name)
+            return h.total if h is not None else 0.0
 
     # -- snapshot / merge ----------------------------------------------------
 
     def snapshot(self) -> dict[str, Any]:
         """A plain-dict copy, safe to pickle across process boundaries."""
-        return {
-            "counters": {k: c.value for k, c in self.counters.items()},
-            "histograms": {k: h.to_dict() for k, h in self.histograms.items()},
-        }
+        with self._lock:
+            return {
+                "counters": {k: c.value for k, c in self.counters.items()},
+                "histograms": {k: h.to_dict() for k, h in self.histograms.items()},
+            }
 
     def merge(self, snap: Mapping[str, Any]) -> None:
         """Fold a snapshot into this registry (associative, commutative)."""
-        for name, value in snap.get("counters", {}).items():
-            self.counter(name).inc(value)
-        for name, hd in snap.get("histograms", {}).items():
-            self.histogram(name).merge(Histogram.from_dict(hd))
+        with self._lock:
+            for name, value in snap.get("counters", {}).items():
+                self._counter_locked(name).inc(value)
+            for name, hd in snap.get("histograms", {}).items():
+                self._histogram_locked(name).merge(Histogram.from_dict(hd))
 
     @classmethod
     def from_snapshots(cls, snaps: Iterable[Mapping[str, Any]]) -> "MetricsRegistry":

@@ -42,22 +42,27 @@ def render_prometheus(
     ``gauges`` carries point-in-time server state the registry deliberately
     does not accumulate — queue depth, in-flight requests, uptime.
     """
+    # Render from a locked snapshot: the registry may be concurrently
+    # incremented by other threads while a scrape is being served.
+    snap = registry.snapshot()
+    counters = snap["counters"]
+    histograms = snap["histograms"]
     lines: list[str] = []
-    for name in sorted(registry.counters):
+    for name in sorted(counters):
         pname = prometheus_name(name)
         lines.append(f"# TYPE {pname} counter")
-        lines.append(f"{pname} {registry.counters[name].value:g}")
-    for name in sorted(registry.histograms):
-        hist = registry.histograms[name]
+        lines.append(f"{pname} {counters[name]:g}")
+    for name in sorted(histograms):
+        hist = histograms[name]
         pname = prometheus_name(name)
         lines.append(f"# TYPE {pname} summary")
-        lines.append(f"{pname}_count {hist.count}")
-        lines.append(f"{pname}_sum {hist.total:g}")
-        if hist.count:
+        lines.append(f"{pname}_count {hist['count']}")
+        lines.append(f"{pname}_sum {hist['total']:g}")
+        if hist["count"]:
             lines.append(f"# TYPE {pname}_min gauge")
-            lines.append(f"{pname}_min {hist.min:g}")
+            lines.append(f"{pname}_min {hist['min']:g}")
             lines.append(f"# TYPE {pname}_max gauge")
-            lines.append(f"{pname}_max {hist.max:g}")
+            lines.append(f"{pname}_max {hist['max']:g}")
     for name in sorted(gauges or {}):
         pname = prometheus_name(name)
         lines.append(f"# TYPE {pname} gauge")

@@ -3,10 +3,21 @@
 Tier 1 is a bounded in-memory LRU (an :class:`~collections.OrderedDict`
 moved-to-end on hit, evicted from the front when full).  Tier 2 is an
 on-disk store sharded into JSONL files by the first byte of the key —
-``<dir>/<kk>.jsonl``, one ``{"key": …, "value": …}`` object per line —
-rewritten through :func:`repro.fsutil.atomic_write_text`, so a killed
-server never leaves a truncated shard and a restarted server warms itself
-from disk.
+``<dir>/<kk>.jsonl``, one ``{"key": …, "value": …}`` object per line.
+Puts *append* to the shard file (a later line for the same key supersedes
+an earlier one on load), and a shard is compacted — rewritten through
+:func:`repro.fsutil.atomic_write_text` — once its appended lines outgrow
+its distinct keys, so put latency stays O(1) in the shard size while a
+restarted server still warms itself from disk.  A torn final line from a
+killed mid-append server is skipped (with a warning) on load.
+
+Only a small, bounded LRU of *loaded* shards stays resident
+(``shard_cache_size``); everything else is reloaded from disk on demand,
+so a long-lived server's memory is bounded by ``capacity`` plus a handful
+of shards even though the disk tier keeps everything ever stored.  Shard
+entry counts are remembered separately (small ints), so introspection
+(``disk_entries``, hence ``GET /healthz``) never forces whole shards into
+memory.
 
 Keys are the sha256 :func:`repro.cachekey.run_key` over the full LLM spec,
 system spec, execution strategy and ``ENGINE_VERSION``: a cache entry can
@@ -42,6 +53,11 @@ M_CACHE_HIT_DISK = "service.cache.hit.disk"
 M_CACHE_MISS = "service.cache.miss"
 M_CACHE_EVICTIONS = "service.cache.evictions"
 M_CACHE_PUTS = "service.cache.puts"
+M_CACHE_COMPACTIONS = "service.cache.compactions"
+
+# A shard is compacted when its physical line count exceeds both this floor
+# and twice its distinct-key count (i.e. most lines are superseded).
+_COMPACT_MIN_LINES = 64
 
 
 class ResultCache:
@@ -49,7 +65,8 @@ class ResultCache:
 
     ``capacity`` bounds only the memory tier; the disk tier (enabled by
     passing ``cache_dir``) keeps everything ever stored.  A disk hit is
-    promoted back into the memory tier.
+    promoted back into the memory tier.  ``shard_cache_size`` bounds how
+    many loaded disk shards stay resident at once.
     """
 
     def __init__(
@@ -58,14 +75,22 @@ class ResultCache:
         cache_dir: str | Path | None = None,
         *,
         metrics: MetricsRegistry | None = None,
+        shard_cache_size: int = 8,
     ):
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
+        if shard_cache_size < 1:
+            raise ValueError("shard_cache_size must be >= 1")
         self.capacity = capacity
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._memory: OrderedDict[str, Any] = OrderedDict()
-        self._shards: dict[str, dict[str, Any]] = {}
+        # LRU of loaded shards (bounded) plus unbounded-but-tiny bookkeeping:
+        # distinct keys and physical lines per shard name.
+        self._shards: OrderedDict[str, dict[str, Any]] = OrderedDict()
+        self._shard_cache_size = shard_cache_size
+        self._shard_counts: dict[str, int] = {}
+        self._shard_lines: dict[str, int] = {}
         self._lock = threading.RLock()
         if self.cache_dir is not None:
             self.cache_dir.mkdir(parents=True, exist_ok=True)
@@ -107,10 +132,7 @@ class ResultCache:
             self.metrics.inc(M_CACHE_PUTS)
             self._admit(key, value)
             if self.cache_dir is not None:
-                name = self._shard_name(key)
-                shard = self._load_shard(name)
-                shard[key] = value
-                self._write_shard(name, shard)
+                self._persist(key, value)
 
     def _admit(self, key: str, value: Any) -> None:
         self._memory[key] = value
@@ -119,6 +141,19 @@ class ResultCache:
             evicted, _ = self._memory.popitem(last=False)
             self.metrics.inc(M_CACHE_EVICTIONS)
             logger.debug("evicted %s… from the memory tier", evicted[:12])
+
+    def _persist(self, key: str, value: Any) -> None:
+        """Append one record to ``key``'s shard, compacting when it bloats."""
+        name = self._shard_name(key)
+        shard = self._load_shard(name)
+        shard[key] = value
+        self._shard_counts[name] = len(shard)
+        with open(self._shard_path(name), "a", encoding="utf-8") as handle:
+            handle.write(json.dumps({"key": key, "value": value}) + "\n")
+        lines = self._shard_lines.get(name, 0) + 1
+        self._shard_lines[name] = lines
+        if lines > max(_COMPACT_MIN_LINES, 2 * len(shard)):
+            self._write_shard(name, shard)
 
     # -- disk tier -----------------------------------------------------------
 
@@ -132,8 +167,10 @@ class ResultCache:
     def _load_shard(self, name: str) -> dict[str, Any]:
         shard = self._shards.get(name)
         if shard is not None:
+            self._shards.move_to_end(name)
             return shard
         shard = {}
+        lines = 0
         path = self._shard_path(name)
         try:
             text = path.read_text()
@@ -143,12 +180,20 @@ class ResultCache:
             line = line.strip()
             if not line:
                 continue
+            lines += 1
             try:
                 obj = json.loads(line)
+                # Later lines supersede earlier ones: appends overwrite.
                 shard[str(obj["key"])] = obj["value"]
             except (json.JSONDecodeError, KeyError, TypeError):
                 logger.warning("%s:%d: skipping malformed cache line", path, n + 1)
         self._shards[name] = shard
+        self._shards.move_to_end(name)
+        self._shard_counts[name] = len(shard)
+        self._shard_lines[name] = lines
+        while len(self._shards) > self._shard_cache_size:
+            dropped, _ = self._shards.popitem(last=False)
+            logger.debug("dropped loaded shard %s (cache bound)", dropped)
         return shard
 
     def _write_shard(self, name: str, shard: dict[str, Any]) -> None:
@@ -156,6 +201,25 @@ class ResultCache:
             json.dumps({"key": k, "value": v}) for k, v in sorted(shard.items())
         ]
         atomic_write_text(self._shard_path(name), "\n".join(lines) + "\n")
+        self._shard_lines[name] = len(shard)
+        self.metrics.inc(M_CACHE_COMPACTIONS)
+
+    def _count_shard_keys(self, path: Path) -> int:
+        """Distinct keys in a shard file, without retaining any values."""
+        try:
+            text = path.read_text()
+        except OSError:
+            return 0
+        keys: set[str] = set()
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                keys.add(str(json.loads(line)["key"]))
+            except (json.JSONDecodeError, KeyError, TypeError):
+                continue
+        return len(keys)
 
     # -- introspection -------------------------------------------------------
 
@@ -170,13 +234,23 @@ class ResultCache:
             return list(self._memory)
 
     def disk_entries(self) -> int:
-        """Entries in the loaded+on-disk shards (0 without a disk tier)."""
+        """Distinct entries across the on-disk shards (0 without a disk tier).
+
+        Uses remembered per-shard counts where available; a shard this
+        process has never touched is counted key-by-key once, without
+        loading its values into the shard cache.
+        """
         if self.cache_dir is None:
             return 0
         with self._lock:
-            names = {p.stem for p in self.cache_dir.glob("*.jsonl")}
-            names.update(self._shards)
-            return sum(len(self._load_shard(name)) for name in names)
+            total = 0
+            for path in self.cache_dir.glob("*.jsonl"):
+                count = self._shard_counts.get(path.stem)
+                if count is None:
+                    count = self._count_shard_keys(path)
+                    self._shard_counts[path.stem] = count
+                total += count
+            return total
 
     def clear_memory(self) -> None:
         """Drop the memory tier (the disk tier is untouched)."""

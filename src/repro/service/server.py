@@ -186,16 +186,19 @@ class EvaluationService:
                     llm, system, strategy.batch, strategy, kind="service.evaluate"
                 )
                 entries.append(self._resolve(key, llm, system, strategy, group))
+            results = [self._finish(entry) for entry in entries]
         except BaseException as err:
-            # A mid-request rejection (e.g. backlog full on the 3rd of 5
-            # strategies) must not strand the leaders already registered:
-            # settle their rendezvous futures so coalesced followers fail
-            # fast instead of waiting out the timeout.
+            # A failure anywhere in the request — a mid-request rejection
+            # (e.g. backlog full on the 3rd of 5 strategies) or a _finish
+            # error on an earlier entry — must not strand leaders that are
+            # still registered: settle their rendezvous futures so coalesced
+            # followers (and later identical queries) fail fast instead of
+            # waiting forever on a future nobody will resolve.  _settle is
+            # a no-op for entries that already settled.
             for entry in entries:
                 if entry[1] == "miss":
                     self._settle(entry[0], error=err)
             raise
-        results = [self._finish(entry) for entry in entries]
         self.metrics.observe(M_REQUEST_SECONDS, perf_counter() - t0)
         if many:
             return {"results": results, "count": len(results)}
@@ -242,17 +245,30 @@ class EvaluationService:
         if source in ("memory", "disk"):
             return self._respond(key, source, value)
         if source == "coalesced":
-            payload = value.result(timeout=self.request_timeout)
+            try:
+                payload = value.result(timeout=self.request_timeout)
+            except ServiceError:
+                raise
+            except BaseException as err:
+                raise ServiceError(f"evaluation failed: {err}") from err
             return self._respond(key, "coalesced", payload["result"])
         shared, engine_future = value
         try:
             result = engine_future.result(timeout=self.request_timeout)
             flat = result_to_flat_dict(result)
+            try:
+                self.cache.put(key, flat)
+            except Exception:
+                # A cache-write failure (disk full, permissions) must not
+                # fail the request: the result is in hand, serve it uncached.
+                logger.exception("cache put failed for %s…", key[:12])
+            payload = self._respond(key, "miss", flat)
         except BaseException as err:
+            # Settle on every exit path — engine failure, future timeout,
+            # anything else — so followers never inherit a future nobody
+            # will resolve.
             self._settle(key, error=err)
             raise ServiceError(f"evaluation failed: {err}") from err
-        self.cache.put(key, flat)
-        payload = self._respond(key, "miss", flat)
         self._settle(key, payload=payload)
         return payload
 
@@ -345,9 +361,14 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _send_json(self, status: int, payload: dict, headers: dict | None = None) -> None:
         body = (json.dumps(payload, indent=1) + "\n").encode("utf-8")
+        close = self.close_connection
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if close:
+            # A route set close_connection (e.g. it refused to read an
+            # oversized body): tell the client, don't just drop the socket.
+            self.send_header("Connection", "close")
         for name, value in (headers or {}).items():
             self.send_header(name, value)
         self.end_headers()
@@ -360,10 +381,20 @@ class _Handler(BaseHTTPRequestHandler):
         self._send_json(err.status, {"error": str(err)}, headers)
 
     def _read_body(self) -> Any:
-        length = int(self.headers.get("Content-Length") or 0)
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            # The body's extent is unknowable, so the connection cannot be
+            # resynchronized for keep-alive: close it after responding.
+            self.close_connection = True
+            raise BadRequest("malformed Content-Length header") from None
         if length <= 0:
             raise BadRequest("empty request body")
         if length > self.max_body:
+            # Rejecting without reading leaves the body on the socket, where
+            # HTTP/1.1 keep-alive would parse it as the next request; close
+            # the connection instead of draining max_body+ bytes.
+            self.close_connection = True
             raise BadRequest("request body too large")
         raw = self.rfile.read(length)
         try:

@@ -370,3 +370,26 @@ def test_sweep_stats_merge():
     assert merged.workers == 2
     assert merged.engine.candidates == 20
     assert SweepStats.merge([]).num_evaluated == 0
+
+
+def test_registry_concurrent_increments_lose_nothing():
+    # The service increments one registry from HTTP handler threads and the
+    # dispatch thread; first-touch creation and += must both be locked.
+    import threading
+
+    reg = MetricsRegistry()
+    n_threads, per_thread = 8, 2000
+
+    def worker():
+        for _ in range(per_thread):
+            reg.inc("race.counter")
+            reg.observe("race.histogram", 1.0)
+
+    threads = [threading.Thread(target=worker) for _ in range(n_threads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=30)
+    assert reg.value("race.counter") == n_threads * per_thread
+    snap = reg.snapshot()
+    assert snap["histograms"]["race.histogram"]["count"] == n_threads * per_thread

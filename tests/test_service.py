@@ -33,6 +33,7 @@ from repro.service import (
     RequestFailed,
     ResultCache,
     ServiceClient,
+    ServiceError,
     make_server,
 )
 from repro.service.server import M_COALESCED
@@ -291,6 +292,61 @@ def test_bad_requests_are_rejected():
         service.stop()
 
 
+class FailingEngine:
+    """An ``evaluate_many`` stand-in that always explodes."""
+
+    def __init__(self):
+        self.calls = 0
+        self._lock = threading.Lock()
+
+    def __call__(self, llm, system, strategies, **kwargs):
+        with self._lock:
+            self.calls += 1
+        raise RuntimeError("engine exploded")
+
+
+def test_engine_failure_settles_every_inflight_key():
+    # A multi-strategy request whose batch fails must settle *all* its
+    # rendezvous futures — including entries after the one whose _finish
+    # raised — so the keys stay retryable instead of wedging forever.
+    engine = FailingEngine()
+    service = make_service(engine)
+    strategies = [STRATEGY.to_dict(), STRATEGY.evolve(microbatch=2).to_dict()]
+    try:
+        with pytest.raises(ServiceError):
+            service.evaluate_payload(_payload(strategies=strategies, strategy=None))
+        assert service._inflight == {}
+        # The second key leads a fresh evaluation rather than coalescing
+        # onto a dead future and timing out.
+        with pytest.raises(ServiceError):
+            service.evaluate_payload(
+                _payload(strategy=STRATEGY.evolve(microbatch=2))
+            )
+        assert engine.calls >= 2
+        assert service.drain(timeout=10)
+    finally:
+        service.stop()
+
+
+class ExplodingCache(ResultCache):
+    """A cache whose disk tier is broken: every put raises."""
+
+    def put(self, key, value):
+        raise OSError("disk full")
+
+
+def test_cache_put_failure_still_serves_result_and_settles():
+    engine = CountingEngine()
+    service = make_service(engine, cache=ExplodingCache(capacity=4))
+    try:
+        response = service.evaluate_payload(_payload())
+        assert response["cache"] == "miss"
+        assert response["result"]["feasible"] is not None
+        assert service._inflight == {}
+    finally:
+        service.stop()
+
+
 def test_healthz_and_presets_payloads():
     service = make_service()
     try:
@@ -351,6 +407,28 @@ def test_http_error_mapping(http_server):
     with pytest.raises(RequestFailed) as exc:
         client._request("GET", "/nope")
     assert exc.value.status == 404
+
+
+def test_http_oversized_body_closes_keepalive_connection(http_server):
+    # The handler refuses to read an oversized body; it must then close the
+    # keep-alive connection (advertised via Connection: close) so the unread
+    # bytes cannot be parsed as the next request on the same socket.
+    import http.client
+
+    conn = http.client.HTTPConnection("127.0.0.1", http_server.port, timeout=10)
+    try:
+        conn.putrequest("POST", "/evaluate")
+        conn.putheader("Content-Type", "application/json")
+        conn.putheader("Content-Length", str(8 * 2**20 + 1))
+        conn.endheaders()
+        # Junk that a desynced server would misparse as a pipelined request.
+        conn.send(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+        resp = conn.getresponse()
+        assert resp.status == 400
+        assert resp.getheader("Connection") == "close"
+        resp.read()
+    finally:
+        conn.close()
 
 
 def test_http_concurrent_identical_queries_coalesce(http_server):

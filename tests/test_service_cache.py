@@ -103,3 +103,51 @@ def test_memory_only_cache_has_no_disk(tmp_path):
     cache.put("aa11", 1)
     assert cache.disk_entries() == 0
     assert cache.tier("aa11") == "memory"
+
+
+def test_loaded_shard_cache_is_bounded(tmp_path):
+    cache = ResultCache(capacity=64, cache_dir=tmp_path, shard_cache_size=2)
+    prefixes = ["aa", "bb", "cc", "dd", "ee"]
+    for p in prefixes:
+        cache.put(p + "11", p)
+    assert len(cache._shards) <= 2
+    cache.clear_memory()
+    # Dropped shards reload on demand; the bound holds throughout.
+    for p in prefixes:
+        assert cache.get(p + "11") == p
+        assert len(cache._shards) <= 2
+    assert cache.disk_entries() == 5
+
+
+def test_disk_entries_counts_without_loading_shards(tmp_path):
+    cache = ResultCache(capacity=64, cache_dir=tmp_path)
+    for p in ("aa", "bb", "cc"):
+        cache.put(p + "11", p)
+    # A fresh process introspecting the store (healthz) counts keys without
+    # pulling whole shards into its shard cache.
+    fresh = ResultCache(capacity=64, cache_dir=tmp_path)
+    assert fresh.disk_entries() == 3
+    assert len(fresh._shards) == 0
+
+
+def test_put_appends_and_last_line_wins_on_reload(tmp_path):
+    cache = ResultCache(capacity=4, cache_dir=tmp_path)
+    cache.put("aa11", 1)
+    cache.put("aa11", 2)
+    lines = (tmp_path / "aa.jsonl").read_text().splitlines()
+    assert len(lines) == 2  # appended, not rewritten
+    reborn = ResultCache(capacity=4, cache_dir=tmp_path)
+    assert reborn.get("aa11") == 2
+
+
+def test_bloated_shard_is_compacted(tmp_path):
+    from repro.service.cache import _COMPACT_MIN_LINES
+
+    cache = ResultCache(capacity=4, cache_dir=tmp_path)
+    n = _COMPACT_MIN_LINES + 6
+    for i in range(n):
+        cache.put("aa11", i)
+    lines = (tmp_path / "aa.jsonl").read_text().splitlines()
+    assert len(lines) < n  # superseded lines were dropped at least once
+    reborn = ResultCache(capacity=4, cache_dir=tmp_path)
+    assert reborn.get("aa11") == n - 1
