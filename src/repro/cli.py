@@ -82,6 +82,15 @@ def _make_obs(
     return tracer, progress
 
 
+def _add_prune_flag(parser: argparse.ArgumentParser) -> None:
+    """The bound-pruning escape hatch shared by the search-family commands."""
+    parser.add_argument(
+        "--no-prune", action="store_true",
+        help="disable roofline bound pruning (same answer, slower; "
+        "see docs/PERFORMANCE.md)",
+    )
+
+
 def _add_fault_flags(parser: argparse.ArgumentParser) -> None:
     """The fault-tolerance flags shared by the long-running sweeps."""
     parser.add_argument(
@@ -223,8 +232,12 @@ def _cmd_search(args: argparse.Namespace) -> int:
     opts = _options_from_name(args.options)
     tracer, progress = _make_obs(args)
     start = time.perf_counter()
+    # The command only reports the top-k table, so the per-candidate rate
+    # histogram is dropped (keep_rates=False) — which is also what lets
+    # bound pruning engage.
     result = search(
         llm, system, args.batch, opts, top_k=args.top, workers=args.workers,
+        keep_rates=False, bound_prune=not args.no_prune,
         tracer=tracer, collect_stats=args.stats, progress=progress,
         **_fault_kwargs(args),
     )
@@ -277,6 +290,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     fault.pop("retry_policy")  # per-size searches stay unsupervised for now
     curve = scaling_sweep(
         llm, factory, sizes, args.batch, opts, workers=args.workers,
+        bound_prune=not args.no_prune,
         tracer=tracer, collect_stats=args.stats, progress=progress,
         **fault,
     )
@@ -403,7 +417,8 @@ def _cmd_refine(args: argparse.Namespace) -> int:
     tracer, _ = _make_obs(args)
     metrics = MetricsRegistry() if args.stats else None
     start = time.perf_counter()
-    result = multi_start(llm, system, seeds, tracer=tracer, metrics=metrics,
+    result = multi_start(llm, system, seeds, bound_prune=not args.no_prune,
+                         tracer=tracer, metrics=metrics,
                          checkpoint=args.checkpoint, resume=args.resume)
     elapsed = time.perf_counter() - start
     _finish_trace(tracer, args)
@@ -668,6 +683,7 @@ def main(argv: list[str] | None = None) -> int:
     srch.add_argument("--options", default="all")
     srch.add_argument("--top", type=int, default=10)
     srch.add_argument("--workers", type=int, default=None)
+    _add_prune_flag(srch)
     _add_obs_flags(srch)
     _add_fault_flags(srch)
     srch.set_defaults(func=_cmd_search)
@@ -681,6 +697,7 @@ def main(argv: list[str] | None = None) -> int:
     swp.add_argument("--options", default="all")
     swp.add_argument("--workers", type=int, default=None,
                      help="processes per inner search (default: auto)")
+    _add_prune_flag(swp)
     _add_obs_flags(swp)
     _add_fault_flags(swp)
     swp.set_defaults(func=_cmd_sweep)
@@ -718,6 +735,7 @@ def main(argv: list[str] | None = None) -> int:
                      help="journal completed climbs to FILE for later --resume")
     ref.add_argument("--resume", action="store_true",
                      help="skip seeds already journaled in --checkpoint FILE")
+    _add_prune_flag(ref)
     _add_obs_flags(ref)
     ref.set_defaults(func=_cmd_refine)
 

@@ -9,6 +9,12 @@ On top of the stages sit a feasibility fast path (:func:`check_feasible`) and
 a batched sweep primitive (:func:`evaluate_many`) that groups candidates by
 block-profile key and fully evaluates only memory-feasible survivors.
 ``repro.core.calculate`` remains the stable single-configuration wrapper.
+
+The bound-and-prune layer (:mod:`repro.engine.bounds`) adds an analytic
+roofline lower bound on batch time computed from fast-path artifacts alone;
+searches pass a ``prune_above`` threshold to :func:`evaluate_many` /
+:func:`iter_evaluate` to skip the comm/assembly stages for candidates that
+provably cannot enter the current top-k.
 """
 
 from .api import (
@@ -21,9 +27,13 @@ from .api import (
     evaluate_many,
     iter_evaluate,
 )
+from .bounds import PrunedResult, prune_threshold_for_rate, roofline_lower_bound
 from .context import CommExposure, EvalContext, FeasibilityReport, MemoryPlan
-from .profile import BlockProfile, clear_caches, profile_block, profile_key
+from .profile import BlockProfile, profile_block, profile_key
+from .profile import clear_caches as _clear_profile_caches
 from .stages import (
+    clear_comm_caches,
+    comm_cache_stats,
     exposed_and_tax,
     in_flight_microbatches,
     infeasible_result,
@@ -34,6 +44,17 @@ from .stages import (
     stage_validate,
 )
 
+
+def clear_caches() -> None:
+    """Drop every process-global engine cache.
+
+    Clears both the block-profile caches and the comm-kernel caches —
+    benchmarks call this between phases so each measures cold-cache work.
+    """
+    _clear_profile_caches()
+    clear_comm_caches()
+
+
 __all__ = [
     "BlockProfile",
     "CommExposure",
@@ -43,9 +64,12 @@ __all__ = [
     "FeasibilityReport",
     "MemoryPlan",
     "PIPELINE",
+    "PrunedResult",
     "STAGE_SHORT_NAMES",
     "check_feasible",
     "clear_caches",
+    "clear_comm_caches",
+    "comm_cache_stats",
     "evaluate",
     "evaluate_many",
     "exposed_and_tax",
@@ -54,6 +78,8 @@ __all__ = [
     "iter_evaluate",
     "profile_block",
     "profile_key",
+    "prune_threshold_for_rate",
+    "roofline_lower_bound",
     "stage_assemble",
     "stage_comm",
     "stage_memory",

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import logging
 from time import perf_counter
-from typing import Iterable, Iterator, Sequence
+from typing import Callable, Iterable, Iterator, Sequence
 
 from ..core.results import PerformanceResult
 from ..execution.strategy import ExecutionStrategy, StrategyError
@@ -28,8 +28,12 @@ from ..hardware.system import System
 from ..llm.config import LLMConfig
 from ..obs import MetricsRegistry, PruneStats, Tracer
 from ..obs.stats import (
+    M_BOUND_EVALS,
+    M_BOUND_PRUNED,
     M_BUCKET_HITS,
     M_CANDIDATES,
+    M_COMM_CACHE_HITS,
+    M_COMM_CACHE_MISSES,
     M_EVALUATED_FULL,
     M_MEMORY_BUCKETS,
     M_PROFILE_GROUPS,
@@ -38,9 +42,11 @@ from ..obs.stats import (
     M_SHARED_INFEASIBLE,
     stage_metric,
 )
+from .bounds import PrunedResult, roofline_lower_bound
 from .context import EvalContext, FeasibilityReport, MemoryPlan
 from .profile import profile_block, profile_key
 from .stages import (
+    comm_cache_stats,
     fill_scalars,
     infeasible_result,
     stage_assemble,
@@ -111,25 +117,34 @@ def evaluate(
 
     if metrics is not None:
         metrics.inc(M_CANDIDATES)
-    for stage in PIPELINE:
-        t0 = perf_counter()
-        if tracer is not None:
-            with tracer.span(STAGE_SHORT_NAMES[stage], cat="engine.stage"):
+        cc0 = comm_cache_stats()
+    try:
+        for stage in PIPELINE:
+            t0 = perf_counter()
+            if tracer is not None:
+                with tracer.span(STAGE_SHORT_NAMES[stage], cat="engine.stage"):
+                    stage(ctx)
+            else:
                 stage(ctx)
-        else:
-            stage(ctx)
-        if metrics is not None:
-            metrics.observe(_STAGE_METRICS[stage], perf_counter() - t0)
-        if ctx.error is not None:
             if metrics is not None:
-                rejected = (
-                    M_REJECT_VALIDATE if stage is stage_validate else M_REJECT_MEMORY
-                )
-                metrics.inc(rejected)
-            return infeasible_result(ctx)
-    if metrics is not None:
-        metrics.inc(M_EVALUATED_FULL)
-    return ctx.result
+                metrics.observe(_STAGE_METRICS[stage], perf_counter() - t0)
+            if ctx.error is not None:
+                if metrics is not None:
+                    rejected = (
+                        M_REJECT_VALIDATE
+                        if stage is stage_validate
+                        else M_REJECT_MEMORY
+                    )
+                    metrics.inc(rejected)
+                return infeasible_result(ctx)
+        if metrics is not None:
+            metrics.inc(M_EVALUATED_FULL)
+        return ctx.result
+    finally:
+        if metrics is not None:
+            cc1 = comm_cache_stats()
+            metrics.inc(M_COMM_CACHE_HITS, cc1[0] - cc0[0])
+            metrics.inc(M_COMM_CACHE_MISSES, cc1[1] - cc0[1])
 
 
 def check_feasible(
@@ -169,6 +184,7 @@ def iter_evaluate(
     strategies: Sequence[ExecutionStrategy],
     *,
     prune: bool = True,
+    prune_above: float | Callable[[], float] | None = None,
     metrics: MetricsRegistry | None = None,
 ) -> Iterator[tuple[int, PerformanceResult]]:
     """Evaluate a candidate list, yielding ``(index, result)`` pairs.
@@ -178,19 +194,55 @@ def iter_evaluate(
     ``index`` maps each result back to ``strategies``.  See
     :func:`evaluate_many` for the ``prune`` semantics.
 
+    ``prune_above`` engages **bound pruning**: a batch-time threshold in
+    seconds (or a zero-argument callable returning one, re-read per
+    candidate so searches can tighten it as their running best improves).
+    After the feasibility fast path, each memory bucket's roofline lower
+    bound (:func:`~repro.engine.bounds.roofline_lower_bound`) is computed
+    once; candidates whose bound is ``>= prune_above`` skip the
+    comm/assembly stages entirely and yield a shared
+    :class:`~repro.engine.bounds.PrunedResult` marker (``feasible=True,
+    pruned=True, sample_rate == 0.0``).  Because the bound never exceeds
+    the true batch time, a threshold at the caller's k-th-best batch time
+    (see :func:`~repro.engine.bounds.prune_threshold_for_rate`) makes
+    pruning lossless for top-k selection.  Only the batched path
+    (``prune=True``) honors ``prune_above``; constraint-filtered or
+    rate-histogram callers should leave it ``None`` since pruned candidates
+    carry no timing breakdown.
+
     With ``metrics`` attached, the ``engine.*`` counters (candidates,
     per-stage rejections, profile groups, memory buckets and their hit
-    counts) and per-stage wall-time histograms accumulate into the
-    registry.  Timing is observed at the granularity the pruned path runs
-    the work: validate per candidate, profile per group, memory plan per
-    bucket, comm/assembly per survivor.  ``metrics=None`` (the default)
-    costs only untaken branches.
+    counts, bounds computed/pruned, comm-kernel cache hits/misses) and
+    per-stage wall-time histograms accumulate into the registry.  Timing is
+    observed at the granularity the pruned path runs the work: validate per
+    candidate, profile per group, memory plan per bucket, comm/assembly per
+    survivor.  ``metrics=None`` (the default) costs only untaken branches.
     """
     mx = metrics
     if not prune:
+        # evaluate() does its own comm-cache delta accounting.
         for i, strategy in enumerate(strategies):
             yield i, evaluate(llm, system, strategy, metrics=mx)
         return
+    if mx is not None:
+        cc0 = comm_cache_stats()
+    try:
+        yield from _iter_evaluate_pruned(llm, system, strategies, prune_above, mx)
+    finally:
+        if mx is not None:
+            cc1 = comm_cache_stats()
+            mx.inc(M_COMM_CACHE_HITS, cc1[0] - cc0[0])
+            mx.inc(M_COMM_CACHE_MISSES, cc1[1] - cc0[1])
+
+
+def _iter_evaluate_pruned(
+    llm: LLMConfig,
+    system: System,
+    strategies: Sequence[ExecutionStrategy],
+    prune_above: float | Callable[[], float] | None,
+    mx: MetricsRegistry | None,
+) -> Iterator[tuple[int, PerformanceResult]]:
+    dynamic = callable(prune_above)
 
     # Pass 1: validate everything, reject structural violations immediately,
     # and bucket the remainder by block-profile key.
@@ -218,7 +270,11 @@ def iter_evaluate(
     # memory plan, so plans are computed once per bucket of memory-relevant
     # fields — and a capacity-rejected bucket shares one frozen result (every
     # field of it, including the reason string, is bucket-constant, so the
-    # rejected majority of a sweep never even allocates a context).
+    # rejected majority of a sweep never even allocates a context).  The
+    # roofline lower bound is bucket-constant too (bucket members differ only
+    # in overlap knobs, which the bound excludes), so with a ``prune_above``
+    # threshold it is computed once per feasible bucket and candidates it
+    # disqualifies share one PrunedResult without allocating a context.
     for key, members in groups.items():
         if mx is not None:
             mx.inc(M_PROFILE_GROUPS)
@@ -228,7 +284,8 @@ def iter_evaluate(
             mx.observe(_M_PROFILE, perf_counter() - t0)
         group_memo: dict = {}
         buckets: dict[
-            tuple, tuple[MemoryPlan | None, PerformanceResult | None, dict]
+            tuple,
+            tuple[MemoryPlan | None, PerformanceResult | None, dict, float | None],
         ] = {}
         for i, strategy in members:
             mkey = (
@@ -253,13 +310,18 @@ def iter_evaluate(
                     if mx is not None:
                         mx.inc(M_REJECT_MEMORY)
                     rejected = infeasible_result(ctx)
-                    buckets[mkey] = (None, rejected, {})
+                    buckets[mkey] = (None, rejected, {}, None)
                     yield i, rejected
                     continue
                 bucket_memo: dict = {}
-                buckets[mkey] = (ctx.mem, None, bucket_memo)
+                bound: float | None = None
+                if prune_above is not None:
+                    bound = roofline_lower_bound(ctx)
+                    if mx is not None:
+                        mx.inc(M_BOUND_EVALS)
+                buckets[mkey] = (ctx.mem, None, bucket_memo, bound)
             else:
-                plan, rejected, bucket_memo = hit
+                plan, rejected, bucket_memo, bound = hit
                 if mx is not None:
                     mx.inc(M_BUCKET_HITS)
                 if rejected is not None:
@@ -268,6 +330,19 @@ def iter_evaluate(
                         mx.inc(M_SHARED_INFEASIBLE)
                     yield i, rejected
                     continue
+                ctx = None
+            if bound is not None and bound >= (
+                prune_above() if dynamic else prune_above
+            ):
+                if mx is not None:
+                    mx.inc(M_BOUND_PRUNED)
+                pruned = bucket_memo.get("pruned_result")
+                if pruned is None:
+                    pruned = PrunedResult(batch=strategy.batch, lower_bound=bound)
+                    bucket_memo["pruned_result"] = pruned
+                yield i, pruned
+                continue
+            if ctx is None:
                 ctx = EvalContext(llm, system, strategy)
                 fill_scalars(ctx)
                 ctx.prof = prof
@@ -292,6 +367,7 @@ def evaluate_many(
     strategies: Iterable[ExecutionStrategy],
     *,
     prune: bool = True,
+    prune_above: float | Callable[[], float] | None = None,
     metrics: MetricsRegistry | None = None,
     stats: bool = False,
 ) -> list[PerformanceResult] | tuple[list[PerformanceResult], PruneStats]:
@@ -305,7 +381,12 @@ def evaluate_many(
     individually — same results, no batching.
 
     Outputs are identical to mapping :func:`evaluate` (and therefore the
-    legacy ``calculate``) over the list, including infeasibility reasons.
+    legacy ``calculate``) over the list, including infeasibility reasons —
+    except under an explicit ``prune_above`` batch-time threshold, where
+    memory-feasible candidates whose roofline lower bound already exceeds
+    the threshold come back as lightweight
+    :class:`~repro.engine.bounds.PrunedResult` markers (see
+    :func:`iter_evaluate`).
 
     ``stats=True`` returns ``(results, PruneStats)`` instead of discarding
     the pruning bookkeeping: how many profile groups formed, how many
@@ -319,7 +400,9 @@ def evaluate_many(
     # PruneStats covers exactly this call, then fold into the caller's.
     reg = MetricsRegistry() if stats else metrics
     results: list[PerformanceResult | None] = [None] * len(strategies)
-    for i, result in iter_evaluate(llm, system, strategies, prune=prune, metrics=reg):
+    for i, result in iter_evaluate(
+        llm, system, strategies, prune=prune, prune_above=prune_above, metrics=reg
+    ):
         results[i] = result
     if stats:
         if metrics is not None:

@@ -1,0 +1,133 @@
+"""Roofline lower bounds on batch time, from fast-path artifacts only.
+
+Search spends most of its time pricing communication for candidates that
+cannot possibly beat the current top-k.  This module computes an analytic
+**lower bound** on a candidate's batch time using only what the feasibility
+fast path already produced — the block profile (whose per-layer times are
+themselves roofline maxima of FLOPs/throughput and bytes/bandwidth) and the
+memory plan — so a search can discard hopeless candidates *before* the
+comm/assembly stages run.
+
+The bound is provably ``<= TimeBreakdown.batch_time`` **in float
+arithmetic**, not just in exact math: each component either reproduces the
+assembled field's expression bit-for-bit (forward/backward/recompute compute,
+optimizer step) or replaces it with a smaller float (pipeline bubble without
+exposed TP communication), and components are summed left-to-right in the
+same order as ``batch_time`` sums its fields.  Since IEEE-754
+round-to-nearest addition and positive multiplication are monotone, every
+partial sum of the bound is <= the corresponding partial sum of the true
+batch time, and the remaining ``batch_time`` fields are all non-negative.
+``docs/PERFORMANCE.md`` walks through the derivation.
+
+That inequality is what makes pruning *exact*: a candidate is skipped only
+when even its lower bound is too slow to be admitted by the search heap, so
+the surviving top-k is bit-identical to an unpruned run (see
+:func:`prune_threshold_for_rate` for the rate/time conversion that keeps the
+float round-trip sound).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import ClassVar
+
+from .context import EvalContext
+from .stages import optim_step_time
+
+
+@dataclass(frozen=True)
+class PrunedResult:
+    """Marker yielded for a candidate skipped by bound pruning.
+
+    A pruned candidate passed validation and the memory plan (it *is*
+    feasible) but its roofline lower bound already exceeds the caller's
+    ``prune_above`` threshold, so the comm/assembly stages never ran and no
+    timing breakdown exists.  ``sample_rate`` reports 0.0 so ranking code
+    treats it as "never the best"; ``lower_bound`` is the proven minimum
+    batch time.  One instance is shared by every candidate pruned from the
+    same memory bucket, so the object carries no per-candidate identity —
+    callers map results back to strategies by index.
+    """
+
+    batch: int
+    lower_bound: float
+
+    feasible: ClassVar[bool] = True
+    pruned: ClassVar[bool] = True
+    infeasibility: ClassVar[str] = ""
+
+    @property
+    def sample_rate(self) -> float:
+        return 0.0
+
+
+def roofline_lower_bound(ctx: EvalContext) -> float:
+    """A lower bound on batch time from validate/profile/memory output only.
+
+    Components, in ``TimeBreakdown.batch_time`` summation order:
+
+    * forward compute ``M * bpstage * fw_time`` — *equal* to ``fw_pass``;
+    * backward and recompute compute — equal to ``bw_pass``/``fw_recompute``;
+    * the optimizer step — equal to ``optim_step`` (the same cached
+      :func:`~repro.engine.stages.optim_step_time` the comm stage calls);
+    * a pipeline-bubble underestimate ``(p-1) * (t_f + t_b) / v`` built from
+      compute times alone (the true bubble adds exposed TP communication and
+      overlap tax to each per-microbatch stage time).
+
+    Exposed TP/PP/DP communication, offload stalls and overlap tax are
+    bounded below by zero.  Everything read here is constant across a memory
+    bucket, so batched evaluation computes the bound once per bucket.
+
+    Requires a context that completed the fast path feasibly (``prof`` and
+    ``mem`` set, ``error`` None).
+    """
+    prof, mem = ctx.prof, ctx.mem
+    M, bpstage, v, p = ctx.M, ctx.bpstage, ctx.v, ctx.p
+    lb = M * bpstage * prof.fw_time
+    if ctx.training:
+        lb = lb + M * bpstage * prof.bw_time
+        lb = lb + M * bpstage * prof.recompute_time
+        traffic = (
+            2.0 * mem.opt_bytes
+            + bpstage
+            * (prof.weight_grad_bytes + prof.weight_bytes)
+            / mem.opt_shard
+        )
+        use_mem2 = bool(
+            ctx.strategy.optimizer_offload and ctx.system.mem2 is not None
+        )
+        lb = lb + optim_step_time(ctx.system, mem.opt_bytes, traffic, use_mem2)
+    if p > 1:
+        t_f = bpstage * prof.fw_time
+        t_b = (
+            bpstage * (prof.bw_time + prof.recompute_time)
+            if ctx.training
+            else 0.0
+        )
+        lb = lb + (p - 1) * ((t_f + t_b) / v)
+    return lb
+
+
+def prune_threshold_for_rate(batch: float, rate_floor: float) -> float:
+    """The smallest batch time whose sample rate cannot beat ``rate_floor``.
+
+    Search heaps admit a candidate when ``fl(batch / batch_time) >
+    rate_floor``.  Because float division is inexact, pruning directly on
+    ``batch_time >= batch / rate_floor`` could discard a candidate whose
+    *rounded* rate still exceeds the floor by an ulp.  This returns a
+    threshold ``T`` with ``fl(batch / T) <= rate_floor``; division is
+    antitone in the denominator, so every ``batch_time >= T`` (and hence
+    every lower bound ``>= T``) yields a rate ``<= rate_floor`` — the heap
+    would have rejected it anyway, making pruning provably lossless.
+
+    ``rate_floor <= 0`` disables pruning (returns ``inf``).
+    """
+    if rate_floor <= 0.0:
+        return math.inf
+    t = batch / rate_floor
+    if t <= 0.0 or math.isnan(t):
+        return math.inf
+    while not math.isinf(t) and batch / t > rate_floor:
+        t = math.nextafter(t, math.inf)
+    return t

@@ -22,8 +22,12 @@ from .metrics import Counter, Histogram, MetricsRegistry
 from .progress import ProgressReporter
 from .prometheus import prometheus_name, render_prometheus
 from .stats import (
+    M_BOUND_EVALS,
+    M_BOUND_PRUNED,
     M_BUCKET_HITS,
     M_CANDIDATES,
+    M_COMM_CACHE_HITS,
+    M_COMM_CACHE_MISSES,
     M_EVALUATED_FULL,
     M_MEMORY_BUCKETS,
     M_PROFILE_GROUPS,
@@ -47,8 +51,12 @@ __all__ = [
     "STAGE_NAMES",
     "SweepStats",
     "Tracer",
+    "M_BOUND_EVALS",
+    "M_BOUND_PRUNED",
     "M_BUCKET_HITS",
     "M_CANDIDATES",
+    "M_COMM_CACHE_HITS",
+    "M_COMM_CACHE_MISSES",
     "M_EVALUATED_FULL",
     "M_MEMORY_BUCKETS",
     "M_PROFILE_GROUPS",

@@ -32,6 +32,10 @@ M_PROFILE_GROUPS = "engine.profile.groups"
 M_MEMORY_BUCKETS = "engine.memory.buckets"
 M_BUCKET_HITS = "engine.memory.bucket_hits"
 M_EVALUATED_FULL = "engine.evaluated_full"
+M_BOUND_EVALS = "engine.bound.evals"
+M_BOUND_PRUNED = "engine.bound.pruned"
+M_COMM_CACHE_HITS = "engine.comm_cache.hits"
+M_COMM_CACHE_MISSES = "engine.comm_cache.misses"
 
 
 def stage_metric(stage: str) -> str:
@@ -50,6 +54,15 @@ class PruneStats:
     per pipeline stage, at the granularity the pruned path runs them
     (validate per candidate, profile per group, memory per bucket,
     comm/assemble per survivor).
+
+    The bound-and-prune layer adds four counters: ``bound_evals`` roofline
+    lower bounds computed (one per feasible memory bucket when a
+    ``prune_above`` threshold is active), ``bound_pruned`` feasible
+    candidates skipped because their bound already exceeded the threshold
+    (they are *not* part of ``evaluated_full`` — they never ran the comm or
+    assembly stages), and ``comm_cache_hits`` / ``comm_cache_misses`` from
+    the process-global comm kernel caches
+    (:func:`repro.engine.stages.comm_cache_stats`).
     """
 
     candidates: int = 0
@@ -60,6 +73,10 @@ class PruneStats:
     memory_buckets: int = 0
     bucket_hits: int = 0
     evaluated_full: int = 0
+    bound_evals: int = 0
+    bound_pruned: int = 0
+    comm_cache_hits: int = 0
+    comm_cache_misses: int = 0
     stage_seconds: Mapping[str, float] = field(default_factory=dict)
 
     @classmethod
@@ -73,6 +90,10 @@ class PruneStats:
             memory_buckets=int(reg.value(M_MEMORY_BUCKETS)),
             bucket_hits=int(reg.value(M_BUCKET_HITS)),
             evaluated_full=int(reg.value(M_EVALUATED_FULL)),
+            bound_evals=int(reg.value(M_BOUND_EVALS)),
+            bound_pruned=int(reg.value(M_BOUND_PRUNED)),
+            comm_cache_hits=int(reg.value(M_COMM_CACHE_HITS)),
+            comm_cache_misses=int(reg.value(M_COMM_CACHE_MISSES)),
             stage_seconds=MappingProxyType(
                 {s: reg.stage_total(stage_metric(s)) for s in STAGE_NAMES}
             ),
@@ -103,6 +124,21 @@ class PruneStats:
             return 0.0
         return self.bucket_hits / self.validated
 
+    @property
+    def bound_prune_rate(self) -> float:
+        """Fraction of memory-feasible candidates skipped by bound pruning."""
+        survivors = self.evaluated_full + self.bound_pruned
+        if survivors == 0:
+            return 0.0
+        return self.bound_pruned / survivors
+
+    @property
+    def comm_cache_hit_rate(self) -> float:
+        lookups = self.comm_cache_hits + self.comm_cache_misses
+        if lookups == 0:
+            return 0.0
+        return self.comm_cache_hits / lookups
+
     def merged(self, other: "PruneStats") -> "PruneStats":
         seconds = dict(self.stage_seconds)
         for k, v in other.stage_seconds.items():
@@ -116,6 +152,10 @@ class PruneStats:
             memory_buckets=self.memory_buckets + other.memory_buckets,
             bucket_hits=self.bucket_hits + other.bucket_hits,
             evaluated_full=self.evaluated_full + other.evaluated_full,
+            bound_evals=self.bound_evals + other.bound_evals,
+            bound_pruned=self.bound_pruned + other.bound_pruned,
+            comm_cache_hits=self.comm_cache_hits + other.comm_cache_hits,
+            comm_cache_misses=self.comm_cache_misses + other.comm_cache_misses,
             stage_seconds=MappingProxyType(seconds),
         )
 
@@ -131,6 +171,18 @@ class PruneStats:
             f"memory buckets        {self.memory_buckets:,} "
             f"({self.bucket_hit_rate * 100:.1f}% hit rate)",
         ]
+        if self.bound_evals or self.bound_pruned:
+            lines.append(
+                f"bound pruned          {self.bound_pruned:,} "
+                f"({self.bound_prune_rate * 100:.1f}% of feasible, "
+                f"{self.bound_evals:,} bounds computed)"
+            )
+        if self.comm_cache_hits or self.comm_cache_misses:
+            lines.append(
+                f"comm kernel cache     {self.comm_cache_hits:,} hits / "
+                f"{self.comm_cache_misses:,} misses "
+                f"({self.comm_cache_hit_rate * 100:.1f}% hit rate)"
+            )
         total = sum(self.stage_seconds.values())
         if total > 0:
             per = "  ".join(
@@ -144,9 +196,11 @@ class PruneStats:
 class SweepStats:
     """One sweep's engine statistics plus wall-clock context.
 
-    ``num_evaluated`` / ``num_feasible`` are the *search-level* figures (a
-    result constraint can reject engine-feasible candidates, so
-    ``num_feasible <= engine.evaluated_full``).
+    ``num_evaluated`` / ``num_feasible`` are the *search-level* figures: a
+    result constraint can reject engine-feasible candidates, while bound
+    pruning counts candidates as feasible without fully evaluating them —
+    so ``num_feasible`` relates to ``engine.evaluated_full +
+    engine.bound_pruned``, not to ``evaluated_full`` alone.
 
     The fault-tolerance fields describe what the supervision layer did:
     ``retries`` counts chunk re-attempts (including serial fallback runs),

@@ -25,7 +25,12 @@ from time import perf_counter
 import numpy as np
 
 from ..core.results import PerformanceResult
-from ..engine import evaluate, iter_evaluate
+from ..engine import (
+    evaluate,
+    evaluate_many,
+    iter_evaluate,
+    prune_threshold_for_rate,
+)
 from ..execution.strategy import ExecutionStrategy, divisors, factorizations
 from ..hardware.system import System
 from ..llm.config import LLMConfig
@@ -274,7 +279,7 @@ def _chunk_trace_events(
 def _evaluate_chunk(
     args: tuple[
         LLMConfig, System, list[ExecutionStrategy], int, object, bool, int,
-        FaultInjector | None,
+        FaultInjector | None, bool, float,
     ]
 ) -> tuple[
     int,
@@ -284,7 +289,8 @@ def _evaluate_chunk(
     dict | None,
     list[dict] | None,
 ]:
-    llm, system, strategies, top_k, constraint, instrument, chunk_index, injector = args
+    (llm, system, strategies, top_k, constraint, instrument, chunk_index,
+     injector, bound_prune, seed_floor) = args
     if injector is not None:
         injector.fire(chunk_index)
     registry = MetricsRegistry() if instrument else None
@@ -294,9 +300,33 @@ def _evaluate_chunk(
     heap: list[tuple[float, int, ExecutionStrategy, PerformanceResult]] = []
     rates: list[float] = []
     feasible = 0
+    # Bound pruning: the engine skips comm/assembly for any candidate whose
+    # roofline lower bound proves its rate cannot beat the heap's current
+    # k-th best.  The ceiling is a batch-time threshold derived from the
+    # rate floor so that pruning exactly mirrors the heap's strict
+    # `rate > heap[0][0]` admission test (see prune_threshold_for_rate) —
+    # the retained top-k stays bit-identical to an unpruned run.  An
+    # optional seed floor (from search()'s cheap pre-pass) tightens the
+    # ceiling before this chunk's own heap fills.
+    prune_above = None
+    floor_rate = seed_floor
+    if bound_prune and strategies and top_k > 0:
+        batch = float(strategies[0].batch)
+        ceiling = [prune_threshold_for_rate(batch, floor_rate)]
+
+        def prune_above() -> float:
+            return ceiling[0]
+
     for idx, res in iter_evaluate(
-        llm, system, strategies, prune=True, metrics=registry
+        llm, system, strategies, prune=True, prune_above=prune_above,
+        metrics=registry,
     ):
+        if res.pruned:
+            # Memory-feasible, provably outside the top-k; counts toward
+            # feasibility (the comm/assemble stages never reject) but has
+            # no rate to record.
+            feasible += 1
+            continue
         if not res.feasible:
             continue
         if constraint is not None and not constraint(res):
@@ -309,6 +339,13 @@ def _evaluate_chunk(
             heapq.heappush(heap, entry)
         elif rate > heap[0][0]:
             heapq.heapreplace(heap, entry)
+        else:
+            continue
+        if prune_above is not None and len(heap) == top_k:
+            kth = heap[0][0]
+            if kth > floor_rate:
+                floor_rate = kth
+                ceiling[0] = prune_threshold_for_rate(batch, floor_rate)
     ranked = sorted(heap, key=lambda entry: (-entry[0], entry[1]))
     top = [(strat, res) for _, _, strat, res in ranked]
     snapshot = events = None
@@ -367,6 +404,8 @@ def search(
     workers: int | None = None,
     keep_rates: bool = True,
     constraint=None,
+    bound_prune: bool = True,
+    prune_seed: int = 0,
     tracer: Tracer | None = None,
     collect_stats: bool = False,
     progress: ProgressReporter | None = None,
@@ -389,6 +428,22 @@ def search(
         constraint: optional predicate on feasible results — return False to
             reject a configuration (e.g. a memory or MFU floor).  Must be a
             picklable (module-level) callable when ``workers > 1``.
+        bound_prune: let the engine skip the comm/timing stages for
+            candidates whose roofline lower bound proves they cannot enter
+            the top-k (see :mod:`repro.engine.bounds`).  The retained top-k
+            is bit-identical to an unpruned run.  Only engages when the
+            search needs nothing but the top-k — ``keep_rates=False``, no
+            ``constraint`` — because pruned candidates carry no sample rate
+            for histograms and no breakdown for a predicate to inspect.
+            ``num_feasible`` still counts pruned candidates (the comm and
+            assembly stages never reject).
+        prune_seed: evaluate this many evenly-strided candidates serially
+            first and seed every chunk's prune threshold with the k-th best
+            rate found, so pruning bites before each chunk's own heap
+            fills.  0 (the default) disables seeding, which keeps the
+            result fully bit-identical; with seeding, the top-k *rates* are
+            unchanged but when several candidates tie exactly at the k-th
+            rate a different member of the tie may be retained.
         tracer: records enumeration/chunk/stage spans (worker events merge
             onto the parent timeline; CLOCK_MONOTONIC is machine-wide).
         collect_stats: attach a :class:`~repro.obs.SweepStats` (per-stage
@@ -429,6 +484,22 @@ def search(
         progress.set_total(len(strategies))
     if workers is None:
         workers = auto_workers(len(strategies))
+    # Bound pruning engages only when the caller needs nothing beyond the
+    # top-k ranking (see the docstring); the flag rides into every chunk.
+    do_prune = bool(
+        bound_prune and constraint is None and not keep_rates and top_k > 0
+    )
+    seed_floor = 0.0
+    if do_prune and prune_seed > 0 and len(strategies) > 0:
+        stride = max(1, len(strategies) // prune_seed)
+        sample = strategies[::stride][:prune_seed]
+        sample_rates = sorted(
+            (r.sample_rate for r in evaluate_many(llm, system, sample)
+             if r.feasible),
+            reverse=True,
+        )
+        if len(sample_rates) >= top_k:
+            seed_floor = sample_rates[top_k - 1]
     fault_mode = (
         checkpoint is not None
         or deadline is not None
@@ -454,6 +525,10 @@ def search(
                 "keep_rates": keep_rates,
                 "constraint": getattr(constraint, "__qualname__", str(constraint))
                 if constraint is not None else None,
+                # prune_seed can change which member of an exact rate tie is
+                # retained, so a seeded journal never mixes with an unseeded
+                # resume; seedless pruning is bit-identical and needs no key.
+                "prune_seed": int(prune_seed) if do_prune else 0,
             },
         )
         journal = CheckpointJournal.open(
@@ -474,7 +549,8 @@ def search(
     )
 
     args = [
-        (llm, system, c, top_k, constraint, instrument, n, fault_injector)
+        (llm, system, c, top_k, constraint, instrument, n, fault_injector,
+         do_prune, seed_floor)
         for n, c in enumerate(chunks)
     ]
     truncated = False

@@ -17,7 +17,7 @@ import os
 from dataclasses import dataclass
 
 from ..core.results import PerformanceResult
-from ..engine import evaluate, evaluate_many
+from ..engine import evaluate, evaluate_many, prune_threshold_for_rate
 from ..execution.strategy import ExecutionStrategy
 from ..hardware.system import System
 from ..llm.config import LLMConfig
@@ -105,6 +105,7 @@ def hill_climb(
     seed: ExecutionStrategy,
     *,
     max_steps: int = 100,
+    bound_prune: bool = True,
     tracer: Tracer | None = None,
     metrics: MetricsRegistry | None = None,
 ) -> RefineResult | None:
@@ -112,6 +113,12 @@ def hill_climb(
 
     Returns ``None`` when the seed itself is infeasible and no neighbour is
     feasible either.
+
+    ``bound_prune`` lets each neighbourhood evaluation skip the comm/timing
+    stages for moves whose roofline lower bound proves they cannot beat the
+    current rate — the climb's trajectory and answer are unchanged because
+    the admission test (strictly better than current) would reject those
+    moves anyway.
 
     ``tracer`` wraps the climb in a ``hill_climb`` span with one
     ``refine.step`` child per accepted move; ``metrics`` accumulates the
@@ -129,7 +136,8 @@ def hill_climb(
         climb_span.__enter__()
     try:
         result = _hill_climb_inner(
-            llm, system, seed, max_steps=max_steps, tracer=tracer, metrics=metrics
+            llm, system, seed, max_steps=max_steps, bound_prune=bound_prune,
+            tracer=tracer, metrics=metrics,
         )
     finally:
         if climb_span is not None:
@@ -143,6 +151,7 @@ def _hill_climb_inner(
     seed: ExecutionStrategy,
     *,
     max_steps: int,
+    bound_prune: bool,
     tracer: Tracer | None,
     metrics: MetricsRegistry | None,
 ) -> RefineResult | None:
@@ -168,6 +177,18 @@ def _hill_climb_inner(
         # profiles heavily (only t/m/recompute moves change the profile) and
         # memory-infeasible moves are pruned before any timing work.
         moves = neighbours(current_strategy)
+        # A move is only accepted when strictly better than the current
+        # rate, so a prune threshold at exactly that rate is lossless:
+        # bound-pruned moves (rate provably <= current) come back with
+        # sample_rate 0.0 and fail the admission test like any non-improving
+        # neighbour would.
+        prune_above = (
+            prune_threshold_for_rate(
+                float(current_strategy.batch), current.sample_rate
+            )
+            if bound_prune and current.sample_rate > 0.0
+            else None
+        )
         span = (
             tracer.span("refine.step", cat="refine", moves=len(moves))
             if tracer is not None
@@ -176,7 +197,11 @@ def _hill_climb_inner(
         with span:
             best_move: tuple[ExecutionStrategy, PerformanceResult] | None = None
             for cand, res in zip(
-                moves, evaluate_many(llm, system, moves, prune=True, metrics=metrics)
+                moves,
+                evaluate_many(
+                    llm, system, moves, prune=True, prune_above=prune_above,
+                    metrics=metrics,
+                ),
             ):
                 evaluations += 1
                 if res.feasible and res.sample_rate > current.sample_rate and (
@@ -209,12 +234,16 @@ def multi_start(
     seeds: list[ExecutionStrategy],
     *,
     max_steps: int = 100,
+    bound_prune: bool = True,
     tracer: Tracer | None = None,
     metrics: MetricsRegistry | None = None,
     checkpoint: str | os.PathLike | None = None,
     resume: bool = False,
 ) -> RefineResult | None:
     """Hill climb from several seeds, returning the overall best.
+
+    ``bound_prune`` is forwarded to every :func:`hill_climb` (see there;
+    the refined answer is unchanged either way).
 
     ``checkpoint`` journals each finished climb so an interrupted
     multi-start can ``resume`` and skip completed seeds; a restored climb's
@@ -246,8 +275,8 @@ def multi_start(
             res = _climb_from_payload(llm, system, journal.get(record_id))
         else:
             res = hill_climb(
-                llm, system, seed, max_steps=max_steps, tracer=tracer,
-                metrics=metrics,
+                llm, system, seed, max_steps=max_steps,
+                bound_prune=bound_prune, tracer=tracer, metrics=metrics,
             )
             if journal is not None:
                 journal.record(record_id, _climb_payload(res))

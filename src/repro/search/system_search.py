@@ -92,6 +92,7 @@ def best_at_size(
     options: SearchOptions | None = None,
     *,
     workers: int | None = None,
+    bound_prune: bool = True,
     tracer: Tracer | None = None,
     collect_stats: bool = False,
 ) -> ScalingPoint:
@@ -100,13 +101,17 @@ def best_at_size(
     ``workers`` is forwarded to :func:`repro.search.search`; the default
     ``None`` applies its :func:`~repro.search.auto_workers` heuristic, so
     large per-size spaces parallelize while small ones stay serial.
-    ``tracer`` and ``collect_stats`` instrument the inner search; the
-    point's :class:`~repro.obs.SweepStats` lands on ``ScalingPoint.stats``.
+    ``bound_prune`` is forwarded too, and bites hard here: the inner search
+    keeps only the single best configuration (``top_k=1``, no rate
+    histogram), the exact regime where roofline bound pruning skips the
+    comm/timing stages for almost the whole feasible space.  ``tracer`` and
+    ``collect_stats`` instrument the inner search; the point's
+    :class:`~repro.obs.SweepStats` lands on ``ScalingPoint.stats``.
     """
     system = system_factory(num_procs)
     result = search(
         llm, system, batch, options, workers=workers, keep_rates=False, top_k=1,
-        tracer=tracer, collect_stats=collect_stats,
+        bound_prune=bound_prune, tracer=tracer, collect_stats=collect_stats,
     )
     if result.best is None:
         return ScalingPoint(
@@ -137,6 +142,7 @@ def scaling_sweep(
     options: SearchOptions | None = None,
     *,
     workers: int | None = None,
+    bound_prune: bool = True,
     tracer: Tracer | None = None,
     collect_stats: bool = False,
     progress: ProgressReporter | None = None,
@@ -148,7 +154,9 @@ def scaling_sweep(
 
     ``workers`` is honored by every inner per-size search (``None`` =
     auto-select, 0/1 = serial, N = process count), so a Fig. 7 sweep over
-    thousands of processors can use the whole machine.
+    thousands of processors can use the whole machine.  ``bound_prune``
+    reaches every inner search (see :func:`best_at_size`; the curve is
+    identical either way).
 
     With a ``tracer``, each per-size search is wrapped in a ``size=N`` span
     (chunk and stage spans of the inner searches nest beneath it);
@@ -196,11 +204,12 @@ def scaling_sweep(
         if span is not None:
             with span(f"size={n}", cat="sweep.size"):
                 point = best_at_size(llm, system_factory, n, batch, options,
-                                     workers=workers, tracer=tracer,
-                                     collect_stats=collect_stats)
+                                     workers=workers, bound_prune=bound_prune,
+                                     tracer=tracer, collect_stats=collect_stats)
         else:
             point = best_at_size(llm, system_factory, n, batch, options,
-                                 workers=workers, collect_stats=collect_stats)
+                                 workers=workers, bound_prune=bound_prune,
+                                 collect_stats=collect_stats)
         points.append(point)
         if journal is not None:
             journal.record(record_id, _point_payload(point))

@@ -27,7 +27,13 @@ from ..engine import evaluate_many
 from ..execution.strategy import ExecutionStrategy
 from ..hardware.system import System
 from ..llm.config import LLMConfig
-from ..obs import MetricsRegistry
+from ..obs import (
+    M_BOUND_EVALS,
+    M_BOUND_PRUNED,
+    M_COMM_CACHE_HITS,
+    M_COMM_CACHE_MISSES,
+    MetricsRegistry,
+)
 
 logger = logging.getLogger(__name__)
 
@@ -76,6 +82,15 @@ class MicroBatcher:
         self.window = window
         self.max_batch = max_batch
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        # Pre-register the engine's bound/comm-cache counters so /metrics
+        # exposes them from the first scrape.  The service never passes a
+        # prune_above threshold (every request needs its real result), so
+        # engine_bound_pruned stays 0 here; the comm-cache counters
+        # accumulate real hit/miss deltas from every batched dispatch.
+        for name in (
+            M_BOUND_EVALS, M_BOUND_PRUNED, M_COMM_CACHE_HITS, M_COMM_CACHE_MISSES,
+        ):
+            self.metrics.inc(name, 0.0)
         self._engine = engine if engine is not None else evaluate_many
         self._queue: "queue.Queue[EvalJob]" = queue.Queue()
         self._pending = 0

@@ -398,6 +398,16 @@ def test_http_end_to_end(http_server):
     assert client.metric_value("service_cache_hit_memory") >= 2.0
     assert client.metric_value("service_dispatch_engine_calls") >= 1.0
 
+    # The engine's bound/comm-cache counters are pre-registered by the
+    # MicroBatcher: the service never bound-prunes (every request needs its
+    # real result), while the comm kernel caches see real traffic.
+    assert "# TYPE engine_bound_pruned counter" in text
+    assert client.metric_value("engine_bound_pruned") == 0.0
+    assert (
+        client.metric_value("engine_comm_cache_hits")
+        + client.metric_value("engine_comm_cache_misses")
+    ) >= 1.0
+
 
 def test_http_error_mapping(http_server):
     client = ServiceClient(f"http://127.0.0.1:{http_server.port}")
