@@ -16,9 +16,30 @@ from typing import Sequence
 from repro.core import calculate
 from repro.core.results import PerformanceResult
 from repro.execution import ExecutionStrategy
-from repro.hardware import System
-from repro.llm import LLMConfig
-from repro.search import SearchOptions
+from repro.hardware import System, a100_system
+from repro.llm import GPT3_175B, LLMConfig
+from repro.search import SearchOptions, candidate_strategies
+
+# The engine-benchmark problem (docs/PERFORMANCE.md): the paper's GPT-3 175B
+# / 4,096-GPU / batch-4096 study, whose full Table-1 space is ~100k
+# candidates.  Shared by the pruning, bound and columnar benchmarks so they
+# all measure the same sweep.
+NPROCS = 4096
+BATCH = 4096
+
+
+def gpt3_sweep_problem() -> tuple[LLMConfig, System, int]:
+    """The shared benchmark problem: (GPT-3 175B, a100:4096, batch 4096)."""
+    return GPT3_175B, a100_system(NPROCS), BATCH
+
+
+def gpt3_sweep_space() -> tuple[LLMConfig, System, int, list[ExecutionStrategy]]:
+    """The benchmark problem plus its full Table-1 candidate list."""
+    llm, system, batch = gpt3_sweep_problem()
+    strategies = list(
+        candidate_strategies(llm, system, batch, SearchOptions())
+    )
+    return llm, system, batch, strategies
 
 
 def best_over(

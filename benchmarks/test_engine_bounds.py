@@ -10,8 +10,11 @@ retained result.  The measured numbers are written to ``BENCH_engine.json``
 Both phases run serially (``workers=0``) and uninstrumented so the sweep is
 a single chunk — the regime where one shared best-so-far threshold covers
 the whole space and the measured ratio is the algorithm's, not the
-dispatcher's.  A third, instrumented pruned run reads the ``PruneStats``
-counters the comparison rests on.
+dispatcher's.  Every search pins ``columnar=False``: this bench measures the
+*scalar* bound-and-prune algorithm (the vectorized columnar path, which
+makes pruning moot, is measured by ``test_engine_columnar.py`` against the
+pruned scalar time recorded here).  A third, instrumented pruned run reads
+the ``PruneStats`` counters the comparison rests on.
 """
 
 import gc
@@ -21,20 +24,16 @@ from pathlib import Path
 
 from repro.engine import clear_caches
 from repro.fsutil import atomic_write_text
-from repro.hardware import a100_system
-from repro.llm import GPT3_175B
 from repro.search import search
 
-from _helpers import banner
+from _helpers import banner, gpt3_sweep_problem
 
-NPROCS = 4096
-BATCH = 4096
 TOP_K = 10
 ROUNDS = 2  # best-of-N damps scheduler noise on shared CI runners
 
 
 def _timed_search(bound_prune: bool):
-    system = a100_system(NPROCS)
+    llm, system, batch = gpt3_sweep_problem()
     best_t = None
     result = None
     for _ in range(ROUNDS):
@@ -42,8 +41,8 @@ def _timed_search(bound_prune: bool):
         gc.collect()
         t0 = time.perf_counter()
         result = search(
-            GPT3_175B, system, BATCH, top_k=TOP_K, workers=0,
-            keep_rates=False, bound_prune=bound_prune,
+            llm, system, batch, top_k=TOP_K, workers=0,
+            keep_rates=False, bound_prune=bound_prune, columnar=False,
         )
         dt = time.perf_counter() - t0
         best_t = dt if best_t is None else min(best_t, dt)
@@ -58,9 +57,11 @@ def _run():
     # stats chunks the sweep differently, so it is kept out of the timing).
     clear_caches()
     gc.collect()
+    llm, system, batch = gpt3_sweep_problem()
     counted = search(
-        GPT3_175B, a100_system(NPROCS), BATCH, top_k=TOP_K, workers=0,
-        keep_rates=False, bound_prune=True, collect_stats=True,
+        llm, system, batch, top_k=TOP_K, workers=0,
+        keep_rates=False, bound_prune=True, columnar=False,
+        collect_stats=True,
     )
     return t_base, base, t_pruned, pruned, counted
 

@@ -16,37 +16,30 @@ import time
 
 from repro.core import calculate
 from repro.engine import clear_caches, evaluate_many
-from repro.hardware import a100_system
-from repro.llm import GPT3_175B
-from repro.search import SearchOptions, candidate_strategies
 
-from _helpers import banner
-
-NPROCS = 4096
-BATCH = 4096
+from _helpers import banner, gpt3_sweep_space
 
 
 def _run():
-    system = a100_system(NPROCS)
-    strategies = list(
-        candidate_strategies(GPT3_175B, system, BATCH, SearchOptions())
-    )
+    llm, system, _batch, strategies = gpt3_sweep_space()
 
     # Retaining ~100k results while the other path runs would distort the
     # timing with garbage-collector pressure: keep only the feasibility bits
-    # and let each phase's results die young.
+    # and let each phase's results die young.  ``columnar=False`` keeps this
+    # a measurement of the *scalar* batched path — the columnar engine has
+    # its own benchmark (test_engine_columnar.py).
     clear_caches()
     gc.collect()
     t0 = time.perf_counter()
     naive_feasible = [
-        calculate(GPT3_175B, system, s).feasible for s in strategies
+        calculate(llm, system, s).feasible for s in strategies
     ]
     t_naive = time.perf_counter() - t0
 
     clear_caches()
     gc.collect()
     t0 = time.perf_counter()
-    batched = evaluate_many(GPT3_175B, system, strategies, prune=True)
+    batched = evaluate_many(llm, system, strategies, prune=True, columnar=False)
     t_batched = time.perf_counter() - t0
     batched_feasible = [r.feasible for r in batched]
     del batched
@@ -57,7 +50,7 @@ def _run():
     gc.collect()
     t0 = time.perf_counter()
     counted, stats = evaluate_many(
-        GPT3_175B, system, strategies, prune=True, stats=True
+        llm, system, strategies, prune=True, stats=True, columnar=False,
     )
     t_stats = time.perf_counter() - t0
     del counted

@@ -91,6 +91,19 @@ def _add_prune_flag(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_columnar_flag(parser: argparse.ArgumentParser) -> None:
+    """The columnar-engine escape hatch shared by the batched commands."""
+    parser.add_argument(
+        "--no-columnar", action="store_true",
+        help="force the scalar engine instead of the vectorized columnar "
+        "batch path (same answer, slower; see docs/PERFORMANCE.md)",
+    )
+
+
+def _columnar_arg(args: argparse.Namespace) -> bool | None:
+    return False if getattr(args, "no_columnar", False) else None
+
+
 def _add_fault_flags(parser: argparse.ArgumentParser) -> None:
     """The fault-tolerance flags shared by the long-running sweeps."""
     parser.add_argument(
@@ -238,6 +251,7 @@ def _cmd_search(args: argparse.Namespace) -> int:
     result = search(
         llm, system, args.batch, opts, top_k=args.top, workers=args.workers,
         keep_rates=False, bound_prune=not args.no_prune,
+        columnar=_columnar_arg(args),
         tracer=tracer, collect_stats=args.stats, progress=progress,
         **_fault_kwargs(args),
     )
@@ -291,6 +305,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     curve = scaling_sweep(
         llm, factory, sizes, args.batch, opts, workers=args.workers,
         bound_prune=not args.no_prune,
+        columnar=_columnar_arg(args),
         tracer=tracer, collect_stats=args.stats, progress=progress,
         **fault,
     )
@@ -561,6 +576,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         batch_window=args.batch_window,
         max_batch=args.max_batch,
         request_timeout=args.request_timeout,
+        columnar=_columnar_arg(args),
     )
     host, port = server.server_address[0], server.port
     sys.stderr.write(
@@ -660,6 +676,7 @@ def main(argv: list[str] | None = None) -> int:
     srv.add_argument("--max-batch", type=int, default=64,
                      help="max evaluations per micro-batch (default 64)")
     srv.add_argument("--request-timeout", type=float, default=60.0, metavar="SECONDS")
+    _add_columnar_flag(srv)
     srv.set_defaults(func=_cmd_serve)
 
     qry = sub.add_parser(
@@ -684,6 +701,7 @@ def main(argv: list[str] | None = None) -> int:
     srch.add_argument("--top", type=int, default=10)
     srch.add_argument("--workers", type=int, default=None)
     _add_prune_flag(srch)
+    _add_columnar_flag(srch)
     _add_obs_flags(srch)
     _add_fault_flags(srch)
     srch.set_defaults(func=_cmd_search)
@@ -698,6 +716,7 @@ def main(argv: list[str] | None = None) -> int:
     swp.add_argument("--workers", type=int, default=None,
                      help="processes per inner search (default: auto)")
     _add_prune_flag(swp)
+    _add_columnar_flag(swp)
     _add_obs_flags(swp)
     _add_fault_flags(swp)
     swp.set_defaults(func=_cmd_sweep)

@@ -15,6 +15,12 @@ roofline lower bound on batch time computed from fast-path artifacts alone;
 searches pass a ``prune_above`` threshold to :func:`evaluate_many` /
 :func:`iter_evaluate` to skip the comm/assembly stages for candidates that
 provably cannot enter the current top-k.
+
+The columnar engine (:mod:`repro.engine.batch`) vectorizes the batched path
+over NumPy struct-of-arrays; ``evaluate_many``/``iter_evaluate`` route large
+batches through it by default (``columnar=False`` opts out), with results
+bit-identical to the scalar oracle.  ``COLUMNAR_AVAILABLE`` reports whether
+the installed NumPy clears the module's version floor.
 """
 
 from .api import (
@@ -27,7 +33,12 @@ from .api import (
     evaluate_many,
     iter_evaluate,
 )
-from .bounds import PrunedResult, prune_threshold_for_rate, roofline_lower_bound
+from .bounds import (
+    PrunedResult,
+    batch_lower_bounds,
+    prune_threshold_for_rate,
+    roofline_lower_bound,
+)
 from .context import CommExposure, EvalContext, FeasibilityReport, MemoryPlan
 from .profile import BlockProfile, profile_block, profile_key
 from .profile import clear_caches as _clear_profile_caches
@@ -44,6 +55,16 @@ from .stages import (
     stage_validate,
 )
 
+# The columnar engine needs NumPy >= 1.24; keep the engine importable (with
+# the scalar pipeline) on older installs and let callers introspect.
+try:
+    from .batch import EvalBatch  # noqa: F401
+
+    COLUMNAR_AVAILABLE = True
+except ImportError:  # pragma: no cover - exercised via monkeypatched floor
+    EvalBatch = None  # type: ignore[assignment, misc]
+    COLUMNAR_AVAILABLE = False
+
 
 def clear_caches() -> None:
     """Drop every process-global engine cache.
@@ -57,8 +78,10 @@ def clear_caches() -> None:
 
 __all__ = [
     "BlockProfile",
+    "COLUMNAR_AVAILABLE",
     "CommExposure",
     "ENGINE_VERSION",
+    "EvalBatch",
     "EvalContext",
     "FAST_PATH",
     "FeasibilityReport",
@@ -66,6 +89,7 @@ __all__ = [
     "PIPELINE",
     "PrunedResult",
     "STAGE_SHORT_NAMES",
+    "batch_lower_bounds",
     "check_feasible",
     "clear_caches",
     "clear_comm_caches",

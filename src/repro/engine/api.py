@@ -32,6 +32,7 @@ from ..obs.stats import (
     M_BOUND_PRUNED,
     M_BUCKET_HITS,
     M_CANDIDATES,
+    M_COLUMNAR_FALLBACK,
     M_COMM_CACHE_HITS,
     M_COMM_CACHE_MISSES,
     M_EVALUATED_FULL,
@@ -83,6 +84,40 @@ _M_PROFILE = stage_metric("profile")
 _M_MEMORY = stage_metric("memory")
 _M_COMM = stage_metric("comm")
 _M_ASSEMBLE = stage_metric("assemble")
+
+# Below this many candidates the columnar path's array-construction overhead
+# outweighs the vectorization win; ``columnar=None`` auto-routes around it.
+_COLUMNAR_MIN_BATCH = 32
+
+
+def _load_batch():
+    """Import the columnar engine module (a seam for fallback tests)."""
+    from . import batch
+
+    return batch
+
+
+def _resolve_columnar(
+    columnar: bool | None, n: int, mx: MetricsRegistry | None
+):
+    """Decide the evaluation path: the batch module, or ``None`` for scalar.
+
+    ``columnar=False`` always picks scalar; ``None`` auto-routes (columnar
+    for batches of at least ``_COLUMNAR_MIN_BATCH`` candidates); ``True``
+    insists.  An unimportable batch module (NumPy below the floor) falls
+    back to scalar and counts one ``engine.columnar.fallback``.
+    """
+    if columnar is False:
+        return None
+    if columnar is None and n < _COLUMNAR_MIN_BATCH:
+        return None
+    try:
+        return _load_batch()
+    except ImportError as err:
+        logger.debug("columnar engine unavailable; using scalar path: %s", err)
+        if mx is not None:
+            mx.inc(M_COLUMNAR_FALLBACK)
+        return None
 
 
 def evaluate(
@@ -186,6 +221,7 @@ def iter_evaluate(
     prune: bool = True,
     prune_above: float | Callable[[], float] | None = None,
     metrics: MetricsRegistry | None = None,
+    columnar: bool | None = None,
 ) -> Iterator[tuple[int, PerformanceResult]]:
     """Evaluate a candidate list, yielding ``(index, result)`` pairs.
 
@@ -217,6 +253,17 @@ def iter_evaluate(
     observed at the granularity the pruned path runs the work: validate per
     candidate, profile per group, memory plan per bucket, comm/assembly per
     survivor.  ``metrics=None`` (the default) costs only untaken branches.
+
+    ``columnar`` selects the struct-of-arrays engine
+    (:mod:`repro.engine.batch`) for the pruned path: ``None`` (default)
+    auto-routes — columnar for batches of 32+ candidates, scalar below —
+    ``True`` insists, ``False`` forces the scalar pipeline.  Outputs,
+    stream order, and counters are bit-identical either way (the property
+    suite enforces it); the one semantic difference is that a *callable*
+    ``prune_above`` is read once per batch instead of per candidate, so a
+    dynamically tightening threshold prunes no more than the scalar path
+    would.  Per-stage time histograms are observed once per batch stage
+    rather than per unit of work.
     """
     mx = metrics
     if not prune:
@@ -224,15 +271,38 @@ def iter_evaluate(
         for i, strategy in enumerate(strategies):
             yield i, evaluate(llm, system, strategy, metrics=mx)
         return
+    batch_mod = _resolve_columnar(columnar, len(strategies), mx)
     if mx is not None:
         cc0 = comm_cache_stats()
     try:
-        yield from _iter_evaluate_pruned(llm, system, strategies, prune_above, mx)
+        if batch_mod is not None:
+            yield from _iter_evaluate_columnar(
+                llm, system, strategies, prune_above, mx, batch_mod
+            )
+        else:
+            yield from _iter_evaluate_pruned(llm, system, strategies, prune_above, mx)
     finally:
         if mx is not None:
             cc1 = comm_cache_stats()
             mx.inc(M_COMM_CACHE_HITS, cc1[0] - cc0[0])
             mx.inc(M_COMM_CACHE_MISSES, cc1[1] - cc0[1])
+
+
+def _iter_evaluate_columnar(
+    llm: LLMConfig,
+    system: System,
+    strategies: Sequence[ExecutionStrategy],
+    prune_above: float | Callable[[], float] | None,
+    mx: MetricsRegistry | None,
+    batch_mod,
+) -> Iterator[tuple[int, PerformanceResult]]:
+    # A callable threshold is resolved once for the whole batch: the batch
+    # stages run before any result streams out, so mid-batch tightening could
+    # never observe new information anyway.
+    threshold = prune_above() if callable(prune_above) else prune_above
+    eb = batch_mod.EvalBatch.from_strategies(llm, system, strategies)
+    batch_mod.run_batch(eb, prune_above=threshold, metrics=mx)
+    yield from batch_mod.iter_results(eb)
 
 
 def _iter_evaluate_pruned(
@@ -370,6 +440,7 @@ def evaluate_many(
     prune_above: float | Callable[[], float] | None = None,
     metrics: MetricsRegistry | None = None,
     stats: bool = False,
+    columnar: bool | None = None,
 ) -> list[PerformanceResult] | tuple[list[PerformanceResult], PruneStats]:
     """Evaluate many candidates; results align with the input order.
 
@@ -394,6 +465,11 @@ def evaluate_many(
     a shared rejection.  ``metrics`` accumulates into a caller-owned
     registry (e.g. one shared across a hill-climb); pass both to get the
     stats of this call while also feeding the larger aggregate.
+
+    ``columnar`` selects the struct-of-arrays batch engine for the pruned
+    path (see :func:`iter_evaluate`): ``None`` auto-routes by batch size,
+    ``False`` forces the scalar pipeline, ``True`` insists on columnar.
+    Results are bit-identical either way.
     """
     strategies = list(strategies)
     # With stats requested, accumulate into a fresh registry so the returned
@@ -401,7 +477,8 @@ def evaluate_many(
     reg = MetricsRegistry() if stats else metrics
     results: list[PerformanceResult | None] = [None] * len(strategies)
     for i, result in iter_evaluate(
-        llm, system, strategies, prune=prune, prune_above=prune_above, metrics=reg
+        llm, system, strategies, prune=prune, prune_above=prune_above, metrics=reg,
+        columnar=columnar,
     ):
         results[i] = result
     if stats:

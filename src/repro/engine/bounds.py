@@ -30,10 +30,15 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import ClassVar
+from typing import TYPE_CHECKING, ClassVar
+
+import numpy as np
 
 from .context import EvalContext
 from .stages import optim_step_time
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .batch import EvalBatch
 
 
 @dataclass(frozen=True)
@@ -106,6 +111,51 @@ def roofline_lower_bound(ctx: EvalContext) -> float:
             else 0.0
         )
         lb = lb + (p - 1) * ((t_f + t_b) / v)
+    return lb
+
+
+def batch_lower_bounds(eb: "EvalBatch") -> np.ndarray:
+    """Per-memory-bucket :func:`roofline_lower_bound`, vectorized.
+
+    Returns one float64 lower bound per bucket of a columnar
+    :class:`~repro.engine.batch.EvalBatch` that has completed
+    ``batch_memory``.  Every term mirrors the scalar bound's expression
+    structure and summation order, so feasible buckets get bit-identical
+    bounds; entries of capacity-rejected buckets are meaningless (the
+    caller masks them out) and their optimizer-step kernel is *not*
+    invoked, matching the scalar path's per-feasible-bucket call set —
+    :func:`optim_step_time` stays a scalar (cached) call per feasible
+    training bucket, so comm-cache hit/miss accounting is unchanged.
+    """
+    b = eb.b
+
+    def gp(field: str) -> np.ndarray:
+        return eb.gprof[field][b["group"]]
+
+    Mb = b["M"] * b["bp"]
+    tr = b["training"] != 0
+    fw = gp("fw_time")
+    bw = gp("bw_time")
+    rc = gp("recompute_time")
+    lb = Mb * fw
+    lb = lb + np.where(tr, Mb * bw, 0.0)
+    lb = lb + np.where(tr, Mb * rc, 0.0)
+    opt_t = np.zeros(eb.n_buckets, dtype=np.float64)
+    wg = eb.gprof["weight_grad_bytes"]
+    w = eb.gprof["weight_bytes"]
+    for bkt in np.flatnonzero(b["ok"] & tr):
+        bkt = int(bkt)
+        g = int(b["group"][bkt])
+        opt_bytes = float(b["opt_bytes"][bkt])
+        traffic = 2.0 * opt_bytes + int(b["bp"][bkt]) * (
+            float(wg[g]) + float(w[g])
+        ) / int(b["opt_shard"][bkt])
+        use_mem2 = bool(b["o_off"][bkt]) and eb.system.mem2 is not None
+        opt_t[bkt] = optim_step_time(eb.system, opt_bytes, traffic, use_mem2)
+    lb = lb + opt_t
+    t_f = b["bp"] * fw
+    t_b = np.where(tr, b["bp"] * (bw + rc), 0.0)
+    lb = lb + np.where(b["p"] > 1, (b["p"] - 1) * ((t_f + t_b) / b["v"]), 0.0)
     return lb
 
 

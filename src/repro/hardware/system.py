@@ -50,6 +50,22 @@ class System:
                 f"does not span the system ({self.num_procs} processors)"
             )
 
+    def __hash__(self) -> int:
+        # The engine's memoized comm kernels key their lru_caches on the
+        # whole system, so this is hashed on every kernel call; the
+        # dataclass-generated hash re-walks the nested processor / memory /
+        # network dataclasses each time, which shows up at vectorized-sweep
+        # scale.  The instance is frozen, so compute the field-tuple hash
+        # once and cache it (equal systems still hash equal).
+        h = self.__dict__.get("_hash")
+        if h is None:
+            h = hash((
+                self.name, self.num_procs, self.processor, self.mem1,
+                self.networks, self.mem2,
+            ))
+            object.__setattr__(self, "_hash", h)
+        return h
+
     def network_for_span(self, span: int) -> Network:
         """The innermost network whose domain covers a group of ``span``."""
         if span < 1:

@@ -26,6 +26,9 @@ from .stats import (
     M_BOUND_PRUNED,
     M_BUCKET_HITS,
     M_CANDIDATES,
+    M_COLUMNAR_BATCHES,
+    M_COLUMNAR_CANDIDATES,
+    M_COLUMNAR_FALLBACK,
     M_COMM_CACHE_HITS,
     M_COMM_CACHE_MISSES,
     M_EVALUATED_FULL,
@@ -55,6 +58,9 @@ __all__ = [
     "M_BOUND_PRUNED",
     "M_BUCKET_HITS",
     "M_CANDIDATES",
+    "M_COLUMNAR_BATCHES",
+    "M_COLUMNAR_CANDIDATES",
+    "M_COLUMNAR_FALLBACK",
     "M_COMM_CACHE_HITS",
     "M_COMM_CACHE_MISSES",
     "M_EVALUATED_FULL",

@@ -36,6 +36,9 @@ M_BOUND_EVALS = "engine.bound.evals"
 M_BOUND_PRUNED = "engine.bound.pruned"
 M_COMM_CACHE_HITS = "engine.comm_cache.hits"
 M_COMM_CACHE_MISSES = "engine.comm_cache.misses"
+M_COLUMNAR_BATCHES = "engine.columnar.batches"
+M_COLUMNAR_CANDIDATES = "engine.columnar.candidates"
+M_COLUMNAR_FALLBACK = "engine.columnar.fallback"
 
 
 def stage_metric(stage: str) -> str:
@@ -63,6 +66,12 @@ class PruneStats:
     assembly stages), and ``comm_cache_hits`` / ``comm_cache_misses`` from
     the process-global comm kernel caches
     (:func:`repro.engine.stages.comm_cache_stats`).
+
+    The columnar engine adds three more: ``columnar_batches`` struct-of-
+    arrays batches executed, ``columnar_candidates`` candidates those
+    batches covered (the remaining ``candidates`` went through the scalar
+    path), and ``columnar_fallback`` requests that asked for the columnar
+    path but fell back to scalar (NumPy too old / import failure).
     """
 
     candidates: int = 0
@@ -77,6 +86,9 @@ class PruneStats:
     bound_pruned: int = 0
     comm_cache_hits: int = 0
     comm_cache_misses: int = 0
+    columnar_batches: int = 0
+    columnar_candidates: int = 0
+    columnar_fallback: int = 0
     stage_seconds: Mapping[str, float] = field(default_factory=dict)
 
     @classmethod
@@ -94,6 +106,9 @@ class PruneStats:
             bound_pruned=int(reg.value(M_BOUND_PRUNED)),
             comm_cache_hits=int(reg.value(M_COMM_CACHE_HITS)),
             comm_cache_misses=int(reg.value(M_COMM_CACHE_MISSES)),
+            columnar_batches=int(reg.value(M_COLUMNAR_BATCHES)),
+            columnar_candidates=int(reg.value(M_COLUMNAR_CANDIDATES)),
+            columnar_fallback=int(reg.value(M_COLUMNAR_FALLBACK)),
             stage_seconds=MappingProxyType(
                 {s: reg.stage_total(stage_metric(s)) for s in STAGE_NAMES}
             ),
@@ -156,6 +171,9 @@ class PruneStats:
             bound_pruned=self.bound_pruned + other.bound_pruned,
             comm_cache_hits=self.comm_cache_hits + other.comm_cache_hits,
             comm_cache_misses=self.comm_cache_misses + other.comm_cache_misses,
+            columnar_batches=self.columnar_batches + other.columnar_batches,
+            columnar_candidates=self.columnar_candidates + other.columnar_candidates,
+            columnar_fallback=self.columnar_fallback + other.columnar_fallback,
             stage_seconds=MappingProxyType(seconds),
         )
 
@@ -182,6 +200,12 @@ class PruneStats:
                 f"comm kernel cache     {self.comm_cache_hits:,} hits / "
                 f"{self.comm_cache_misses:,} misses "
                 f"({self.comm_cache_hit_rate * 100:.1f}% hit rate)"
+            )
+        if self.columnar_batches or self.columnar_fallback:
+            lines.append(
+                f"columnar batches      {self.columnar_batches:,} "
+                f"({self.columnar_candidates:,} candidates, "
+                f"{self.columnar_fallback:,} scalar fallbacks)"
             )
         total = sum(self.stage_seconds.values())
         if total > 0:

@@ -26,6 +26,7 @@ import numpy as np
 
 from ..core.results import PerformanceResult
 from ..engine import (
+    comm_cache_stats,
     evaluate,
     evaluate_many,
     iter_evaluate,
@@ -35,6 +36,8 @@ from ..execution.strategy import ExecutionStrategy, divisors, factorizations
 from ..hardware.system import System
 from ..llm.config import LLMConfig
 from ..obs import (
+    M_COMM_CACHE_HITS,
+    M_COMM_CACHE_MISSES,
     MetricsRegistry,
     ProgressReporter,
     PruneStats,
@@ -279,7 +282,7 @@ def _chunk_trace_events(
 def _evaluate_chunk(
     args: tuple[
         LLMConfig, System, list[ExecutionStrategy], int, object, bool, int,
-        FaultInjector | None, bool, float,
+        FaultInjector | None, bool, float, bool | None,
     ]
 ) -> tuple[
     int,
@@ -290,7 +293,7 @@ def _evaluate_chunk(
     list[dict] | None,
 ]:
     (llm, system, strategies, top_k, constraint, instrument, chunk_index,
-     injector, bound_prune, seed_floor) = args
+     injector, bound_prune, seed_floor, columnar) = args
     if injector is not None:
         injector.fire(chunk_index)
     registry = MetricsRegistry() if instrument else None
@@ -319,7 +322,7 @@ def _evaluate_chunk(
 
     for idx, res in iter_evaluate(
         llm, system, strategies, prune=True, prune_above=prune_above,
-        metrics=registry,
+        metrics=registry, columnar=columnar,
     ):
         if res.pruned:
             # Memory-feasible, provably outside the top-k; counts toward
@@ -394,6 +397,99 @@ def _chunk_from_payload(llm: LLMConfig, system: System, payload: dict) -> tuple:
     )
 
 
+def _search_columnar(
+    llm: LLMConfig,
+    system: System,
+    batch: int,
+    cols: dict,
+    engine_batch,
+    *,
+    top_k: int,
+    keep_rates: bool,
+    instrument: bool,
+    collect_stats: bool,
+    tracer: Tracer | None,
+    progress: ProgressReporter | None,
+    t_start: float,
+) -> SearchResult:
+    """Evaluate the whole candidate space as one vectorized columnar batch.
+
+    No chunking and no heap: every engine stage runs once over the full
+    struct-of-arrays batch, the top-k is selected from the survivor rate
+    column with the scalar heap's exact retention rule (ties at the k-th
+    rate keep the earliest candidates in *stream* order; the returned list
+    is then ordered by rate, ties by enumeration index), and only those k
+    winners are materialized as :class:`ExecutionStrategy` objects and
+    re-evaluated through the scalar pipeline — bit-identical by the
+    engine's columnar equivalence contract, and a few microseconds each.
+
+    Bound pruning never engages here: it exists to skip *scalar* comm and
+    assembly work for hopeless candidates, but the vectorized comm stage
+    prices every surviving bucket in one pass, which is already cheaper
+    than computing and comparing bounds.  ``bound_prune`` / ``prune_seed``
+    are therefore no-ops on this path; the result (including ``top`` tie
+    retention) matches an *unseeded* scalar run.
+    """
+    eb = engine_batch.EvalBatch.from_columns(llm, system, cols)
+    n = eb.n
+    if progress is not None:
+        progress.set_total(n)
+    registry = MetricsRegistry() if instrument else None
+    t_run = perf_counter()
+    if registry is not None:
+        cc0 = comm_cache_stats()
+    try:
+        engine_batch.run_batch(eb, prune_above=None, metrics=registry)
+    finally:
+        if registry is not None:
+            cc1 = comm_cache_stats()
+            registry.inc(M_COMM_CACHE_HITS, cc1[0] - cc0[0])
+            registry.inc(M_COMM_CACHE_MISSES, cc1[1] - cc0[1])
+    num_feasible = int(eb.n_s)
+    top: list[tuple[ExecutionStrategy, PerformanceResult]] = []
+    if top_k > 0 and num_feasible > 0:
+        srank = eb.stream_rank[eb.sidx]
+        keep = np.lexsort((srank, -eb.rate_s))[:top_k]
+        order = np.lexsort((eb.sidx[keep], -eb.rate_s[keep]))
+        for i in keep[order]:
+            strat = eb.strategy_at(int(eb.sidx[i]))
+            top.append((strat, evaluate(llm, system, strat)))
+    rates = np.empty(0)
+    if keep_rates and num_feasible > 0:
+        rates = eb.rate_s[np.argsort(eb.stream_rank[eb.sidx])]
+    if progress is not None:
+        progress.update(n, num_feasible)
+        progress.finish()
+    if tracer is not None and registry is not None:
+        _chunk_trace_events(
+            tracer, 0, registry, t_run, perf_counter() - t_run, n, num_feasible,
+        )
+    stats = None
+    if collect_stats:
+        stats = SweepStats(
+            engine=PruneStats.from_metrics(registry),
+            elapsed=perf_counter() - t_start,
+            workers=1,
+            num_evaluated=n,
+            num_feasible=num_feasible,
+            retries=0,
+            skipped=(),
+            resumed_chunks=0,
+            truncated=False,
+        )
+    best_strategy, best = (top[0][0], top[0][1]) if top else (None, None)
+    return SearchResult(
+        best=best,
+        best_strategy=best_strategy,
+        top=top,
+        num_evaluated=n,
+        num_feasible=num_feasible,
+        sample_rates=rates,
+        stats=stats,
+        truncated=False,
+    )
+
+
 def search(
     llm: LLMConfig,
     system: System,
@@ -406,6 +502,7 @@ def search(
     constraint=None,
     bound_prune: bool = True,
     prune_seed: int = 0,
+    columnar: bool | None = None,
     tracer: Tracer | None = None,
     collect_stats: bool = False,
     progress: ProgressReporter | None = None,
@@ -444,6 +541,18 @@ def search(
             result fully bit-identical; with seeding, the top-k *rates* are
             unchanged but when several candidates tie exactly at the k-th
             rate a different member of the tie may be retained.
+        columnar: route evaluation through the vectorized columnar engine
+            (:mod:`repro.engine.batch`).  ``None`` (the default) engages it
+            whenever it applies; ``False`` forces the scalar pipeline
+            everywhere.  A serial search with no ``constraint`` and no
+            fault-tolerance features runs *pure*-columnar: candidates are
+            enumerated straight into NumPy columns and the whole space is
+            evaluated as one struct-of-arrays batch, materializing only the
+            top-k winners (``bound_prune``/``prune_seed`` are no-ops there —
+            see :func:`_search_columnar`).  Multi-worker and supervised
+            searches keep their chunked dispatch, with each chunk evaluated
+            columnar inside :func:`~repro.engine.iter_evaluate`.  Results
+            are bit-identical either way.
         tracer: records enumeration/chunk/stage spans (worker events merge
             onto the parent timeline; CLOCK_MONOTONIC is machine-wide).
         collect_stats: attach a :class:`~repro.obs.SweepStats` (per-stage
@@ -475,7 +584,43 @@ def search(
         raise ValueError("resume=True requires a checkpoint path")
     t_start = perf_counter()
     instrument = collect_stats or tracer is not None
+    fault_mode = (
+        checkpoint is not None
+        or deadline is not None
+        or retry_policy is not None
+        or fault_injector is not None
+    )
+    # Pure-columnar dispatch: a serial, unsupervised, unconstrained search
+    # never needs per-candidate scalar results, so enumerate straight into
+    # NumPy columns and evaluate the whole space as one vectorized batch.
+    # ImportError (NumPy below the columnar floor) and unencodable option
+    # spaces fall back to the scalar enumeration below.
+    engine_batch = search_columns = None
+    if columnar is not False and constraint is None and not fault_mode:
+        try:
+            from ..engine import batch as engine_batch
+            from . import columns as search_columns
+        except ImportError:
+            engine_batch = search_columns = None
     t0 = perf_counter()
+    cols = None
+    if search_columns is not None:
+        cols = search_columns.candidate_columns(
+            llm, system, batch, options or SearchOptions()
+        )
+    if cols is not None:
+        n_cand = int(cols["t"].shape[0])
+        workers = auto_workers(n_cand) if workers is None else workers
+        if workers <= 1:
+            if tracer is not None:
+                tracer.add_span("enumerate", "search", t0,
+                                perf_counter() - t0, candidates=n_cand)
+            return _search_columnar(
+                llm, system, batch, cols, engine_batch,
+                top_k=top_k, keep_rates=keep_rates, instrument=instrument,
+                collect_stats=collect_stats, tracer=tracer,
+                progress=progress, t_start=t_start,
+            )
     strategies = list(candidate_strategies(llm, system, batch, options))
     if tracer is not None:
         tracer.add_span("enumerate", "search", t0, perf_counter() - t0,
@@ -500,12 +645,6 @@ def search(
         )
         if len(sample_rates) >= top_k:
             seed_floor = sample_rates[top_k - 1]
-    fault_mode = (
-        checkpoint is not None
-        or deadline is not None
-        or retry_policy is not None
-        or fault_injector is not None
-    )
     # Instrumented, progress-reporting or fault-supervised serial runs are
     # chunked too — checkpoints, deadlines and retries all operate at chunk
     # granularity; a plain serial run stays single-chunk (identical behavior
@@ -550,7 +689,7 @@ def search(
 
     args = [
         (llm, system, c, top_k, constraint, instrument, n, fault_injector,
-         do_prune, seed_floor)
+         do_prune, seed_floor, columnar)
         for n, c in enumerate(chunks)
     ]
     truncated = False

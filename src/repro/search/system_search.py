@@ -93,6 +93,7 @@ def best_at_size(
     *,
     workers: int | None = None,
     bound_prune: bool = True,
+    columnar: bool | None = None,
     tracer: Tracer | None = None,
     collect_stats: bool = False,
 ) -> ScalingPoint:
@@ -104,14 +105,18 @@ def best_at_size(
     ``bound_prune`` is forwarded too, and bites hard here: the inner search
     keeps only the single best configuration (``top_k=1``, no rate
     histogram), the exact regime where roofline bound pruning skips the
-    comm/timing stages for almost the whole feasible space.  ``tracer`` and
+    comm/timing stages for almost the whole feasible space.  ``columnar``
+    is forwarded as well — serial per-size searches then evaluate their
+    whole space as one vectorized batch (``False`` forces the scalar
+    pipeline; the point is identical either way).  ``tracer`` and
     ``collect_stats`` instrument the inner search; the point's
     :class:`~repro.obs.SweepStats` lands on ``ScalingPoint.stats``.
     """
     system = system_factory(num_procs)
     result = search(
         llm, system, batch, options, workers=workers, keep_rates=False, top_k=1,
-        bound_prune=bound_prune, tracer=tracer, collect_stats=collect_stats,
+        bound_prune=bound_prune, columnar=columnar, tracer=tracer,
+        collect_stats=collect_stats,
     )
     if result.best is None:
         return ScalingPoint(
@@ -143,6 +148,7 @@ def scaling_sweep(
     *,
     workers: int | None = None,
     bound_prune: bool = True,
+    columnar: bool | None = None,
     tracer: Tracer | None = None,
     collect_stats: bool = False,
     progress: ProgressReporter | None = None,
@@ -155,8 +161,8 @@ def scaling_sweep(
     ``workers`` is honored by every inner per-size search (``None`` =
     auto-select, 0/1 = serial, N = process count), so a Fig. 7 sweep over
     thousands of processors can use the whole machine.  ``bound_prune``
-    reaches every inner search (see :func:`best_at_size`; the curve is
-    identical either way).
+    and ``columnar`` reach every inner search (see :func:`best_at_size`;
+    the curve is identical either way).
 
     With a ``tracer``, each per-size search is wrapped in a ``size=N`` span
     (chunk and stage spans of the inner searches nest beneath it);
@@ -205,10 +211,12 @@ def scaling_sweep(
             with span(f"size={n}", cat="sweep.size"):
                 point = best_at_size(llm, system_factory, n, batch, options,
                                      workers=workers, bound_prune=bound_prune,
-                                     tracer=tracer, collect_stats=collect_stats)
+                                     columnar=columnar, tracer=tracer,
+                                     collect_stats=collect_stats)
         else:
             point = best_at_size(llm, system_factory, n, batch, options,
                                  workers=workers, bound_prune=bound_prune,
+                                 columnar=columnar,
                                  collect_stats=collect_stats)
         points.append(point)
         if journal is not None:

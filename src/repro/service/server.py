@@ -474,11 +474,20 @@ def make_server(
     batch_window: float = 0.002,
     max_batch: int = 64,
     request_timeout: float = 60.0,
+    columnar: bool | None = None,
 ) -> ServiceHTTPServer:
-    """Assemble cache + batcher + service + HTTP server (not yet serving)."""
+    """Assemble cache + batcher + service + HTTP server (not yet serving).
+
+    ``columnar`` is forwarded to the :class:`MicroBatcher` (``None`` lets
+    micro-batches above the engine's size floor ride the vectorized
+    columnar path; ``False`` forces the scalar pipeline).
+    """
     metrics = MetricsRegistry()
     cache = ResultCache(cache_entries, cache_dir, metrics=metrics)
-    batcher = MicroBatcher(window=batch_window, max_batch=max_batch, metrics=metrics)
+    batcher = MicroBatcher(
+        window=batch_window, max_batch=max_batch, metrics=metrics,
+        columnar=columnar,
+    )
     service = EvaluationService(
         cache=cache,
         batcher=batcher,

@@ -202,10 +202,12 @@ def test_search_topk_bit_identical_with_pruning():
     """Pruned and unpruned serial searches agree on every retained entry."""
     llm = GPT3_175B
     system = GPT3_16
+    # columnar=False: this exercises the *scalar* bound-prune layer (the
+    # pure-columnar search path never computes bounds; see PERFORMANCE.md).
     base = search(llm, system, 32, top_k=8, workers=0, keep_rates=False,
-                  bound_prune=False, collect_stats=True)
+                  bound_prune=False, columnar=False, collect_stats=True)
     pruned = search(llm, system, 32, top_k=8, workers=0, keep_rates=False,
-                    bound_prune=True, collect_stats=True)
+                    bound_prune=True, columnar=False, collect_stats=True)
     assert base.num_evaluated == pruned.num_evaluated
     assert base.num_feasible == pruned.num_feasible
     assert len(base.top) == len(pruned.top)
@@ -329,9 +331,12 @@ def test_dynamic_threshold_callable():
 
     from repro.engine import iter_evaluate
 
+    # columnar=False: the per-candidate threshold re-read is a scalar-path
+    # behavior — the columnar engine reads a callable threshold once per
+    # batch (the documented divergence; see PERFORMANCE.md).
     results = {}
     for i, res in iter_evaluate(llm, system, strategies,
-                                prune_above=threshold):
+                                prune_above=threshold, columnar=False):
         results[i] = res
         if res.feasible and not res.pruned and res.sample_rate > best_rate[0]:
             best_rate[0] = res.sample_rate
