@@ -85,11 +85,25 @@ def main() -> int:
         assert not errors, errors
 
         # -- metrics ---------------------------------------------------------
-        hits = client.metric_value("service_cache_hit_memory")
-        coalesced = client.metric_value("service_coalesced")
-        requests = client.metric_value("service_requests")
+        hits = client.metric_value("repro_service_cache_hit_memory")
+        coalesced = client.metric_value("repro_service_coalesced")
+        requests = client.metric_value("repro_service_requests")
         assert hits >= 10, f"expected >= 10 memory hits, metrics report {hits}"
         assert requests >= N_CLIENTS + 11, requests
+
+        # Request-latency histogram: one observation per request handled,
+        # cumulative buckets up to +Inf, and a non-zero total.
+        latency_count = client.metric_value("repro_service_request_seconds_count")
+        latency_sum = client.metric_value("repro_service_request_seconds_sum")
+        assert latency_count >= 11, latency_count
+        assert latency_sum > 0.0, latency_sum
+        exposition = client.metrics_text()
+        assert "# TYPE repro_service_request_seconds histogram" in exposition
+        assert 'repro_service_request_seconds_bucket{le="+Inf"}' in exposition
+
+        # Hit-ratio gauge: 10 warm hits against a handful of misses.
+        hit_ratio = client.metric_value("repro_service_cache_hit_ratio")
+        assert 0.0 < hit_ratio < 1.0, hit_ratio
         served_cold = sources.count("miss")
         assert served_cold == 1, f"expected 1 leader, saw {sources}"
         coalescing_factor = N_CLIENTS / served_cold
@@ -112,6 +126,9 @@ def main() -> int:
                     "coalesced_requests": coalesced,
                     "coalescing_factor": coalescing_factor,
                     "cache_memory_hits": hits,
+                    "cache_hit_ratio": hit_ratio,
+                    "request_latency_count": latency_count,
+                    "request_latency_mean_s": latency_sum / latency_count,
                 },
                 indent=1,
             )

@@ -16,7 +16,11 @@ LLMs and systems may be given as preset names (``gpt3-175b``,
 observability flags: ``--trace FILE`` (Chrome trace_event JSON of the
 pipeline stages and search chunks), ``--stats`` (per-stage rejection
 counts, dedup hit rates, candidates/sec) and ``--progress`` (live
-candidates/sec and ETA on stderr).  See ``docs/OBSERVABILITY.md``.
+candidates/sec and ETA on stderr).  ``search``, ``sweep`` and ``serve``
+additionally take ``--events FILE`` (the structured flight-recorder
+journal), and ``trace`` analyzes a written trace + journal pair
+(critical path, stragglers, per-worker utilization).  See
+``docs/OBSERVABILITY.md``.
 """
 
 from __future__ import annotations
@@ -34,7 +38,7 @@ from .hardware import System
 from .inference import InferenceStrategy, calculate_inference
 from .io import llm_from_spec, load_strategy, system_from_spec
 from .llm import LLMConfig, iter_presets
-from .obs import MetricsRegistry, ProgressReporter, PruneStats, Tracer
+from .obs import EventJournal, MetricsRegistry, ProgressReporter, PruneStats, Tracer
 from .obs.stats import STAGE_NAMES, stage_metric
 from .search import (
     RetryPolicy,
@@ -80,6 +84,26 @@ def _make_obs(
     tracer = Tracer() if args.trace else None
     progress = ProgressReporter(stream=sys.stderr) if args.progress else None
     return tracer, progress
+
+
+def _add_events_flag(parser: argparse.ArgumentParser) -> None:
+    """The flight-recorder flag shared by search, sweep and serve."""
+    parser.add_argument(
+        "--events", metavar="FILE", default=None,
+        help="append a structured flight-recorder event journal (JSONL) to "
+        "FILE; analyze it with the 'trace' subcommand",
+    )
+
+
+def _make_events(
+    args: argparse.Namespace, source: str, tracer: Tracer | None = None
+) -> EventJournal | None:
+    if not getattr(args, "events", None):
+        return None
+    return EventJournal(
+        args.events, source=source,
+        trace_id=tracer.trace_id if tracer is not None else None,
+    )
 
 
 def _add_prune_flag(parser: argparse.ArgumentParser) -> None:
@@ -244,17 +268,23 @@ def _cmd_search(args: argparse.Namespace) -> int:
     system = _parse_system(args.system)
     opts = _options_from_name(args.options)
     tracer, progress = _make_obs(args)
+    events = _make_events(args, "search", tracer)
     start = time.perf_counter()
     # The command only reports the top-k table, so the per-candidate rate
     # histogram is dropped (keep_rates=False) — which is also what lets
     # bound pruning engage.
-    result = search(
-        llm, system, args.batch, opts, top_k=args.top, workers=args.workers,
-        keep_rates=False, bound_prune=not args.no_prune,
-        columnar=_columnar_arg(args),
-        tracer=tracer, collect_stats=args.stats, progress=progress,
-        **_fault_kwargs(args),
-    )
+    try:
+        result = search(
+            llm, system, args.batch, opts, top_k=args.top, workers=args.workers,
+            keep_rates=False, bound_prune=not args.no_prune,
+            columnar=_columnar_arg(args),
+            tracer=tracer, collect_stats=args.stats, progress=progress,
+            events=events,
+            **_fault_kwargs(args),
+        )
+    finally:
+        if events is not None:
+            events.close()
     elapsed = time.perf_counter() - start
     _finish_trace(tracer, args)
     _report_fault_outcome(result.stats, result.truncated)
@@ -300,15 +330,21 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     sizes = list(range(args.step, args.max_size + 1, args.step))
     opts = _options_from_name(args.options)
     tracer, progress = _make_obs(args)
+    events = _make_events(args, "sweep", tracer)
     fault = _fault_kwargs(args)
     fault.pop("retry_policy")  # per-size searches stay unsupervised for now
-    curve = scaling_sweep(
-        llm, factory, sizes, args.batch, opts, workers=args.workers,
-        bound_prune=not args.no_prune,
-        columnar=_columnar_arg(args),
-        tracer=tracer, collect_stats=args.stats, progress=progress,
-        **fault,
-    )
+    try:
+        curve = scaling_sweep(
+            llm, factory, sizes, args.batch, opts, workers=args.workers,
+            bound_prune=not args.no_prune,
+            columnar=_columnar_arg(args),
+            tracer=tracer, collect_stats=args.stats, progress=progress,
+            events=events,
+            **fault,
+        )
+    finally:
+        if events is not None:
+            events.close()
     _finish_trace(tracer, args)
     _report_fault_outcome(curve.total_stats(), curve.truncated)
     if args.stats:
@@ -577,6 +613,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_batch=args.max_batch,
         request_timeout=args.request_timeout,
         columnar=_columnar_arg(args),
+        events_path=args.events,
     )
     host, port = server.server_address[0], server.port
     sys.stderr.write(
@@ -600,11 +637,19 @@ def _cmd_query(args: argparse.Namespace) -> int:
         timeout=args.timeout,
     )
     strategy = _strategy_from_args(args)
+    tracer = Tracer() if args.trace else None
     try:
-        payload = client.evaluate(args.llm, args.system, strategy)
+        if tracer is not None:
+            with tracer.span("query", cat="service.client", url=args.url):
+                payload = client.evaluate(
+                    args.llm, args.system, strategy, tracer=tracer
+                )
+        else:
+            payload = client.evaluate(args.llm, args.system, strategy)
     except (RequestFailed, ServiceUnavailable) as err:
         sys.stderr.write(f"error: {err}\n")
         return 2
+    _finish_trace(tracer, args)
     flat = payload["result"]
     if args.format == "json":
         import json as _json
@@ -622,6 +667,21 @@ def _cmd_query(args: argparse.Namespace) -> int:
         else:
             print(f"INFEASIBLE: {flat['infeasibility']}")
     return 0 if flat["feasible"] else 1
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .obs.analyze import analyze_files
+
+    try:
+        report = analyze_files(args.trace_file, args.events)
+    except (OSError, ValueError) as err:
+        sys.stderr.write(f"error: {err}\n")
+        return 2
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.to_text())
+    return 0
 
 
 def _add_strategy_flags(parser: argparse.ArgumentParser) -> None:
@@ -677,6 +737,7 @@ def main(argv: list[str] | None = None) -> int:
                      help="max evaluations per micro-batch (default 64)")
     srv.add_argument("--request-timeout", type=float, default=60.0, metavar="SECONDS")
     _add_columnar_flag(srv)
+    _add_events_flag(srv)
     srv.set_defaults(func=_cmd_serve)
 
     qry = sub.add_parser(
@@ -691,6 +752,9 @@ def main(argv: list[str] | None = None) -> int:
                      help="retry attempts on connection errors and 5xx (default 3)")
     qry.add_argument("--timeout", type=float, default=60.0, metavar="SECONDS")
     qry.add_argument("--format", choices=("text", "json"), default="text")
+    qry.add_argument("--trace", metavar="FILE", default=None,
+                     help="write a Chrome trace of the query including the "
+                     "server's spans (needs a traced server round-trip)")
     qry.set_defaults(func=_cmd_query)
 
     srch = sub.add_parser("search", help="exhaustive execution search")
@@ -703,6 +767,7 @@ def main(argv: list[str] | None = None) -> int:
     _add_prune_flag(srch)
     _add_columnar_flag(srch)
     _add_obs_flags(srch)
+    _add_events_flag(srch)
     _add_fault_flags(srch)
     srch.set_defaults(func=_cmd_search)
 
@@ -718,8 +783,19 @@ def main(argv: list[str] | None = None) -> int:
     _add_prune_flag(swp)
     _add_columnar_flag(swp)
     _add_obs_flags(swp)
+    _add_events_flag(swp)
     _add_fault_flags(swp)
     swp.set_defaults(func=_cmd_sweep)
+
+    trc = sub.add_parser(
+        "trace", help="analyze a Chrome trace + flight-recorder journal"
+    )
+    trc.add_argument("trace_file", help="Chrome trace JSON written by --trace")
+    trc.add_argument("--events", metavar="FILE", default=None,
+                     help="flight-recorder journal written by --events")
+    trc.add_argument("--json", action="store_true",
+                     help="emit the report as JSON instead of text")
+    trc.set_defaults(func=_cmd_trace)
 
     bud = sub.add_parser("budget", help="budgeted optimal-system search")
     bud.add_argument("--llms", default="gpt3-175b,turing-530b,megatron-1t")

@@ -18,9 +18,17 @@ Everything here is standalone stdlib code: the obs layer never imports the
 model, so any subsystem can adopt it without dependency cycles.
 """
 
+from .events import (
+    EVENT_KINDS,
+    EVENTS_VERSION,
+    EventJournal,
+    read_events,
+    validate_events,
+    validate_events_file,
+)
 from .metrics import Counter, Histogram, MetricsRegistry
 from .progress import ProgressReporter
-from .prometheus import prometheus_name, render_prometheus
+from .prometheus import escape_label_value, prometheus_name, render_prometheus
 from .stats import (
     M_BOUND_EVALS,
     M_BOUND_PRUNED,
@@ -42,10 +50,21 @@ from .stats import (
     SweepStats,
     stage_metric,
 )
-from .trace import NULL_SPAN, Tracer, validate_trace, validate_trace_file
+from .trace import (
+    NULL_SPAN,
+    TRACE_HEADER,
+    TraceContext,
+    Tracer,
+    new_trace_id,
+    validate_trace,
+    validate_trace_file,
+)
 
 __all__ = [
     "Counter",
+    "EVENT_KINDS",
+    "EVENTS_VERSION",
+    "EventJournal",
     "Histogram",
     "MetricsRegistry",
     "NULL_SPAN",
@@ -53,6 +72,8 @@ __all__ = [
     "PruneStats",
     "STAGE_NAMES",
     "SweepStats",
+    "TRACE_HEADER",
+    "TraceContext",
     "Tracer",
     "M_BOUND_EVALS",
     "M_BOUND_PRUNED",
@@ -69,9 +90,14 @@ __all__ = [
     "M_REJECT_MEMORY",
     "M_REJECT_VALIDATE",
     "M_SHARED_INFEASIBLE",
+    "escape_label_value",
+    "new_trace_id",
     "prometheus_name",
+    "read_events",
     "render_prometheus",
     "stage_metric",
+    "validate_events",
+    "validate_events_file",
     "validate_trace",
     "validate_trace_file",
 ]

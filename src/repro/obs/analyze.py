@@ -1,0 +1,395 @@
+"""Post-hoc analysis of stitched traces and event journals.
+
+``repro trace`` loads a Chrome trace (written by :class:`~repro.obs.Tracer`,
+possibly stitched from coordinator, worker and server spans) plus an
+optional flight-recorder journal (:mod:`repro.obs.events`) and answers the
+questions a distributed sweep raises after the fact:
+
+* **critical path** — the backward chain of spans that actually bounded the
+  wall clock (everything else overlapped with it);
+* **per-worker utilization and stragglers** — how busy each pid lane was,
+  and which chunks ran long relative to their peers;
+* **stage-time breakdown** — aggregate wall seconds per engine pipeline
+  stage across every chunk;
+* **journal-derived effectiveness** — retry hotspots, cache hit ratio,
+  coalescing rate and backpressure rejections from the event journal.
+
+Everything here runs on plain loaded JSON; nothing imports the model, so
+the module stays importable anywhere (CI validators, notebooks).
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import statistics
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+logger = logging.getLogger(__name__)
+
+_US = 1e6
+
+# Synthetic in-chunk breakdown spans; never on the critical path themselves.
+_AGGREGATE_CATS = {"engine.stage"}
+
+# Two spans "chain" when the predecessor ends within this slack of the
+# successor's start (scheduling gaps between chunks are real wait time and
+# break the chain; float jitter within a microsecond does not).
+_CHAIN_SLACK_US = 1.0
+
+
+@dataclass
+class LaneStats:
+    """One pid's timeline lane: label, busy time, span count."""
+
+    pid: int
+    label: str
+    busy_s: float
+    utilization: float
+    spans: int
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "pid": self.pid,
+            "label": self.label,
+            "busy_s": self.busy_s,
+            "utilization": self.utilization,
+            "spans": self.spans,
+        }
+
+
+@dataclass
+class TraceReport:
+    """Everything ``repro trace`` reports, renderable as text or JSON."""
+
+    trace_id: str | None
+    wall_s: float
+    span_count: int
+    lanes: list[LaneStats] = field(default_factory=list)
+    critical_path: list[dict[str, Any]] = field(default_factory=list)
+    critical_path_s: float = 0.0
+    stage_seconds: dict[str, float] = field(default_factory=dict)
+    stragglers: list[dict[str, Any]] = field(default_factory=list)
+    # journal-derived (None when no journal was supplied)
+    retry_hotspots: list[dict[str, Any]] = field(default_factory=list)
+    cache: dict[str, Any] | None = None
+    coalescing: dict[str, Any] | None = None
+    backpressure_rejects: int = 0
+    skipped_chunks: int = 0
+    truncated: bool = False
+    event_count: int = 0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "trace_id": self.trace_id,
+            "wall_s": self.wall_s,
+            "span_count": self.span_count,
+            "lanes": [lane.to_dict() for lane in self.lanes],
+            "critical_path": self.critical_path,
+            "critical_path_s": self.critical_path_s,
+            "stage_seconds": self.stage_seconds,
+            "stragglers": self.stragglers,
+            "retry_hotspots": self.retry_hotspots,
+            "cache": self.cache,
+            "coalescing": self.coalescing,
+            "backpressure_rejects": self.backpressure_rejects,
+            "skipped_chunks": self.skipped_chunks,
+            "truncated": self.truncated,
+            "event_count": self.event_count,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=1)
+
+    def to_text(self) -> str:
+        lines = [
+            f"trace            {self.trace_id or '(no trace_id)'}",
+            f"wall time        {self.wall_s:.3f} s "
+            f"({self.span_count} spans)",
+        ]
+        if self.critical_path:
+            lines.append(
+                f"critical path    {self.critical_path_s:.3f} s over "
+                f"{len(self.critical_path)} spans "
+                f"({self.critical_path_s / self.wall_s * 100:.0f}% of wall)"
+                if self.wall_s > 0 else
+                f"critical path    {self.critical_path_s:.3f} s"
+            )
+            for step in self.critical_path:
+                lines.append(
+                    f"  {step['name']:<24} pid {step['pid']:<8} "
+                    f"{step['start_s']:8.3f}s +{step['dur_s']:.3f}s"
+                )
+        if self.lanes:
+            lines.append("lanes")
+            for lane in self.lanes:
+                lines.append(
+                    f"  {lane.label:<16} pid {lane.pid:<8} busy "
+                    f"{lane.busy_s:7.3f}s ({lane.utilization * 100:5.1f}%) "
+                    f"{lane.spans} spans"
+                )
+        if self.stragglers:
+            lines.append("stragglers")
+            for s in self.stragglers:
+                lines.append(
+                    f"  {s['name']:<24} pid {s['pid']:<8} {s['dur_s']:.3f}s "
+                    f"({s['reason']})"
+                )
+        if self.stage_seconds:
+            per = "  ".join(
+                f"{stage} {secs:.3f}s" for stage, secs in self.stage_seconds.items()
+            )
+            lines.append(f"stage breakdown  {per}")
+        if self.event_count:
+            lines.append(f"journal          {self.event_count} events")
+            if self.retry_hotspots:
+                hot = ", ".join(
+                    f"chunk {h['chunk']} x{h['failures']}" for h in self.retry_hotspots
+                )
+                lines.append(f"  retry hotspots {hot}")
+            if self.cache is not None:
+                lines.append(
+                    f"  cache          {self.cache['hits']} hits / "
+                    f"{self.cache['misses']} misses "
+                    f"({self.cache['hit_ratio'] * 100:.1f}% hit ratio)"
+                )
+            if self.coalescing is not None:
+                lines.append(
+                    f"  coalescing     {self.coalescing['coalesced']} of "
+                    f"{self.coalescing['requests']} requests coalesced "
+                    f"({self.coalescing['rate'] * 100:.1f}%)"
+                )
+            if self.backpressure_rejects:
+                lines.append(
+                    f"  backpressure   {self.backpressure_rejects} rejections"
+                )
+            if self.skipped_chunks:
+                lines.append(f"  skipped chunks {self.skipped_chunks}")
+            if self.truncated:
+                lines.append("  truncated      deadline hit; sweep is partial")
+        return "\n".join(lines)
+
+
+def load_trace(path: str | Path) -> dict[str, Any]:
+    obj = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(obj, dict) or "traceEvents" not in obj:
+        raise ValueError(f"{path} is not a Chrome trace-event JSON object")
+    return obj
+
+
+def _complete_spans(trace: dict[str, Any]) -> list[dict[str, Any]]:
+    return [
+        e for e in trace.get("traceEvents", [])
+        if isinstance(e, dict) and e.get("ph") == "X"
+        and isinstance(e.get("ts"), (int, float))
+        and isinstance(e.get("dur"), (int, float))
+    ]
+
+
+def _pid_labels(trace: dict[str, Any]) -> dict[int, str]:
+    labels: dict[int, str] = {}
+    for e in trace.get("traceEvents", []):
+        if isinstance(e, dict) and e.get("ph") == "M" and e.get("name") == "process_name":
+            name = (e.get("args") or {}).get("name")
+            if isinstance(name, str):
+                labels[e.get("pid")] = name
+    return labels
+
+
+def _merged_busy(intervals: list[tuple[float, float]]) -> float:
+    """Total covered extent of possibly-overlapping [start, end) intervals."""
+    busy = 0.0
+    last_end = -float("inf")
+    for start, end in sorted(intervals):
+        if end <= last_end:
+            continue
+        busy += end - max(start, last_end)
+        last_end = end
+    return busy
+
+
+def _top_level(spans: list[dict[str, Any]]) -> list[dict[str, Any]]:
+    """Spans not strictly nested inside another span on the same lane.
+
+    Synthetic aggregate spans (the per-stage in-chunk breakdown) are
+    excluded outright — their placement is presentation, not measurement.
+    """
+    spans = [s for s in spans if s.get("cat") not in _AGGREGATE_CATS]
+    by_lane: dict[tuple[Any, Any], list[dict[str, Any]]] = {}
+    for s in spans:
+        by_lane.setdefault((s.get("pid"), s.get("tid")), []).append(s)
+    top: list[dict[str, Any]] = []
+    for lane in by_lane.values():
+        lane.sort(key=lambda s: (s["ts"], -s["dur"]))
+        open_end = -float("inf")
+        for s in lane:
+            end = s["ts"] + s["dur"]
+            if s["ts"] >= open_end - 1e-9 or end > open_end:
+                top.append(s)
+                open_end = max(open_end, end)
+    return top
+
+
+def _critical_path(spans: list[dict[str, Any]]) -> list[dict[str, Any]]:
+    """Greedy backward chaining: from the last-ending span, repeatedly hop
+    to the latest-ending span that finished before the current one began.
+
+    On a trace whose spans cover the busy time, this recovers the chain of
+    work that bounded the wall clock; gaps between chained spans are wait
+    time (scheduling, queueing) the report surfaces implicitly via the
+    critical-path-vs-wall ratio.
+    """
+    if not spans:
+        return []
+    remaining = sorted(spans, key=lambda s: s["ts"] + s["dur"], reverse=True)
+    path = [remaining[0]]
+    for s in remaining[1:]:
+        if s["ts"] + s["dur"] <= path[-1]["ts"] + _CHAIN_SLACK_US:
+            path.append(s)
+    path.reverse()
+    return path
+
+
+def analyze_trace(
+    trace: dict[str, Any],
+    events: list[dict[str, Any]] | None = None,
+) -> TraceReport:
+    """Build a :class:`TraceReport` from a loaded trace and optional journal."""
+    spans = _complete_spans(trace)
+    labels = _pid_labels(trace)
+    trace_id = None
+    other = trace.get("otherData")
+    if isinstance(other, dict):
+        trace_id = other.get("trace_id")
+
+    if spans:
+        t_min = min(s["ts"] for s in spans)
+        t_max = max(s["ts"] + s["dur"] for s in spans)
+        wall_s = (t_max - t_min) / _US
+    else:
+        t_min = 0.0
+        wall_s = 0.0
+
+    lanes: list[LaneStats] = []
+    by_pid: dict[int, list[dict[str, Any]]] = {}
+    for s in spans:
+        by_pid.setdefault(s["pid"], []).append(s)
+    for pid in sorted(by_pid):
+        own = [s for s in by_pid[pid] if s.get("cat") not in _AGGREGATE_CATS]
+        busy = _merged_busy([(s["ts"], s["ts"] + s["dur"]) for s in own]) / _US
+        lanes.append(LaneStats(
+            pid=pid,
+            label=labels.get(pid, str(pid)),
+            busy_s=busy,
+            utilization=busy / wall_s if wall_s > 0 else 0.0,
+            spans=len(own),
+        ))
+
+    top = _top_level(spans)
+    path = _critical_path(top)
+    critical_path = [
+        {
+            "name": s.get("name", "?"),
+            "cat": s.get("cat", "?"),
+            "pid": s.get("pid"),
+            "start_s": (s["ts"] - t_min) / _US,
+            "dur_s": s["dur"] / _US,
+        }
+        for s in path
+    ]
+
+    stage_seconds: dict[str, float] = {}
+    for s in spans:
+        if s.get("cat") == "engine.stage":
+            name = s.get("name", "?")
+            stage_seconds[name] = stage_seconds.get(name, 0.0) + s["dur"] / _US
+
+    stragglers: list[dict[str, Any]] = []
+    chunk_spans = [s for s in spans if s.get("cat") == "search.chunk"]
+    if len(chunk_spans) >= 2:
+        durations = [s["dur"] for s in chunk_spans]
+        median = statistics.median(durations)
+        last = max(chunk_spans, key=lambda s: s["ts"] + s["dur"])
+        for s in chunk_spans:
+            reasons = []
+            if median > 0 and s["dur"] > 1.5 * median:
+                reasons.append(f"{s['dur'] / median:.1f}x median chunk time")
+            if s is last:
+                reasons.append("finished last")
+            if reasons:
+                stragglers.append({
+                    "name": s.get("name", "?"),
+                    "pid": s.get("pid"),
+                    "dur_s": s["dur"] / _US,
+                    "reason": ", ".join(reasons),
+                })
+        stragglers.sort(key=lambda s: -s["dur_s"])
+
+    report = TraceReport(
+        trace_id=trace_id,
+        wall_s=wall_s,
+        span_count=len(spans),
+        lanes=lanes,
+        critical_path=critical_path,
+        critical_path_s=sum(step["dur_s"] for step in critical_path),
+        stage_seconds=stage_seconds,
+        stragglers=stragglers,
+    )
+    if events:
+        _analyze_events(report, events)
+    return report
+
+
+def _analyze_events(report: TraceReport, events: list[dict[str, Any]]) -> None:
+    report.event_count = len(events)
+    failures: dict[Any, int] = {}
+    requests = coalesced = hits = misses = 0
+    for e in events:
+        kind = e.get("kind")
+        if kind in ("chunk.retry", "chunk.timeout"):
+            chunk = e.get("chunk")
+            failures[chunk] = failures.get(chunk, 0) + 1
+        elif kind == "chunk.skipped":
+            report.skipped_chunks += 1
+        elif kind == "sweep.truncated":
+            report.truncated = True
+        elif kind == "request.done":
+            requests += 1
+        elif kind == "coalesce":
+            coalesced += 1
+        elif kind == "cache.hit":
+            hits += 1
+        elif kind == "cache.miss":
+            misses += 1
+        elif kind in ("backpressure.reject", "draining.reject"):
+            report.backpressure_rejects += 1
+    report.retry_hotspots = [
+        {"chunk": chunk, "failures": n}
+        for chunk, n in sorted(failures.items(), key=lambda kv: -kv[1])[:10]
+    ]
+    if hits or misses:
+        report.cache = {
+            "hits": hits,
+            "misses": misses,
+            "hit_ratio": hits / (hits + misses),
+        }
+    if requests or coalesced:
+        report.coalescing = {
+            "requests": requests,
+            "coalesced": coalesced,
+            "rate": coalesced / requests if requests else 0.0,
+        }
+
+
+def analyze_files(
+    trace_path: str | Path,
+    events_path: str | Path | None = None,
+) -> TraceReport:
+    """Load and analyze a trace file plus an optional event journal."""
+    from .events import read_events
+
+    trace = load_trace(trace_path)
+    events = read_events(events_path) if events_path is not None else None
+    return analyze_trace(trace, events)

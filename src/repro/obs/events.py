@@ -1,0 +1,241 @@
+"""The flight recorder: a structured, append-only JSONL event journal.
+
+Spans answer "where did the time go"; counters answer "how much of each
+thing happened".  Neither answers "what exactly happened, in order, when a
+sweep went sideways at 2am" — that is this module's job.  An
+:class:`EventJournal` records one JSON object per line for every discrete
+decision the pipeline makes: chunk dispatch/completion, retries and
+timeouts, serial fallbacks, cache hits and misses, request coalescing,
+backpressure rejections, deadline truncation.
+
+Design constraints, in order:
+
+* **Append-only and crash-safe.**  Lines are written with a single
+  ``os.write`` to an ``O_APPEND`` descriptor; on POSIX a sub-``PIPE_BUF``
+  append is atomic, so concurrent writers (the supervisor thread and the
+  service's handler threads share one journal) never interleave bytes and
+  a crash never leaves a torn line.
+* **Schema-versioned.**  Every line carries ``"v": EVENTS_VERSION`` plus
+  the required envelope (``kind``, ``ts`` wall-clock epoch seconds,
+  ``mono`` the machine-wide ``perf_counter`` timebase shared with traces,
+  ``pid``); :func:`validate_events_file` checks the envelope and flags
+  unknown kinds, mirroring ``validate_trace_file`` for Chrome traces.
+* **Bounded.**  When the journal would exceed ``max_bytes`` it rotates:
+  the current file is atomically renamed to ``<path>.1`` (``os.replace``,
+  the same primitive :func:`repro.fsutil.atomic_write_text` rests on) and
+  a fresh file continues — one generation of history is kept.
+
+``repro trace --events`` (:mod:`repro.obs.analyze`) joins the journal with
+a stitched Chrome trace via the shared ``mono`` timebase and ``trace_id``.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import threading
+import time
+from pathlib import Path
+from typing import Any, Iterator
+
+logger = logging.getLogger(__name__)
+
+EVENTS_VERSION = 1
+
+# Every kind the pipeline emits; the validator flags anything else as a
+# probable typo.  Grouped by emitter.
+EVENT_KINDS = frozenset({
+    # search coordinator (execution_search / system_search)
+    "search.start",
+    "search.done",
+    "chunk.resumed",
+    "sweep.size",
+    # fault supervision (search/faults.run_supervised)
+    "chunk.dispatch",
+    "chunk.done",
+    "chunk.retry",
+    "chunk.timeout",
+    "chunk.serial_fallback",
+    "chunk.skipped",
+    "sweep.truncated",
+    # evaluation service (service/server + service/dispatch)
+    "request.done",
+    "cache.hit",
+    "cache.miss",
+    "coalesce",
+    "backpressure.reject",
+    "draining.reject",
+    "batch.dispatch",
+})
+
+# Envelope keys every line must carry (and their JSON types).
+_ENVELOPE = {
+    "v": int,
+    "kind": str,
+    "ts": (int, float),
+    "mono": (int, float),
+    "pid": int,
+}
+
+_DEFAULT_MAX_BYTES = 64 * 2**20
+
+
+class EventJournal:
+    """Append structured events to a JSONL file with bounded rotation.
+
+    Thread-safe; cheap enough to leave on (one dict, one ``json.dumps``,
+    one ``os.write`` per event — events are emitted at chunk/request
+    granularity, never per candidate).  ``source`` tags every line with the
+    emitting role ("search", "server", ...), so merged journals stay
+    attributable.
+    """
+
+    def __init__(
+        self,
+        path: str | os.PathLike,
+        *,
+        source: str | None = None,
+        trace_id: str | None = None,
+        max_bytes: int = _DEFAULT_MAX_BYTES,
+    ):
+        if max_bytes < 4096:
+            raise ValueError("max_bytes must be >= 4096")
+        self.path = Path(path)
+        self.source = source
+        self.trace_id = trace_id
+        self.max_bytes = max_bytes
+        self._lock = threading.Lock()
+        self._fd: int | None = None
+        self._size = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def _open_locked(self) -> int:
+        if self._fd is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fd = os.open(
+                self.path, os.O_CREAT | os.O_WRONLY | os.O_APPEND, 0o644
+            )
+            self._size = os.fstat(self._fd).st_size
+        return self._fd
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fd is not None:
+                os.close(self._fd)
+                self._fd = None
+
+    def __enter__(self) -> "EventJournal":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # -- emission ------------------------------------------------------------
+
+    def emit(self, kind: str, **fields: Any) -> None:
+        """Append one event.  Unknown ``kind`` values are allowed at runtime
+        (forward compatibility) but flagged by :func:`validate_events_file`."""
+        record: dict[str, Any] = {
+            "v": EVENTS_VERSION,
+            "kind": kind,
+            "ts": time.time(),
+            "mono": time.perf_counter(),
+            "pid": os.getpid(),
+        }
+        if self.source is not None:
+            record["source"] = self.source
+        if self.trace_id is not None:
+            record["trace_id"] = self.trace_id
+        record.update(fields)
+        line = (json.dumps(record, separators=(",", ":")) + "\n").encode("utf-8")
+        with self._lock:
+            fd = self._open_locked()
+            if self._size + len(line) > self.max_bytes and self._size > 0:
+                self._rotate_locked()
+                fd = self._open_locked()
+            os.write(fd, line)
+            self._size += len(line)
+
+    def _rotate_locked(self) -> None:
+        """Atomically shunt the full journal aside and start a fresh one."""
+        os.close(self._fd)  # type: ignore[arg-type]
+        self._fd = None
+        self._size = 0
+        rotated = self.path.with_name(self.path.name + ".1")
+        try:
+            os.replace(self.path, rotated)
+        except OSError:  # pragma: no cover - rotation is best-effort
+            logger.exception("event journal rotation failed for %s", self.path)
+
+
+# ---------------------------------------------------------------------------
+# Reading and validation
+# ---------------------------------------------------------------------------
+
+def read_events(path: str | os.PathLike) -> list[dict[str, Any]]:
+    """Load every event from a journal file (rotated generation first).
+
+    Returns events in write order; a missing file yields an empty list (a
+    run that emitted nothing is not an error).
+    """
+    return list(iter_events(path))
+
+
+def iter_events(path: str | os.PathLike) -> Iterator[dict[str, Any]]:
+    path = Path(path)
+    for p in (path.with_name(path.name + ".1"), path):
+        if not p.exists():
+            continue
+        with p.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    yield json.loads(line)
+
+
+def validate_events(events: list[Any]) -> list[str]:
+    """Check loaded events against the v1 journal schema.
+
+    Returns human-readable problems; empty means every line carries the
+    required envelope, a supported schema version, and a known kind.
+    """
+    errors: list[str] = []
+    for n, event in enumerate(events):
+        if not isinstance(event, dict):
+            errors.append(f"event {n}: not an object")
+            continue
+        for key, types in _ENVELOPE.items():
+            if key not in event:
+                errors.append(f"event {n}: missing key {key!r}")
+            elif not isinstance(event[key], types) or isinstance(event[key], bool):
+                errors.append(
+                    f"event {n}: key {key!r} has type {type(event[key]).__name__}"
+                )
+        v = event.get("v")
+        if isinstance(v, int) and v > EVENTS_VERSION:
+            errors.append(f"event {n}: unsupported schema version {v}")
+        kind = event.get("kind")
+        if isinstance(kind, str) and kind not in EVENT_KINDS:
+            errors.append(f"event {n}: unknown kind {kind!r}")
+    return errors
+
+
+def validate_events_file(path: str | os.PathLike) -> list[str]:
+    """Load ``path`` as JSONL and run :func:`validate_events` on it."""
+    path = Path(path)
+    if not path.exists():
+        return [f"no such event journal: {path}"]
+    events: list[Any] = []
+    try:
+        for n, line in enumerate(path.read_text(encoding="utf-8").splitlines()):
+            if not line.strip():
+                continue
+            try:
+                events.append(json.loads(line))
+            except json.JSONDecodeError as err:
+                return [f"line {n}: not valid JSON ({err})"]
+    except OSError as err:
+        return [f"unreadable event journal: {err}"]
+    return validate_events(events)

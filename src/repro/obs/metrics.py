@@ -66,6 +66,40 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    @staticmethod
+    def bucket_upper_bound(exp: int) -> float:
+        """Inclusive upper edge of the bucket keyed by binary exponent ``exp``.
+
+        ``observe`` files ``x > 0`` under ``math.frexp(x)[1]``, i.e. bucket
+        ``e`` holds ``[2**(e-1), 2**e)``; non-positive observations land in
+        bucket 0 (upper edge 1.0), which still bounds them from above.
+        """
+        return math.ldexp(1.0, exp)
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile (0..1) from the power-of-two buckets.
+
+        Linear interpolation inside the covering bucket, clamped to the
+        exact observed ``[min, max]`` — good to within a factor of two by
+        construction, exact at the extremes.  Returns 0.0 when empty.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        cumulative = 0
+        for exp in sorted(self.buckets):
+            n = self.buckets[exp]
+            if cumulative + n >= rank:
+                hi = self.bucket_upper_bound(exp)
+                lo = hi / 2.0
+                frac = (rank - cumulative) / n
+                est = lo + (hi - lo) * frac
+                return min(max(est, self.min), self.max)
+            cumulative += n
+        return self.max
+
     def merge(self, other: "Histogram") -> None:
         self.count += other.count
         self.total += other.total

@@ -75,21 +75,33 @@ class ProgressReporter:
 
     @property
     def elapsed(self) -> float:
-        return self._clock() - self._start
+        # The default clock (perf_counter) is monotonic, but an injected
+        # clock may not be: clamp so a backwards step never yields negative
+        # elapsed time (and, downstream, a negative rate).
+        return max(self._clock() - self._start, 0.0)
 
     @property
     def rate(self) -> float:
-        """Items completed per second so far."""
+        """Items completed per second so far (0.0 before the clock moves)."""
         dt = self.elapsed
         return self.done / dt if dt > 0 else 0.0
 
     @property
     def eta(self) -> float | None:
-        """Estimated seconds remaining (``None`` before any completion)."""
+        """Estimated seconds remaining.
+
+        ``None`` whenever no defensible estimate exists: unknown total, no
+        completions yet, or a zero rate (stalled clock or stalled sweep) —
+        never a ``ZeroDivisionError``, an ``inf`` or a negative number.
+        Overshoot (``done > total``) clamps to 0.
+        """
         if self.total is None or self.done == 0:
             return None
+        rate = self.rate
+        if rate <= 0:
+            return None
         remaining = max(self.total - self.done, 0)
-        return remaining / self.rate if self.rate > 0 else None
+        return remaining / rate
 
     @property
     def feasible_fraction(self) -> float:

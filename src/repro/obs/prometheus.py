@@ -2,11 +2,17 @@
 
 The evaluation service exposes ``GET /metrics`` in the Prometheus
 text exposition format (version 0.0.4) so a stock Prometheus scrape — or a
-``curl | grep`` — can watch cache hit rates and queue depths without any
-client library.  Only the registry's own structures are rendered: counters
-become ``counter`` samples, histograms become ``summary``-style
-``_count``/``_sum`` pairs plus ``_min``/``_max`` gauges (the registry keeps
-extremes, not quantiles).
+``curl | grep`` — can watch cache hit rates, queue depths and latency
+distributions without any client library.  Counters become ``counter``
+samples, histograms become real ``histogram`` families — cumulative
+``_bucket{le="..."}`` series derived from the registry's power-of-two
+buckets, plus ``_sum``/``_count`` — so p50/p95/p99 come straight out of
+``histogram_quantile()``; observed extremes ride along as ``_min``/``_max``
+gauges.
+
+Every exported name carries the ``repro_`` namespace prefix (one tool, one
+namespace — scrapes of mixed fleets stay greppable), and label values are
+escaped per the exposition grammar (``\\``, ``"`` and newlines).
 """
 
 from __future__ import annotations
@@ -14,9 +20,12 @@ from __future__ import annotations
 import re
 from typing import Mapping
 
-from .metrics import MetricsRegistry
+from .metrics import Histogram, MetricsRegistry
 
 _INVALID = re.compile(r"[^a-zA-Z0-9_:]")
+
+# Namespace prefix applied to every exported sample name.
+NAMESPACE = "repro"
 
 
 def prometheus_name(name: str) -> str:
@@ -24,12 +33,67 @@ def prometheus_name(name: str) -> str:
 
     Dots (the registry's namespace separator) become underscores; any other
     character outside ``[a-zA-Z0-9_:]`` is squashed to ``_``; a leading
-    digit gets a ``_`` prefix.
+    digit gets a ``_`` prefix.  The :data:`NAMESPACE` prefix is applied
+    idempotently (a name already starting with ``repro_`` is kept as-is).
     """
     out = _INVALID.sub("_", name.replace(".", "_"))
     if out and out[0].isdigit():
         out = "_" + out
+    if out != NAMESPACE and not out.startswith(NAMESPACE + "_"):
+        out = f"{NAMESPACE}_{out}"
     return out
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the text exposition format.
+
+    Backslash, double-quote and newline are the three characters the
+    grammar requires escaping inside ``label="..."``; everything else
+    passes through verbatim.
+    """
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _format_le(bound: float) -> str:
+    """Render a bucket upper bound the way Prometheus conventions expect."""
+    if bound == float("inf"):
+        return "+Inf"
+    return f"{bound:g}"
+
+
+def render_histogram(name: str, hist: Mapping[str, object]) -> list[str]:
+    """Render one snapshot histogram as a Prometheus ``histogram`` family.
+
+    The registry's sparse power-of-two buckets become cumulative
+    ``_bucket{le="2^e"}`` series (ordered, each including everything below
+    it) capped by the mandatory ``le="+Inf"`` bucket equal to ``_count``.
+    """
+    pname = prometheus_name(name)
+    count = int(hist["count"])  # type: ignore[arg-type]
+    total = float(hist["total"])  # type: ignore[arg-type]
+    buckets: dict[int, int] = {
+        int(k): int(v) for k, v in hist["buckets"].items()  # type: ignore[union-attr]
+    }
+    lines = [f"# TYPE {pname} histogram"]
+    cumulative = 0
+    for exp in sorted(buckets):
+        cumulative += buckets[exp]
+        le = escape_label_value(_format_le(Histogram.bucket_upper_bound(exp)))
+        lines.append(f'{pname}_bucket{{le="{le}"}} {cumulative}')
+    lines.append(f'{pname}_bucket{{le="+Inf"}} {count}')
+    lines.append(f"{pname}_sum {total:g}")
+    lines.append(f"{pname}_count {count}")
+    if count:
+        lines.append(f"# TYPE {pname}_min gauge")
+        lines.append(f"{pname}_min {hist['min']:g}")
+        lines.append(f"# TYPE {pname}_max gauge")
+        lines.append(f"{pname}_max {hist['max']:g}")
+    return lines
 
 
 def render_prometheus(
@@ -53,16 +117,7 @@ def render_prometheus(
         lines.append(f"# TYPE {pname} counter")
         lines.append(f"{pname} {counters[name]:g}")
     for name in sorted(histograms):
-        hist = histograms[name]
-        pname = prometheus_name(name)
-        lines.append(f"# TYPE {pname} summary")
-        lines.append(f"{pname}_count {hist['count']}")
-        lines.append(f"{pname}_sum {hist['total']:g}")
-        if hist["count"]:
-            lines.append(f"# TYPE {pname}_min gauge")
-            lines.append(f"{pname}_min {hist['min']:g}")
-            lines.append(f"# TYPE {pname}_max gauge")
-            lines.append(f"{pname}_max {hist['max']:g}")
+        lines.extend(render_histogram(name, histograms[name]))
     for name in sorted(gauges or {}):
         pname = prometheus_name(name)
         lines.append(f"# TYPE {pname} gauge")

@@ -40,6 +40,11 @@ M_COLUMNAR_BATCHES = "engine.columnar.batches"
 M_COLUMNAR_CANDIDATES = "engine.columnar.candidates"
 M_COLUMNAR_FALLBACK = "engine.columnar.fallback"
 
+# -- search metric names ------------------------------------------------------
+# Histogram of per-chunk wall seconds, observed inside each worker and merged
+# into the parent registry with the engine counters.
+M_CHUNK_SECONDS = "search.chunk.seconds"
+
 
 def stage_metric(stage: str) -> str:
     """Histogram name recording wall seconds spent in ``stage``."""

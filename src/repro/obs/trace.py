@@ -33,6 +33,8 @@ import logging
 import os
 import threading
 import time
+import uuid
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Any
 
@@ -42,6 +44,53 @@ logger = logging.getLogger(__name__)
 
 # Trace-event timestamps are microseconds.
 _US = 1e6
+
+# The HTTP header carrying a serialized TraceContext (client -> server).
+TRACE_HEADER = "X-Repro-Trace"
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The propagated identity of a distributed trace.
+
+    ``trace_id`` names the whole trace (one per coordinator
+    :class:`Tracer`); ``parent`` optionally names the span under which the
+    remote work should nest.  The context crosses process boundaries as a
+    plain dict (pickled into ``multiprocessing`` chunk args) and HTTP
+    boundaries as the :data:`TRACE_HEADER` header value
+    (``<trace_id>`` or ``<trace_id>;<parent>``).
+    """
+
+    trace_id: str
+    parent: str | None = None
+
+    def to_header(self) -> str:
+        return self.trace_id if self.parent is None else f"{self.trace_id};{self.parent}"
+
+    @classmethod
+    def from_header(cls, value: str) -> "TraceContext | None":
+        value = value.strip()
+        if not value:
+            return None
+        trace_id, _, parent = value.partition(";")
+        trace_id = trace_id.strip()
+        if not trace_id:
+            return None
+        return cls(trace_id=trace_id, parent=parent.strip() or None)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"trace_id": self.trace_id, "parent": self.parent}
+
+    @classmethod
+    def from_dict(cls, d: Any) -> "TraceContext | None":
+        if not isinstance(d, dict) or not d.get("trace_id"):
+            return None
+        return cls(trace_id=str(d["trace_id"]), parent=d.get("parent") or None)
+
+
+def new_trace_id() -> str:
+    """A fresh 32-hex-char trace identifier."""
+    return uuid.uuid4().hex
 
 
 class _NullSpan:
@@ -92,10 +141,18 @@ class Tracer:
     and record nothing.
     """
 
-    def __init__(self, enabled: bool = True):
+    def __init__(self, enabled: bool = True, trace_id: str | None = None):
         self.enabled = enabled
+        self.trace_id = trace_id or new_trace_id()
         self._events: list[dict[str, Any]] = []
         self._pid = os.getpid()
+        # pid -> display label for merged foreign events ("worker"/"server");
+        # our own pid renders as "main".
+        self._pid_labels: dict[int, str] = {}
+
+    def context(self, parent: str | None = None) -> TraceContext:
+        """The propagation context to ship across a process/HTTP boundary."""
+        return TraceContext(trace_id=self.trace_id, parent=parent)
 
     # -- recording -----------------------------------------------------------
 
@@ -163,9 +220,19 @@ class Tracer:
             event["args"] = args
         self._events.append(event)
 
-    def add_events(self, events: list[dict[str, Any]]) -> None:
-        """Merge raw events recorded elsewhere (typically a worker process)."""
+    def add_events(self, events: list[dict[str, Any]], label: str | None = None) -> None:
+        """Merge raw events recorded elsewhere (typically a worker process).
+
+        ``label`` names the originating process kind ("worker", "server");
+        foreign pids keep their own timeline lane in the viewer and render as
+        ``"<label> <pid>"`` (defaulting to ``"worker <pid>"``).
+        """
         self._events.extend(events)
+        if label is not None:
+            for e in events:
+                pid = e.get("pid")
+                if isinstance(pid, int) and pid != self._pid:
+                    self._pid_labels[pid] = label
 
     # -- export --------------------------------------------------------------
 
@@ -176,7 +243,10 @@ class Tracer:
         """The complete JSON-object trace, ready for ``json.dump``.
 
         Timestamps are rebased so the earliest event starts at zero, and one
-        ``process_name`` metadata event labels each pid track.
+        ``process_name`` metadata event labels each pid track.  The trace
+        identifier rides along both as a top-level ``otherData`` entry and in
+        each metadata event, so a stitched multi-process trace is
+        self-describing.
         """
         events = [dict(e) for e in self._events]
         if events:
@@ -184,17 +254,28 @@ class Tracer:
             for e in events:
                 e["ts"] -= t0
         pids = sorted({e["pid"] for e in events})
+
+        def _label(pid: int) -> str:
+            if pid == self._pid:
+                return "main"
+            kind = self._pid_labels.get(pid, "worker")
+            return f"{kind} {pid}"
+
         meta = [
             {
                 "name": "process_name",
                 "ph": "M",
                 "pid": pid,
                 "tid": 0,
-                "args": {"name": "main" if pid == self._pid else f"worker {pid}"},
+                "args": {"name": _label(pid)},
             }
             for pid in pids
         ]
-        return {"traceEvents": meta + events, "displayTimeUnit": "ms"}
+        return {
+            "traceEvents": meta + events,
+            "displayTimeUnit": "ms",
+            "otherData": {"trace_id": self.trace_id},
+        }
 
     def write(self, path: str | Path) -> Path:
         """Serialize the trace to ``path`` as Chrome trace-event JSON.

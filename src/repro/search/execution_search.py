@@ -38,13 +38,14 @@ from ..llm.config import LLMConfig
 from ..obs import (
     M_COMM_CACHE_HITS,
     M_COMM_CACHE_MISSES,
+    EventJournal,
     MetricsRegistry,
     ProgressReporter,
     PruneStats,
     SweepStats,
     Tracer,
 )
-from ..obs.stats import STAGE_NAMES, stage_metric
+from ..obs.stats import M_CHUNK_SECONDS, STAGE_NAMES, stage_metric
 from .checkpoint import CheckpointJournal, run_key
 from .faults import FaultInjector, RetryPolicy, run_supervised
 
@@ -261,6 +262,10 @@ def _chunk_trace_events(
     laid out sequentially from the chunk start.  They render as an in-chunk
     breakdown in Perfetto; only their durations (not their placement) are
     measurements.
+
+    The chunk span carries the tracer's ``trace_id`` in its args, so spans
+    shipped back from worker processes remain attributable to the
+    coordinator's trace after stitching.
     """
     tracer.add_span(
         f"chunk[{chunk_index}]",
@@ -269,6 +274,7 @@ def _chunk_trace_events(
         elapsed,
         candidates=n_strategies,
         feasible=feasible,
+        trace_id=tracer.trace_id,
     )
     offset = start
     for stage in STAGE_NAMES:
@@ -282,7 +288,7 @@ def _chunk_trace_events(
 def _evaluate_chunk(
     args: tuple[
         LLMConfig, System, list[ExecutionStrategy], int, object, bool, int,
-        FaultInjector | None, bool, float, bool | None,
+        FaultInjector | None, bool, float, bool | None, str | None,
     ]
 ) -> tuple[
     int,
@@ -293,7 +299,7 @@ def _evaluate_chunk(
     list[dict] | None,
 ]:
     (llm, system, strategies, top_k, constraint, instrument, chunk_index,
-     injector, bound_prune, seed_floor, columnar) = args
+     injector, bound_prune, seed_floor, columnar, trace_id) = args
     if injector is not None:
         injector.fire(chunk_index)
     registry = MetricsRegistry() if instrument else None
@@ -353,9 +359,15 @@ def _evaluate_chunk(
     top = [(strat, res) for _, _, strat, res in ranked]
     snapshot = events = None
     if registry is not None:
-        tracer = Tracer()
+        elapsed = perf_counter() - start
+        # Per-chunk latency distribution, merged into the parent registry
+        # alongside the engine counters (p50/p95 straggler visibility).
+        registry.observe(M_CHUNK_SECONDS, elapsed)
+        # The worker's tracer adopts the coordinator's trace context, so the
+        # chunk spans it ships back belong to the caller's trace_id.
+        tracer = Tracer(trace_id=trace_id)
         _chunk_trace_events(
-            tracer, chunk_index, registry, start, perf_counter() - start,
+            tracer, chunk_index, registry, start, elapsed,
             len(strategies), feasible,
         )
         snapshot = registry.snapshot()
@@ -506,6 +518,7 @@ def search(
     tracer: Tracer | None = None,
     collect_stats: bool = False,
     progress: ProgressReporter | None = None,
+    events: EventJournal | None = None,
     checkpoint: str | os.PathLike | None = None,
     resume: bool = False,
     deadline: float | None = None,
@@ -560,6 +573,13 @@ def search(
             result, aggregated across worker chunks.
         progress: fed one update per finished chunk (its total is set to
             the candidate count once enumeration finishes).
+        events: a :class:`~repro.obs.EventJournal` flight recorder; the
+            search emits ``search.start``/``search.done`` plus the full
+            chunk lifecycle (dispatch, done, retry, timeout, fallback,
+            skip, resume, truncation).  Supplying a journal engages the
+            supervised chunked dispatch path — the layer where the
+            lifecycle exists — so a journaled serial search is chunked
+            like a checkpointed one.
         checkpoint: path of a JSONL checkpoint journal; every completed
             chunk is journaled so an interrupted sweep can be resumed.
         resume: reload ``checkpoint`` and skip already-journaled chunks
@@ -576,16 +596,17 @@ def search(
         fault_injector: deterministic test hook that makes one chunk raise,
             hang or crash (see :class:`~repro.search.faults.FaultInjector`).
 
-    Any of the last five arguments engages the supervised dispatch path
-    (and forces chunked evaluation); without them the fast legacy dispatch
-    is used and behavior is unchanged.
+    ``events`` or any of the last five arguments engages the supervised
+    dispatch path (and forces chunked evaluation); without them the fast
+    legacy dispatch is used and behavior is unchanged.
     """
     if resume and checkpoint is None:
         raise ValueError("resume=True requires a checkpoint path")
     t_start = perf_counter()
     instrument = collect_stats or tracer is not None
     fault_mode = (
-        checkpoint is not None
+        events is not None
+        or checkpoint is not None
         or deadline is not None
         or retry_policy is not None
         or fault_injector is not None
@@ -672,11 +693,19 @@ def search(
         )
         journal = CheckpointJournal.open(
             checkpoint, key, resume=resume,
-            meta={"step": step, "num_candidates": len(strategies)},
+            meta={
+                "step": step,
+                "num_candidates": len(strategies),
+                "trace_id": tracer.trace_id if tracer is not None else None,
+            },
         )
         # The journal's chunk layout wins: resuming with a different worker
         # count must slice the space exactly as the original run did.
         step = int(journal.meta.get("step", step)) or step
+        # So does its trace identity: a resumed run continues the original
+        # trace, letting the stitched Chrome trace span both invocations.
+        if tracer is not None and journal.meta.get("trace_id"):
+            tracer.trace_id = str(journal.meta["trace_id"])
 
     chunks: list[list[ExecutionStrategy]] = [strategies]
     if chunked:
@@ -687,9 +716,10 @@ def search(
         len(strategies), workers, len(chunks), instrument, fault_mode,
     )
 
+    trace_id = tracer.trace_id if tracer is not None else None
     args = [
         (llm, system, c, top_k, constraint, instrument, n, fault_injector,
-         do_prune, seed_floor, columnar)
+         do_prune, seed_floor, columnar, trace_id)
         for n, c in enumerate(chunks)
     ]
     truncated = False
@@ -697,6 +727,11 @@ def search(
     resumed = 0
     skipped_ranges: tuple[tuple[int, int], ...] = ()
     results: list[tuple[int, int, list, list, dict | None, list | None]]
+    if events is not None:
+        events.emit(
+            "search.start", candidates=len(strategies),
+            workers=max(workers, 1), chunks=len(chunks), trace_id=trace_id,
+        )
     if fault_mode:
         chunk_results: dict[int, tuple] = {}
         tasks: dict[int, tuple] = {}
@@ -704,6 +739,8 @@ def search(
             if journal is not None and str(n) in journal:
                 chunk_results[n] = _chunk_from_payload(llm, system, journal.get(str(n)))
                 resumed += 1
+                if events is not None:
+                    events.emit("chunk.resumed", chunk=n)
             else:
                 tasks[n] = a
         if progress is not None:
@@ -724,6 +761,8 @@ def search(
             policy=retry_policy,
             deadline=t_start + deadline if deadline is not None else None,
             on_result=_on_chunk,
+            events=events,
+            tracer=tracer,
         )
         truncated = report.truncated
         retries = report.retries
@@ -784,6 +823,12 @@ def search(
             skipped=skipped_ranges,
             resumed_chunks=resumed,
             truncated=truncated,
+        )
+    if events is not None:
+        events.emit(
+            "search.done", seconds=perf_counter() - t_start,
+            evaluated=num_eval, feasible=num_feasible, retries=retries,
+            resumed=resumed, truncated=truncated,
         )
     return SearchResult(
         best=best,

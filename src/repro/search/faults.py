@@ -173,6 +173,8 @@ def run_supervised(
     policy: RetryPolicy | None = None,
     deadline: float | None = None,
     on_result: Callable[[int, Any], None] | None = None,
+    events: Any | None = None,
+    tracer: Any | None = None,
 ) -> SupervisionReport:
     """Run ``fn(tasks[i])`` for every task under the supervision policy.
 
@@ -184,6 +186,14 @@ def run_supervised(
     completion order, as each chunk finishes (this is where the search
     layer journals checkpoints and ticks progress).
 
+    ``events`` is an optional :class:`~repro.obs.EventJournal`: the
+    supervisor records the chunk lifecycle (dispatch, done, retry, timeout,
+    serial fallback, skip, deadline truncation) as it happens.  ``tracer``
+    is an optional :class:`~repro.obs.Tracer`: a chunk that *fails* still
+    gets a span — closed here by the supervisor, since a crashed or hung
+    worker never returns its own trace events — so failed attempts are
+    visible on the timeline, not silent gaps.
+
     ``workers <= 1`` runs serially in-process: retries and backoff apply,
     but a crash-mode fault kills the caller (there is no isolation to fall
     back on) and ``timeout`` cannot interrupt a hung chunk.
@@ -191,12 +201,35 @@ def run_supervised(
     policy = policy or RetryPolicy()
     report = SupervisionReport()
     if workers <= 1:
-        _run_serial(fn, tasks, policy, deadline, on_result, report)
+        _run_serial(fn, tasks, policy, deadline, on_result, report, events, tracer)
     else:
-        _run_pool(fn, tasks, workers, policy, deadline, on_result, report)
+        _run_pool(fn, tasks, workers, policy, deadline, on_result, report,
+                  events, tracer)
     report.skipped.sort()
     report.pending.sort()
     return report
+
+
+def _emit(events, kind: str, **fields: Any) -> None:
+    """Journal one supervision event; a ``None`` journal costs a branch."""
+    if events is not None:
+        events.emit(kind, **fields)
+
+
+def _close_failed_span(tracer, index: int, started: float, err: BaseException,
+                       attempt: int) -> None:
+    """Record the span of a failed chunk attempt on the supervisor's lane.
+
+    The worker that owned the attempt may be dead (crash) or hung
+    (timeout), so its own span was never closed; the supervisor knows the
+    dispatch instant and the failure instant and closes the span itself.
+    """
+    if tracer is not None:
+        tracer.add_span(
+            f"chunk[{index}] failed", "search.fault", started,
+            perf_counter() - started,
+            chunk=index, attempt=attempt, error=repr(err),
+        )
 
 
 def _record(report, on_result, index, result) -> None:
@@ -205,14 +238,24 @@ def _record(report, on_result, index, result) -> None:
         on_result(index, result)
 
 
-def _run_serial(fn, tasks, policy, deadline, on_result, report) -> None:
+def _run_serial(fn, tasks, policy, deadline, on_result, report,
+                events=None, tracer=None) -> None:
     order = sorted(tasks)
+    # Timing calls are gated on instrumentation being attached: the serial
+    # loop must not consume extra perf_counter() reads when uninstrumented
+    # (tests pin deadline behavior to a fake clock, and the fast path stays
+    # fast).
+    instrumented = events is not None or tracer is not None
     for pos, index in enumerate(order):
         if deadline is not None and perf_counter() >= deadline:
             report.truncated = True
             report.pending.extend(order[pos:])
+            _emit(events, "sweep.truncated", pending=len(order) - pos)
             return
         for attempt in range(policy.max_retries + 1):
+            started = perf_counter() if instrumented else 0.0
+            _emit(events, "chunk.dispatch", chunk=index, attempt=attempt,
+                  mode="serial")
             try:
                 result = fn(tasks[index])
             except Exception as err:
@@ -220,14 +263,21 @@ def _run_serial(fn, tasks, policy, deadline, on_result, report) -> None:
                     "chunk %d failed (attempt %d/%d): %s",
                     index, attempt + 1, policy.max_retries + 1, err,
                 )
+                _close_failed_span(tracer, index, started, err, attempt)
                 if attempt < policy.max_retries:
                     report.retries += 1
+                    _emit(events, "chunk.retry", chunk=index, attempt=attempt,
+                          error=repr(err))
                     time.sleep(policy.delay(attempt))
                     continue
                 report.skipped.append(index)
+                _emit(events, "chunk.skipped", chunk=index, error=repr(err))
                 break
             else:
                 _record(report, on_result, index, result)
+                if events is not None:
+                    events.emit("chunk.done", chunk=index,
+                                seconds=perf_counter() - started)
                 break
 
 
@@ -242,36 +292,51 @@ def _kill_pool(pool: ProcessPoolExecutor) -> None:
             pass
 
 
-def _run_pool(fn, tasks, workers, policy, deadline, on_result, report) -> None:
+def _run_pool(fn, tasks, workers, policy, deadline, on_result, report,
+              events=None, tracer=None) -> None:
     queue: list[int] = sorted(tasks)
     attempts: dict[int, int] = {}
     not_before: dict[int, float] = {}
     pool = ProcessPoolExecutor(max_workers=workers)
     inflight: dict[Any, tuple[int, float]] = {}
 
-    def fail(index: int, err: BaseException) -> None:
+    def fail(index: int, err: BaseException, started: float) -> None:
         attempt = attempts.get(index, 0)
         logger.warning(
             "chunk %d failed (attempt %d/%d): %s",
             index, attempt + 1, policy.max_retries + 1, err,
         )
+        _close_failed_span(tracer, index, started, err, attempt)
+        kind = "chunk.timeout" if isinstance(err, TimeoutError) else "chunk.retry"
         if attempt < policy.max_retries:
             attempts[index] = attempt + 1
             report.retries += 1
+            _emit(events, kind, chunk=index, attempt=attempt, error=repr(err))
             not_before[index] = perf_counter() + policy.delay(attempt)
             queue.append(index)
             return
+        _emit(events, kind, chunk=index, attempt=attempt, error=repr(err),
+              exhausted=True)
         if policy.serial_fallback:
             # Last resort before giving up on the range: out of the pool,
             # in the parent, where no pickling or worker state is involved.
             logger.warning("chunk %d: retries exhausted, re-running serially", index)
             report.retries += 1
+            _emit(events, "chunk.serial_fallback", chunk=index)
+            serial_start = perf_counter()
             try:
                 _record(report, on_result, index, fn(tasks[index]))
+                if events is not None:
+                    events.emit("chunk.done", chunk=index,
+                                mode="serial_fallback",
+                                seconds=perf_counter() - serial_start)
                 return
             except Exception as serial_err:
                 logger.error("chunk %d failed serially too: %s", index, serial_err)
+                _close_failed_span(tracer, index, serial_start, serial_err,
+                                   attempt + 1)
         report.skipped.append(index)
+        _emit(events, "chunk.skipped", chunk=index, error=repr(err))
 
     def submit(index: int) -> bool:
         nonlocal pool
@@ -282,6 +347,8 @@ def _run_pool(fn, tasks, workers, policy, deadline, on_result, report) -> None:
             pool = ProcessPoolExecutor(max_workers=workers)
             future = pool.submit(fn, tasks[index])
         inflight[future] = (index, perf_counter())
+        _emit(events, "chunk.dispatch", chunk=index,
+              attempt=attempts.get(index, 0), mode="pool")
         return True
 
     try:
@@ -290,6 +357,7 @@ def _run_pool(fn, tasks, workers, policy, deadline, on_result, report) -> None:
             if deadline is not None and now >= deadline and queue:
                 report.truncated = True
                 report.pending.extend(queue)
+                _emit(events, "sweep.truncated", pending=len(queue))
                 queue.clear()
             while queue and len(inflight) < workers:
                 ready = next(
@@ -308,29 +376,32 @@ def _run_pool(fn, tasks, workers, policy, deadline, on_result, report) -> None:
             done, _ = wait(set(inflight), timeout=TICK, return_when=FIRST_COMPLETED)
             broken = False
             for future in done:
-                index, _started = inflight.pop(future)
+                index, started = inflight.pop(future)
                 try:
                     result = future.result()
                 except BrokenProcessPool as err:
                     broken = True
-                    fail(index, err)
+                    fail(index, err, started)
                 except Exception as err:
-                    fail(index, err)
+                    fail(index, err, started)
                 else:
                     _record(report, on_result, index, result)
+                    if events is not None:
+                        events.emit("chunk.done", chunk=index,
+                                    seconds=perf_counter() - started)
             if broken:
                 # A dead worker poisons every future in the pool; siblings are
                 # charged an attempt too (the crasher is indistinguishable).
-                for future, (index, _started) in list(inflight.items()):
+                for future, (index, started) in list(inflight.items()):
                     del inflight[future]
-                    fail(index, BrokenProcessPool("sibling worker died"))
+                    fail(index, BrokenProcessPool("sibling worker died"), started)
                 _kill_pool(pool)
                 pool = ProcessPoolExecutor(max_workers=workers)
 
             if policy.timeout is not None and inflight:
                 now = perf_counter()
                 hung = [
-                    (future, index)
+                    (future, index, started)
                     for future, (index, started) in inflight.items()
                     if now - started > policy.timeout
                 ]
@@ -338,16 +409,16 @@ def _run_pool(fn, tasks, workers, policy, deadline, on_result, report) -> None:
                     # No portable way to kill one pool worker: tear the pool
                     # down, charge the hung chunks an attempt, and re-queue
                     # the innocent in-flight chunks without penalty.
-                    for future, index in hung:
+                    for future, index, _started in hung:
                         del inflight[future]
                     for future, (index, _started) in list(inflight.items()):
                         del inflight[future]
                         queue.insert(0, index)
                     _kill_pool(pool)
                     pool = ProcessPoolExecutor(max_workers=workers)
-                    for _future, index in hung:
+                    for _future, index, started in hung:
                         fail(index, TimeoutError(
                             f"chunk exceeded {policy.timeout:.3g}s timeout"
-                        ))
+                        ), started)
     finally:
         _kill_pool(pool)

@@ -19,7 +19,7 @@ import numpy as np
 from ..execution.strategy import ExecutionStrategy
 from ..hardware.system import System
 from ..llm.config import LLMConfig
-from ..obs import ProgressReporter, SweepStats, Tracer
+from ..obs import EventJournal, ProgressReporter, SweepStats, Tracer
 from ..obs.stats import PruneStats
 from .checkpoint import CheckpointJournal, run_key
 from .execution_search import SearchOptions, search
@@ -96,6 +96,7 @@ def best_at_size(
     columnar: bool | None = None,
     tracer: Tracer | None = None,
     collect_stats: bool = False,
+    events: EventJournal | None = None,
 ) -> ScalingPoint:
     """Search the execution space at one system size.
 
@@ -111,12 +112,14 @@ def best_at_size(
     pipeline; the point is identical either way).  ``tracer`` and
     ``collect_stats`` instrument the inner search; the point's
     :class:`~repro.obs.SweepStats` lands on ``ScalingPoint.stats``.
+    ``events`` threads a flight-recorder journal into the inner search
+    (which records the full chunk lifecycle; see :func:`repro.search.search`).
     """
     system = system_factory(num_procs)
     result = search(
         llm, system, batch, options, workers=workers, keep_rates=False, top_k=1,
         bound_prune=bound_prune, columnar=columnar, tracer=tracer,
-        collect_stats=collect_stats,
+        collect_stats=collect_stats, events=events,
     )
     if result.best is None:
         return ScalingPoint(
@@ -152,6 +155,7 @@ def scaling_sweep(
     tracer: Tracer | None = None,
     collect_stats: bool = False,
     progress: ProgressReporter | None = None,
+    events: EventJournal | None = None,
     checkpoint: str | os.PathLike | None = None,
     resume: bool = False,
     deadline: float | None = None,
@@ -169,6 +173,9 @@ def scaling_sweep(
     ``collect_stats`` records a :class:`~repro.obs.SweepStats` per point
     (merge them with :meth:`ScalingCurve.total_stats`); ``progress`` ticks
     once per completed size, with feasibility as the success count.
+    ``events`` records a ``sweep.size`` flight-recorder event per completed
+    size (plus the inner searches' chunk lifecycle) and ``sweep.truncated``
+    / ``chunk.resumed`` markers for deadline stops and journal restores.
 
     ``checkpoint`` journals each completed size so an interrupted sweep can
     ``resume`` without redoing finished sizes (restored points carry
@@ -200,24 +207,34 @@ def scaling_sweep(
         record_id = f"size={n}"
         if journal is not None and record_id in journal:
             points.append(_point_from_payload(journal.get(record_id)))
+            if events is not None:
+                events.emit("chunk.resumed", size=int(n))
             if progress is not None:
                 progress.update(1, int(points[-1].feasible))
             continue
         if deadline is not None and perf_counter() - t_start >= deadline:
             truncated = True
             logger.warning("scaling sweep deadline hit; stopping before size %d", n)
+            if events is not None:
+                events.emit("sweep.truncated", next_size=int(n))
             break
+        t_size = perf_counter()
         if span is not None:
             with span(f"size={n}", cat="sweep.size"):
                 point = best_at_size(llm, system_factory, n, batch, options,
                                      workers=workers, bound_prune=bound_prune,
                                      columnar=columnar, tracer=tracer,
-                                     collect_stats=collect_stats)
+                                     collect_stats=collect_stats, events=events)
         else:
             point = best_at_size(llm, system_factory, n, batch, options,
                                  workers=workers, bound_prune=bound_prune,
                                  columnar=columnar,
-                                 collect_stats=collect_stats)
+                                 collect_stats=collect_stats, events=events)
+        if events is not None:
+            events.emit(
+                "sweep.size", size=int(n), seconds=perf_counter() - t_size,
+                feasible=bool(point.feasible),
+            )
         points.append(point)
         if journal is not None:
             journal.record(record_id, _point_payload(point))

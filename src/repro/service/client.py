@@ -6,6 +6,13 @@ responses are retried with the same bounded exponential backoff a chunked
 search applies to crashed workers, and a 503 carrying ``Retry-After``
 (the server's backpressure signal) waits at least that long before the
 next attempt.  400s are the caller's fault and never retried.
+
+Passing a :class:`~repro.obs.Tracer` to :meth:`ServiceClient.evaluate` /
+:meth:`~ServiceClient.evaluate_many` propagates its trace context to the
+server in the ``X-Repro-Trace`` header; the server's ``service.request``
+span rides back on the response and is merged into the tracer under a
+``server`` process lane, so one Chrome trace shows both sides of every
+query.
 """
 
 from __future__ import annotations
@@ -18,6 +25,7 @@ from time import sleep
 from typing import Any, Sequence
 
 from ..execution.strategy import ExecutionStrategy
+from ..obs import TRACE_HEADER, Tracer
 from ..search.faults import RetryPolicy
 
 logger = logging.getLogger(__name__)
@@ -60,23 +68,33 @@ class ServiceClient:
         llm: str | dict,
         system: str | dict,
         strategy: ExecutionStrategy | dict,
+        *,
+        tracer: Tracer | None = None,
     ) -> dict:
         """Evaluate one configuration; returns the service's response payload
         (``result`` holds the flat result dict, ``cache`` says which tier —
-        or coalesced peer — served it)."""
-        return self._request(
+        or coalesced peer — served it).  With a ``tracer``, the request
+        carries its trace context and the server's spans are merged back
+        into it (see the module docstring)."""
+        response = self._request(
             "POST",
             "/evaluate",
             {"llm": llm, "system": system, "strategy": _strategy_dict(strategy)},
+            headers=_trace_headers(tracer),
         )
+        _merge_server_trace(tracer, response)
+        return response
 
     def evaluate_many(
         self,
         llm: str | dict,
         system: str | dict,
         strategies: Sequence[ExecutionStrategy | dict],
+        *,
+        tracer: Tracer | None = None,
     ) -> list[dict]:
-        """Evaluate a list of strategies; response payloads align with input."""
+        """Evaluate a list of strategies; response payloads align with input.
+        ``tracer`` propagates trace context exactly as in :meth:`evaluate`."""
         response = self._request(
             "POST",
             "/evaluate_many",
@@ -85,7 +103,9 @@ class ServiceClient:
                 "system": system,
                 "strategies": [_strategy_dict(s) for s in strategies],
             },
+            headers=_trace_headers(tracer),
         )
+        _merge_server_trace(tracer, response)
         return response["results"]
 
     def healthz(self) -> dict:
@@ -110,7 +130,13 @@ class ServiceClient:
     # -- transport -----------------------------------------------------------
 
     def _request(
-        self, method: str, path: str, payload: dict | None = None, *, raw: bool = False
+        self,
+        method: str,
+        path: str,
+        payload: dict | None = None,
+        *,
+        raw: bool = False,
+        headers: dict | None = None,
     ) -> Any:
         url = self.base_url + path
         body = None if payload is None else json.dumps(payload).encode("utf-8")
@@ -122,7 +148,7 @@ class ServiceClient:
                 url,
                 data=body,
                 method=method,
-                headers={"Content-Type": "application/json"},
+                headers={"Content-Type": "application/json", **(headers or {})},
             )
             try:
                 with urllib.request.urlopen(request, timeout=self.timeout) as resp:
@@ -141,6 +167,26 @@ class ServiceClient:
             f"{method} {url} failed after {self.retry.max_retries + 1} attempts: "
             f"{last_error}"
         )
+
+
+def _trace_headers(tracer: Tracer | None) -> dict | None:
+    if tracer is None or not tracer.enabled:
+        return None
+    return {TRACE_HEADER: tracer.context().to_header()}
+
+
+def _merge_server_trace(tracer: Tracer | None, response: Any) -> None:
+    """Fold the server's span events (if any) into the caller's tracer.
+
+    The ``"trace"`` key is popped either way so response payloads stay
+    schema-stable for callers that only want results.
+    """
+    if not isinstance(response, dict):
+        return
+    trace = response.pop("trace", None)
+    if tracer is None or not tracer.enabled or not trace:
+        return
+    tracer.add_events(trace.get("events", []), label="server")
 
 
 def _strategy_dict(strategy: ExecutionStrategy | dict) -> dict:

@@ -35,6 +35,7 @@ from ..obs import (
     M_COLUMNAR_FALLBACK,
     M_COMM_CACHE_HITS,
     M_COMM_CACHE_MISSES,
+    EventJournal,
     MetricsRegistry,
 )
 
@@ -43,6 +44,7 @@ logger = logging.getLogger(__name__)
 # -- dispatch metric names ----------------------------------------------------
 M_BATCHES = "service.dispatch.batches"
 M_BATCH_SIZE = "service.dispatch.batch_size"
+M_BATCH_SECONDS = "service.dispatch.batch_seconds"
 M_ENGINE_CALLS = "service.dispatch.engine_calls"
 M_DISPATCHED = "service.dispatch.requests"
 
@@ -72,6 +74,9 @@ class MicroBatcher:
     route micro-batches above its size floor through the vectorized
     columnar path, ``False`` forces the scalar pipeline); an injected
     ``engine`` receives no such keyword — its signature is its contract.
+    ``events`` is an optional :class:`~repro.obs.EventJournal` flight
+    recorder; every dispatched micro-batch appends one ``batch.dispatch``
+    event (size, group count, wall seconds).
     """
 
     def __init__(
@@ -82,6 +87,7 @@ class MicroBatcher:
         metrics: MetricsRegistry | None = None,
         engine: Callable[..., list] | None = None,
         columnar: bool | None = None,
+        events: EventJournal | None = None,
     ):
         if window < 0:
             raise ValueError("window must be >= 0")
@@ -90,6 +96,7 @@ class MicroBatcher:
         self.window = window
         self.max_batch = max_batch
         self.columnar = columnar
+        self.events = events
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         # Pre-register the engine's bound/comm-cache/columnar counters so
         # /metrics exposes them from the first scrape.  The service never
@@ -212,6 +219,7 @@ class MicroBatcher:
             self._dispatch(batch)
 
     def _dispatch(self, batch: list[EvalJob]) -> None:
+        t0 = perf_counter()
         self.metrics.inc(M_BATCHES)
         self.metrics.observe(M_BATCH_SIZE, len(batch))
         groups: dict[Any, list[EvalJob]] = {}
@@ -237,3 +245,10 @@ class MicroBatcher:
             for job, result in zip(jobs, results):
                 job.future.set_result(result)
                 self._job_done()
+        elapsed = perf_counter() - t0
+        self.metrics.observe(M_BATCH_SECONDS, elapsed)
+        if self.events is not None:
+            self.events.emit(
+                "batch.dispatch", size=len(batch), groups=len(groups),
+                seconds=elapsed,
+            )

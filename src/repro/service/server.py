@@ -42,8 +42,20 @@ from ..execution.strategy import ExecutionStrategy, StrategyError
 from ..io.report import result_to_flat_dict
 from ..io.specs import llm_from_spec, system_from_spec, system_to_dict
 from ..llm.config import iter_presets
-from ..obs import MetricsRegistry, render_prometheus
-from .cache import ResultCache
+from ..obs import (
+    TRACE_HEADER,
+    EventJournal,
+    MetricsRegistry,
+    TraceContext,
+    Tracer,
+    render_prometheus,
+)
+from .cache import (
+    M_CACHE_HIT_DISK,
+    M_CACHE_HIT_MEMORY,
+    M_CACHE_MISS,
+    ResultCache,
+)
 from .dispatch import MicroBatcher
 
 logger = logging.getLogger(__name__)
@@ -96,9 +108,11 @@ class EvaluationService:
         metrics: MetricsRegistry | None = None,
         max_pending: int = 256,
         request_timeout: float = 60.0,
+        events: EventJournal | None = None,
     ):
         if max_pending < 1:
             raise ValueError("max_pending must be >= 1")
+        self.events = events
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.cache = cache if cache is not None else ResultCache(metrics=self.metrics)
         self.batcher = (
@@ -169,10 +183,25 @@ class EvaluationService:
                 raise BadRequest(f"bad execution strategy: {err}") from None
         return llm, system, strategies, many
 
+    def _emit(self, kind: str, **fields: Any) -> None:
+        if self.events is not None:
+            self.events.emit(kind, **fields)
+
     # -- evaluation ----------------------------------------------------------
 
-    def evaluate_payload(self, payload: Any) -> dict:
-        """Serve one ``POST /evaluate`` or ``/evaluate_many`` body."""
+    def evaluate_payload(
+        self, payload: Any, *, trace_context: TraceContext | None = None
+    ) -> dict:
+        """Serve one ``POST /evaluate`` or ``/evaluate_many`` body.
+
+        With a ``trace_context`` (deserialized from the ``X-Repro-Trace``
+        header), the request is wrapped in a ``service.request`` span in a
+        tracer that joins the caller's trace, and the span events ride back
+        on the response under a top-level ``"trace"`` key — the client
+        merges them into its own tracer, so the stitched Chrome trace shows
+        the server's lane next to the coordinator's (both clocks are the
+        same machine-wide ``perf_counter``).
+        """
         t0 = perf_counter()
         self.metrics.inc(M_REQUESTS)
         llm, system, strategies, many = self._parse(payload)
@@ -199,10 +228,26 @@ class EvaluationService:
                 if entry[1] == "miss":
                     self._settle(entry[0], error=err)
             raise
-        self.metrics.observe(M_REQUEST_SECONDS, perf_counter() - t0)
-        if many:
-            return {"results": results, "count": len(results)}
-        return results[0]
+        elapsed = perf_counter() - t0
+        self.metrics.observe(M_REQUEST_SECONDS, elapsed)
+        sources = [r["cache"] for r in results]
+        self._emit(
+            "request.done", seconds=elapsed, strategies=len(strategies),
+            hits=sum(s in ("memory", "disk") for s in sources),
+            coalesced=sources.count("coalesced"),
+            misses=sources.count("miss"),
+            trace_id=trace_context.trace_id if trace_context else None,
+        )
+        out = {"results": results, "count": len(results)} if many else results[0]
+        if trace_context is not None:
+            tracer = Tracer(trace_id=trace_context.trace_id)
+            tracer.add_span(
+                "evaluate", "service.request", t0, elapsed,
+                strategies=len(strategies), cache=",".join(sources),
+                trace_id=tracer.trace_id,
+            )
+            out["trace"] = {"trace_id": tracer.trace_id, "events": tracer.events()}
+        return out
 
     def _resolve(self, key, llm, system, strategy, group):
         """Phase 1 of one keyed evaluation: hit, follow, or lead.
@@ -216,22 +261,33 @@ class EvaluationService:
         if tier is not None:
             value = self.cache.get(key)
             if value is not None:
+                self._emit("cache.hit", tier=tier, key=key[:16])
                 return key, tier, value
         with self._inflight_lock:
             shared = self._inflight.get(key)
             if shared is not None:
                 self.metrics.inc(M_COALESCED)
+                self._emit("coalesce", key=key[:16])
                 return key, "coalesced", shared
             if self.draining:
                 self.metrics.inc(M_REJECT_DRAINING)
+                self._emit("draining.reject", key=key[:16])
                 raise Draining("server is draining; no new evaluations")
             if self.batcher.depth >= self.max_pending:
                 self.metrics.inc(M_REJECT_OVERLOAD)
+                self._emit(
+                    "backpressure.reject", key=key[:16],
+                    depth=self.batcher.depth, max_pending=self.max_pending,
+                )
                 raise Overloaded(
                     f"dispatch backlog full ({self.max_pending} pending)"
                 )
             shared = Future()
             self._inflight[key] = shared
+        # tier() moves no counters, so count the miss here: one per leader
+        # (followers coalesce; they never consulted the cache).
+        self.metrics.inc(M_CACHE_MISS)
+        self._emit("cache.miss", key=key[:16])
         try:
             engine_future = self.batcher.submit(llm, system, strategy, group=group)
         except BaseException as err:
@@ -322,6 +378,14 @@ class EvaluationService:
             ]
         }
 
+    def cache_hit_ratio(self) -> float:
+        """Lifetime fraction of keyed lookups served from cache (0.0 cold)."""
+        hits = self.metrics.value(M_CACHE_HIT_MEMORY) + self.metrics.value(
+            M_CACHE_HIT_DISK
+        )
+        lookups = hits + self.metrics.value(M_CACHE_MISS)
+        return hits / lookups if lookups else 0.0
+
     def metrics_text(self) -> str:
         return render_prometheus(
             self.metrics,
@@ -329,7 +393,9 @@ class EvaluationService:
                 "service.uptime.seconds": perf_counter() - self._started,
                 "service.pending": float(self.batcher.depth),
                 "service.inflight_keys": float(len(self._inflight)),
+                "service.backlog.limit": float(self.max_pending),
                 "service.cache.memory_entries": float(len(self.cache)),
+                "service.cache.hit_ratio": self.cache_hit_ratio(),
                 "service.draining": 1.0 if self.draining else 0.0,
             },
         )
@@ -425,12 +491,21 @@ class _Handler(BaseHTTPRequestHandler):
         if path not in ("/evaluate", "/evaluate_many"):
             self._send_json(404, {"error": f"no such endpoint {path!r}"})
             return
+        trace_context = None
+        header = self.headers.get(TRACE_HEADER)
+        if header:
+            try:
+                trace_context = TraceContext.from_header(header)
+            except ValueError:
+                logger.debug("ignoring malformed %s header: %r", TRACE_HEADER, header)
         try:
             payload = self._read_body()
             if path == "/evaluate_many" and isinstance(payload, dict):
                 if "strategies" not in payload:
                     raise BadRequest("/evaluate_many needs a 'strategies' list")
-            response = self.service.evaluate_payload(payload)
+            response = self.service.evaluate_payload(
+                payload, trace_context=trace_context
+            )
         except BadRequest as err:
             self.service.metrics.inc(M_BAD_REQUESTS)
             self._send_error_json(err)
@@ -475,18 +550,25 @@ def make_server(
     max_batch: int = 64,
     request_timeout: float = 60.0,
     columnar: bool | None = None,
+    events_path: str | None = None,
 ) -> ServiceHTTPServer:
     """Assemble cache + batcher + service + HTTP server (not yet serving).
 
     ``columnar`` is forwarded to the :class:`MicroBatcher` (``None`` lets
     micro-batches above the engine's size floor ride the vectorized
-    columnar path; ``False`` forces the scalar pipeline).
+    columnar path; ``False`` forces the scalar pipeline).  ``events_path``
+    opens a flight-recorder :class:`~repro.obs.EventJournal` there (shared
+    by the request pipeline and the dispatcher; closed by :func:`serve` on
+    exit).
     """
     metrics = MetricsRegistry()
+    events = (
+        EventJournal(events_path, source="server") if events_path else None
+    )
     cache = ResultCache(cache_entries, cache_dir, metrics=metrics)
     batcher = MicroBatcher(
         window=batch_window, max_batch=max_batch, metrics=metrics,
-        columnar=columnar,
+        columnar=columnar, events=events,
     )
     service = EvaluationService(
         cache=cache,
@@ -494,6 +576,7 @@ def make_server(
         metrics=metrics,
         max_pending=max_pending,
         request_timeout=request_timeout,
+        events=events,
     )
     service.start()
     return ServiceHTTPServer((host, port), service)
@@ -521,3 +604,5 @@ def serve(server: ServiceHTTPServer, *, install_signal_handlers: bool = True) ->
         server.serve_forever(poll_interval=0.1)
     finally:
         server.server_close()
+        if server.service.events is not None:
+            server.service.events.close()

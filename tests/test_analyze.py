@@ -1,0 +1,204 @@
+"""``repro trace`` analysis: critical path, lanes, stragglers, journal joins.
+
+Runs :func:`repro.obs.analyze.analyze_trace` on a hand-built Chrome trace
+whose answers are computable by eye, so every reported number is pinned:
+
+* pid 2 runs chunk[0] (4s) then chunk[2] (2s); pid 3 runs chunk[1] (9s),
+  with two ``engine.stage`` aggregates riding inside it; pid 1 finalizes
+  for 0.5s after the last chunk.  Wall clock is 9.5s, the critical path is
+  chunk[1] -> finalize, and chunk[1] is the lone straggler (2.2x the
+  median chunk time *and* finished last).
+"""
+
+import json
+
+import pytest
+
+from repro.obs import EventJournal, Tracer
+from repro.obs.analyze import (
+    TraceReport,
+    analyze_files,
+    analyze_trace,
+    load_trace,
+)
+
+_US = 1e6
+TRACE_ID = "f" * 32
+
+
+def _span(name, cat, pid, ts_s, dur_s, tid=0, **args):
+    event = {"name": name, "cat": cat, "ph": "X", "ts": ts_s * _US,
+             "dur": dur_s * _US, "pid": pid, "tid": tid}
+    if args:
+        event["args"] = args
+    return event
+
+
+def _meta(pid, label):
+    return {"name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+            "args": {"name": label}}
+
+
+@pytest.fixture
+def trace():
+    return {
+        "traceEvents": [
+            _meta(1, "main"), _meta(2, "worker 2"), _meta(3, "worker 3"),
+            _span("chunk[0]", "search.chunk", 2, 0.0, 4.0),
+            _span("chunk[2]", "search.chunk", 2, 4.0, 2.0),
+            _span("chunk[1]", "search.chunk", 3, 0.0, 9.0),
+            # In-chunk aggregates: presentation, never measurement.
+            _span("memory", "engine.stage", 3, 0.0, 1.0),
+            _span("compute", "engine.stage", 3, 1.0, 2.0),
+            _span("finalize", "search", 1, 9.0, 0.5),
+        ],
+        "displayTimeUnit": "ms",
+        "otherData": {"trace_id": TRACE_ID},
+    }
+
+
+def test_wall_clock_and_identity(trace):
+    report = analyze_trace(trace)
+    assert report.trace_id == TRACE_ID
+    assert report.wall_s == pytest.approx(9.5)
+    assert report.span_count == 6
+
+
+def test_lane_stats_exclude_aggregate_spans(trace):
+    report = analyze_trace(trace)
+    by_pid = {lane.pid: lane for lane in report.lanes}
+    assert set(by_pid) == {1, 2, 3}
+    assert by_pid[1].label == "main"
+    assert by_pid[2].label == "worker 2"
+    assert by_pid[2].busy_s == pytest.approx(6.0)
+    assert by_pid[2].utilization == pytest.approx(6.0 / 9.5)
+    assert by_pid[2].spans == 2
+    # The engine.stage aggregates neither count as spans nor add busy time.
+    assert by_pid[3].busy_s == pytest.approx(9.0)
+    assert by_pid[3].spans == 1
+
+
+def test_critical_path_chains_backward_from_last_span(trace):
+    report = analyze_trace(trace)
+    names = [step["name"] for step in report.critical_path]
+    assert names == ["chunk[1]", "finalize"]
+    assert report.critical_path_s == pytest.approx(9.5)
+    assert report.critical_path[0]["start_s"] == pytest.approx(0.0)
+    assert report.critical_path[1]["start_s"] == pytest.approx(9.0)
+    # chunk[0] ends at 4s, a 5s gap before finalize: overlapped work,
+    # not on the path; aggregates are excluded outright.
+    assert "chunk[0]" not in names and "memory" not in names
+
+
+def test_stage_breakdown_sums_aggregate_spans(trace):
+    report = analyze_trace(trace)
+    assert report.stage_seconds == {
+        "memory": pytest.approx(1.0),
+        "compute": pytest.approx(2.0),
+    }
+
+
+def test_straggler_needs_median_excess_or_finishing_last(trace):
+    report = analyze_trace(trace)
+    (straggler,) = report.stragglers
+    assert straggler["name"] == "chunk[1]"
+    assert straggler["dur_s"] == pytest.approx(9.0)
+    assert "median chunk time" in straggler["reason"]
+    assert "finished last" in straggler["reason"]
+
+
+def test_empty_trace_reports_zero_without_crashing():
+    report = analyze_trace({"traceEvents": []})
+    assert report.wall_s == 0.0
+    assert report.span_count == 0
+    assert report.critical_path == []
+    assert "0 spans" in report.to_text()
+
+
+# ---------------------------------------------------------------------------
+# Journal join
+# ---------------------------------------------------------------------------
+
+def _event(kind, **fields):
+    return {"v": 1, "kind": kind, "ts": 0.0, "mono": 0.0, "pid": 1, **fields}
+
+
+@pytest.fixture
+def events():
+    return [
+        _event("chunk.retry", chunk=3, attempt=0),
+        _event("chunk.retry", chunk=3, attempt=1),
+        _event("chunk.timeout", chunk=3, attempt=2),
+        _event("chunk.retry", chunk=1, attempt=0),
+        _event("chunk.skipped", chunk=3, error="FaultInjected()"),
+        _event("sweep.truncated", pending=2),
+        *[_event("request.done", seconds=0.1, strategies=1) for _ in range(4)],
+        _event("coalesce", key="abcd"),
+        *[_event("cache.hit", tier="memory") for _ in range(3)],
+        _event("cache.miss"),
+        _event("backpressure.reject", depth=256),
+        _event("draining.reject"),
+    ]
+
+
+def test_journal_effectiveness_rollups(trace, events):
+    report = analyze_trace(trace, events)
+    assert report.event_count == len(events)
+    assert report.retry_hotspots[0] == {"chunk": 3, "failures": 3}
+    assert report.retry_hotspots[1] == {"chunk": 1, "failures": 1}
+    assert report.cache == {"hits": 3, "misses": 1, "hit_ratio": 0.75}
+    assert report.coalescing == {"requests": 4, "coalesced": 1, "rate": 0.25}
+    assert report.backpressure_rejects == 2
+    assert report.skipped_chunks == 1
+    assert report.truncated is True
+
+
+def test_text_rendering_mentions_every_section(trace, events):
+    text = analyze_trace(trace, events).to_text()
+    assert TRACE_ID in text
+    assert "critical path" in text
+    assert "stragglers" in text
+    assert "stage breakdown" in text
+    assert "retry hotspots" in text
+    assert "75.0% hit ratio" in text
+    assert "coalescing" in text
+    assert "truncated" in text
+
+
+def test_json_rendering_round_trips(trace, events):
+    report = analyze_trace(trace, events)
+    decoded = json.loads(report.to_json())
+    assert decoded == report.to_dict()
+    assert decoded["trace_id"] == TRACE_ID
+    assert [s["name"] for s in decoded["critical_path"]] == ["chunk[1]", "finalize"]
+
+
+# ---------------------------------------------------------------------------
+# File loading
+# ---------------------------------------------------------------------------
+
+def test_load_trace_rejects_non_trace_json(tmp_path):
+    path = tmp_path / "notatrace.json"
+    path.write_text(json.dumps([1, 2, 3]))
+    with pytest.raises(ValueError, match="Chrome trace"):
+        load_trace(path)
+    path.write_text(json.dumps({"results": []}))
+    with pytest.raises(ValueError, match="Chrome trace"):
+        load_trace(path)
+
+
+def test_analyze_files_joins_real_tracer_and_journal(tmp_path):
+    tracer = Tracer()
+    tracer.add_span("chunk[0]", "search.chunk", 10.0, 2.0, chunk=0)
+    tracer.add_span("chunk[1]", "search.chunk", 12.0, 1.0, chunk=1)
+    trace_path = tracer.write(tmp_path / "trace.json")
+    journal_path = tmp_path / "events.jsonl"
+    with EventJournal(journal_path, source="search") as journal:
+        journal.emit("cache.hit", tier="disk")
+        journal.emit("cache.miss")
+    report = analyze_files(trace_path, journal_path)
+    assert isinstance(report, TraceReport)
+    assert report.trace_id == tracer.trace_id
+    assert report.wall_s == pytest.approx(3.0)
+    assert report.event_count == 2
+    assert report.cache["hit_ratio"] == 0.5

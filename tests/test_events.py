@@ -1,0 +1,181 @@
+"""Flight-recorder journal: emission, rotation, reading, validation.
+
+The journal is the third observability layer (spans -> counters ->
+*events*); these tests pin the properties the analyzer and CI validator
+rely on: every line carries the schema-versioned envelope, rotation keeps
+exactly one prior generation, readers see write order, and the validator
+flags envelope violations and probable-typo kinds.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.obs import (
+    EVENT_KINDS,
+    EVENTS_VERSION,
+    EventJournal,
+    read_events,
+    validate_events,
+    validate_events_file,
+)
+from repro.obs.events import iter_events
+
+
+# ---------------------------------------------------------------------------
+# Emission and reading
+# ---------------------------------------------------------------------------
+
+def test_emit_roundtrip_carries_envelope_and_fields(tmp_path):
+    path = tmp_path / "events.jsonl"
+    with EventJournal(path, source="search", trace_id="abc123") as journal:
+        journal.emit("chunk.dispatch", chunk=0, attempt=0, mode="pool")
+        journal.emit("chunk.done", chunk=0, seconds=0.25)
+    events = read_events(path)
+    assert [e["kind"] for e in events] == ["chunk.dispatch", "chunk.done"]
+    for e in events:
+        assert e["v"] == EVENTS_VERSION
+        assert e["pid"] == os.getpid()
+        assert isinstance(e["ts"], float)
+        assert isinstance(e["mono"], float)
+        assert e["source"] == "search"
+        assert e["trace_id"] == "abc123"
+    assert events[0]["chunk"] == 0 and events[0]["mode"] == "pool"
+    assert events[1]["seconds"] == 0.25
+
+
+def test_source_and_trace_id_are_optional(tmp_path):
+    path = tmp_path / "events.jsonl"
+    with EventJournal(path) as journal:
+        journal.emit("search.start", candidates=10)
+    (event,) = read_events(path)
+    assert "source" not in event
+    assert "trace_id" not in event
+
+
+def test_mono_timebase_is_monotone_across_events(tmp_path):
+    path = tmp_path / "events.jsonl"
+    with EventJournal(path) as journal:
+        for n in range(5):
+            journal.emit("chunk.done", chunk=n, seconds=0.0)
+    monos = [e["mono"] for e in read_events(path)]
+    assert monos == sorted(monos)
+
+
+def test_missing_file_reads_empty(tmp_path):
+    assert read_events(tmp_path / "never-written.jsonl") == []
+    assert list(iter_events(tmp_path / "never-written.jsonl")) == []
+
+
+def test_emit_after_close_reopens(tmp_path):
+    path = tmp_path / "events.jsonl"
+    journal = EventJournal(path)
+    journal.emit("search.start")
+    journal.close()
+    journal.emit("search.done")  # lazily reopens in append mode
+    journal.close()
+    assert [e["kind"] for e in read_events(path)] == ["search.start", "search.done"]
+
+
+def test_concurrent_sources_share_one_file(tmp_path):
+    # The supervisor and the service may share a journal path; O_APPEND
+    # keeps both attributable via their source tags.
+    path = tmp_path / "events.jsonl"
+    with EventJournal(path, source="search") as a, \
+            EventJournal(path, source="server") as b:
+        a.emit("chunk.done", chunk=0, seconds=0.1)
+        b.emit("request.done", seconds=0.2, strategies=1)
+        a.emit("chunk.done", chunk=1, seconds=0.1)
+    events = read_events(path)
+    assert [e["source"] for e in events] == ["search", "server", "search"]
+
+
+# ---------------------------------------------------------------------------
+# Rotation
+# ---------------------------------------------------------------------------
+
+def test_rotation_keeps_one_prior_generation_and_reads_in_order(tmp_path):
+    path = tmp_path / "events.jsonl"
+    pad = "x" * 80  # ~200 bytes per line -> first rotation near event 20
+    with EventJournal(path, max_bytes=4096) as journal:
+        for n in range(30):
+            journal.emit("chunk.done", chunk=n, seconds=0.0, pad=pad)
+    rotated = tmp_path / "events.jsonl.1"
+    assert rotated.exists()
+    assert path.stat().st_size <= 4096
+    events = read_events(path)
+    # No event lost across the single rotation, and write order survives
+    # the rotated-generation-first read.
+    assert [e["chunk"] for e in events] == list(range(30))
+
+
+def test_max_bytes_floor_is_enforced(tmp_path):
+    with pytest.raises(ValueError, match="max_bytes"):
+        EventJournal(tmp_path / "events.jsonl", max_bytes=100)
+
+
+# ---------------------------------------------------------------------------
+# Validation
+# ---------------------------------------------------------------------------
+
+def _valid_event(**over):
+    event = {
+        "v": EVENTS_VERSION,
+        "kind": "chunk.done",
+        "ts": 1700000000.0,
+        "mono": 12.5,
+        "pid": 4242,
+    }
+    event.update(over)
+    return event
+
+
+def test_validator_accepts_emitted_events(tmp_path):
+    path = tmp_path / "events.jsonl"
+    with EventJournal(path, source="search") as journal:
+        for kind in ("search.start", "chunk.dispatch", "chunk.retry",
+                     "cache.hit", "batch.dispatch", "search.done"):
+            assert kind in EVENT_KINDS
+            journal.emit(kind)
+    assert validate_events_file(path) == []
+
+
+def test_validator_flags_missing_envelope_key():
+    event = _valid_event()
+    del event["pid"]
+    (error,) = validate_events([event])
+    assert "missing key 'pid'" in error
+
+
+def test_validator_flags_bool_masquerading_as_int():
+    # JSON has no bool/int confusion but Python does; a True pid is a bug.
+    errors = validate_events([_valid_event(pid=True)])
+    assert any("'pid'" in e and "bool" in e for e in errors)
+
+
+def test_validator_flags_future_schema_version():
+    errors = validate_events([_valid_event(v=EVENTS_VERSION + 1)])
+    assert any("unsupported schema version" in e for e in errors)
+
+
+def test_validator_flags_unknown_kind():
+    errors = validate_events([_valid_event(kind="chunk.telported")])
+    assert any("unknown kind" in e for e in errors)
+
+
+def test_validator_flags_non_object_line():
+    errors = validate_events(["not-a-dict"])
+    assert errors == ["event 0: not an object"]
+
+
+def test_validate_file_missing_journal(tmp_path):
+    (error,) = validate_events_file(tmp_path / "nope.jsonl")
+    assert "no such event journal" in error
+
+
+def test_validate_file_rejects_torn_json(tmp_path):
+    path = tmp_path / "events.jsonl"
+    path.write_text(json.dumps(_valid_event()) + "\n" + '{"kind": "chunk.do')
+    (error,) = validate_events_file(path)
+    assert "not valid JSON" in error

@@ -1,0 +1,245 @@
+"""Distributed flight recorder end-to-end: one trace across every boundary.
+
+The acceptance scenario for the observability stack: a checkpointed
+multi-process search and an HTTP service query share one
+:class:`~repro.obs.Tracer`, and the stitched Chrome trace carries
+coordinator, worker and server spans under a single ``trace_id`` on the
+shared ``perf_counter`` timebase — plus the edge cases that make the
+stitching trustworthy:
+
+* a worker that crashes mid-span still appears on the timeline (the
+  supervisor closes a ``search.fault`` span on its behalf);
+* a resumed checkpoint continues the *original* trace_id, so both
+  invocations stitch into one trace;
+* pool-exhausted chunks degrade to a serial fallback whose lifecycle the
+  journal records.
+"""
+
+import json
+import os
+import threading
+
+import pytest
+
+from repro.hardware import a100_system
+from repro.llm import LLMConfig
+from repro.obs import (
+    EventJournal,
+    Tracer,
+    read_events,
+    validate_events,
+    validate_trace,
+)
+from repro.obs.analyze import analyze_trace
+from repro.search import (
+    FaultInjector,
+    RetryPolicy,
+    SearchOptions,
+    run_supervised,
+    search,
+)
+from repro.service import ServiceClient, make_server
+
+LLM = LLMConfig(name="fr-llm", hidden=2048, attn_heads=16, seq_size=1024,
+                num_blocks=16)
+SYS = a100_system(8)
+BATCH = 16
+
+# A feasible paper-scale configuration for the service round trip.
+STRATEGY = {"tensor_par": 8, "pipeline_par": 8, "data_par": 1, "batch": 64,
+            "microbatch": 1, "recompute": "full"}
+
+
+def tiny_options():
+    """Exactly 4 candidates (pp in 1/2/4/8) -> 4 chunks at ``workers=2``."""
+    return SearchOptions(
+        recompute=("full",),
+        seq_par_modes=((False, False, False),),
+        tp_overlap=("none",),
+        dp_overlap=(False,),
+        optimizer_sharding=(False,),
+        fused_activations=(False,),
+        max_microbatch=1,
+        max_tensor_par=1,
+        interleaving_values=(1,),
+    )
+
+
+def _flaky(args):
+    """Module-level (picklable) chunk fn for pool tests."""
+    index, injector = args
+    if injector is not None:
+        injector.fire(index)
+    return index * 7
+
+
+# ---------------------------------------------------------------------------
+# Edge cases
+# ---------------------------------------------------------------------------
+
+def test_worker_crash_mid_span_is_closed_by_supervisor(tmp_path):
+    tracer = Tracer()
+    injector = FaultInjector(1, mode="exception", fail_attempts=1,
+                             state_path=tmp_path / "attempts")
+    with EventJournal(tmp_path / "ev.jsonl", source="search") as journal:
+        result = search(
+            LLM, SYS, BATCH, tiny_options(), top_k=2, workers=2,
+            keep_rates=False, tracer=tracer, events=journal,
+            fault_injector=injector,
+            retry_policy=RetryPolicy(max_retries=2, backoff_base=0.01),
+        )
+    assert result.best is not None
+    assert result.num_evaluated == 4  # the retried chunk recovered
+    # The crashed attempt never returned its own span; the supervisor
+    # closed one on its behalf, so the timeline shows the failure.
+    fault_spans = [e for e in tracer.events()
+                   if e.get("cat") == "search.fault" and e["ph"] == "X"]
+    assert any(s["name"] == "chunk[1] failed" for s in fault_spans)
+    retries = [e for e in read_events(tmp_path / "ev.jsonl")
+               if e["kind"] == "chunk.retry"]
+    assert retries and all(e["chunk"] == 1 for e in retries)
+
+
+def test_resumed_checkpoint_continues_original_trace_id(tmp_path):
+    checkpoint = tmp_path / "ck.jsonl"
+    first = Tracer()
+    with EventJournal(tmp_path / "ev1.jsonl", source="search") as journal:
+        baseline = search(LLM, SYS, BATCH, tiny_options(), top_k=2,
+                          workers=0, keep_rates=False, tracer=first,
+                          events=journal, checkpoint=checkpoint)
+
+    second = Tracer()
+    fresh_id = second.trace_id
+    assert fresh_id != first.trace_id
+    with EventJournal(tmp_path / "ev2.jsonl", source="search") as journal:
+        resumed = search(LLM, SYS, BATCH, tiny_options(), top_k=2,
+                         workers=0, keep_rates=False, tracer=second,
+                         events=journal, checkpoint=checkpoint, resume=True)
+    # The journal's trace identity wins: both invocations stitch into one
+    # trace rather than forking a new id per resume.
+    assert second.trace_id == first.trace_id != fresh_id
+    events = read_events(tmp_path / "ev2.jsonl")
+    assert sum(e["kind"] == "chunk.resumed" for e in events) == 4
+    (start,) = [e for e in events if e["kind"] == "search.start"]
+    assert start["trace_id"] == first.trace_id
+    assert resumed.best.sample_rate == baseline.best.sample_rate
+
+
+def test_serial_fallback_lifecycle_is_journaled(tmp_path):
+    tracer = Tracer()
+    # Pool attempts 0 and 1 fail; the in-parent serial re-run succeeds.
+    injector = FaultInjector(1, mode="exception", fail_attempts=2,
+                             state_path=tmp_path / "attempts")
+    with EventJournal(tmp_path / "ev.jsonl", source="search") as journal:
+        report = run_supervised(
+            _flaky, {i: (i, injector) for i in range(3)}, workers=2,
+            policy=RetryPolicy(max_retries=1, backoff_base=0.0,
+                               backoff_max=0.0),
+            events=journal, tracer=tracer,
+        )
+    assert report.results == {0: 0, 1: 7, 2: 14}
+    assert report.skipped == []
+    events = read_events(tmp_path / "ev.jsonl")
+    kinds = [e["kind"] for e in events if e.get("chunk") == 1]
+    assert kinds.count("chunk.retry") == 2  # attempt 0, then exhausted
+    assert any(e["kind"] == "chunk.retry" and e.get("exhausted")
+               for e in events)
+    assert "chunk.serial_fallback" in kinds
+    done = [e for e in events
+            if e["kind"] == "chunk.done" and e["chunk"] == 1]
+    assert [e.get("mode") for e in done] == ["serial_fallback"]
+    # Both failed pool attempts are visible as supervisor-closed spans.
+    failed = [e for e in tracer.events() if e.get("cat") == "search.fault"]
+    assert len(failed) == 2
+
+
+# ---------------------------------------------------------------------------
+# The acceptance scenario: one trace across search + service
+# ---------------------------------------------------------------------------
+
+def test_search_and_service_stitch_into_one_trace(tmp_path, capsys):
+    tracer = Tracer()
+    events_path = tmp_path / "events.jsonl"
+    trace_path = tmp_path / "trace.json"
+
+    # Phase 1: checkpointed 4-chunk multi-process search.
+    journal = EventJournal(events_path, source="search",
+                           trace_id=tracer.trace_id)
+    try:
+        result = search(LLM, SYS, BATCH, tiny_options(), top_k=2,
+                        workers=2, keep_rates=False, tracer=tracer,
+                        events=journal, checkpoint=tmp_path / "ck.jsonl")
+    finally:
+        journal.close()
+    assert result.best is not None
+
+    # Phase 2: a traced service query against a live HTTP server sharing
+    # the flight-recorder journal.
+    server = make_server(port=0, cache_dir=str(tmp_path / "cache"),
+                         batch_window=0.002, events_path=str(events_path))
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        client = ServiceClient(f"http://127.0.0.1:{server.port}")
+        with tracer.span("query", cat="service.client"):
+            response = client.evaluate("gpt3-175b", "a100:64", STRATEGY,
+                                       tracer=tracer)
+        assert response["result"]["feasible"] is True
+    finally:
+        server.service.stop()
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+        if server.service.events is not None:
+            server.service.events.close()
+
+    # One valid Chrome trace, one trace_id, three roles.
+    tracer.write(trace_path)
+    chrome = json.loads(trace_path.read_text())
+    assert validate_trace(chrome) == []
+    assert chrome["otherData"]["trace_id"] == tracer.trace_id
+
+    spans = [e for e in chrome["traceEvents"] if e.get("ph") == "X"]
+    chunk_spans = [s for s in spans if s.get("cat") == "search.chunk"]
+    assert len(chunk_spans) == 4
+    worker_pids = {s["pid"] for s in chunk_spans} - {os.getpid()}
+    assert worker_pids  # chunks really ran out-of-process
+    assert all(s["args"]["trace_id"] == tracer.trace_id for s in chunk_spans)
+
+    (server_span,) = [s for s in spans if s.get("cat") == "service.request"]
+    assert server_span["args"]["trace_id"] == tracer.trace_id
+    (client_span,) = [s for s in spans if s.get("cat") == "service.client"]
+    # Shared perf_counter timebase: the server's work nests inside the
+    # client span and follows every search chunk.
+    assert client_span["ts"] <= server_span["ts"]
+    assert (server_span["ts"] + server_span["dur"]
+            <= client_span["ts"] + client_span["dur"] + 1.0)
+    assert min(s["ts"] for s in chunk_spans) < client_span["ts"]
+
+    # The shared journal validates and covers both roles.
+    events = read_events(events_path)
+    assert validate_events(events) == []
+    kinds = {e["kind"] for e in events}
+    assert {"search.start", "chunk.dispatch", "chunk.done", "search.done",
+            "request.done", "cache.miss", "batch.dispatch"} <= kinds
+    sources = {e.get("source") for e in events}
+    assert {"search", "server"} <= sources
+
+    # The analyzer reports a critical path over the stitched trace.
+    report = analyze_trace(chrome, events)
+    assert report.trace_id == tracer.trace_id
+    assert report.critical_path
+    assert report.critical_path_s > 0
+    assert len(report.lanes) >= 2
+    assert report.cache is not None and report.cache["misses"] >= 1
+
+    # And so does the CLI, in JSON mode.
+    from repro.cli import main
+
+    rc = main(["trace", str(trace_path), "--events", str(events_path),
+               "--json"])
+    assert rc == 0
+    decoded = json.loads(capsys.readouterr().out)
+    assert decoded["trace_id"] == tracer.trace_id
+    assert decoded["critical_path"]
+    assert decoded["event_count"] == len(events)

@@ -393,3 +393,155 @@ def test_registry_concurrent_increments_lose_nothing():
     assert reg.value("race.counter") == n_threads * per_thread
     snap = reg.snapshot()
     assert snap["histograms"]["race.histogram"]["count"] == n_threads * per_thread
+
+
+# ---------------------------------------------------------------------------
+# Prometheus exposition
+# ---------------------------------------------------------------------------
+
+
+def test_prometheus_names_are_prefixed_and_sanitized():
+    from repro.obs import prometheus_name
+
+    assert prometheus_name("service.requests") == "repro_service_requests"
+    assert prometheus_name("engine-comm cache") == "repro_engine_comm_cache"
+    assert prometheus_name("7start") == "repro__7start"
+    # Idempotent: an already-prefixed name is not double-prefixed.
+    assert prometheus_name("repro_service_requests") == "repro_service_requests"
+    assert prometheus_name(prometheus_name("a.b")) == prometheus_name("a.b")
+
+
+def test_prometheus_label_escaping():
+    from repro.obs import escape_label_value
+
+    assert escape_label_value('say "hi"') == 'say \\"hi\\"'
+    assert escape_label_value("a\\b") == "a\\\\b"
+    assert escape_label_value("line1\nline2") == "line1\\nline2"
+    assert escape_label_value("plain") == "plain"
+
+
+def test_prometheus_histogram_family_is_cumulative():
+    from repro.obs import render_prometheus
+
+    reg = MetricsRegistry()
+    for x in (0.3, 0.6, 0.7, 1.5, 3.0):
+        reg.observe("stage.seconds", x)
+    reg.inc("hits", 2)
+    text = render_prometheus(reg, gauges={"depth": 4.0})
+
+    assert "# TYPE repro_hits counter" in text
+    assert "repro_hits 2" in text
+    assert "# TYPE repro_depth gauge" in text
+    assert "# TYPE repro_stage_seconds histogram" in text
+    assert "repro_stage_seconds_sum 6.1" in text
+    assert "repro_stage_seconds_count 5" in text
+
+    # Bucket series must be cumulative and ordered, ending at +Inf == count.
+    buckets = []
+    for line in text.splitlines():
+        if line.startswith("repro_stage_seconds_bucket"):
+            le = line.split('le="')[1].split('"')[0]
+            buckets.append((le, int(line.rsplit(" ", 1)[1])))
+    counts = [c for _, c in buckets]
+    assert counts == sorted(counts)
+    assert buckets[-1] == ("+Inf", 5)
+    # 0.3 -> (0.25, 0.5]; 0.6, 0.7 -> (0.5, 1]; 1.5 -> (1, 2]; 3.0 -> (2, 4].
+    assert ("0.5", 1) in buckets and ("1", 3) in buckets
+    assert ("2", 4) in buckets and ("4", 5) in buckets
+
+
+def test_histogram_quantiles_bounded_by_extremes():
+    from repro.obs import Histogram
+
+    h = Histogram()
+    for x in (0.001, 0.002, 0.5, 1.5, 3.0):
+        h.observe(x)
+    assert h.quantile(0.0) == pytest.approx(0.001)
+    assert h.quantile(1.0) == pytest.approx(3.0)
+    assert 0.001 <= h.quantile(0.5) <= 3.0
+    assert h.quantile(0.5) <= h.quantile(0.95) <= h.quantile(0.99)
+    with pytest.raises(ValueError):
+        h.quantile(1.5)
+    assert Histogram().quantile(0.5) == 0.0
+
+
+def test_histogram_merge_associative_hypothesis():
+    hypothesis = pytest.importorskip("hypothesis")
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    from repro.obs import Histogram
+
+    def build(values):
+        h = Histogram()
+        for v in values:
+            h.observe(v)
+        return h
+
+    def merged(*hs):
+        out = Histogram()
+        for h in hs:
+            out.merge(h)
+        return out
+
+    samples = st.lists(
+        st.floats(min_value=1e-9, max_value=1e9, allow_nan=False),
+        max_size=30,
+    )
+
+    @settings(max_examples=60, deadline=None)
+    @given(samples, samples, samples)
+    def check(a, b, c):
+        ha, hb, hc = build(a), build(b), build(c)
+        left = merged(merged(ha, hb), hc)
+        right = merged(ha, merged(hb, hc))
+        # Exactly associative in structure; the float running sum is
+        # associative only up to rounding.
+        assert left.count == right.count
+        assert left.buckets == right.buckets
+        assert left.min == right.min and left.max == right.max
+        assert left.total == pytest.approx(right.total)
+        # And merging matches observing everything in one histogram.
+        direct = build(a + b + c)
+        assert left.count == direct.count
+        assert left.buckets == direct.buckets
+        assert left.total == pytest.approx(direct.total)
+
+    check()
+
+
+# ---------------------------------------------------------------------------
+# Progress hardening
+# ---------------------------------------------------------------------------
+
+
+def test_progress_eta_never_divides_by_zero():
+    now = [0.0]
+    p = ProgressReporter(total=10, callback=lambda _: None, clock=lambda: now[0])
+    # No completions yet and no elapsed time: no estimate, no exception.
+    assert p.eta is None
+    assert p.rate == 0.0
+    # Completions with a stalled clock: rate 0 -> still no estimate.
+    p.update(5)
+    assert p.rate == 0.0
+    assert p.eta is None
+    # Unknown total: no estimate either.
+    q = ProgressReporter(callback=lambda _: None, clock=lambda: now[0])
+    q.update(3)
+    assert q.eta is None
+    assert "ETA" not in q.status_line()
+
+
+def test_progress_survives_backwards_clock_and_overshoot():
+    now = [100.0]
+    p = ProgressReporter(total=10, callback=lambda _: None, clock=lambda: now[0])
+    now[0] = 90.0  # a (buggy) injected clock steps backwards
+    p.update(4)
+    assert p.elapsed == 0.0
+    assert p.rate == 0.0
+    assert p.eta is None
+    now[0] = 110.0
+    p.update(16)  # overshoot: done > total
+    assert p.eta == pytest.approx(0.0)
+    line = p.status_line()
+    assert "ETA" in line and "-" not in line.split("ETA")[1]

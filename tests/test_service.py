@@ -394,19 +394,73 @@ def test_http_end_to_end(http_server):
     assert [r["cache"] for r in many] == ["memory", "miss"]
 
     text = client.metrics_text()
-    assert "# TYPE service_requests counter" in text
-    assert client.metric_value("service_cache_hit_memory") >= 2.0
-    assert client.metric_value("service_dispatch_engine_calls") >= 1.0
+    assert "# TYPE repro_service_requests counter" in text
+    assert client.metric_value("repro_service_cache_hit_memory") >= 2.0
+    assert client.metric_value("repro_service_dispatch_engine_calls") >= 1.0
 
     # The engine's bound/comm-cache counters are pre-registered by the
     # MicroBatcher: the service never bound-prunes (every request needs its
     # real result), while the comm kernel caches see real traffic.
-    assert "# TYPE engine_bound_pruned counter" in text
-    assert client.metric_value("engine_bound_pruned") == 0.0
+    assert "# TYPE repro_engine_bound_pruned counter" in text
+    assert client.metric_value("repro_engine_bound_pruned") == 0.0
     assert (
-        client.metric_value("engine_comm_cache_hits")
-        + client.metric_value("engine_comm_cache_misses")
+        client.metric_value("repro_engine_comm_cache_hits")
+        + client.metric_value("repro_engine_comm_cache_misses")
     ) >= 1.0
+
+    # Request latency is a real Prometheus histogram family with cumulative
+    # buckets, and the hit-ratio / backlog gauges describe current state.
+    assert "# TYPE repro_service_request_seconds histogram" in text
+    assert 'repro_service_request_seconds_bucket{le="+Inf"}' in text
+    assert client.metric_value("repro_service_request_seconds_count") >= 3.0
+    assert client.metric_value("repro_service_request_seconds_sum") > 0.0
+    assert 0.0 < client.metric_value("repro_service_cache_hit_ratio") < 1.0
+    assert client.metric_value("repro_service_backlog_limit") == 256.0
+    assert "# TYPE repro_service_pending gauge" in text
+    assert "# TYPE repro_service_inflight_keys gauge" in text
+    assert client.metric_value("repro_service_dispatch_batch_seconds_count") >= 1.0
+
+
+def test_http_trace_header_merges_server_spans(http_server):
+    from repro.obs import Tracer, validate_trace
+
+    client = ServiceClient(f"http://127.0.0.1:{http_server.port}")
+    tracer = Tracer()
+    with tracer.span("query", cat="service.client"):
+        first = client.evaluate("gpt3-175b", "a100:64", STRATEGY, tracer=tracer)
+        second = client.evaluate_many(
+            "gpt3-175b", "a100:64", [STRATEGY], tracer=tracer
+        )
+    # The trace payload is popped before the caller sees the response.
+    assert "trace" not in first
+    assert all("trace" not in r for r in second)
+
+    trace = tracer.to_chrome()
+    validate_trace(trace)
+    assert trace["otherData"]["trace_id"] == tracer.trace_id
+    server_spans = [
+        e for e in trace["traceEvents"]
+        if e.get("ph") == "X" and e.get("cat") == "service.request"
+    ]
+    assert len(server_spans) == 2
+    assert all(
+        s["args"]["trace_id"] == tracer.trace_id for s in server_spans
+    )
+    # The client-side "query" span is on the same timeline (one timebase).
+    client_spans = [
+        e for e in trace["traceEvents"]
+        if e.get("ph") == "X" and e.get("cat") == "service.client"
+    ]
+    assert len(client_spans) == 1
+    q = client_spans[0]
+    for s in server_spans:
+        assert q["ts"] <= s["ts"] and s["ts"] + s["dur"] <= q["ts"] + q["dur"]
+
+
+def test_http_untraced_request_has_no_trace_key(http_server):
+    client = ServiceClient(f"http://127.0.0.1:{http_server.port}")
+    response = client.evaluate("gpt3-175b", "a100:64", STRATEGY)
+    assert "trace" not in response
 
 
 def test_http_error_mapping(http_server):
