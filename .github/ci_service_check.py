@@ -7,6 +7,13 @@ server and verifies the graceful drain (exit code 0).  Latency and
 coalescing measurements land in ``BENCH_service.json`` for the artifact
 upload.
 
+Startup is failure-first: a reader thread captures everything the server
+writes to stderr while the harness waits (with a deadline) for the URL
+banner and then for ``/healthz``.  If the server dies or never comes up,
+the check exits immediately with the captured stderr in the failure
+message instead of hanging on a pipe read and leaving CI to time out
+with no diagnostics.
+
 Run from the repository root:  PYTHONPATH=src python .github/ci_service_check.py
 """
 
@@ -28,6 +35,56 @@ STRATEGY = ExecutionStrategy(
     tensor_par=8, pipeline_par=8, data_par=1, batch=64, recompute="full"
 )
 N_CLIENTS = 8
+STARTUP_DEADLINE_S = 30.0
+
+
+def _startup_failure(why: str, captured: list) -> SystemExit:
+    """Build the fail-fast exit carrying everything the server said."""
+    stderr = "".join(captured).strip() or "<no stderr captured>"
+    return SystemExit(
+        f"service startup failed: {why}\n"
+        f"--- captured server stderr ---\n{stderr}"
+    )
+
+
+def _await_banner(proc, captured: list, banner_seen: threading.Event) -> str:
+    """Wait for the serve URL banner, failing fast if the server dies."""
+    deadline = time.monotonic() + STARTUP_DEADLINE_S
+    while time.monotonic() < deadline:
+        if banner_seen.is_set():
+            banner = next(line for line in captured if "http://" in line)
+            return "http://" + banner.split("http://", 1)[1].split()[0]
+        if proc.poll() is not None:
+            raise _startup_failure(
+                f"server exited {proc.returncode} before announcing its URL",
+                captured,
+            )
+        time.sleep(0.05)
+    raise _startup_failure(
+        f"no URL banner within {STARTUP_DEADLINE_S:.0f}s", captured
+    )
+
+
+def _await_healthz(client, proc, captured: list) -> dict:
+    """Poll ``/healthz`` until it answers, failing fast with stderr."""
+    deadline = time.monotonic() + STARTUP_DEADLINE_S
+    last_err: Exception | None = None
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            raise _startup_failure(
+                f"server exited {proc.returncode} before /healthz came up",
+                captured,
+            )
+        try:
+            return client.healthz()
+        except Exception as err:
+            last_err = err
+            time.sleep(0.1)
+    raise _startup_failure(
+        f"/healthz never came up within {STARTUP_DEADLINE_S:.0f}s "
+        f"(last error: {last_err})",
+        captured,
+    )
 
 
 def main() -> int:
@@ -39,14 +96,24 @@ def main() -> int:
         text=True,
         env=env,
     )
+    # Drain stderr continuously: the banner wait can't deadlock on a full
+    # pipe, and on any startup failure the whole log is in the exit message.
+    captured: list = []
+    banner_seen = threading.Event()
+
+    def _reader():
+        for line in proc.stderr:
+            captured.append(line)
+            if "http://" in line:
+                banner_seen.set()
+
+    threading.Thread(target=_reader, daemon=True).start()
     try:
-        banner = proc.stderr.readline()
-        assert "http://" in banner, f"unexpected serve banner: {banner!r}"
-        url = "http://" + banner.split("http://", 1)[1].split()[0]
+        url = _await_banner(proc, captured, banner_seen)
         client = ServiceClient(url)
         print(f"service up at {url}")
 
-        health = client.healthz()
+        health = _await_healthz(client, proc, captured)
         assert health["status"] == "ok", health
 
         # -- cold ------------------------------------------------------------

@@ -8,6 +8,9 @@ Subcommands mirror the reference tool's workflows:
                (paper §5.1 / Fig. 6).
 * ``sweep``  — optimal performance vs. system size (paper §5.2 / Fig. 7).
 * ``budget`` — budgeted optimal-system search (paper §7 / Table 3).
+* ``fabric`` — shard one search across a work-stealing worker cluster
+               (coordinator + N subprocesses, or ``--join URL`` to add
+               a worker to a remote coordinator; ``docs/FABRIC.md``).
 
 LLMs and systems may be given as preset names (``gpt3-175b``,
 ``a100:4096``, ``h100:4096:80:512``) or as JSON spec files.
@@ -669,6 +672,80 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return 0 if flat["feasible"] else 1
 
 
+def _cmd_fabric(args: argparse.Namespace) -> int:
+    from .fabric import run_fabric, run_worker
+
+    if args.join:
+        # Worker mode: join a (possibly remote) coordinator and pull leases
+        # until it reports the sweep done.
+        import logging
+
+        logging.basicConfig(level=logging.INFO, stream=sys.stderr)
+        done = run_worker(args.join, name=args.name, columnar=_columnar_arg(args))
+        sys.stderr.write(f"fabric worker finished {done} chunks\n")
+        return 0
+    if not args.llm or not args.system:
+        raise SystemExit(
+            "fabric coordinator mode needs LLM and SYSTEM positionals "
+            "(use --join URL for worker mode)"
+        )
+    if args.resume and not args.checkpoint:
+        raise SystemExit("--resume requires --checkpoint FILE")
+    llm = _parse_llm(args.llm)
+    system = _parse_system(args.system)
+    opts = _options_from_name(args.options)
+    tracer, _ = _make_obs(args)
+    events = _make_events(args, "fabric", tracer)
+    start = time.perf_counter()
+    try:
+        result = run_fabric(
+            llm, system, args.batch, opts,
+            workers=args.workers, top_k=args.top,
+            host=args.host, port=args.port,
+            lease_timeout=args.lease_timeout,
+            checkpoint=args.checkpoint, resume=args.resume,
+            events=events, tracer=tracer,
+            columnar=_columnar_arg(args),
+            timeout=args.timeout,
+        )
+    finally:
+        if events is not None:
+            events.close()
+    elapsed = time.perf_counter() - start
+    _finish_trace(tracer, args)
+    _report_fault_outcome(result.stats, result.truncated)
+    print(
+        f"evaluated {result.num_evaluated} configurations "
+        f"({result.num_feasible} feasible) across {args.workers} workers "
+        f"in {elapsed:.1f} s"
+    )
+    if args.stats and result.stats is not None:
+        print(result.stats.summary())
+    if result.best is None:
+        print("no feasible configuration")
+        return 1
+    rows = [
+        (
+            s.short_name(),
+            r.sample_rate,
+            r.batch_time,
+            r.mfu * 100,
+            r.mem1.total / 2**30,
+            s.recompute,
+            "sp" if s.seq_par else "-",
+            "shard" if s.optimizer_sharding else "-",
+        )
+        for s, r in result.top
+    ]
+    print(
+        table(
+            ["config", "rate/s", "batch s", "MFU %", "HBM GiB", "recompute", "SP", "opt"],
+            rows,
+        )
+    )
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from .obs.analyze import analyze_files
 
@@ -786,6 +863,40 @@ def main(argv: list[str] | None = None) -> int:
     _add_events_flag(swp)
     _add_fault_flags(swp)
     swp.set_defaults(func=_cmd_sweep)
+
+    fab = sub.add_parser(
+        "fabric",
+        help="distributed search fabric: shard one search across worker "
+        "processes behind a work-stealing coordinator",
+    )
+    fab.add_argument("llm", nargs="?", help="LLM preset (coordinator mode)")
+    fab.add_argument("system", nargs="?", help="system spec (coordinator mode)")
+    fab.add_argument("--join", metavar="URL", default=None,
+                     help="worker mode: join the coordinator at URL and pull "
+                     "chunk leases until the sweep is done")
+    fab.add_argument("--name", default=None,
+                     help="worker name shown in /metrics and events (worker mode)")
+    fab.add_argument("--batch", type=int, default=4096)
+    fab.add_argument("--options", default="all")
+    fab.add_argument("--top", type=int, default=10)
+    fab.add_argument("--workers", type=int, default=4,
+                     help="local worker processes to spawn (default 4)")
+    fab.add_argument("--host", default="127.0.0.1")
+    fab.add_argument("--port", type=int, default=0,
+                     help="coordinator TCP port (0 picks a free one)")
+    fab.add_argument("--lease-timeout", type=float, default=None,
+                     metavar="SECONDS",
+                     help="lease expiry before a chunk is re-issued (default 30)")
+    fab.add_argument("--timeout", type=float, default=600.0, metavar="SECONDS",
+                     help="overall sweep deadline (default 600)")
+    fab.add_argument("--checkpoint", metavar="FILE", default=None,
+                     help="journal merged chunks to FILE for later --resume")
+    fab.add_argument("--resume", action="store_true",
+                     help="fold chunks already journaled in --checkpoint FILE")
+    _add_columnar_flag(fab)
+    _add_obs_flags(fab)
+    _add_events_flag(fab)
+    fab.set_defaults(func=_cmd_fabric)
 
     trc = sub.add_parser(
         "trace", help="analyze a Chrome trace + flight-recorder journal"

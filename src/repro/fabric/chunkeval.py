@@ -1,0 +1,144 @@
+"""Chunk evaluation shared by fabric workers and the coordinator's fallback.
+
+One function, one contract: evaluate the candidates with global indices
+``[start, stop)`` and return a JSON-safe payload holding the chunk's
+candidate count, feasible count, bounded top-k entries and (optionally) a
+metrics snapshot plus trace spans.  The same code runs inside every worker
+process *and* inside the coordinator when a chunk exhausts its lease
+retries (the serial-fallback mirror of
+:func:`repro.search.faults.run_supervised`), so a degraded cluster computes
+exactly what a healthy one would.
+
+Bit-identity: the columnar path slices the global column arrays and runs
+the batch stages over the slice.  Per-candidate results are independent of
+batch composition (the columnar engine's equivalence contract), so the
+rates produced for rows ``[start, stop)`` are bit-identical to a
+whole-space run.  Local top-k selection uses the same
+``lexsort((stream_rank, -rate))`` retention as ``_search_columnar``; the
+shipped entries carry ``gidx = start + row`` so the coordinator's
+:class:`~repro.fabric.merge.TopKMerge` ranks them on the global
+``(-rate, gidx)`` total order.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Any
+
+from ..engine import comm_cache_stats
+from ..hardware.system import System
+from ..llm.config import LLMConfig
+from ..obs import M_COMM_CACHE_HITS, M_COMM_CACHE_MISSES, MetricsRegistry, Tracer
+from ..obs.stats import M_CHUNK_SECONDS
+from ..search.execution_search import _chunk_trace_events
+from .merge import TopKMerge
+
+__all__ = ["evaluate_chunk"]
+
+
+def evaluate_chunk(
+    llm: LLMConfig,
+    system: System,
+    start: int,
+    stop: int,
+    top_k: int,
+    *,
+    cols: dict | None = None,
+    strategies: list | None = None,
+    chunk_index: int = 0,
+    instrument: bool = True,
+    trace_id: str | None = None,
+) -> dict[str, Any]:
+    """Evaluate global candidates ``[start, stop)``; return a wire payload.
+
+    Exactly one of ``cols`` (full-space columnar arrays) or ``strategies``
+    (the full scalar candidate list) must be provided; the slice is taken
+    here so callers hold one enumeration for all their chunks.
+
+    The payload::
+
+        {"n": int, "feasible": int,
+         "top": [[rate, gidx, strategy_dict], ...],   # best first
+         "snapshot": metrics-snapshot | None,
+         "events": [trace spans] | None,
+         "elapsed_s": float}
+    """
+    if (cols is None) == (strategies is None):
+        raise ValueError("provide exactly one of cols / strategies")
+    registry = MetricsRegistry() if instrument else None
+    t0 = perf_counter()
+    cc0 = comm_cache_stats() if registry is not None else (0, 0)
+    if cols is not None:
+        n, feasible, top = _evaluate_columnar(
+            llm, system, cols, start, stop, top_k, registry
+        )
+    else:
+        n, feasible, top = _evaluate_scalar(
+            llm, system, strategies, start, stop, top_k
+        )
+    elapsed = perf_counter() - t0
+    snapshot = events = None
+    if registry is not None:
+        cc1 = comm_cache_stats()
+        registry.inc(M_COMM_CACHE_HITS, cc1[0] - cc0[0])
+        registry.inc(M_COMM_CACHE_MISSES, cc1[1] - cc0[1])
+        registry.observe(M_CHUNK_SECONDS, elapsed)
+        tracer = Tracer(trace_id=trace_id)
+        _chunk_trace_events(tracer, chunk_index, registry, t0, elapsed,
+                            n, feasible)
+        snapshot = registry.snapshot()
+        events = tracer.events()
+    return {
+        "n": n,
+        "feasible": feasible,
+        "top": top,
+        "snapshot": snapshot,
+        "events": events,
+        "elapsed_s": elapsed,
+    }
+
+
+def _evaluate_columnar(llm, system, cols, start, stop, top_k, registry):
+    import numpy as np
+
+    from ..engine import batch as engine_batch
+
+    sub = {name: arr[start:stop] for name, arr in cols.items()}
+    eb = engine_batch.EvalBatch.from_columns(llm, system, sub)
+    engine_batch.run_batch(eb, prune_above=None, metrics=registry)
+    feasible = int(eb.n_s)
+    top: list[list[Any]] = []
+    if top_k > 0 and feasible > 0:
+        # Same retention rule as _search_columnar: ties at the k-th rate
+        # keep the earliest candidates in *stream* order; the shipped list
+        # is then ranked by (-rate, global index).
+        srank = eb.stream_rank[eb.sidx]
+        keep = np.lexsort((srank, -eb.rate_s))[:top_k]
+        order = np.lexsort((eb.sidx[keep], -eb.rate_s[keep]))
+        for i in keep[order]:
+            row = int(eb.sidx[i])
+            top.append([
+                float(eb.rate_s[i]),
+                start + row,
+                eb.strategy_at(row).to_dict(),
+            ])
+    return int(eb.n), feasible, top
+
+
+def _evaluate_scalar(llm, system, strategies, start, stop, top_k):
+    from ..engine import evaluate
+
+    merge = TopKMerge(top_k)
+    feasible = 0
+    chunk = strategies[start:stop]
+    for offset, strategy in enumerate(chunk):
+        result = evaluate(llm, system, strategy)
+        if not result.feasible:
+            continue
+        feasible += 1
+        merge.add(result.sample_rate, start + offset, strategy)
+    top = [
+        [rate, gidx, strategy.to_dict()]
+        for rate, gidx, strategy in merge.entries()
+    ]
+    return len(chunk), feasible, top

@@ -19,6 +19,7 @@ import logging
 import os
 import tempfile
 from pathlib import Path
+from typing import Any, Iterator
 
 logger = logging.getLogger(__name__)
 
@@ -50,6 +51,59 @@ def atomic_write_text(path: str | Path, text: str, encoding: str = "utf-8") -> P
         raise
     fsync_dir(path.parent)
     return path
+
+
+def iter_jsonl_lines(data: bytes) -> Iterator[tuple[int, int, bytes]]:
+    """Yield ``(line_number, byte_offset, raw_line)`` for a JSONL blob.
+
+    ``line_number`` is 1-based, ``byte_offset`` is the line's start within
+    ``data``, and ``raw_line`` is stripped of the trailing newline but not
+    decoded — the caller decides what a malformed line means.  Blank lines
+    are skipped.  Tracking offsets (instead of ``str.splitlines``) is the
+    point: a crash-torn trailing line can be reported by the exact byte
+    where the damage starts.
+    """
+    pos = 0
+    n = 0
+    for raw in data.split(b"\n"):
+        n += 1
+        offset = pos
+        pos += len(raw) + 1
+        line = raw.strip()
+        if line:
+            yield n, offset, line
+
+
+def report_torn_line(
+    path: str | Path,
+    line_number: int,
+    byte_offset: int,
+    line_bytes: int,
+    events: Any = None,
+    *,
+    kind: str = "journal",
+) -> None:
+    """Log (and flight-record) one malformed JSONL line.
+
+    ``events``, when given, must expose ``emit(kind, **fields)`` (an
+    :class:`repro.obs.EventJournal`); a ``journal.torn`` event makes the
+    damage visible in ``repro trace`` rollups instead of only in a log
+    nobody tails.  ``kind`` tags which store was damaged ("journal",
+    "cache-shard", ...).
+    """
+    logger.warning(
+        "%s:%d: skipping malformed %s line at byte offset %d (%d bytes)",
+        path, line_number, kind, byte_offset, line_bytes,
+    )
+    if events is not None:
+        events.emit(
+            "journal.torn",
+            path=str(path),
+            line=line_number,
+            offset=byte_offset,
+            bytes=line_bytes,
+            store=kind,
+        )
 
 
 def fsync_dir(path: str | Path) -> bool:

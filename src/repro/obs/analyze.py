@@ -80,6 +80,8 @@ class TraceReport:
     skipped_chunks: int = 0
     truncated: bool = False
     event_count: int = 0
+    torn_lines: list[dict[str, Any]] = field(default_factory=list)
+    fabric: dict[str, Any] | None = None
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -98,6 +100,8 @@ class TraceReport:
             "skipped_chunks": self.skipped_chunks,
             "truncated": self.truncated,
             "event_count": self.event_count,
+            "torn_lines": self.torn_lines,
+            "fabric": self.fabric,
         }
 
     def to_json(self) -> str:
@@ -169,6 +173,31 @@ class TraceReport:
                 lines.append(f"  skipped chunks {self.skipped_chunks}")
             if self.truncated:
                 lines.append("  truncated      deadline hit; sweep is partial")
+            if self.fabric is not None:
+                f = self.fabric
+                lines.append(
+                    f"  fabric         {f['workers_joined']} workers "
+                    f"({f['workers_dead']} died), "
+                    f"{f['chunks_merged']} chunks merged"
+                )
+                lines.append(
+                    f"    leases       {f['leases_granted']} granted, "
+                    f"{f['leases_expired']} expired, "
+                    f"{f['leases_stolen']} stolen, "
+                    f"{f['serial_fallbacks']} serial fallbacks"
+                )
+                if f.get("sweep_s") is not None:
+                    lines.append(f"    sweep window {f['sweep_s']:.3f} s")
+            if self.torn_lines:
+                lines.append(
+                    f"  torn writes    {len(self.torn_lines)} malformed "
+                    "journal/cache lines skipped on load"
+                )
+                for t in self.torn_lines[:5]:
+                    lines.append(
+                        f"    {t.get('store', '?'):<12} {t.get('path', '?')} "
+                        f"line {t.get('line', '?')} @ byte {t.get('offset', '?')}"
+                    )
         return "\n".join(lines)
 
 
@@ -346,6 +375,12 @@ def _analyze_events(report: TraceReport, events: list[dict[str, Any]]) -> None:
     report.event_count = len(events)
     failures: dict[Any, int] = {}
     requests = coalesced = hits = misses = 0
+    fabric = {
+        "workers_joined": 0, "workers_dead": 0, "chunks_merged": 0,
+        "leases_granted": 0, "leases_expired": 0, "leases_stolen": 0,
+        "serial_fallbacks": 0, "sweep_s": None,
+    }
+    saw_fabric = False
     for e in events:
         kind = e.get("kind")
         if kind in ("chunk.retry", "chunk.timeout"):
@@ -365,6 +400,33 @@ def _analyze_events(report: TraceReport, events: list[dict[str, Any]]) -> None:
             misses += 1
         elif kind in ("backpressure.reject", "draining.reject"):
             report.backpressure_rejects += 1
+        elif kind == "journal.torn":
+            report.torn_lines.append({
+                "path": e.get("path"), "line": e.get("line"),
+                "offset": e.get("offset"), "store": e.get("store"),
+            })
+        elif kind in ("fabric.start", "fabric.done", "worker.join",
+                      "worker.dead", "lease.grant", "lease.expire",
+                      "lease.steal", "merge.chunk"):
+            saw_fabric = True
+            if kind == "worker.join":
+                fabric["workers_joined"] += 1
+            elif kind == "worker.dead":
+                fabric["workers_dead"] += 1
+            elif kind == "merge.chunk" and not e.get("stale"):
+                fabric["chunks_merged"] += 1
+            elif kind == "lease.grant":
+                fabric["leases_granted"] += 1
+            elif kind == "lease.expire":
+                fabric["leases_expired"] += 1
+            elif kind == "lease.steal":
+                fabric["leases_stolen"] += 1
+            elif kind == "fabric.done":
+                fabric["sweep_s"] = e.get("sweep_s")
+        elif kind == "chunk.serial_fallback":
+            fabric["serial_fallbacks"] += 1
+    if saw_fabric:
+        report.fabric = fabric
     report.retry_hotspots = [
         {"chunk": chunk, "failures": n}
         for chunk, n in sorted(failures.items(), key=lambda kv: -kv[1])[:10]

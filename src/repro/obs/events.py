@@ -67,6 +67,17 @@ EVENT_KINDS = frozenset({
     "backpressure.reject",
     "draining.reject",
     "batch.dispatch",
+    # search fabric (fabric/coordinator)
+    "fabric.start",
+    "fabric.done",
+    "worker.join",
+    "worker.dead",
+    "lease.grant",
+    "lease.expire",
+    "lease.steal",
+    "merge.chunk",
+    # torn-write detection (checkpoint journal + service disk cache)
+    "journal.torn",
 })
 
 # Envelope keys every line must carry (and their JSON types).

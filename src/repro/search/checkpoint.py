@@ -32,13 +32,16 @@ from __future__ import annotations
 import json
 import logging
 from pathlib import Path
-from typing import Any, Iterator, Mapping
+from typing import TYPE_CHECKING, Any, Iterator, Mapping
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs import EventJournal
 
 # run_key lives in repro.cachekey since the evaluation service's result
 # cache shares it; re-exported here because journals and callers predate
 # the move (``from repro.search.checkpoint import run_key`` keeps working).
 from ..cachekey import run_key
-from ..fsutil import atomic_write_text
+from ..fsutil import atomic_write_text, iter_jsonl_lines, report_torn_line
 
 __all__ = ["CheckpointJournal", "CheckpointMismatch", "run_key"]
 
@@ -82,6 +85,7 @@ class CheckpointJournal:
         *,
         resume: bool = False,
         meta: Mapping[str, Any] | None = None,
+        events: "EventJournal | None" = None,
     ) -> "CheckpointJournal":
         """Create (or, with ``resume``, reload) the journal at ``path``.
 
@@ -89,10 +93,12 @@ class CheckpointJournal:
         matching journal's records and meta are adopted; a key mismatch
         raises :class:`CheckpointMismatch`; a missing or unparseable file
         degrades to a fresh journal (there is nothing to resume from).
+        ``events`` receives a ``journal.torn`` event per malformed line
+        found while loading (see :meth:`load`).
         """
         journal = cls(path, key, meta)
         if resume:
-            existing = cls.load(path)
+            existing = cls.load(path, events=events)
             if existing is not None:
                 if existing.key != key:
                     raise CheckpointMismatch(
@@ -110,28 +116,35 @@ class CheckpointJournal:
         return journal
 
     @classmethod
-    def load(cls, path: str | Path) -> "CheckpointJournal | None":
+    def load(
+        cls,
+        path: str | Path,
+        *,
+        events: "EventJournal | None" = None,
+    ) -> "CheckpointJournal | None":
         """Parse a journal file; ``None`` if absent or headerless.
 
-        Malformed lines are skipped (the atomic writer never produces them,
-        but a journal that passed through mail or got hand-edited should
-        still yield its intact records).  Record order is irrelevant; a
-        duplicated id keeps the last occurrence.
+        Malformed lines are skipped so a damaged journal still yields its
+        intact records — but never *silently*: each one is logged with its
+        byte offset and, when an ``events`` flight recorder is supplied,
+        emitted as a ``journal.torn`` event (surfaced by ``repro trace``
+        rollups).  The atomic writer cannot produce a torn line itself, so
+        one here means the file was crash-torn by another writer or
+        hand-edited — exactly the situation worth an audit trail.  Record
+        order is irrelevant; a duplicated id keeps the last occurrence.
         """
         path = Path(path)
         try:
-            text = path.read_text()
+            data = path.read_bytes()
         except OSError:
             return None
         journal: CheckpointJournal | None = None
-        for n, line in enumerate(text.splitlines()):
-            line = line.strip()
-            if not line:
-                continue
+        for n, offset, line in iter_jsonl_lines(data):
             try:
                 obj = json.loads(line)
             except json.JSONDecodeError:
-                logger.warning("%s:%d: skipping malformed journal line", path, n + 1)
+                report_torn_line(path, n, offset, len(line), events,
+                                 kind="journal")
                 continue
             kind = obj.get("kind")
             if kind == JOURNAL_MAGIC:
@@ -139,7 +152,7 @@ class CheckpointJournal:
             elif kind == "record" and journal is not None and "id" in obj:
                 journal._records[str(obj["id"])] = obj.get("data")
             else:
-                logger.warning("%s:%d: skipping unrecognized journal line", path, n + 1)
+                logger.warning("%s:%d: skipping unrecognized journal line", path, n)
         return journal
 
     # -- recording -----------------------------------------------------------

@@ -692,7 +692,7 @@ def search(
             },
         )
         journal = CheckpointJournal.open(
-            checkpoint, key, resume=resume,
+            checkpoint, key, resume=resume, events=events,
             meta={
                 "step": step,
                 "num_candidates": len(strategies),

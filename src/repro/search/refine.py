@@ -239,6 +239,7 @@ def multi_start(
     metrics: MetricsRegistry | None = None,
     checkpoint: str | os.PathLike | None = None,
     resume: bool = False,
+    events=None,
 ) -> RefineResult | None:
     """Hill climb from several seeds, returning the overall best.
 
@@ -249,7 +250,9 @@ def multi_start(
     multi-start can ``resume`` and skip completed seeds; a restored climb's
     best strategy is re-evaluated through the deterministic engine and its
     journaled evaluation/step counts are restored, so the resumed answer
-    matches an uninterrupted run.
+    matches an uninterrupted run.  ``events`` (an
+    :class:`~repro.obs.EventJournal`) flight-records torn journal lines
+    found while resuming.
     """
     if resume and checkpoint is None:
         raise ValueError("resume=True requires a checkpoint path")
@@ -263,7 +266,7 @@ def multi_start(
             },
         )
         journal = CheckpointJournal.open(
-            checkpoint, key, resume=resume, meta={"llm": llm.name},
+            checkpoint, key, resume=resume, events=events, meta={"llm": llm.name},
         )
     best: RefineResult | None = None
     total_evals = 0

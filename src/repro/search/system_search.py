@@ -197,7 +197,7 @@ def scaling_sweep(
             extra={"sizes": [int(n) for n in sizes]},
         )
         journal = CheckpointJournal.open(
-            checkpoint, key, resume=resume, meta={"llm": llm.name},
+            checkpoint, key, resume=resume, events=events, meta={"llm": llm.name},
         )
     t_start = perf_counter()
     points = []

@@ -42,7 +42,7 @@ from collections import OrderedDict
 from pathlib import Path
 from typing import Any
 
-from ..fsutil import atomic_write_text
+from ..fsutil import atomic_write_text, iter_jsonl_lines, report_torn_line
 from ..obs import MetricsRegistry
 
 logger = logging.getLogger(__name__)
@@ -76,6 +76,7 @@ class ResultCache:
         *,
         metrics: MetricsRegistry | None = None,
         shard_cache_size: int = 8,
+        events: Any = None,
     ):
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
@@ -84,6 +85,9 @@ class ResultCache:
         self.capacity = capacity
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        # An EventJournal (or anything with .emit); torn shard lines found
+        # on load are flight-recorded as journal.torn events.
+        self.events = events
         self._memory: OrderedDict[str, Any] = OrderedDict()
         # LRU of loaded shards (bounded) plus unbounded-but-tiny bookkeeping:
         # distinct keys and physical lines per shard name.
@@ -173,20 +177,21 @@ class ResultCache:
         lines = 0
         path = self._shard_path(name)
         try:
-            text = path.read_text()
+            data = path.read_bytes()
         except OSError:
-            text = ""
-        for n, line in enumerate(text.splitlines()):
-            line = line.strip()
-            if not line:
-                continue
+            data = b""
+        for n, offset, line in iter_jsonl_lines(data):
             lines += 1
             try:
                 obj = json.loads(line)
                 # Later lines supersede earlier ones: appends overwrite.
                 shard[str(obj["key"])] = obj["value"]
             except (json.JSONDecodeError, KeyError, TypeError):
-                logger.warning("%s:%d: skipping malformed cache line", path, n + 1)
+                # A torn trailing line is expected after a mid-append kill
+                # (puts append without the atomic-rename dance); report it
+                # with its byte offset instead of dropping it silently.
+                report_torn_line(path, n, offset, len(line), self.events,
+                                 kind="cache-shard")
         self._shards[name] = shard
         self._shards.move_to_end(name)
         self._shard_counts[name] = len(shard)

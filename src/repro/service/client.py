@@ -117,6 +117,14 @@ class ServiceClient:
     def metrics_text(self) -> str:
         return self._request("GET", "/metrics", raw=True)
 
+    def post(self, path: str, payload: dict) -> Any:
+        """POST a JSON body to an arbitrary path (fabric protocol routes)."""
+        return self._request("POST", path, payload)
+
+    def get(self, path: str) -> Any:
+        """GET a JSON payload from an arbitrary path."""
+        return self._request("GET", path)
+
     def metric_value(self, name: str, default: float = 0.0) -> float:
         """One sample from ``/metrics`` by its Prometheus name."""
         for line in self.metrics_text().splitlines():

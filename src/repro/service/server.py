@@ -523,8 +523,13 @@ class ServiceHTTPServer(ThreadingHTTPServer):
 
     daemon_threads = True
 
-    def __init__(self, address: tuple[str, int], service: EvaluationService):
-        super().__init__(address, _Handler)
+    def __init__(
+        self,
+        address: tuple[str, int],
+        service: EvaluationService,
+        handler: type[_Handler] = _Handler,
+    ):
+        super().__init__(address, handler)
         self.service = service
 
     @property
@@ -565,7 +570,7 @@ def make_server(
     events = (
         EventJournal(events_path, source="server") if events_path else None
     )
-    cache = ResultCache(cache_entries, cache_dir, metrics=metrics)
+    cache = ResultCache(cache_entries, cache_dir, metrics=metrics, events=events)
     batcher = MicroBatcher(
         window=batch_window, max_batch=max_batch, metrics=metrics,
         columnar=columnar, events=events,
