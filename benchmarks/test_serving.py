@@ -1,0 +1,119 @@
+"""Serving co-design acceptance benchmark: GPT-3 175B under a latency SLO.
+
+Runs ``serve_search`` on GPT-3 175B over an h100:16 pool with a trace-style
+workload (uniform 512-2048-token prompts, 64-256-token outputs, Poisson
+arrivals) against a p95 TTFT + p95 per-token SLO, and gates on the PR's
+acceptance criteria:
+
+* the search returns a deployment that **meets the SLO** (every plan in the
+  reported top-k satisfies it on the measured percentiles),
+* the answer is **bit-identical across two runs** (every float field of
+  every ``ServeStats`` in the top-k compares equal), and
+* SLO-bound **pruning never changes the top-k** — the pruned search must
+  match the exhaustive no-prune oracle entry for entry while actually
+  skipping a nonzero share of the candidate space.
+
+Measured wall-clocks (pruned vs oracle) and the winning deployment are
+written to ``BENCH_serving.json``.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.fsutil import atomic_write_text
+from repro.hardware.system import h100_system
+from repro.llm.config import GPT3_175B
+from repro.serving import LengthDist, ServeWorkload, SLOSpec, serve_search
+
+from _helpers import banner
+
+TOP_K = 5
+NPROCS = 16
+SLO = SLOSpec(ttft_p95=0.35, tpot_p95=0.04)
+WORKLOAD = ServeWorkload(
+    arrival_rate=4.0,
+    prompt=LengthDist.uniform(512, 2048),
+    output=LengthDist.uniform(64, 256),
+    num_requests=80,
+    seed=7,
+)
+
+
+def _timed_search(prune):
+    system = h100_system(NPROCS)
+    t0 = time.perf_counter()
+    result = serve_search(GPT3_175B, system, WORKLOAD, SLO,
+                          top_k=TOP_K, prune=prune)
+    return time.perf_counter() - t0, result
+
+
+def _tops_identical(a, b):
+    return len(a.top) == len(b.top) and all(
+        pa == pb and sa == sb
+        for (pa, sa), (pb, sb) in zip(a.top, b.top)
+    )
+
+
+def _run():
+    t_first, first = _timed_search(prune=True)
+    t_second, second = _timed_search(prune=True)
+    t_oracle, oracle = _timed_search(prune=False)
+    return t_first, first, t_second, second, t_oracle, oracle
+
+
+def test_serve_search_slo_codesign(benchmark):
+    t_first, first, t_second, second, t_oracle, oracle = benchmark.pedantic(
+        _run, rounds=1, iterations=1
+    )
+
+    banner(f"serve-search — GPT-3 175B, h100:{NPROCS}, "
+           f"rate {WORKLOAD.arrival_rate}/s, SLO {SLO.short_name()}")
+    best_plan, best_stats = first.top[0]
+    print(f"candidates {first.num_candidates}  simulated {first.num_simulated}"
+          f"  slo-pruned {first.num_pruned}  infeasible {first.num_infeasible}")
+    print(f"pruned search   {t_first:.3f} s / {t_second:.3f} s (two runs)")
+    print(f"no-prune oracle {t_oracle:.3f} s")
+    print(f"best deployment {best_plan.short_name()}  "
+          f"goodput {best_stats.goodput_rps:.3f} req/s  "
+          f"TTFT p95 {best_stats.ttft_p95 * 1e3:.1f} ms  "
+          f"TPOT p95 {best_stats.tpot_p95 * 1e3:.2f} ms")
+
+    # Acceptance gate 1: a deployment that meets the SLO exists, and the
+    # whole reported top-k honours it on the measured percentiles.
+    assert first.top, "no deployment meets the SLO"
+    for _, stats in first.top:
+        assert SLO.satisfied(stats)
+
+    # Acceptance gate 2: deterministic — two runs agree bit for bit.
+    assert _tops_identical(first, second)
+
+    # Acceptance gate 3: the bound is sound — pruning engaged but the
+    # top-k matches the exhaustive oracle entry for entry.
+    assert first.num_pruned > 0
+    assert oracle.num_pruned == 0
+    assert _tops_identical(first, oracle)
+
+    path = Path("BENCH_serving.json")
+    data = json.loads(path.read_text()) if path.exists() else {}
+    data.update(
+        {
+            "llm": "GPT3_175B",
+            "system": f"h100:{NPROCS}",
+            "workload": WORKLOAD.to_dict(),
+            "slo": SLO.to_dict(),
+            "candidates": first.num_candidates,
+            "simulated": first.num_simulated,
+            "slo_pruned": first.num_pruned,
+            "infeasible": first.num_infeasible,
+            "pruned_s": min(t_first, t_second),
+            "oracle_s": t_oracle,
+            "best_plan": best_plan.short_name(),
+            "goodput_rps": best_stats.goodput_rps,
+            "ttft_p95_s": best_stats.ttft_p95,
+            "tpot_p95_s": best_stats.tpot_p95,
+            "deterministic": True,
+            "prune_identical_topk": True,
+        }
+    )
+    atomic_write_text(path, json.dumps(data, indent=1) + "\n")

@@ -11,6 +11,11 @@ Subcommands mirror the reference tool's workflows:
 * ``fabric`` — shard one search across a work-stealing worker cluster
                (coordinator + N subprocesses, or ``--join URL`` to add
                a worker to a remote coordinator; ``docs/FABRIC.md``).
+* ``serve-search`` — SLO-constrained serving co-design: search colocated
+               and disaggregated prefill/decode deployments under
+               percentile latency targets (``docs/SERVING.md``).  Not to
+               be confused with ``serve``, which runs the persistent HTTP
+               *evaluation service* (``docs/SERVICE.md``).
 
 LLMs and systems may be given as preset names (``gpt3-175b``,
 ``a100:4096``, ``h100:4096:80:512``) or as JSON spec files.
@@ -267,6 +272,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_search(args: argparse.Namespace) -> int:
+    if getattr(args, "workload", "train") == "serve":
+        # The serving co-design search shares the verb but is a different
+        # machine; see the dedicated serve-search subcommand.
+        return _cmd_serve_search(args)
     llm = _parse_llm(args.llm)
     system = _parse_system(args.system)
     opts = _options_from_name(args.options)
@@ -603,6 +612,151 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_serve_workload_flags(parser: argparse.ArgumentParser) -> None:
+    """The serving workload/SLO flags shared by serve-search and
+    ``search --workload serve``."""
+    parser.add_argument(
+        "--rate", type=float, default=10.0, metavar="RPS",
+        help="offered arrival rate in requests/second (default 10)",
+    )
+    parser.add_argument(
+        "--prompt-len", default="2048", metavar="N|LO:HI",
+        help="prompt length in tokens: fixed N or uniform LO:HI (default 2048)",
+    )
+    parser.add_argument(
+        "--output-len", default="256", metavar="N|LO:HI",
+        help="output length in tokens: fixed N or uniform LO:HI (default 256)",
+    )
+    parser.add_argument(
+        "--requests", type=int, default=200,
+        help="simulated requests per candidate plan (default 200)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0,
+        help="workload sampling seed (default 0)",
+    )
+    parser.add_argument(
+        "--ttft-p50", type=float, default=None, metavar="SECONDS",
+        help="SLO: p50 time-to-first-token ceiling",
+    )
+    parser.add_argument(
+        "--ttft-p95", type=float, default=None, metavar="SECONDS",
+        help="SLO: p95 time-to-first-token ceiling",
+    )
+    parser.add_argument(
+        "--ttft-p99", type=float, default=None, metavar="SECONDS",
+        help="SLO: p99 time-to-first-token ceiling",
+    )
+    parser.add_argument(
+        "--tpot-p95", type=float, default=None, metavar="SECONDS",
+        help="SLO: p95 per-output-token latency ceiling",
+    )
+    parser.add_argument(
+        "--max-tensor-par", type=int, default=64,
+        help="widest tensor-parallel sharding tried (default 64)",
+    )
+    parser.add_argument(
+        "--no-disagg", action="store_true",
+        help="search only colocated plans (skip disaggregated prefill/decode)",
+    )
+    parser.add_argument(
+        "--splits", default="0.25,0.5", metavar="F1,F2,…",
+        help="prefill-cluster fractions tried for disaggregated plans "
+        "(default 0.25,0.5)",
+    )
+    parser.add_argument(
+        "--serve-max-batch", type=int, default=None, metavar="N",
+        help="cap the continuous-batching occupancy per decode replica",
+    )
+
+
+def _cmd_serve_search(args: argparse.Namespace) -> int:
+    from .serving import (
+        LengthDist,
+        ServeSearchOptions,
+        ServeWorkload,
+        SLOSpec,
+        serve_search,
+    )
+
+    llm = _parse_llm(args.llm)
+    system = _parse_system(args.system)
+    try:
+        workload = ServeWorkload(
+            arrival_rate=args.rate,
+            prompt=LengthDist.parse(args.prompt_len),
+            output=LengthDist.parse(args.output_len),
+            num_requests=args.requests,
+            seed=args.seed,
+        )
+        splits = tuple(float(s) for s in args.splits.split(",") if s.strip())
+        opts = ServeSearchOptions(
+            max_tensor_par=args.max_tensor_par,
+            disagg=not args.no_disagg,
+            splits=splits,
+            max_batch=args.serve_max_batch,
+        )
+    except ValueError as err:
+        raise SystemExit(str(err))
+    slo = SLOSpec(
+        ttft_p50=args.ttft_p50, ttft_p95=args.ttft_p95,
+        ttft_p99=args.ttft_p99, tpot_p95=args.tpot_p95,
+    )
+    if not slo.constrained:
+        slo = None
+    tracer, progress = _make_obs(args)
+    events = _make_events(args, "serve-search", tracer)
+    start = time.perf_counter()
+    try:
+        result = serve_search(
+            llm, system, workload, slo, opts,
+            top_k=args.top, workers=args.workers, prune=not args.no_prune,
+            tracer=tracer, collect_stats=args.stats, progress=progress,
+            events=events,
+            **_fault_kwargs(args),
+        )
+    finally:
+        if events is not None:
+            events.close()
+    elapsed = time.perf_counter() - start
+    _finish_trace(tracer, args)
+    _report_fault_outcome(result.stats, result.truncated)
+    print(
+        f"simulated {result.num_simulated} of {result.num_candidates} plans "
+        f"({result.num_pruned} SLO-bound pruned, "
+        f"{result.num_infeasible} infeasible, "
+        f"{result.num_violated} missed the SLO) in {elapsed:.1f} s"
+    )
+    if result.stats is not None:
+        print(result.stats.summary())
+    if not result.top:
+        print(
+            "no deployment meets the SLO"
+            if slo is not None else "no serveable deployment"
+        )
+        return 1
+    rows = [
+        (
+            plan.short_name(),
+            st.goodput_rps,
+            st.throughput_rps,
+            st.ttft_p95 * 1e3,
+            st.tpot_p95 * 1e3,
+            st.mean_batch,
+            st.kv_peak_bytes / 2**30,
+        )
+        for plan, st in result.top
+    ]
+    print(
+        table(
+            ["deployment", "goodput/s", "req/s", "TTFT p95 ms",
+             "TPOT p95 ms", "batch", "KV GiB"],
+            rows,
+        )
+    )
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from .service import make_server, serve
 
@@ -797,7 +951,9 @@ def main(argv: list[str] | None = None) -> int:
     run.set_defaults(func=_cmd_run)
 
     srv = sub.add_parser(
-        "serve", help="run the persistent evaluation service (HTTP JSON API)"
+        "serve",
+        help="run the persistent evaluation service (HTTP JSON API; to "
+        "search serving deployments under an SLO, use serve-search)",
     )
     srv.add_argument("--host", default="127.0.0.1")
     srv.add_argument("--port", type=int, default=8100,
@@ -837,16 +993,37 @@ def main(argv: list[str] | None = None) -> int:
     srch = sub.add_parser("search", help="exhaustive execution search")
     srch.add_argument("llm")
     srch.add_argument("system")
+    srch.add_argument("--workload", choices=("train", "serve"), default="train",
+                      help="search training executions (default) or serving "
+                      "deployments (equivalent to serve-search)")
     srch.add_argument("--batch", type=int, default=4096)
     srch.add_argument("--options", default="all")
     srch.add_argument("--top", type=int, default=10)
     srch.add_argument("--workers", type=int, default=None)
+    _add_serve_workload_flags(srch)
     _add_prune_flag(srch)
     _add_columnar_flag(srch)
     _add_obs_flags(srch)
     _add_events_flag(srch)
     _add_fault_flags(srch)
     srch.set_defaults(func=_cmd_search)
+
+    ssrch = sub.add_parser(
+        "serve-search",
+        help="SLO-constrained serving co-design: search colocated and "
+        "disaggregated prefill/decode deployments (the deployment-space "
+        "twin of 'search'; 'serve' runs the HTTP evaluation service)",
+    )
+    ssrch.add_argument("llm")
+    ssrch.add_argument("system")
+    ssrch.add_argument("--top", type=int, default=5)
+    ssrch.add_argument("--workers", type=int, default=None)
+    _add_serve_workload_flags(ssrch)
+    _add_prune_flag(ssrch)
+    _add_obs_flags(ssrch)
+    _add_events_flag(ssrch)
+    _add_fault_flags(ssrch)
+    ssrch.set_defaults(func=_cmd_serve_search)
 
     swp = sub.add_parser("sweep", help="optimal performance vs system size")
     swp.add_argument("llm")

@@ -20,17 +20,21 @@ fault policies (:mod:`repro.search.faults`), the HTTP service plumbing
 Protocol and bit-identity argument: ``docs/FABRIC.md``.
 """
 
-from .chunkeval import evaluate_chunk
+from .chunkeval import evaluate_chunk, evaluate_serve_chunk
 from .cluster import run_fabric
 from .coordinator import FabricCoordinator, FabricError
 from .merge import TopKMerge
 from .plan import (
     ChunkSpec,
+    enumerate_serve_space,
     enumerate_space,
     fabric_run_key,
     options_from_dict,
     options_to_dict,
     plan_chunks,
+    serve_fabric_run_key,
+    serve_options_from_dict,
+    serve_options_to_dict,
 )
 from .server import FabricHTTPServer, make_fabric_server
 from .worker import FabricWorker, run_worker
@@ -42,8 +46,10 @@ __all__ = [
     "FabricHTTPServer",
     "FabricWorker",
     "TopKMerge",
+    "enumerate_serve_space",
     "enumerate_space",
     "evaluate_chunk",
+    "evaluate_serve_chunk",
     "fabric_run_key",
     "make_fabric_server",
     "options_from_dict",
@@ -51,4 +57,7 @@ __all__ = [
     "plan_chunks",
     "run_fabric",
     "run_worker",
+    "serve_fabric_run_key",
+    "serve_options_from_dict",
+    "serve_options_to_dict",
 ]

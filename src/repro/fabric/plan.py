@@ -29,10 +29,14 @@ from ..search.execution_search import SearchOptions, candidate_strategies
 __all__ = [
     "ChunkSpec",
     "enumerate_space",
+    "enumerate_serve_space",
     "fabric_run_key",
     "options_from_dict",
     "options_to_dict",
     "plan_chunks",
+    "serve_fabric_run_key",
+    "serve_options_from_dict",
+    "serve_options_to_dict",
 ]
 
 # The coordinator slices the space into this many chunks per expected
@@ -122,6 +126,71 @@ def options_from_dict(data: dict[str, Any]) -> SearchOptions:
             )
         kwargs[f.name] = value
     return SearchOptions(**kwargs)
+
+
+def serve_fabric_run_key(
+    llm: LLMConfig,
+    system: System,
+    options: "Any",
+    workload: "Any",
+    slo: "Any | None",
+    *,
+    top_k: int,
+) -> str:
+    """Content key for a fabric-sharded serve-search.
+
+    ``kind="fabric-serve"`` keeps these journals apart from both training
+    fabric runs and single-process serve-search journals; the workload and
+    SLO ride in the extras so serving keys can never collide with training
+    keys for the same (llm, system).
+    """
+    return run_key(
+        llm, system, 0, options, kind="fabric-serve",
+        extra={
+            "workload": workload.to_dict(),
+            "slo": slo.to_dict() if slo is not None else None,
+            "top_k": int(top_k),
+        },
+    )
+
+
+def serve_options_to_dict(options: "Any") -> dict[str, Any]:
+    """A :class:`~repro.serving.ServeSearchOptions` as a JSON-safe dict."""
+    from ..serving.search import ServeSearchOptions
+
+    return {f.name: getattr(options, f.name) for f in fields(ServeSearchOptions)}
+
+
+def serve_options_from_dict(data: dict[str, Any]) -> "Any":
+    """Rebuild :class:`~repro.serving.ServeSearchOptions` from JSON form."""
+    from ..serving.search import ServeSearchOptions
+
+    kwargs: dict[str, Any] = {}
+    for f in fields(ServeSearchOptions):
+        if f.name not in data:
+            continue
+        value = data[f.name]
+        if isinstance(value, list):
+            value = tuple(value)
+        kwargs[f.name] = value
+    return ServeSearchOptions(**kwargs)
+
+
+def enumerate_serve_space(
+    llm: LLMConfig,
+    system: System,
+    options: "Any",
+) -> tuple[list, int]:
+    """Enumerate the serve-plan sequence once: ``(plans, total)``.
+
+    Deterministic (see :func:`repro.serving.candidate_plans`), so
+    coordinator and workers agree on what global index ``i`` means without
+    shipping plan lists over the wire.
+    """
+    from ..serving.search import candidate_plans
+
+    plans = candidate_plans(llm, system, options)
+    return plans, len(plans)
 
 
 def enumerate_space(

@@ -9,7 +9,8 @@ workloads buy latency, batch workloads buy tokens per second per GPU).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from time import perf_counter
+from typing import TYPE_CHECKING, Sequence
 
 from ..analysis.pareto import Objective, pareto_front
 from ..execution.strategy import divisors
@@ -17,6 +18,9 @@ from ..hardware.system import System
 from ..llm.config import LLMConfig
 from .model import InferenceStrategy, calculate_inference
 from .results import InferenceResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs import EventJournal, MetricsRegistry, Tracer
 
 
 @dataclass(frozen=True)
@@ -64,21 +68,43 @@ def search_deployments(
     generate_len: int = 256,
     batches: Sequence[int] = (1, 2, 4, 8, 16, 32, 64),
     max_tensor_par: int = 64,
+    tracer: "Tracer | None" = None,
+    metrics: "MetricsRegistry | None" = None,
+    events: "EventJournal | None" = None,
 ) -> list[DeploymentPoint]:
     """Evaluate every deployment; return the latency/throughput Pareto front.
 
     The front is sorted fastest-decode first.  An empty list means nothing
     fits (e.g. the model's weights exceed the pool's total HBM).
+
+    Observability mirrors the training search: ``tracer`` records one
+    ``search_deployments`` span, ``metrics`` counts candidates and feasible
+    deployments (``deploy.candidates`` / ``deploy.feasible``), and
+    ``events`` brackets the sweep with ``deployments.start`` /
+    ``deployments.done`` journal lines.
     """
+    t0 = perf_counter()
+    if events is not None:
+        events.emit(
+            "deployments.start", llm=llm.name, system=system.name,
+            prompt_len=prompt_len, generate_len=generate_len,
+        )
+    candidates = 0
     points = []
     for strat in candidate_deployments(
         llm, system, batches=batches, max_tensor_par=max_tensor_par
     ):
+        candidates += 1
         res = calculate_inference(
             llm, system, strat, prompt_len=prompt_len, generate_len=generate_len
         )
         if res.feasible and res.tokens_per_second > 0:
             points.append(DeploymentPoint(strategy=strat, result=res))
+    if metrics is not None:
+        from ..serving.stats import M_DEPLOY_CANDIDATES, M_DEPLOY_FEASIBLE
+
+        metrics.inc(M_DEPLOY_CANDIDATES, candidates)
+        metrics.inc(M_DEPLOY_FEASIBLE, len(points))
     objectives = (
         Objective("latency", key=lambda p: p.result.decode_step_time,
                   maximize=False),
@@ -87,4 +113,15 @@ def search_deployments(
     )
     front = pareto_front(points, objectives)
     front.sort(key=lambda p: p.result.decode_step_time)
+    elapsed = perf_counter() - t0
+    if tracer is not None:
+        tracer.add_span(
+            "search_deployments", "inference.search", t0, elapsed,
+            candidates=candidates, feasible=len(points), front=len(front),
+        )
+    if events is not None:
+        events.emit(
+            "deployments.done", seconds=elapsed, candidates=candidates,
+            feasible=len(points), front=len(front),
+        )
     return front

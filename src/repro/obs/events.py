@@ -78,6 +78,11 @@ EVENT_KINDS = frozenset({
     "merge.chunk",
     # torn-write detection (checkpoint journal + service disk cache)
     "journal.torn",
+    # serving co-design (serving/search + inference/search)
+    "serve.start",
+    "serve.done",
+    "deployments.start",
+    "deployments.done",
 })
 
 # Envelope keys every line must carry (and their JSON types).

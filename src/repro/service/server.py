@@ -24,6 +24,13 @@ Capacity is bounded: when the dispatch backlog reaches ``max_pending`` the
 service answers 503 with a ``Retry-After`` hint instead of queueing without
 limit, and a draining server (SIGTERM) finishes in-flight work while
 rejecting new evaluations.  See ``docs/SERVICE.md``.
+
+``POST /serve`` runs the serving-deployment simulator
+(:func:`repro.serving.simulate_plan`) for one plan/workload/SLO triple.
+It shares the content-addressed cache (``kind="service.serve"`` keys) and
+draining behaviour, but evaluates synchronously in the handler thread —
+one simulation is one cohesive discrete-event run, so there is nothing for
+the micro-batcher to dedup.  See ``docs/SERVING.md``.
 """
 
 from __future__ import annotations
@@ -50,6 +57,7 @@ from ..obs import (
     Tracer,
     render_prometheus,
 )
+from ..serving.stats import M_SERVE_REQUESTS, M_SERVE_SECONDS
 from .cache import (
     M_CACHE_HIT_DISK,
     M_CACHE_HIT_MEMORY,
@@ -328,6 +336,123 @@ class EvaluationService:
         self._settle(key, payload=payload)
         return payload
 
+    # -- serving simulation (POST /serve) ------------------------------------
+
+    def _parse_serve(self, payload: Any):
+        """Validate a ``/serve`` body into typed serving objects."""
+        from ..serving import ServePlan, ServeWorkload, SLOSpec
+
+        if not isinstance(payload, dict):
+            raise BadRequest("request body must be a JSON object")
+        for field in ("llm", "system", "plan", "workload"):
+            if field not in payload:
+                raise BadRequest(f"missing required field {field!r}")
+        try:
+            llm = llm_from_spec(payload["llm"])
+            system = system_from_spec(payload["system"])
+        except (ValueError, KeyError, TypeError) as err:
+            raise BadRequest(f"unresolvable spec: {err}") from None
+        try:
+            plan = ServePlan.from_dict(dict(payload["plan"]))
+        except (KeyError, TypeError, ValueError) as err:
+            raise BadRequest(f"bad serve plan: {err}") from None
+        try:
+            workload = ServeWorkload.from_dict(dict(payload["workload"]))
+        except (KeyError, TypeError, ValueError) as err:
+            raise BadRequest(f"bad serve workload: {err}") from None
+        slo = None
+        if payload.get("slo") is not None:
+            try:
+                slo = SLOSpec.from_dict(dict(payload["slo"]))
+            except (TypeError, ValueError) as err:
+                raise BadRequest(f"bad slo spec: {err}") from None
+        max_batch = payload.get("max_batch")
+        if max_batch is not None:
+            try:
+                max_batch = int(max_batch)
+            except (TypeError, ValueError):
+                raise BadRequest("'max_batch' must be an integer") from None
+            if max_batch < 1:
+                raise BadRequest("'max_batch' must be >= 1")
+        return llm, system, plan, workload, slo, max_batch
+
+    def serve_payload(
+        self, payload: Any, *, trace_context: TraceContext | None = None
+    ) -> dict:
+        """Serve one ``POST /serve`` body: simulate one serving deployment.
+
+        The simulator is deterministic, so results are content-cacheable
+        exactly like engine evaluations — the key hashes the plan, the
+        workload and the SLO under ``kind="service.serve"``, which can
+        never collide with ``service.evaluate`` keys for the same specs.
+        """
+        from dataclasses import asdict
+
+        from ..serving import simulate_plan
+
+        t0 = perf_counter()
+        self.metrics.inc(M_REQUESTS)
+        self.metrics.inc(M_SERVE_REQUESTS)
+        llm, system, plan, workload, slo, max_batch = self._parse_serve(payload)
+        key = run_key(
+            llm, system, 0, plan, kind="service.serve",
+            extra={
+                "workload": workload.to_dict(),
+                "slo": slo.to_dict() if slo is not None else None,
+                "max_batch": max_batch,
+            },
+        )
+        source = flat = None
+        tier = self.cache.tier(key)
+        if tier is not None:
+            flat = self.cache.get(key)
+            if flat is not None:
+                source = tier
+                self._emit("cache.hit", tier=tier, key=key[:16])
+        if flat is None:
+            if self.draining:
+                self.metrics.inc(M_REJECT_DRAINING)
+                self._emit("draining.reject", key=key[:16])
+                raise Draining("server is draining; no new evaluations")
+            self.metrics.inc(M_CACHE_MISS)
+            self._emit("cache.miss", key=key[:16])
+            try:
+                stats = simulate_plan(
+                    llm, system, plan, workload, slo=slo, max_batch=max_batch
+                )
+            except ValueError as err:
+                raise BadRequest(f"unserveable plan: {err}") from None
+            flat = asdict(stats)
+            # Per-request latency vectors are simulation internals; the
+            # percentile fields already summarize them for clients.
+            flat.pop("ttfts", None)
+            flat.pop("tpots", None)
+            flat["plan"] = plan.to_dict()
+            flat["slo_satisfied"] = slo.satisfied(stats) if slo else True
+            flat["slo_violations"] = list(slo.violations(stats)) if slo else []
+            try:
+                self.cache.put(key, flat)
+            except Exception:
+                logger.exception("cache put failed for %s…", key[:12])
+            source = "miss"
+        elapsed = perf_counter() - t0
+        self.metrics.observe(M_REQUEST_SECONDS, elapsed)
+        self.metrics.observe(M_SERVE_SECONDS, elapsed)
+        self._emit(
+            "serve.done", seconds=elapsed, cache=source,
+            goodput_rps=flat.get("goodput_rps"),
+            trace_id=trace_context.trace_id if trace_context else None,
+        )
+        out = self._respond(key, source, flat)
+        if trace_context is not None:
+            tracer = Tracer(trace_id=trace_context.trace_id)
+            tracer.add_span(
+                "serve", "service.request", t0, elapsed,
+                cache=source, trace_id=tracer.trace_id,
+            )
+            out["trace"] = {"trace_id": tracer.trace_id, "events": tracer.events()}
+        return out
+
     def _settle(self, key: str, *, payload: dict | None = None, error=None) -> None:
         """Resolve and retire the in-flight rendezvous future for ``key``."""
         with self._inflight_lock:
@@ -488,7 +613,7 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
         path = self.path.split("?", 1)[0]
-        if path not in ("/evaluate", "/evaluate_many"):
+        if path not in ("/evaluate", "/evaluate_many", "/serve"):
             self._send_json(404, {"error": f"no such endpoint {path!r}"})
             return
         trace_context = None
@@ -500,12 +625,17 @@ class _Handler(BaseHTTPRequestHandler):
                 logger.debug("ignoring malformed %s header: %r", TRACE_HEADER, header)
         try:
             payload = self._read_body()
-            if path == "/evaluate_many" and isinstance(payload, dict):
-                if "strategies" not in payload:
-                    raise BadRequest("/evaluate_many needs a 'strategies' list")
-            response = self.service.evaluate_payload(
-                payload, trace_context=trace_context
-            )
+            if path == "/serve":
+                response = self.service.serve_payload(
+                    payload, trace_context=trace_context
+                )
+            else:
+                if path == "/evaluate_many" and isinstance(payload, dict):
+                    if "strategies" not in payload:
+                        raise BadRequest("/evaluate_many needs a 'strategies' list")
+                response = self.service.evaluate_payload(
+                    payload, trace_context=trace_context
+                )
         except BadRequest as err:
             self.service.metrics.inc(M_BAD_REQUESTS)
             self._send_error_json(err)

@@ -1,0 +1,497 @@
+"""SLO-constrained serving deployment search.
+
+Enumerates :class:`~repro.serving.disagg.ServePlan` candidates (colocated
+parallelizations plus disaggregated prefill/decode splits of the same
+system), simulates each against a traffic mix, and returns the top-k by
+goodput among plans that meet the SLO.  Structure deliberately mirrors
+:mod:`repro.search.execution_search`: chunked dispatch through
+:func:`~repro.search.faults.run_supervised`, content-keyed checkpoint
+journal with bit-identical resume, obs spans/events/metrics, and a sound
+prune step — here the SLO lower-bound admission test of
+:mod:`repro.serving.bounds` instead of the roofline bound.
+
+The top-k guarantee: pruning only ever skips plans whose *lower bound*
+already violates the SLO; such plans could never rank (ranking admits
+only SLO-satisfying plans), so the pruned search's top-k is bit-identical
+to the exhaustive one.  Tests keep the exhaustive scalar path as the
+oracle (``tests/test_serve_search.py``).
+"""
+
+from __future__ import annotations
+
+import heapq
+import logging
+import math
+import os
+from dataclasses import dataclass
+from time import perf_counter
+
+from ..execution.strategy import factorizations
+from ..hardware.system import System
+from ..llm.config import LLMConfig
+from ..inference.model import InferenceStrategy
+from ..obs import (
+    EventJournal,
+    MetricsRegistry,
+    ProgressReporter,
+    Tracer,
+)
+from ..obs.stats import M_CHUNK_SECONDS
+from ..search.checkpoint import CheckpointJournal, run_key
+from ..search.faults import FaultInjector, RetryPolicy, run_supervised
+from .bounds import plan_bounds, slo_admits
+from .disagg import ServePlan, check_plan, simulate_plan
+from .simulator import ServeStats
+from .stats import (
+    M_SERVE_CANDIDATES,
+    M_SERVE_INFEASIBLE,
+    M_SERVE_PRUNED,
+    M_SERVE_SIMULATED,
+    M_SERVE_VIOLATED,
+    ServeSearchStats,
+)
+from .workload import SLOSpec, ServeWorkload
+
+logger = logging.getLogger(__name__)
+
+# Serving simulations cost milliseconds (vs microseconds for the training
+# model), so the serial threshold is far lower than execution search's.
+MIN_PLANS_PER_WORKER = 64
+
+
+@dataclass(frozen=True)
+class ServeSearchOptions:
+    """Which deployment dimensions serve-search sweeps.
+
+    ``splits`` are prefill-cluster fractions tried for disaggregated
+    plans (each rounded down to a whole processor count); ``max_batch``
+    caps the continuous-batching occupancy per replica.
+    """
+
+    max_tensor_par: int = 64
+    disagg: bool = True
+    splits: tuple[float, ...] = (0.25, 0.5)
+    max_batch: int | None = None
+
+    def __post_init__(self) -> None:
+        if any(not 0.0 < f < 1.0 for f in self.splits):
+            raise ValueError("splits must be fractions in (0, 1)")
+
+
+@dataclass
+class ServeSearchResult:
+    """Outcome of one serving deployment search.
+
+    ``top`` ranks SLO-satisfying plans by ``(-goodput_rps, enumeration
+    index)`` — deterministic, so reruns, resumes, and pruned runs agree
+    bit-identically.
+    """
+
+    top: list[tuple[ServePlan, ServeStats]]
+    num_candidates: int
+    num_simulated: int
+    num_pruned: int
+    num_infeasible: int
+    num_violated: int
+    stats: ServeSearchStats | None = None
+    truncated: bool = False
+
+    @property
+    def best(self) -> tuple[ServePlan, ServeStats] | None:
+        return self.top[0] if self.top else None
+
+
+def _strategies_for(
+    llm: LLMConfig, num_procs: int, max_tensor_par: int
+) -> list[InferenceStrategy]:
+    """Valid (t, p, d) shardings of ``num_procs`` for this model."""
+    out = []
+    for t, p, d in factorizations(num_procs):
+        if t > min(max_tensor_par, llm.attn_heads) or llm.attn_heads % t:
+            continue
+        if llm.hidden % t or llm.feedforward % t:
+            continue
+        if p > llm.num_blocks:
+            continue
+        out.append(InferenceStrategy(tensor_par=t, pipeline_par=p, data_par=d))
+    return out
+
+
+def candidate_plans(
+    llm: LLMConfig,
+    system: System,
+    options: ServeSearchOptions | None = None,
+) -> list[ServePlan]:
+    """Every candidate plan, in deterministic enumeration order.
+
+    Colocated plans first, then disaggregated plans grouped by split
+    fraction — the enumeration index is the search's tiebreak, so this
+    order is part of the result contract.
+    """
+    opts = options or ServeSearchOptions()
+    n = system.num_procs
+    plans = [
+        ServePlan(decode=s) for s in _strategies_for(llm, n, opts.max_tensor_par)
+    ]
+    if opts.disagg and n >= 2:
+        seen_splits: set[int] = set()
+        for frac in opts.splits:
+            n_pre = int(n * frac)
+            if n_pre < 1 or n_pre >= n or n_pre in seen_splits:
+                continue
+            seen_splits.add(n_pre)
+            pre_side = _strategies_for(llm, n_pre, opts.max_tensor_par)
+            dec_side = _strategies_for(llm, n - n_pre, opts.max_tensor_par)
+            plans.extend(
+                ServePlan(decode=dec, prefill=pre)
+                for pre in pre_side
+                for dec in dec_side
+            )
+    return plans
+
+
+def serve_auto_workers(num_plans: int, cpu_count: int | None = None) -> int:
+    cpus = cpu_count if cpu_count is not None else (os.cpu_count() or 1)
+    return max(1, min(cpus, num_plans // MIN_PLANS_PER_WORKER))
+
+
+def _serve_chunk(
+    args: tuple[
+        LLMConfig, System, list[tuple[int, ServePlan]], ServeWorkload,
+        SLOSpec | None, int, bool, int, FaultInjector | None, bool,
+        int | None, str | None,
+    ]
+) -> tuple[
+    int, int, int, int, int,
+    list[tuple[float, int, ServePlan, ServeStats]],
+    dict | None, list[dict] | None,
+]:
+    """Simulate one chunk of ``(enumeration index, plan)`` pairs.
+
+    Returns ``(n, simulated, pruned, infeasible, violated, top, snapshot,
+    trace_events)`` with ``top`` the chunk's SLO-satisfying plans ranked by
+    ``(-goodput, gidx)`` — an associative partial result safe to merge in
+    any order (the fabric's serve chunks reuse this exact contract).
+    """
+    (llm, system, indexed, workload, slo, top_k, instrument, chunk_index,
+     injector, prune, max_batch, trace_id) = args
+    if injector is not None:
+        injector.fire(chunk_index)
+    registry = MetricsRegistry() if instrument else None
+    start = perf_counter()
+    _, prompts, _ = workload.sample()
+    heap: list[tuple[float, int, int, ServePlan, ServeStats]] = []
+    simulated = pruned = infeasible = violated = 0
+    for gidx, plan in indexed:
+        if check_plan(llm, system, plan, workload) is not None:
+            infeasible += 1
+            continue
+        if prune and slo is not None and not slo_admits(
+            plan_bounds(llm, system, plan, workload, prompts), slo
+        ):
+            # The lower bound already violates a target: the real run could
+            # only be worse, so the plan provably cannot rank.  Skipping the
+            # simulation cannot change the top-k.
+            pruned += 1
+            continue
+        try:
+            stats = simulate_plan(
+                llm, system, plan, workload, slo=slo, max_batch=max_batch
+            )
+        except ValueError:
+            infeasible += 1
+            continue
+        simulated += 1
+        if slo is not None and not slo.satisfied(stats):
+            violated += 1
+            continue
+        goodput = stats.goodput_rps
+        entry = (goodput, -gidx, gidx, plan, stats)
+        if len(heap) < top_k:
+            heapq.heappush(heap, entry)
+        elif (goodput, -gidx) > (heap[0][0], heap[0][1]):
+            heapq.heapreplace(heap, entry)
+    ranked = sorted(heap, key=lambda e: (-e[0], e[2]))
+    top = [(g, gidx, plan, stats) for g, _, gidx, plan, stats in ranked]
+    snapshot = events = None
+    if registry is not None:
+        elapsed = perf_counter() - start
+        registry.inc(M_SERVE_CANDIDATES, len(indexed))
+        registry.inc(M_SERVE_SIMULATED, simulated)
+        registry.inc(M_SERVE_PRUNED, pruned)
+        registry.inc(M_SERVE_INFEASIBLE, infeasible)
+        registry.inc(M_SERVE_VIOLATED, violated)
+        registry.observe(M_CHUNK_SECONDS, elapsed)
+        tracer = Tracer(trace_id=trace_id)
+        tracer.add_span(
+            f"serve-chunk[{chunk_index}]", "serve.chunk", start, elapsed,
+            plans=len(indexed), simulated=simulated, pruned=pruned,
+            trace_id=trace_id,
+        )
+        snapshot = registry.snapshot()
+        events = tracer.events()
+    return (
+        len(indexed), simulated, pruned, infeasible, violated, top,
+        snapshot, events,
+    )
+
+
+def _chunk_payload(result: tuple) -> dict:
+    """A serve chunk result as a JSON-safe journal record.
+
+    Stores plans plus their goodput key, not full :class:`ServeStats` —
+    resume re-simulates the few journaled plans through the deterministic
+    simulator, keeping the journal small and schema-stable.
+    """
+    n, simulated, pruned, infeasible, violated, top, snapshot, _events = result
+    return {
+        "n": n,
+        "simulated": simulated,
+        "pruned": pruned,
+        "infeasible": infeasible,
+        "violated": violated,
+        "top": [[g, gidx, plan.to_dict()] for g, gidx, plan, _stats in top],
+        "snapshot": snapshot,
+    }
+
+
+def _chunk_from_payload(
+    llm: LLMConfig,
+    system: System,
+    workload: ServeWorkload,
+    slo: SLOSpec | None,
+    max_batch: int | None,
+    payload: dict,
+) -> tuple:
+    """Reconstruct a serve chunk result tuple from its journal record."""
+    top = []
+    for _g, gidx, plan_dict in payload["top"]:
+        plan = ServePlan.from_dict(plan_dict)
+        stats = simulate_plan(
+            llm, system, plan, workload, slo=slo, max_batch=max_batch
+        )
+        top.append((stats.goodput_rps, int(gidx), plan, stats))
+    return (
+        int(payload["n"]),
+        int(payload["simulated"]),
+        int(payload["pruned"]),
+        int(payload["infeasible"]),
+        int(payload["violated"]),
+        top,
+        payload.get("snapshot"),
+        None,
+    )
+
+
+def serve_search(
+    llm: LLMConfig,
+    system: System,
+    workload: ServeWorkload,
+    slo: SLOSpec | None = None,
+    options: ServeSearchOptions | None = None,
+    *,
+    top_k: int = 5,
+    workers: int | None = None,
+    prune: bool = True,
+    tracer: Tracer | None = None,
+    collect_stats: bool = False,
+    progress: ProgressReporter | None = None,
+    events: EventJournal | None = None,
+    checkpoint: str | os.PathLike | None = None,
+    resume: bool = False,
+    deadline: float | None = None,
+    retry_policy: RetryPolicy | None = None,
+    fault_injector: FaultInjector | None = None,
+) -> ServeSearchResult:
+    """Find the deployments that serve ``workload`` within ``slo`` best.
+
+    Ranking is by goodput (requests completing within their per-request
+    deadlines, per second) among plans whose measured percentiles satisfy
+    every SLO target; with no SLO, by throughput.  ``prune`` engages the
+    sound lower-bound admission test — provably-violating plans are never
+    simulated, and the top-k is bit-identical to ``prune=False``.
+
+    The fault-tolerance surface (``events`` / ``checkpoint`` / ``resume`` /
+    ``deadline`` / ``retry_policy`` / ``fault_injector``) behaves exactly
+    like :func:`repro.search.execution_search.search`: supplying any of
+    them engages supervised chunked dispatch, checkpoints record completed
+    chunks under a :func:`~repro.cachekey.run_key` that includes the
+    workload and SLO (so serving journals never collide with training
+    ones), and a resumed run is bit-identical to an uninterrupted one.
+    """
+    if resume and checkpoint is None:
+        raise ValueError("resume=True requires a checkpoint path")
+    t_start = perf_counter()
+    opts = options or ServeSearchOptions()
+    instrument = collect_stats or tracer is not None
+    fault_mode = (
+        events is not None
+        or checkpoint is not None
+        or deadline is not None
+        or retry_policy is not None
+        or fault_injector is not None
+    )
+
+    t0 = perf_counter()
+    plans = candidate_plans(llm, system, opts)
+    indexed = list(enumerate(plans))
+    if tracer is not None:
+        tracer.add_span("enumerate", "serve-search", t0, perf_counter() - t0,
+                        plans=len(plans))
+    if progress is not None:
+        progress.set_total(len(plans))
+    if workers is None:
+        workers = serve_auto_workers(len(plans))
+
+    chunked = workers > 1 or ((instrument or progress is not None or fault_mode)
+                              and len(plans) > 1)
+    step = max(len(plans), 1)
+    if chunked:
+        step = math.ceil(len(plans) / (max(workers, 1) * 4))
+
+    journal = None
+    if checkpoint is not None:
+        key = run_key(
+            llm, system, 0, opts, kind="serve-search",
+            extra={
+                "workload": workload.to_dict(),
+                "slo": slo.to_dict() if slo is not None else None,
+                "top_k": top_k,
+            },
+        )
+        journal = CheckpointJournal.open(
+            checkpoint, key, resume=resume, events=events,
+            meta={
+                "step": step,
+                "num_candidates": len(plans),
+                "trace_id": tracer.trace_id if tracer is not None else None,
+            },
+        )
+        step = int(journal.meta.get("step", step)) or step
+        if tracer is not None and journal.meta.get("trace_id"):
+            tracer.trace_id = str(journal.meta["trace_id"])
+
+    chunks: list[list[tuple[int, ServePlan]]] = [indexed]
+    if chunked:
+        chunks = [indexed[i : i + step] for i in range(0, len(indexed), step)]
+    logger.debug(
+        "serve-search: %d plans, %d workers, %d chunks (supervised=%s)",
+        len(plans), workers, len(chunks), fault_mode,
+    )
+
+    trace_id = tracer.trace_id if tracer is not None else None
+    args = [
+        (llm, system, c, workload, slo, top_k, instrument, n, fault_injector,
+         prune, opts.max_batch, trace_id)
+        for n, c in enumerate(chunks)
+    ]
+    truncated = False
+    retries = 0
+    resumed = 0
+    skipped_ranges: tuple[tuple[int, int], ...] = ()
+    if events is not None:
+        events.emit(
+            "serve.start", plans=len(plans), workers=max(workers, 1),
+            chunks=len(chunks), trace_id=trace_id,
+        )
+    if fault_mode:
+        chunk_results: dict[int, tuple] = {}
+        tasks: dict[int, tuple] = {}
+        for n, a in enumerate(args):
+            if journal is not None and str(n) in journal:
+                chunk_results[n] = _chunk_from_payload(
+                    llm, system, workload, slo, opts.max_batch,
+                    journal.get(str(n)),
+                )
+                resumed += 1
+                if events is not None:
+                    events.emit("chunk.resumed", chunk=n)
+            else:
+                tasks[n] = a
+        if progress is not None:
+            for n in sorted(chunk_results):
+                progress.update(chunk_results[n][0], chunk_results[n][1])
+
+        def _on_chunk(n: int, r: tuple) -> None:
+            chunk_results[n] = r
+            if journal is not None:
+                journal.record(str(n), _chunk_payload(r))
+            if progress is not None:
+                progress.update(r[0], r[1])
+
+        report = run_supervised(
+            _serve_chunk,
+            tasks,
+            workers=max(workers, 1),
+            policy=retry_policy,
+            deadline=t_start + deadline if deadline is not None else None,
+            on_result=_on_chunk,
+            events=events,
+            tracer=tracer,
+        )
+        truncated = report.truncated
+        retries = report.retries
+        skipped_ranges = tuple(
+            (n * step, min((n + 1) * step, len(plans)))
+            for n in report.skipped
+        )
+        results = [chunk_results[n] for n in sorted(chunk_results)]
+    else:
+        results = []
+        for a in args:
+            r = _serve_chunk(a)
+            results.append(r)
+            if progress is not None:
+                progress.update(r[0], r[1])
+    if progress is not None:
+        progress.finish()
+
+    num_candidates = sum(r[0] for r in results)
+    num_simulated = sum(r[1] for r in results)
+    num_pruned = sum(r[2] for r in results)
+    num_infeasible = sum(r[3] for r in results)
+    num_violated = sum(r[4] for r in results)
+    merged = [entry for r in results for entry in r[5]]
+    merged.sort(key=lambda e: (-e[0], e[1]))
+    top = [(plan, stats) for _g, _gidx, plan, stats in merged[:top_k]]
+
+    if tracer is not None:
+        for r in results:
+            if r[7]:
+                tracer.add_events(r[7])
+    stats = None
+    if collect_stats or fault_mode:
+        # The result-level totals are exact even when chunks ran without
+        # metric snapshots (fault mode without --stats), so build the typed
+        # summary from them directly; from_metrics() serves merged-registry
+        # consumers (the fabric coordinator, the service exposition).
+        stats = ServeSearchStats(
+            candidates=num_candidates,
+            simulated=num_simulated,
+            pruned=num_pruned,
+            violated=num_violated,
+            infeasible=num_infeasible,
+            elapsed=perf_counter() - t_start,
+            workers=max(workers, 1),
+            retries=retries,
+            skipped=skipped_ranges,
+            resumed_chunks=resumed,
+            truncated=truncated,
+        )
+    if events is not None:
+        events.emit(
+            "serve.done", seconds=perf_counter() - t_start,
+            plans=num_candidates, simulated=num_simulated,
+            pruned=num_pruned, violated=num_violated,
+            retries=retries, resumed=resumed, truncated=truncated,
+        )
+    return ServeSearchResult(
+        top=top,
+        num_candidates=num_candidates,
+        num_simulated=num_simulated,
+        num_pruned=num_pruned,
+        num_infeasible=num_infeasible,
+        num_violated=num_violated,
+        stats=stats,
+        truncated=truncated,
+    )

@@ -1,0 +1,490 @@
+"""Deterministic continuous-batching serving simulator.
+
+Drives the analytical per-block inference model
+(:mod:`repro.inference.decode`) with seeded Poisson arrivals and
+iteration-level scheduling, and measures what a capacity planner needs:
+TTFT percentiles, per-output-token latency, goodput under per-request
+deadlines, and KV-cache pressure (resident peak, host-offload traffic).
+
+Three properties are load-bearing and deliberately engineered:
+
+* **Determinism.**  All randomness comes from the workload's seeded
+  sample; the event loop itself is sequential float arithmetic.  The same
+  ``(llm, system, plan, workload)`` always produces a bit-identical
+  :class:`ServeStats` — serve-search's top-k guarantee rests on this.
+
+* **Bound soundness.**  TTFT is accumulated as ``fl(wait + prefill)``
+  with ``wait = fl(admit − arrival) ≥ 0`` — never as a
+  ``completion − arrival`` subtraction — so every measured TTFT is
+  ``≥`` its request's pure prefill time under IEEE-754 round-to-nearest
+  monotonicity.  Per-request decode spans are fl-sums of non-negative
+  step times.  :mod:`repro.serving.bounds` builds its prune-safe lower
+  bounds directly on these inequalities.
+
+* **Exact KV conservation.**  KV reservations are tracked in integer
+  bytes (``tensor_par`` divides ``hidden``, so per-request reservations
+  are exact), which makes ``kv_allocated_bytes == kv_freed_bytes`` an
+  exact invariant rather than a float-tolerance one — Hypothesis checks
+  it in ``tests/test_serving_properties.py``.
+
+The older fixed-length simulator (:func:`repro.inference.batching.simulate_serving`)
+is kept untouched for backward compatibility; this module generalizes it
+with length distributions, KV paging/offload, data-parallel replicas, and
+per-request latency accounting.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Sequence
+
+import numpy as np
+
+from ..core.flops import layer_fw_time
+from ..hardware.system import System
+from ..llm.blocks import build_block
+from ..llm.config import LLMConfig
+from ..inference.decode import profile_decode_block
+from ..inference.model import InferenceStrategy
+from .workload import SLOSpec, ServeWorkload
+
+__all__ = [
+    "ServeStats",
+    "simulate_serve",
+    "prefill_time",
+    "decode_step_time",
+    "weights_bytes",
+    "kv_reserve_bytes",
+]
+
+
+# ---------------------------------------------------------------------------
+# Cached analytical kernels (shared by the simulator and serving/bounds.py —
+# sharing the exact float pipeline is what keeps the SLO bounds sound).
+# ---------------------------------------------------------------------------
+
+
+@lru_cache(maxsize=4096)
+def prefill_time(
+    llm: LLMConfig, system: System, tensor_par: int, pipeline_par: int,
+    prompt_len: int,
+) -> float:
+    """One request's prefill latency: a batch-1 forward pass over the prompt."""
+    t, p = tensor_par, pipeline_par
+    L = llm.num_blocks
+    proc, hbm = system.processor, system.mem1
+    tp_net = system.network_for_span(t) if t > 1 else None
+    block = build_block(
+        llm.with_seq(prompt_len), microbatch=1, tensor_par=t, seq_par=False
+    )
+    fw_block = sum(layer_fw_time(proc, hbm, l).total for l in block.layers)
+    tp_block = (
+        sum(tp_net.collective_time(c.op, c.nbytes, t) for c in block.tp_comm_fw)
+        if tp_net
+        else 0.0
+    )
+    total = L * (fw_block + tp_block)
+    if p > 1:
+        pp_net = system.network_for_span(min(system.num_procs, t * p))
+        p2p_bytes = prompt_len * llm.hidden * llm.bytes_per_element
+        total += (p - 1) * pp_net.collective_time("p2p", p2p_bytes, 2)
+    return total
+
+
+@lru_cache(maxsize=65536)
+def decode_step_time(
+    llm: LLMConfig, system: System, tensor_par: int, pipeline_par: int,
+    batch: int, context: int,
+) -> float:
+    """One decode iteration for ``batch`` sequences at ``context`` length.
+
+    Monotone non-decreasing in both ``batch`` and ``context`` (FLOPs,
+    memory traffic, and collective payloads all grow with them) — the
+    property the TPOT lower bound in :mod:`repro.serving.bounds` relies on.
+    """
+    t, p = tensor_par, pipeline_par
+    prof = profile_decode_block(
+        llm, batch=batch, context=max(context, 1), tensor_par=t
+    )
+    proc, hbm = system.processor, system.mem1
+    compute = proc.compute_time("matrix", prof.flops)
+    vector = proc.compute_time("vector", prof.vector_flops)
+    memory = hbm.access_time(prof.traffic)
+    block = max(compute + vector, memory)
+    comm = 0.0
+    if t > 1:
+        net = system.network_for_span(t)
+        comm = prof.tp_comm_count * net.collective_time(
+            "all_reduce", prof.tp_comm_bytes, t
+        )
+    step = llm.num_blocks * (block + comm)
+    if p > 1:
+        pp_net = system.network_for_span(min(system.num_procs, t * p))
+        hop_bytes = batch * llm.hidden * llm.bytes_per_element
+        step += p * pp_net.collective_time("p2p", hop_bytes, 2)
+    return step
+
+
+@lru_cache(maxsize=1024)
+def weights_bytes(llm: LLMConfig, tensor_par: int, pipeline_par: int) -> float:
+    """Per-processor weight footprint for a (t, p)-sharded deployment."""
+    bpstage = math.ceil(llm.num_blocks / pipeline_par)
+    block = build_block(llm, microbatch=1, tensor_par=tensor_par, seq_par=False)
+    return bpstage * block.weight_bytes()
+
+
+def kv_reserve_bytes(
+    llm: LLMConfig, context: int, tensor_par: int, pipeline_par: int
+) -> int:
+    """Per-processor KV reservation for one request at full ``context``.
+
+    Integer-exact: K and V rows of ``hidden / t`` elements per block over
+    the ``ceil(L / p)`` blocks hosted per pipeline stage.
+    """
+    bpstage = -(-llm.num_blocks // pipeline_par)
+    return (
+        2 * context * llm.hidden * int(llm.bytes_per_element) * bpstage
+        // tensor_par
+    )
+
+
+# ---------------------------------------------------------------------------
+# Stats
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ServeStats:
+    """Measured behaviour of one simulated serving deployment."""
+
+    completed: int
+    duration: float
+    throughput_rps: float
+    tokens_per_second: float
+    ttft_p50: float
+    ttft_p95: float
+    ttft_p99: float
+    tpot_p50: float
+    tpot_p95: float
+    tpot_p99: float
+    goodput_rps: float  # completed-in-SLO requests per second
+    good_requests: int
+    mean_batch: float  # average decode-batch occupancy
+    max_queue: int
+    kv_allocated_bytes: int
+    kv_freed_bytes: int
+    kv_peak_bytes: int  # per-replica peak KV residency
+    kv_offload_bytes: float  # bytes streamed over the offload tier
+    ttfts: tuple[float, ...]  # per-request, arrival order
+    tpots: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if self.completed < 0 or self.duration < 0:
+            raise ValueError("stats must be non-negative")
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "completed": self.completed,
+            "throughput_rps": self.throughput_rps,
+            "goodput_rps": self.goodput_rps,
+            "tokens_per_second": self.tokens_per_second,
+            "ttft_p50": self.ttft_p50,
+            "ttft_p95": self.ttft_p95,
+            "ttft_p99": self.ttft_p99,
+            "tpot_p95": self.tpot_p95,
+            "mean_batch": self.mean_batch,
+            "max_queue": self.max_queue,
+            "kv_peak_gib": self.kv_peak_bytes / 2**30,
+            "kv_offload_gib": self.kv_offload_bytes / 2**30,
+        }
+
+
+def _percentile(values: np.ndarray, q: float) -> float:
+    return float(np.percentile(values, q)) if values.size else 0.0
+
+
+# ---------------------------------------------------------------------------
+# Event loop
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _ReplicaOutcome:
+    ttft: dict[int, float]
+    span: dict[int, float]  # fl-sum of decode step times (+ waits, disagg)
+    end_time: float
+    occupancy_time: float
+    max_queue: int
+    kv_allocated: int
+    kv_freed: int
+    kv_peak: int
+    kv_offload: float
+
+
+def _replica_loop(
+    llm: LLMConfig,
+    system: System,
+    tensor_par: int,
+    pipeline_par: int,
+    ids: Sequence[int],
+    ready: np.ndarray,
+    prompts: np.ndarray,
+    outputs: np.ndarray,
+    *,
+    hbm_kv_budget: float,
+    offload_capacity: float,
+    offload_seconds_per_byte: float,
+    max_batch: int | None,
+    charge_prefill: bool,
+    wait_in_span: bool,
+) -> _ReplicaOutcome:
+    """Continuous-batching loop for one replica over its request subset.
+
+    ``ready[i]`` is when request ``i`` becomes eligible (its arrival for a
+    colocated deployment; prefill-done + KV-transfer for the decode side of
+    a disaggregated one).  ``charge_prefill`` stalls the batch for each
+    admitted request's prefill (chunked-prefill, single-queue model);
+    ``wait_in_span`` folds admission wait into the per-token span (the
+    decode side of disaggregation, where TTFT was already paid upstream).
+    """
+    order = sorted(ids, key=lambda i: (ready[i], i))
+    n = len(order)
+    ttft: dict[int, float] = {}
+    span: dict[int, float] = {}
+    now = 0.0
+    next_ready = 0
+    queue: list[int] = []
+    active: dict[int, int] = {}  # request id -> tokens generated
+    resident: dict[int, int] = {}  # request id -> reserved KV bytes
+    resident_total = 0
+    done = 0
+    occupancy = 0.0
+    max_queue = 0
+    kv_allocated = 0
+    kv_freed = 0
+    kv_peak = 0
+    kv_offload = 0.0
+    capacity = hbm_kv_budget + offload_capacity
+
+    while done < n:
+        while next_ready < n and ready[order[next_ready]] <= now:
+            queue.append(order[next_ready])
+            next_ready += 1
+        max_queue = max(max_queue, len(queue))
+
+        # Admit FIFO while the batch slot and the full-context KV
+        # reservation fit in HBM + offload.
+        while queue and (max_batch is None or len(active) < max_batch):
+            rid = queue[0]
+            need = kv_reserve_bytes(
+                llm, int(prompts[rid] + outputs[rid]), tensor_par, pipeline_par
+            )
+            if resident_total + need > capacity:
+                break
+            queue.pop(0)
+            admit = max(now, float(ready[rid]))
+            wait = admit - float(ready[rid])  # exact >= 0: admit >= ready
+            if charge_prefill:
+                pf = prefill_time(
+                    llm, system, tensor_par, pipeline_par, int(prompts[rid])
+                )
+                now = admit + pf
+                ttft[rid] = wait + pf  # fl(wait + prefill) >= prefill
+            else:
+                now = admit
+            span[rid] = wait if wait_in_span else 0.0
+            active[rid] = 0
+            resident[rid] = need
+            resident_total += need
+            kv_allocated += need
+            kv_peak = max(kv_peak, resident_total)
+
+        if not active:
+            if next_ready < n:
+                now = max(now, float(ready[order[next_ready]]))
+                continue
+            break
+
+        # One decode iteration for the whole running batch.  Context is the
+        # integer mean of the active requests' current lengths, which keeps
+        # it >= the smallest prompt (the TPOT bound's anchor).
+        ctx = sum(int(prompts[r]) + g for r, g in active.items()) // len(active)
+        step = decode_step_time(
+            llm, system, tensor_par, pipeline_par, len(active), ctx
+        )
+        # KV beyond the HBM budget pages over the offload tier each step.
+        overflow = resident_total - hbm_kv_budget
+        if overflow > 0:
+            step += overflow * offload_seconds_per_byte
+            kv_offload += overflow
+        now += step
+        occupancy += step * len(active)
+        finished = []
+        for rid in active:
+            active[rid] += 1
+            span[rid] += step
+            if active[rid] >= int(outputs[rid]):
+                finished.append(rid)
+        for rid in finished:
+            del active[rid]
+            resident_total -= resident[rid]
+            kv_freed += resident.pop(rid)
+            done += 1
+
+    return _ReplicaOutcome(
+        ttft=ttft,
+        span=span,
+        end_time=now,
+        occupancy_time=occupancy,
+        max_queue=max_queue,
+        kv_allocated=kv_allocated,
+        kv_freed=kv_freed,
+        kv_peak=kv_peak,
+        kv_offload=kv_offload,
+    )
+
+
+def check_serveability(
+    llm: LLMConfig,
+    system: System,
+    strategy: InferenceStrategy,
+    workload: ServeWorkload,
+) -> str | None:
+    """Why one request could never be served, or ``None`` if it can.
+
+    The same test gates both :func:`simulate_serve` (raises) and
+    serve-search candidate screening (counts infeasible without raising).
+    """
+    t, p = strategy.tensor_par, strategy.pipeline_par
+    if llm.attn_heads % t or llm.hidden % t or llm.feedforward % t:
+        return f"tensor_par={t} must divide the model shape"
+    if p > llm.num_blocks:
+        return f"pipeline_par={p} exceeds {llm.num_blocks} blocks"
+    weights = weights_bytes(llm, t, p)
+    if weights >= system.mem1.capacity:
+        return (
+            f"weights {weights / 2**30:.1f} GiB exceed HBM "
+            f"{system.mem1.capacity / 2**30:.1f} GiB"
+        )
+    worst = kv_reserve_bytes(
+        llm, workload.prompt.max_len + workload.output.max_len, t, p
+    )
+    budget = system.mem1.capacity - weights
+    budget += system.mem2.capacity if system.mem2 is not None else 0.0
+    if worst > budget:
+        return (
+            f"one request's KV cache ({worst / 2**30:.1f} GiB) exceeds the "
+            f"{budget / 2**30:.1f} GiB KV budget"
+        )
+    return None
+
+
+def simulate_serve(
+    llm: LLMConfig,
+    system: System,
+    strategy: InferenceStrategy,
+    workload: ServeWorkload,
+    *,
+    slo: SLOSpec | None = None,
+    max_batch: int | None = None,
+) -> ServeStats:
+    """Simulate continuous-batching serving for a colocated deployment.
+
+    ``strategy.data_par`` replicas each run the continuous-batching loop
+    over their round-robin share of the traffic; ``tensor_par`` and
+    ``pipeline_par`` shard the model within a replica.  KV reservations
+    beyond HBM page to the system's ``mem2`` offload tier, costing every
+    decode step the overflow's transfer time.
+
+    Raises:
+        ValueError: if even a single request cannot fit.
+    """
+    strategy.validate(llm, system)
+    if max_batch is not None and max_batch < 1:
+        raise ValueError("max_batch must be >= 1")
+    reason = check_serveability(llm, system, strategy, workload)
+    if reason is not None:
+        raise ValueError(f"unserveable deployment: {reason}")
+
+    t, p, d = strategy.tensor_par, strategy.pipeline_par, strategy.data_par
+    arrivals, prompts, outputs = workload.sample()
+    hbm_kv_budget = system.mem1.capacity - weights_bytes(llm, t, p)
+    if system.mem2 is not None:
+        offload_capacity = system.mem2.capacity
+        offload_seconds_per_byte = 1.0 / (
+            system.mem2.bandwidth * system.mem2.efficiency
+        )
+    else:
+        offload_capacity = 0.0
+        offload_seconds_per_byte = 0.0
+
+    outcomes = [
+        _replica_loop(
+            llm, system, t, p,
+            [i for i in range(workload.num_requests) if i % d == rep],
+            arrivals, prompts, outputs,
+            hbm_kv_budget=hbm_kv_budget,
+            offload_capacity=offload_capacity,
+            offload_seconds_per_byte=offload_seconds_per_byte,
+            max_batch=max_batch,
+            charge_prefill=True,
+            wait_in_span=False,
+        )
+        for rep in range(d)
+    ]
+    return _assemble_stats(outcomes, outputs, slo, workload.num_requests)
+
+
+def _assemble_stats(
+    outcomes: Sequence[_ReplicaOutcome],
+    outputs: np.ndarray,
+    slo: SLOSpec | None,
+    num_requests: int,
+) -> ServeStats:
+    ttft_by_id: dict[int, float] = {}
+    span_by_id: dict[int, float] = {}
+    for out in outcomes:
+        ttft_by_id.update(out.ttft)
+        span_by_id.update(out.span)
+
+    completed_ids = sorted(span_by_id)
+    ttfts = tuple(ttft_by_id[i] for i in completed_ids)
+    tpots = tuple(span_by_id[i] / int(outputs[i]) for i in completed_ids)
+    ttft_arr = np.array(ttfts) if ttfts else np.empty(0)
+    tpot_arr = np.array(tpots) if tpots else np.empty(0)
+
+    duration = max((o.end_time for o in outcomes), default=0.0)
+    duration = duration if duration > 0 else 1e-12
+    completed = len(completed_ids)
+    total_tokens = int(sum(int(outputs[i]) for i in completed_ids))
+    if slo is None:
+        good = completed
+    else:
+        good = sum(
+            1 for i in completed_ids
+            if slo.request_is_good(ttft_by_id[i], span_by_id[i] / int(outputs[i]))
+        )
+    return ServeStats(
+        completed=completed,
+        duration=duration,
+        throughput_rps=completed / duration,
+        tokens_per_second=total_tokens / duration,
+        ttft_p50=_percentile(ttft_arr, 50),
+        ttft_p95=_percentile(ttft_arr, 95),
+        ttft_p99=_percentile(ttft_arr, 99),
+        tpot_p50=_percentile(tpot_arr, 50),
+        tpot_p95=_percentile(tpot_arr, 95),
+        tpot_p99=_percentile(tpot_arr, 99),
+        goodput_rps=good / duration,
+        good_requests=good,
+        mean_batch=sum(o.occupancy_time for o in outcomes) / duration,
+        max_queue=max((o.max_queue for o in outcomes), default=0),
+        kv_allocated_bytes=sum(o.kv_allocated for o in outcomes),
+        kv_freed_bytes=sum(o.kv_freed for o in outcomes),
+        kv_peak_bytes=max((o.kv_peak for o in outcomes), default=0),
+        kv_offload_bytes=float(sum(o.kv_offload for o in outcomes)),
+        ttfts=ttfts,
+        tpots=tpots,
+    )

@@ -1,0 +1,245 @@
+"""Serving traffic mixes and percentile SLO targets.
+
+A serving co-design question is posed against a *workload* — the offered
+traffic (arrival rate plus prompt/output length distributions) — and an
+*SLO* — the percentile latency targets a deployment must meet.  Both are
+small frozen dataclasses with deterministic JSON round-trips
+(``to_dict``/``from_dict``): they ride into
+:func:`repro.cachekey.run_key` extras so serving-search checkpoints and
+caches can never collide with training-search keys for the same
+(LLM, system), and into checkpoint journal headers so a resumed
+serve-search provably answers the same question.
+
+Sampling is seeded and consumption-ordered (arrivals, then prompts, then
+outputs from one :class:`numpy.random.Generator`), so two runs of the same
+workload see bit-identical traffic — the foundation of the serving
+simulator's determinism guarantee (``docs/SERVING.md``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+import numpy as np
+
+__all__ = ["LengthDist", "SLOSpec", "ServeWorkload"]
+
+
+@dataclass(frozen=True)
+class LengthDist:
+    """A token-length distribution: fixed, or uniform over ``[low, high]``."""
+
+    kind: str = "fixed"
+    value: int = 2048  # the fixed length
+    low: int = 1  # uniform bounds, inclusive
+    high: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("fixed", "uniform"):
+            raise ValueError(f"unknown length distribution kind {self.kind!r}")
+        if self.kind == "fixed" and self.value < 1:
+            raise ValueError("fixed length must be >= 1")
+        if self.kind == "uniform" and not 1 <= self.low <= self.high:
+            raise ValueError("uniform bounds need 1 <= low <= high")
+
+    @classmethod
+    def fixed(cls, value: int) -> "LengthDist":
+        return cls(kind="fixed", value=value)
+
+    @classmethod
+    def uniform(cls, low: int, high: int) -> "LengthDist":
+        return cls(kind="uniform", low=low, high=high)
+
+    @classmethod
+    def parse(cls, spec: str) -> "LengthDist":
+        """``"2048"`` -> fixed(2048); ``"128:4096"`` -> uniform(128, 4096)."""
+        text = spec.strip()
+        if ":" in text:
+            lo, hi = text.split(":", 1)
+            return cls.uniform(int(lo), int(hi))
+        return cls.fixed(int(text))
+
+    @property
+    def min_len(self) -> int:
+        return self.value if self.kind == "fixed" else self.low
+
+    @property
+    def max_len(self) -> int:
+        return self.value if self.kind == "fixed" else self.high
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """``n`` lengths as an int64 array (deterministic given ``rng``)."""
+        if self.kind == "fixed":
+            return np.full(n, self.value, dtype=np.int64)
+        return rng.integers(self.low, self.high + 1, size=n, dtype=np.int64)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"kind": self.kind, "value": self.value,
+                "low": self.low, "high": self.high}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "LengthDist":
+        return cls(
+            kind=str(data.get("kind", "fixed")),
+            value=int(data.get("value", 2048)),
+            low=int(data.get("low", 1)),
+            high=int(data.get("high", 1)),
+        )
+
+    def short_name(self) -> str:
+        if self.kind == "fixed":
+            return str(self.value)
+        return f"{self.low}:{self.high}"
+
+
+@dataclass(frozen=True)
+class ServeWorkload:
+    """The offered serving traffic: a rate and length distributions.
+
+    ``arrival_rate`` is requests per second (Poisson); ``prompt`` and
+    ``output`` are token-length distributions; ``num_requests`` bounds the
+    simulated horizon; ``seed`` fixes the sampled traffic.
+    """
+
+    arrival_rate: float
+    prompt: LengthDist = LengthDist.fixed(2048)
+    output: LengthDist = LengthDist.fixed(256)
+    num_requests: int = 200
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.arrival_rate <= 0:
+            raise ValueError("arrival_rate must be positive")
+        if self.num_requests < 1:
+            raise ValueError("num_requests must be >= 1")
+
+    def sample(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Draw the traffic: ``(arrival_times, prompt_lens, output_lens)``.
+
+        One generator, fixed consumption order — the same workload always
+        yields the same arrays, and two workloads differing only in
+        ``arrival_rate`` see the *same* interarrival draws scaled by the
+        rate (which is what makes latency-vs-rate comparisons, and the
+        monotonicity property tests, meaningful).
+        """
+        rng = np.random.default_rng(self.seed)
+        gaps = rng.exponential(1.0 / self.arrival_rate, self.num_requests)
+        arrivals = np.cumsum(gaps)
+        prompts = self.prompt.sample(rng, self.num_requests)
+        outputs = self.output.sample(rng, self.num_requests)
+        return arrivals, prompts, outputs
+
+    @property
+    def max_context(self) -> int:
+        return self.prompt.max_len + self.output.max_len
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "arrival_rate": self.arrival_rate,
+            "prompt": self.prompt.to_dict(),
+            "output": self.output.to_dict(),
+            "num_requests": self.num_requests,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ServeWorkload":
+        return cls(
+            arrival_rate=float(data["arrival_rate"]),
+            prompt=LengthDist.from_dict(data.get("prompt", {})),
+            output=LengthDist.from_dict(data.get("output", {})),
+            num_requests=int(data.get("num_requests", 200)),
+            seed=int(data.get("seed", 0)),
+        )
+
+
+@dataclass(frozen=True)
+class SLOSpec:
+    """Percentile latency targets a deployment must meet.
+
+    ``ttft_*`` bound time-to-first-token percentiles in seconds;
+    ``tpot_p95`` bounds the 95th-percentile per-output-token latency in
+    seconds per token.  ``None`` leaves a percentile unconstrained.  The
+    p95 targets double as the *per-request* deadlines behind goodput: a
+    completed request is "good" when its own TTFT and per-token latency
+    meet them (see ``docs/SERVING.md``).
+    """
+
+    ttft_p50: float | None = None
+    ttft_p95: float | None = None
+    ttft_p99: float | None = None
+    tpot_p95: float | None = None
+
+    def __post_init__(self) -> None:
+        for name in ("ttft_p50", "ttft_p95", "ttft_p99", "tpot_p95"):
+            v = getattr(self, name)
+            if v is not None and v <= 0:
+                raise ValueError(f"{name} must be positive when set")
+
+    @property
+    def constrained(self) -> bool:
+        return any(
+            v is not None
+            for v in (self.ttft_p50, self.ttft_p95, self.ttft_p99, self.tpot_p95)
+        )
+
+    def violations(self, stats: Any) -> tuple[str, ...]:
+        """Human-readable SLO violations for one :class:`ServeStats`."""
+        out = []
+        for name, limit in (
+            ("ttft_p50", self.ttft_p50),
+            ("ttft_p95", self.ttft_p95),
+            ("ttft_p99", self.ttft_p99),
+            ("tpot_p95", self.tpot_p95),
+        ):
+            if limit is None:
+                continue
+            measured = getattr(stats, name)
+            if measured > limit:
+                out.append(f"{name} {measured:.4f}s > {limit:.4f}s")
+        return tuple(out)
+
+    def satisfied(self, stats: Any) -> bool:
+        return not self.violations(stats)
+
+    def request_is_good(self, ttft: float, tpot: float) -> bool:
+        """Per-request goodput test against the p95 targets as deadlines."""
+        if self.ttft_p95 is not None and ttft > self.ttft_p95:
+            return False
+        if self.tpot_p95 is not None and tpot > self.tpot_p95:
+            return False
+        return True
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "ttft_p50": self.ttft_p50,
+            "ttft_p95": self.ttft_p95,
+            "ttft_p99": self.ttft_p99,
+            "tpot_p95": self.tpot_p95,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SLOSpec":
+        def _opt(name: str) -> float | None:
+            v = data.get(name)
+            return None if v is None else float(v)
+
+        return cls(
+            ttft_p50=_opt("ttft_p50"),
+            ttft_p95=_opt("ttft_p95"),
+            ttft_p99=_opt("ttft_p99"),
+            tpot_p95=_opt("tpot_p95"),
+        )
+
+    def short_name(self) -> str:
+        parts = []
+        if self.ttft_p50 is not None:
+            parts.append(f"ttft_p50<={self.ttft_p50:g}s")
+        if self.ttft_p95 is not None:
+            parts.append(f"ttft_p95<={self.ttft_p95:g}s")
+        if self.ttft_p99 is not None:
+            parts.append(f"ttft_p99<={self.ttft_p99:g}s")
+        if self.tpot_p95 is not None:
+            parts.append(f"tpot_p95<={self.tpot_p95:g}s")
+        return " ".join(parts) if parts else "unconstrained"

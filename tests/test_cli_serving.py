@@ -1,0 +1,80 @@
+"""CLI coverage for the serving co-design verbs."""
+
+import json
+
+from repro.cli import main
+
+ARGS = [
+    "tiny-test", "h100:4:8",
+    "--rate", "20", "--prompt-len", "64:128", "--output-len", "16:32",
+    "--requests", "40", "--seed", "1",
+]
+
+
+def test_serve_search_smoke(capsys):
+    rc = main(["serve-search", *ARGS, "--ttft-p95", "0.005",
+               "--tpot-p95", "0.001", "--stats"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "deployment" in out and "goodput/s" in out
+    assert "candidate plans" in out  # --stats summary
+
+
+def test_serve_search_impossible_slo_nonzero(capsys):
+    rc = main(["serve-search", *ARGS, "--ttft-p95", "1e-300"])
+    out = capsys.readouterr().out
+    assert rc == 1
+    assert "no deployment meets the SLO" in out
+
+
+def test_search_workload_serve_dispatches(capsys):
+    rc = main(["search", ARGS[0], ARGS[1], "--workload", "serve",
+               *ARGS[2:], "--top", "3"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "goodput/s" in out  # serving table, not the training one
+    assert "MFU" not in out
+
+
+def test_serve_search_no_disagg(capsys):
+    rc = main(["serve-search", *ARGS, "--no-disagg"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "pre[" not in out
+
+
+def test_serve_search_trace_and_events(tmp_path, capsys):
+    trace = tmp_path / "trace.json"
+    events = tmp_path / "events.jsonl"
+    rc = main(["serve-search", *ARGS, "--trace", str(trace),
+               "--events", str(events)])
+    assert rc == 0
+    capsys.readouterr()
+    spans = json.loads(trace.read_text())
+    assert spans  # at least the serve_search span
+    kinds = [json.loads(line).get("kind")
+             for line in events.read_text().splitlines()]
+    assert "serve.start" in kinds and "serve.done" in kinds
+
+
+def test_serve_search_checkpoint_resume(tmp_path, capsys):
+    journal = tmp_path / "serve.jsonl"
+    rc1 = main(["serve-search", *ARGS, "--checkpoint", str(journal)])
+    first = capsys.readouterr().out
+    assert rc1 == 0 and journal.exists()
+    rc2 = main(["serve-search", *ARGS, "--checkpoint", str(journal),
+                "--resume"])
+    captured = capsys.readouterr()
+    assert rc2 == 0
+    assert "resumed" in captured.err
+    # The resumed table is identical to the fresh one.
+    assert captured.out.splitlines()[-5:] == first.splitlines()[-5:]
+
+
+def test_serve_help_disambiguates(capsys):
+    try:
+        main(["--help"])
+    except SystemExit:
+        pass
+    help_text = capsys.readouterr().out
+    assert "serve-search" in help_text

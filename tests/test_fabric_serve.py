@@ -1,0 +1,115 @@
+"""Fabric sharding of serve-search: chunked merge == serial, keys isolate."""
+
+from repro.fabric import (
+    TopKMerge,
+    enumerate_serve_space,
+    evaluate_serve_chunk,
+    plan_chunks,
+    serve_fabric_run_key,
+    serve_options_from_dict,
+    serve_options_to_dict,
+)
+from repro.hardware.system import h100_system
+from repro.llm.config import TINY_TEST
+from repro.serving import (
+    LengthDist,
+    ServePlan,
+    ServeSearchOptions,
+    ServeWorkload,
+    SLOSpec,
+    serve_search,
+)
+
+SYS = h100_system(4, hbm_gib=8.0)
+WL = ServeWorkload(
+    arrival_rate=20.0, prompt=LengthDist.uniform(64, 128),
+    output=LengthDist.uniform(16, 32), num_requests=40, seed=1,
+)
+SLO = SLOSpec(ttft_p95=9e-5, tpot_p95=4e-5)
+OPTS = ServeSearchOptions()
+TOP_K = 5
+
+
+def _merge_chunks(step):
+    plans, total = enumerate_serve_space(TINY_TEST, SYS, OPTS)
+    merge = TopKMerge(TOP_K)
+    payloads = []
+    for spec in plan_chunks(total, workers=1, step=step):
+        payload = evaluate_serve_chunk(
+            TINY_TEST, SYS, spec.start, spec.stop, TOP_K,
+            plans=plans, workload=WL, slo=SLO, chunk_index=spec.index,
+        )
+        payloads.append(payload)
+        for goodput, gidx, plan_dict in payload["top"]:
+            merge.add(goodput, gidx, plan_dict)
+    return merge, payloads
+
+
+def test_chunked_merge_matches_serial_search():
+    serial = serve_search(TINY_TEST, SYS, WL, SLO, options=OPTS, top_k=TOP_K)
+    for step in (1, 3, 7, 100):
+        merge, payloads = _merge_chunks(step)
+        entries = merge.entries()
+        assert len(entries) == len(serial.top)
+        for (goodput, _gidx, plan_dict), (plan, stats) in zip(
+            entries, serial.top
+        ):
+            assert goodput == stats.goodput_rps
+            assert ServePlan.from_dict(plan_dict) == plan
+        # Chunk counters partition the serial run's totals exactly.
+        assert sum(p["n"] for p in payloads) == serial.num_candidates
+        assert sum(p["simulated"] for p in payloads) == serial.num_simulated
+        assert sum(p["pruned"] for p in payloads) == serial.num_pruned
+        assert sum(p["infeasible"] for p in payloads) == serial.num_infeasible
+        assert sum(p["violated"] for p in payloads) == serial.num_violated
+
+
+def test_chunk_payload_is_wire_shaped():
+    plans, total = enumerate_serve_space(TINY_TEST, SYS, OPTS)
+    payload = evaluate_serve_chunk(
+        TINY_TEST, SYS, 0, min(4, total), TOP_K,
+        plans=plans, workload=WL, slo=SLO, trace_id="tid-1",
+    )
+    import json
+
+    json.dumps(payload)  # JSON-safe end to end
+    assert payload["snapshot"] is not None
+    assert any("serve-chunk" in e.get("name", "") for e in payload["events"])
+    uninstrumented = evaluate_serve_chunk(
+        TINY_TEST, SYS, 0, min(4, total), TOP_K,
+        plans=plans, workload=WL, slo=SLO, instrument=False,
+    )
+    assert uninstrumented["snapshot"] is None
+    assert uninstrumented["events"] is None
+    assert uninstrumented["top"] == payload["top"]
+
+
+def test_serve_fabric_key_isolates():
+    base = serve_fabric_run_key(TINY_TEST, SYS, OPTS, WL, SLO, top_k=TOP_K)
+    assert base == serve_fabric_run_key(TINY_TEST, SYS, OPTS, WL, SLO,
+                                        top_k=TOP_K)
+    variants = {
+        base,
+        serve_fabric_run_key(TINY_TEST, SYS, OPTS, WL, None, top_k=TOP_K),
+        serve_fabric_run_key(TINY_TEST, SYS, OPTS,
+                             ServeWorkload(arrival_rate=21.0), SLO,
+                             top_k=TOP_K),
+        serve_fabric_run_key(TINY_TEST, SYS, OPTS, WL, SLO, top_k=TOP_K + 1),
+        serve_fabric_run_key(TINY_TEST, SYS,
+                             ServeSearchOptions(disagg=False), WL, SLO,
+                             top_k=TOP_K),
+    }
+    assert len(variants) == 5
+
+
+def test_serve_options_json_roundtrip():
+    opts = ServeSearchOptions(max_tensor_par=8, disagg=True,
+                              splits=(0.125, 0.5), max_batch=16)
+    import json
+
+    wire = json.loads(json.dumps(serve_options_to_dict(opts)))
+    rebuilt = serve_options_from_dict(wire)
+    assert rebuilt == opts
+    assert serve_fabric_run_key(
+        TINY_TEST, SYS, rebuilt, WL, SLO, top_k=TOP_K
+    ) == serve_fabric_run_key(TINY_TEST, SYS, opts, WL, SLO, top_k=TOP_K)

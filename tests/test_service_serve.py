@@ -1,0 +1,136 @@
+"""POST /serve on the evaluation service: caching, validation, draining."""
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.obs import TraceContext
+from repro.service.server import (
+    BadRequest,
+    Draining,
+    EvaluationService,
+    make_server,
+)
+
+BODY = {
+    "llm": "tiny-test",
+    "system": "h100:4:8",
+    "plan": {"decode": {"tensor_par": 2, "pipeline_par": 1, "data_par": 2,
+                        "batch": 1}},
+    "workload": {
+        "arrival_rate": 20.0,
+        "prompt": {"kind": "uniform", "low": 64, "high": 128},
+        "output": {"kind": "uniform", "low": 16, "high": 32},
+        "num_requests": 40,
+        "seed": 1,
+    },
+    "slo": {"ttft_p95": 1.0, "tpot_p95": 0.5},
+}
+
+
+@pytest.fixture
+def service():
+    svc = EvaluationService().start()
+    yield svc
+    svc.stop()
+
+
+def test_serve_miss_then_memory_hit(service):
+    first = service.serve_payload(BODY)
+    assert first["cache"] == "miss"
+    result = first["result"]
+    assert result["completed"] == 40
+    assert result["slo_satisfied"] is True and result["slo_violations"] == []
+    assert result["goodput_rps"] > 0
+    assert "ttfts" not in result  # per-request vectors stay server-side
+    second = service.serve_payload(BODY)
+    assert second["cache"] == "memory"
+    assert second["result"] == result
+    assert second["key"] == first["key"]
+
+
+def test_serve_key_separates_from_evaluate_and_varies(service):
+    k1 = service.serve_payload(BODY)["key"]
+    tweaked = dict(BODY, slo={"ttft_p95": 2.0, "tpot_p95": 0.5})
+    k2 = service.serve_payload(tweaked)["key"]
+    assert k1 != k2
+
+
+def test_serve_reports_violations(service):
+    tight = dict(BODY, slo={"ttft_p95": 1e-9, "tpot_p95": None})
+    out = service.serve_payload(tight)["result"]
+    assert out["slo_satisfied"] is False
+    assert any("ttft_p95" in v for v in out["slo_violations"])
+
+
+def test_serve_bad_requests(service):
+    with pytest.raises(BadRequest):
+        service.serve_payload(["not", "a", "dict"])
+    with pytest.raises(BadRequest):
+        service.serve_payload({k: v for k, v in BODY.items() if k != "plan"})
+    with pytest.raises(BadRequest):
+        service.serve_payload(dict(BODY, plan={"decode": {"tensor_par": 0}}))
+    with pytest.raises(BadRequest):
+        service.serve_payload(dict(BODY, max_batch=0))
+    with pytest.raises(BadRequest):
+        # 3 doesn't divide the model shape: unserveable, mapped to 400.
+        service.serve_payload(dict(
+            BODY,
+            plan={"decode": {"tensor_par": 1, "pipeline_par": 1,
+                             "data_par": 1, "batch": 1}},
+        ))
+
+
+def test_serve_draining_rejects_misses_but_serves_hits(service):
+    cached = service.serve_payload(BODY)
+    service.begin_drain()
+    hit = service.serve_payload(BODY)
+    assert hit["cache"] == "memory" and hit["result"] == cached["result"]
+    fresh = dict(BODY, workload=dict(BODY["workload"], seed=2))
+    with pytest.raises(Draining):
+        service.serve_payload(fresh)
+
+
+def test_serve_trace_context_rides_back(service):
+    ctx = TraceContext(trace_id="serve-trace-1", parent="root")
+    out = service.serve_payload(BODY, trace_context=ctx)
+    assert out["trace"]["trace_id"] == "serve-trace-1"
+    assert any(e.get("name") == "serve" for e in out["trace"]["events"])
+
+
+def test_serve_metrics_exposed(service):
+    service.serve_payload(BODY)
+    text = service.metrics_text()
+    assert "repro_serving_requests 1" in text
+    assert "repro_serving_seconds_count" in text
+
+
+def test_serve_over_http():
+    server = make_server(port=0)
+    import threading
+
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        url = f"http://127.0.0.1:{server.port}/serve"
+        req = urllib.request.Request(
+            url, data=json.dumps(BODY).encode(),
+            headers={"Content-Type": "application/json"},
+        )
+        with urllib.request.urlopen(req, timeout=30) as resp:
+            payload = json.loads(resp.read())
+        assert payload["cache"] == "miss"
+        assert payload["result"]["completed"] == 40
+        bad = urllib.request.Request(url, data=b"{}",
+                                     headers={"Content-Type": "application/json"})
+        try:
+            urllib.request.urlopen(bad, timeout=30)
+            raise AssertionError("expected HTTP 400")
+        except urllib.error.HTTPError as err:
+            assert err.code == 400
+    finally:
+        server.shutdown()
+        server.server_close()
+        server.service.stop()
+        thread.join(timeout=5)

@@ -1,0 +1,86 @@
+"""Soundness of the SLO lower bounds: bound ≤ measured, always.
+
+The prune-safety argument (docs/SERVING.md) stands on one inequality per
+percentile: the bound computed by ``plan_bounds`` never exceeds what the
+simulator reports.  These tests sweep every candidate plan of a small
+system across workloads and assert it bound-by-bound, then check the
+admission test ``slo_admits`` is the exact contrapositive used by the
+search.
+"""
+
+import pytest
+
+from repro.hardware.system import h100_system
+from repro.llm.config import TINY_TEST
+from repro.serving import (
+    LengthDist,
+    ServeWorkload,
+    SLOSpec,
+    TPOT_SAFETY,
+    candidate_plans,
+    check_plan,
+    plan_bounds,
+    simulate_plan,
+    slo_admits,
+)
+
+SYS = h100_system(4, hbm_gib=8.0)
+
+
+def _workloads():
+    yield ServeWorkload(arrival_rate=20.0, prompt=LengthDist.uniform(64, 128),
+                        output=LengthDist.uniform(16, 32), num_requests=40,
+                        seed=1)
+    yield ServeWorkload(arrival_rate=500.0, prompt=LengthDist.fixed(256),
+                        output=LengthDist.fixed(8), num_requests=30, seed=7)
+    yield ServeWorkload(arrival_rate=2.0, prompt=LengthDist.uniform(32, 512),
+                        output=LengthDist.uniform(4, 64), num_requests=25,
+                        seed=42)
+
+
+@pytest.mark.parametrize("workload", list(_workloads()),
+                         ids=["mixed", "burst", "sparse"])
+def test_bounds_never_exceed_measured(workload):
+    checked = 0
+    for plan in candidate_plans(TINY_TEST, SYS):
+        if check_plan(TINY_TEST, SYS, plan, workload) is not None:
+            continue
+        bounds = plan_bounds(TINY_TEST, SYS, plan, workload)
+        stats = simulate_plan(TINY_TEST, SYS, plan, workload)
+        assert bounds.ttft_p50 <= stats.ttft_p50
+        assert bounds.ttft_p95 <= stats.ttft_p95
+        assert bounds.ttft_p99 <= stats.ttft_p99
+        assert bounds.tpot_p95 <= stats.tpot_p95
+        checked += 1
+    assert checked > 0
+
+
+def test_slo_admits_is_sound():
+    """A plan the simulator says satisfies the SLO is never bound-rejected."""
+    workload = next(iter(_workloads()))
+    for plan in candidate_plans(TINY_TEST, SYS):
+        if check_plan(TINY_TEST, SYS, plan, workload) is not None:
+            continue
+        stats = simulate_plan(TINY_TEST, SYS, plan, workload)
+        # An SLO set exactly at the measured percentiles is satisfied by
+        # construction; soundness (bound <= measured) forces admission.
+        slo = SLOSpec(ttft_p50=stats.ttft_p50, ttft_p95=stats.ttft_p95,
+                      ttft_p99=stats.ttft_p99, tpot_p95=stats.tpot_p95)
+        assert slo.satisfied(stats)
+        bounds = plan_bounds(TINY_TEST, SYS, plan, workload)
+        assert slo_admits(bounds, slo)
+
+
+def test_slo_admits_unconstrained_and_violations():
+    workload = next(iter(_workloads()))
+    plan = candidate_plans(TINY_TEST, SYS)[0]
+    bounds = plan_bounds(TINY_TEST, SYS, plan, workload)
+    assert slo_admits(bounds, None)
+    assert slo_admits(bounds, SLOSpec())
+    impossible = SLOSpec(ttft_p95=1e-300)
+    assert not slo_admits(bounds, impossible)
+    assert any("ttft_p95" in v for v in bounds.violated(impossible))
+
+
+def test_tpot_safety_margin_is_tiny():
+    assert 0.999999 < TPOT_SAFETY < 1.0

@@ -1,0 +1,104 @@
+"""Disaggregated prefill/decode plan tests (repro.serving.disagg)."""
+
+import pytest
+
+from repro.hardware.system import h100_system
+from repro.inference import InferenceStrategy
+from repro.llm.config import TINY_TEST
+from repro.serving import (
+    LengthDist,
+    ServePlan,
+    ServeWorkload,
+    check_plan,
+    kv_transfer_time,
+    simulate_disagg,
+    simulate_plan,
+    simulate_serve,
+)
+
+SYS = h100_system(4, hbm_gib=8.0)
+WL = ServeWorkload(
+    arrival_rate=20.0, prompt=LengthDist.uniform(64, 128),
+    output=LengthDist.uniform(16, 32), num_requests=50, seed=1,
+)
+PRE = InferenceStrategy(tensor_par=2, pipeline_par=1, data_par=1, batch=1)
+DEC = InferenceStrategy(tensor_par=1, pipeline_par=1, data_par=2, batch=1)
+PLAN = ServePlan(decode=DEC, prefill=PRE)
+
+
+def test_plan_properties_and_roundtrip():
+    assert PLAN.disaggregated and PLAN.total_procs == 4
+    assert PLAN.prefill_procs == 2
+    assert ServePlan.from_dict(PLAN.to_dict()) == PLAN
+    colo = ServePlan(decode=DEC)
+    assert not colo.disaggregated and colo.prefill_procs == 0
+    assert ServePlan.from_dict(colo.to_dict()) == colo
+    assert "pre[" in PLAN.short_name() and "dec[" in PLAN.short_name()
+
+
+def test_kv_transfer_time_monotone_in_prompt():
+    t1 = kv_transfer_time(TINY_TEST, SYS, 64)
+    t2 = kv_transfer_time(TINY_TEST, SYS, 1024)
+    assert 0 < t1 < t2
+
+
+def test_check_plan_rejects_wrong_proc_count():
+    small = ServePlan(
+        decode=InferenceStrategy(tensor_par=1, pipeline_par=1, data_par=1,
+                                 batch=1),
+        prefill=PRE,
+    )
+    assert check_plan(TINY_TEST, SYS, small, WL) is not None
+    assert check_plan(TINY_TEST, SYS, PLAN, WL) is None
+
+
+def test_check_plan_rejects_bad_prefill_shape():
+    plan = ServePlan(
+        decode=DEC,
+        prefill=InferenceStrategy(tensor_par=2, pipeline_par=9, data_par=1,
+                                  batch=1),
+    )
+    # 2 * 9 procs != 4, but the shape error comes first on a matching pool
+    sys18 = h100_system(20, hbm_gib=8.0)
+    plan18 = ServePlan(
+        decode=InferenceStrategy(tensor_par=1, pipeline_par=1, data_par=2,
+                                 batch=1),
+        prefill=InferenceStrategy(tensor_par=2, pipeline_par=9, data_par=1,
+                                  batch=1),
+    )
+    assert check_plan(TINY_TEST, sys18, plan18, WL) is not None
+    assert check_plan(TINY_TEST, SYS, plan, WL) is not None
+
+
+def test_simulate_disagg_deterministic_and_complete():
+    a = simulate_disagg(TINY_TEST, SYS, PLAN, WL)
+    b = simulate_disagg(TINY_TEST, SYS, PLAN, WL)
+    assert a == b
+    assert a.completed == WL.num_requests
+    assert a.kv_allocated_bytes == a.kv_freed_bytes
+    assert a.ttft_p50 <= a.ttft_p95 <= a.ttft_p99
+
+
+def test_disagg_ttft_includes_transfer():
+    """Every disagg TTFT is at least the KV transfer for the shortest prompt."""
+    stats = simulate_disagg(TINY_TEST, SYS, PLAN, WL)
+    floor = kv_transfer_time(TINY_TEST, SYS, WL.prompt.min_len)
+    assert min(stats.ttfts) >= floor
+
+
+def test_simulate_plan_dispatches():
+    colo = ServePlan(
+        decode=InferenceStrategy(tensor_par=2, pipeline_par=1, data_par=2,
+                                 batch=1)
+    )
+    via_plan = simulate_plan(TINY_TEST, SYS, colo, WL)
+    direct = simulate_serve(TINY_TEST, SYS, colo.decode, WL)
+    assert via_plan == direct
+    assert simulate_plan(TINY_TEST, SYS, PLAN, WL) == simulate_disagg(
+        TINY_TEST, SYS, PLAN, WL
+    )
+
+
+def test_simulate_disagg_requires_prefill():
+    with pytest.raises(ValueError):
+        simulate_disagg(TINY_TEST, SYS, ServePlan(decode=DEC), WL)

@@ -1,0 +1,133 @@
+"""Continuous-batching serving-simulator tests (repro.serving.simulator)."""
+
+import pytest
+
+from repro.hardware.system import ddr5_offload, h100_system
+from repro.inference import InferenceStrategy
+from repro.llm.config import TINY_TEST
+from repro.serving import (
+    LengthDist,
+    ServeWorkload,
+    SLOSpec,
+    check_serveability,
+    decode_step_time,
+    kv_reserve_bytes,
+    simulate_serve,
+)
+
+SYS = h100_system(4, hbm_gib=8.0)
+STRAT = InferenceStrategy(tensor_par=2, pipeline_par=1, data_par=2, batch=1)
+
+
+def make_workload(rate=20.0, n=60, seed=1):
+    return ServeWorkload(
+        arrival_rate=rate,
+        prompt=LengthDist.uniform(64, 128),
+        output=LengthDist.uniform(16, 32),
+        num_requests=n,
+        seed=seed,
+    )
+
+
+def test_all_requests_complete_and_determinism():
+    wl = make_workload()
+    a = simulate_serve(TINY_TEST, SYS, STRAT, wl)
+    b = simulate_serve(TINY_TEST, SYS, STRAT, wl)
+    assert a.completed == wl.num_requests
+    assert a == b  # bit-identical dataclass equality, per-request vectors included
+
+
+def test_kv_bytes_conserved_exactly():
+    stats = simulate_serve(TINY_TEST, SYS, STRAT, make_workload())
+    assert stats.kv_allocated_bytes == stats.kv_freed_bytes
+    assert stats.kv_peak_bytes <= stats.kv_allocated_bytes
+    assert stats.kv_allocated_bytes > 0
+
+
+def test_percentiles_ordered():
+    stats = simulate_serve(TINY_TEST, SYS, STRAT, make_workload())
+    assert stats.ttft_p50 <= stats.ttft_p95 <= stats.ttft_p99
+    assert stats.tpot_p50 <= stats.tpot_p95 <= stats.tpot_p99
+    assert len(stats.ttfts) == len(stats.tpots) == stats.completed
+
+
+def test_goodput_counts_slo_meeting_requests():
+    wl = make_workload()
+    free = simulate_serve(TINY_TEST, SYS, STRAT, wl)
+    tight = simulate_serve(
+        TINY_TEST, SYS, STRAT, wl, slo=SLOSpec(ttft_p95=1e-9)
+    )
+    assert free.goodput_rps == free.throughput_rps  # no SLO: all good
+    assert tight.good_requests == 0 and tight.goodput_rps == 0.0
+    assert tight.throughput_rps == free.throughput_rps  # same dynamics
+
+
+def test_max_batch_caps_occupancy_and_never_speeds_up():
+    wl = make_workload(rate=200.0)
+    free = simulate_serve(TINY_TEST, SYS, STRAT, wl)
+    capped = simulate_serve(TINY_TEST, SYS, STRAT, wl, max_batch=2)
+    assert capped.mean_batch <= 2.0 + 1e-12
+    assert capped.duration >= free.duration
+
+
+def test_more_replicas_do_not_hurt_under_load():
+    wl = make_workload(rate=500.0, n=80)
+    one = simulate_serve(
+        TINY_TEST, h100_system(2, hbm_gib=8.0),
+        InferenceStrategy(tensor_par=2, pipeline_par=1, data_par=1, batch=1),
+        wl,
+    )
+    four = simulate_serve(
+        TINY_TEST, h100_system(8, hbm_gib=8.0),
+        InferenceStrategy(tensor_par=2, pipeline_par=1, data_par=4, batch=1),
+        wl,
+    )
+    assert four.ttft_p95 <= one.ttft_p95
+
+
+def test_paging_engages_on_tiny_hbm():
+    """With HBM barely above weights, KV pages to the DDR offload tier."""
+    sys_small = h100_system(
+        2, hbm_gib=0.07, offload=ddr5_offload(64.0)
+    )
+    strat = InferenceStrategy(tensor_par=2, pipeline_par=1, data_par=1, batch=1)
+    wl = ServeWorkload(
+        arrival_rate=1e5, prompt=LengthDist.fixed(1024),
+        output=LengthDist.fixed(32), num_requests=16, seed=0,
+    )
+    assert check_serveability(TINY_TEST, sys_small, strat, wl) is None
+    paged = simulate_serve(TINY_TEST, sys_small, strat, wl)
+    assert paged.kv_offload_bytes > 0
+    assert paged.kv_allocated_bytes == paged.kv_freed_bytes
+    # Paging only ever adds time relative to an all-HBM system.
+    roomy = simulate_serve(
+        TINY_TEST, h100_system(2, hbm_gib=8.0), strat, wl
+    )
+    assert roomy.kv_offload_bytes == 0
+    assert paged.duration >= roomy.duration
+
+
+def test_check_serveability_rejects():
+    wl = make_workload()
+    bad_shape = InferenceStrategy(tensor_par=3, pipeline_par=1, data_par=1,
+                                  batch=1)
+    assert check_serveability(
+        TINY_TEST, h100_system(3, hbm_gib=8.0), bad_shape, wl
+    ) is not None
+    no_room = h100_system(2, hbm_gib=0.001)
+    strat = InferenceStrategy(tensor_par=2, pipeline_par=1, data_par=1, batch=1)
+    assert check_serveability(TINY_TEST, no_room, strat, wl) is not None
+    with pytest.raises(ValueError):
+        simulate_serve(TINY_TEST, no_room, strat, wl)
+
+
+def test_kv_reserve_bytes_exact_integer():
+    b = kv_reserve_bytes(TINY_TEST, 160, 2, 1)
+    assert isinstance(b, int) and b > 0
+    assert kv_reserve_bytes(TINY_TEST, 320, 2, 1) == 2 * b
+
+
+def test_decode_step_time_monotone():
+    args = (TINY_TEST, SYS, 2, 1)
+    assert decode_step_time(*args, 1, 64) <= decode_step_time(*args, 8, 64)
+    assert decode_step_time(*args, 1, 64) <= decode_step_time(*args, 1, 512)

@@ -1,0 +1,121 @@
+"""Serving workload / SLO spec tests: parsing, round-trips, validation."""
+
+import numpy as np
+import pytest
+
+from repro.serving import LengthDist, ServeWorkload, SLOSpec
+
+
+# -- LengthDist ---------------------------------------------------------------
+
+def test_parse_fixed_and_uniform():
+    assert LengthDist.parse("2048") == LengthDist.fixed(2048)
+    assert LengthDist.parse("128:4096") == LengthDist.uniform(128, 4096)
+    assert LengthDist.parse(" 64 ") == LengthDist.fixed(64)
+
+
+def test_min_max_len():
+    assert LengthDist.fixed(100).min_len == LengthDist.fixed(100).max_len == 100
+    u = LengthDist.uniform(2, 9)
+    assert (u.min_len, u.max_len) == (2, 9)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        LengthDist(kind="gaussian")
+    with pytest.raises(ValueError):
+        LengthDist.fixed(0)
+    with pytest.raises(ValueError):
+        LengthDist.uniform(5, 2)
+    with pytest.raises(ValueError):
+        LengthDist.uniform(0, 2)
+
+
+def test_roundtrip():
+    for dist in (LengthDist.fixed(777), LengthDist.uniform(3, 44)):
+        assert LengthDist.from_dict(dist.to_dict()) == dist
+
+
+def test_sample_bounds_and_determinism():
+    dist = LengthDist.uniform(10, 20)
+    a = dist.sample(np.random.default_rng(0), 100)
+    b = dist.sample(np.random.default_rng(0), 100)
+    assert (a == b).all()
+    assert a.min() >= 10 and a.max() <= 20
+    fixed = LengthDist.fixed(7).sample(np.random.default_rng(0), 5)
+    assert (fixed == 7).all()
+
+
+def test_short_name():
+    assert LengthDist.fixed(512).short_name() == "512"
+    assert LengthDist.uniform(1, 9).short_name() == "1:9"
+
+
+# -- ServeWorkload ------------------------------------------------------------
+
+def test_workload_sample_deterministic():
+    wl = ServeWorkload(arrival_rate=5.0, num_requests=50, seed=3)
+    a1, p1, o1 = wl.sample()
+    a2, p2, o2 = wl.sample()
+    assert (a1 == a2).all() and (p1 == p2).all() and (o1 == o2).all()
+    assert (np.diff(a1) >= 0).all()  # arrivals are cumulative
+
+
+def test_workload_rate_scales_same_draws():
+    """Doubling the rate halves every interarrival gap exactly."""
+    slow = ServeWorkload(arrival_rate=2.0, num_requests=40, seed=9)
+    fast = ServeWorkload(arrival_rate=4.0, num_requests=40, seed=9)
+    a_slow, p_slow, _ = slow.sample()
+    a_fast, p_fast, _ = fast.sample()
+    assert np.allclose(a_slow, 2.0 * a_fast)
+    assert (p_slow == p_fast).all()  # lengths untouched by the rate
+
+
+def test_workload_validation_and_roundtrip():
+    with pytest.raises(ValueError):
+        ServeWorkload(arrival_rate=0.0)
+    with pytest.raises(ValueError):
+        ServeWorkload(arrival_rate=1.0, num_requests=0)
+    wl = ServeWorkload(
+        arrival_rate=3.5, prompt=LengthDist.uniform(8, 16),
+        output=LengthDist.fixed(4), num_requests=17, seed=2,
+    )
+    assert ServeWorkload.from_dict(wl.to_dict()) == wl
+    assert wl.max_context == 16 + 4
+
+
+# -- SLOSpec ------------------------------------------------------------------
+
+class _Stats:
+    ttft_p50 = 0.5
+    ttft_p95 = 1.0
+    ttft_p99 = 2.0
+    tpot_p95 = 0.05
+
+
+def test_slo_constrained_and_violations():
+    assert not SLOSpec().constrained
+    slo = SLOSpec(ttft_p95=0.8, tpot_p95=0.1)
+    assert slo.constrained
+    violations = slo.violations(_Stats())
+    assert len(violations) == 1 and "ttft_p95" in violations[0]
+    assert not slo.satisfied(_Stats())
+    assert SLOSpec(ttft_p95=1.0, tpot_p95=0.05).satisfied(_Stats())
+
+
+def test_slo_request_is_good_uses_p95_deadlines():
+    slo = SLOSpec(ttft_p95=1.0, tpot_p95=0.1)
+    assert slo.request_is_good(0.9, 0.05)
+    assert not slo.request_is_good(1.1, 0.05)
+    assert not slo.request_is_good(0.9, 0.2)
+    assert SLOSpec(ttft_p50=1.0).request_is_good(99.0, 99.0)  # p50 not a deadline
+
+
+def test_slo_validation_roundtrip_short_name():
+    with pytest.raises(ValueError):
+        SLOSpec(ttft_p95=-1.0)
+    slo = SLOSpec(ttft_p50=0.2, ttft_p99=2.0)
+    assert SLOSpec.from_dict(slo.to_dict()) == slo
+    assert SLOSpec.from_dict({}) == SLOSpec()
+    assert SLOSpec().short_name() == "unconstrained"
+    assert "ttft_p99<=2s" in slo.short_name()
