@@ -1,0 +1,106 @@
+"""Benchmark-trend gate: fail CI when a headline speedup regresses >25%.
+
+The observability job regenerates ``BENCH_engine.json`` in the working tree
+(the bounds, pruning and columnar benchmarks each merge their key group);
+this script then compares the fresh headline ratios against the committed
+baseline (``git show <ref>:BENCH_engine.json``) and fails the job when one
+has fallen by more than the tolerance.  Speedups are same-process ratios,
+so they are meaningful across runner generations in a way absolute
+seconds are not — but they are still scheduler noise on a single-core
+host, where "parallel" work is merely time-sliced.  The gate therefore:
+
+* skips entirely when the runner has fewer than 2 cores;
+* skips a key whose *fresh* group was measured on fewer than 2 cores
+  (``merge_bench`` tags every group with ``{group}_bench_cores``);
+* treats a key present in the baseline but missing from the fresh record
+  as a failure — a silently dropped benchmark must not pass the gate.
+
+Run from the repository root:  python .github/ci_bench_trend.py
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+# key -> the merge_bench group whose core tag qualifies its measurement
+GATED_KEYS = {
+    "columnar_speedup": "columnar",
+    "speedup": "bounds",
+}
+DEFAULT_TOLERANCE = 0.25
+
+
+def main(argv: list[str]) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--record", default="BENCH_engine.json",
+                    help="freshly regenerated benchmark record")
+    ap.add_argument("--baseline-ref", default="HEAD",
+                    help="git ref holding the committed baseline record")
+    ap.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
+                    help="allowed fractional drop before failing (0.25 = 25%%)")
+    args = ap.parse_args(argv)
+
+    host_cores = os.cpu_count() or 1
+    if host_cores < 2:
+        print(f"[bench-trend] single-core host ({host_cores} core): "
+              "speedup trends are scheduler noise here — skipping gate")
+        return 0
+
+    record_path = Path(args.record)
+    if not record_path.exists():
+        print(f"::error::[bench-trend] {record_path} was not regenerated "
+              "before the gate ran", file=sys.stderr)
+        return 1
+    fresh = json.loads(record_path.read_text())
+
+    proc = subprocess.run(
+        ["git", "show", f"{args.baseline_ref}:{args.record}"],
+        capture_output=True, text=True,
+    )
+    if proc.returncode != 0:
+        print(f"[bench-trend] no committed {args.record} at "
+              f"{args.baseline_ref} — first run, nothing to compare")
+        return 0
+    baseline = json.loads(proc.stdout)
+
+    failures: list[str] = []
+    for key, group in GATED_KEYS.items():
+        base = baseline.get(key)
+        if base is None:
+            print(f"[bench-trend] {key}: not in baseline (new metric), skipped")
+            continue
+        fresh_cores = int(fresh.get(f"{group}_bench_cores") or 0)
+        if 0 < fresh_cores < 2:
+            # merge_bench either refused the merge or tagged a single-core
+            # measurement; either way the fresh number can't gate a trend.
+            print(f"[bench-trend] {key}: fresh {group} group measured on "
+                  f"{fresh_cores} core, skipped")
+            continue
+        cur = fresh.get(key)
+        if cur is None:
+            failures.append(
+                f"{key}: baseline {base:.2f}x but missing from the fresh "
+                "record — the benchmark silently stopped reporting it"
+            )
+            continue
+        floor = base * (1.0 - args.tolerance)
+        ok = cur >= floor
+        print(f"[bench-trend] {key}: baseline {base:.2f}x -> fresh "
+              f"{cur:.2f}x (floor {floor:.2f}x) "
+              f"{'OK' if ok else 'REGRESSION'}")
+        if not ok:
+            failures.append(
+                f"{key} regressed {1.0 - cur / base:.0%}: "
+                f"{base:.2f}x -> {cur:.2f}x (tolerance {args.tolerance:.0%})"
+            )
+
+    for failure in failures:
+        print(f"::error::[bench-trend] {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -22,6 +22,7 @@ Run from the repository root:  PYTHONPATH=src python .github/ci_fabric_check.py
 """
 
 import json
+import math
 import os
 import signal
 import subprocess
@@ -83,6 +84,10 @@ def main() -> int:
     events_path = ARTIFACT_DIR / "fabric-events.jsonl"
     trace_path = ARTIFACT_DIR / "fabric-trace.json"
     checkpoint_path = ARTIFACT_DIR / "fabric-checkpoint.jsonl"
+    # The journal appends; a leftover file from a previous local run would
+    # mix stale events into this drill's assertions.
+    for stale in (events_path, trace_path, checkpoint_path):
+        stale.unlink(missing_ok=True)
 
     # -- uninterrupted single-process reference ------------------------------
     t0 = time.perf_counter()
@@ -154,6 +159,22 @@ def main() -> int:
     problems = validate_events_file(events_path)
     assert not problems, problems
 
+    # -- threshold gossip actually reached the workers -----------------------
+    # Once the merge heap holds top_k candidates, every subsequent lease
+    # grant must carry the cluster's k-th-best rate as a pruning ceiling.
+    # At least one worker must have received a tightened (positive, finite)
+    # floor — a cluster that never gossips re-evaluates every bucket.
+    grants = [e for e in recorded if e["kind"] == "lease.grant"]
+    tightened = [
+        e for e in grants
+        if isinstance(e.get("floor_rate"), (int, float))
+        and math.isfinite(e["floor_rate"]) and e["floor_rate"] > 0.0
+    ]
+    assert tightened, \
+        f"no lease grant carried a tightened floor_rate across {len(grants)} grants"
+    print(f"threshold gossip: {len(tightened)}/{len(grants)} lease grants "
+          f"carried a tightened floor (max {max(e['floor_rate'] for e in tightened):.3f})")
+
     # -- bit-identity with the uninterrupted reference -----------------------
     assert len(fab.top) == len(ref.top) == TOP_K
     for (s_ref, r_ref), (s_fab, r_fab) in zip(ref.top, fab.top):
@@ -175,6 +196,7 @@ def main() -> int:
                 "chunks_merged": len(merges),
                 "held_chunk": held_chunk,
                 "leases_stolen": len(steals),
+                "gossip_tightened_grants": len(tightened),
                 "reference_s": ref_s,
                 "sweep_s": sweep_s,
                 "total_s": total_s,

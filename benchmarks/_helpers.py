@@ -10,12 +10,16 @@ testbed-dependent and recorded in EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import json
 import math
+import os
+from pathlib import Path
 from typing import Sequence
 
 from repro.core import calculate
 from repro.core.results import PerformanceResult
 from repro.execution import ExecutionStrategy
+from repro.fsutil import atomic_write_text
 from repro.hardware import System, a100_system
 from repro.llm import GPT3_175B, LLMConfig
 from repro.search import SearchOptions, candidate_strategies
@@ -112,6 +116,42 @@ def grid_strategies(
                 )
             )
     return out
+
+
+def merge_bench(
+    path: str | Path,
+    group: str,
+    metrics: dict,
+    cores: int | None = None,
+) -> bool:
+    """Merge one benchmark's metric group into a shared JSON record.
+
+    Several benchmarks write disjoint key groups into the same record
+    (``BENCH_engine.json``), and run orders vary, so each merge reads
+    whatever is already there and updates only its own keys.  Because
+    timing-derived metrics are only meaningful on comparable hosts, the
+    group is tagged with the CPU core count it was measured on
+    (``{group}_bench_cores``) — and a single-core run never overwrites a
+    group previously measured on a multi-core host.  A throttled CI shard
+    or laptop re-running one benchmark must not clobber real parallel
+    measurements with numbers where workers were merely time-sliced (the
+    ``fabric_speedup: 0.42`` incident).  Returns ``True`` if the record
+    was updated, ``False`` if the merge was skipped.
+    """
+    cores = (os.cpu_count() or 1) if cores is None else int(cores)
+    p = Path(path)
+    data = json.loads(p.read_text()) if p.exists() else {}
+    prev_cores = int(data.get(f"{group}_bench_cores") or 0)
+    if cores < 2 and prev_cores >= 2:
+        print(
+            f"[merge_bench] keeping {group} metrics measured on "
+            f"{prev_cores} cores; this host has {cores}"
+        )
+        return False
+    data.update(metrics)
+    data[f"{group}_bench_cores"] = cores
+    atomic_write_text(p, json.dumps(data, indent=1) + "\n")
+    return True
 
 
 def banner(title: str) -> None:

@@ -18,15 +18,13 @@ the ``PruneStats`` counters the comparison rests on.
 """
 
 import gc
-import json
 import time
 from pathlib import Path
 
 from repro.engine import clear_caches
-from repro.fsutil import atomic_write_text
 from repro.search import search
 
-from _helpers import banner, gpt3_sweep_problem
+from _helpers import banner, gpt3_sweep_problem, merge_bench
 
 TOP_K = 10
 ROUNDS = 2  # best-of-N damps scheduler noise on shared CI runners
@@ -97,24 +95,23 @@ def test_bound_prune_speedup(benchmark):
 
     assert speedup >= 1.3
 
-    atomic_write_text(
+    # Merge (not overwrite): other benchmarks keep their own key groups in
+    # the same record, and run orders vary.
+    merge_bench(
         Path("BENCH_engine.json"),
-        json.dumps(
-            {
-                "baseline_s": t_base,
-                "pruned_s": t_pruned,
-                "speedup": speedup,
-                "candidates": counted.num_evaluated,
-                "feasible": counted.num_feasible,
-                "top_k": TOP_K,
-                "identical_topk": identical,
-                "bound_evals": stats.bound_evals,
-                "bound_pruned": stats.bound_pruned,
-                "bound_prune_rate": stats.bound_prune_rate,
-                "comm_cache_hits": stats.comm_cache_hits,
-                "comm_cache_misses": stats.comm_cache_misses,
-            },
-            indent=1,
-        )
-        + "\n",
+        "bounds",
+        {
+            "baseline_s": t_base,
+            "pruned_s": t_pruned,
+            "speedup": speedup,
+            "candidates": counted.num_evaluated,
+            "feasible": counted.num_feasible,
+            "top_k": TOP_K,
+            "identical_topk": identical,
+            "bound_evals": stats.bound_evals,
+            "bound_pruned": stats.bound_pruned,
+            "bound_prune_rate": stats.bound_prune_rate,
+            "comm_cache_hits": stats.comm_cache_hits,
+            "comm_cache_misses": stats.comm_cache_misses,
+        },
     )

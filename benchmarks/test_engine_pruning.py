@@ -12,7 +12,6 @@ a re-derivation — then bounds the wall-clock overhead of collecting them.
 """
 
 import gc
-import json
 import os
 import tempfile
 import time
@@ -20,10 +19,9 @@ from pathlib import Path
 
 from repro.core import calculate
 from repro.engine import clear_caches, evaluate_many
-from repro.fsutil import atomic_write_text
 from repro.obs import EventJournal, MetricsRegistry, Tracer
 
-from _helpers import banner, gpt3_sweep_space
+from _helpers import banner, gpt3_sweep_space, merge_bench
 
 
 def _run():
@@ -166,9 +164,9 @@ def test_engine_pruning_speedup(benchmark):
     # free on top of the per-candidate stats counters.
     assert full_overhead <= 0.05
 
-    path = Path("BENCH_engine.json")
-    data = json.loads(path.read_text()) if path.exists() else {}
-    data.update(
+    merge_bench(
+        Path("BENCH_engine.json"),
+        "pruning",
         {
             "pruning_naive_s": t_naive,
             "pruning_batched_s": t_batched,
@@ -177,6 +175,5 @@ def test_engine_pruning_speedup(benchmark):
             "pruning_speedup": ratio,
             "stats_overhead": overhead,
             "full_instrumentation_overhead": full_overhead,
-        }
+        },
     )
-    atomic_write_text(path, json.dumps(data, indent=1) + "\n")

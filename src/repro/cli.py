@@ -123,6 +123,22 @@ def _add_prune_flag(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_adaptive_flags(parser: argparse.ArgumentParser) -> None:
+    """Knobs for the adaptive best-bound-first columnar search path."""
+    parser.add_argument(
+        "--prune-seed", type=int, default=0, metavar="N",
+        help="seed-sample size: a stride pre-pass length on the scalar "
+        "path, the surrogate-picked tile-0 bucket count on the adaptive "
+        "columnar path (0 = auto, negative = no seeding; the answer is "
+        "identical either way)",
+    )
+    parser.add_argument(
+        "--no-surrogate", action="store_true",
+        help="disable learned tile-0 seeding on the adaptive columnar "
+        "path (same answer, possibly slower; see docs/PERFORMANCE.md)",
+    )
+
+
 def _add_columnar_flag(parser: argparse.ArgumentParser) -> None:
     """The columnar-engine escape hatch shared by the batched commands."""
     parser.add_argument(
@@ -289,6 +305,8 @@ def _cmd_search(args: argparse.Namespace) -> int:
         result = search(
             llm, system, args.batch, opts, top_k=args.top, workers=args.workers,
             keep_rates=False, bound_prune=not args.no_prune,
+            prune_seed=getattr(args, "prune_seed", 0),
+            surrogate=not getattr(args, "no_surrogate", False),
             columnar=_columnar_arg(args),
             tracer=tracer, collect_stats=args.stats, progress=progress,
             events=events,
@@ -1002,6 +1020,7 @@ def main(argv: list[str] | None = None) -> int:
     srch.add_argument("--workers", type=int, default=None)
     _add_serve_workload_flags(srch)
     _add_prune_flag(srch)
+    _add_adaptive_flags(srch)
     _add_columnar_flag(srch)
     _add_obs_flags(srch)
     _add_events_flag(srch)

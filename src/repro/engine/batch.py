@@ -46,8 +46,10 @@ scalar path would; ``docs/PERFORMANCE.md`` discusses the trade.
 
 from __future__ import annotations
 
+import math
+from dataclasses import dataclass
 from time import perf_counter
-from typing import TYPE_CHECKING, Iterator, Sequence
+from typing import TYPE_CHECKING, Callable, Iterator, Sequence
 
 import numpy as np
 
@@ -98,6 +100,8 @@ from ..obs import MetricsRegistry  # noqa: E402
 from ..obs.stats import (  # noqa: E402
     M_BOUND_EVALS,
     M_BOUND_PRUNED,
+    M_BOUND_SKIPPED_BUCKETS,
+    M_BOUND_TILES,
     M_BUCKET_HITS,
     M_CANDIDATES,
     M_COLUMNAR_BATCHES,
@@ -108,9 +112,14 @@ from ..obs.stats import (  # noqa: E402
     M_REJECT_MEMORY,
     M_REJECT_VALIDATE,
     M_SHARED_INFEASIBLE,
+    M_SURROGATE_SEEDED,
     stage_metric,
 )
-from .bounds import PrunedResult, batch_lower_bounds  # noqa: E402
+from .bounds import (  # noqa: E402
+    PrunedResult,
+    batch_lower_bounds,
+    strict_prune_threshold_for_rate,
+)
 from .context import EvalContext  # noqa: E402
 from .profile import profile_block  # noqa: E402
 from .stages import (  # noqa: E402
@@ -589,13 +598,15 @@ def batch_prune(eb: EvalBatch, threshold: float | None) -> EvalBatch:
 def batch_comm(eb: EvalBatch) -> EvalBatch:
     """Price communication for every survivor, vectorized per component.
 
-    The cached comm kernels are invoked exactly as the scalar batched path
-    would: :func:`tp_exposure` once per (group, tp_overlap) cell with a
-    surviving member, :func:`pp_p2p_time` once per (bucket, pp_rs_ag) cell
-    with ``p > 1``, :func:`dp_collectives` and :func:`optim_step_time` once
-    per surviving bucket that needs them.  Their scalar outputs are gathered
-    onto survivor lanes and all per-candidate arithmetic runs elementwise,
-    mirroring :func:`~repro.engine.stages.stage_comm` term for term.
+    The cached comm kernels run once per *distinct argument tuple* among the
+    survivors: :func:`tp_exposure` per (group, tp_overlap) cell,
+    :func:`pp_p2p_time` per (bucket, pp_rs_ag) cell with ``p > 1``,
+    :func:`dp_collectives` and :func:`optim_step_time` per unique kernel
+    shape across the surviving buckets that need them.  Every kernel is
+    deterministic in its arguments, so deduplicating the scalar path's
+    per-bucket calls changes no value; outputs are gathered onto survivor
+    lanes and all per-candidate arithmetic runs elementwise, mirroring
+    :func:`~repro.engine.stages.stage_comm` term for term.
     """
     b, c, llm, system = eb.b, eb.cols, eb.llm, eb.system
     sidx = np.flatnonzero(eb.surv_v)
@@ -699,18 +710,41 @@ def batch_comm(eb: EvalBatch) -> EvalBatch:
     dp_tot_b = np.zeros(eb.n_buckets, dtype=np.float64)
     dp_pu_b = np.zeros(eb.n_buckets, dtype=np.float64)
     dp_buckets = surv_b & (b["training"] != 0) & (b["d"] > 1)
-    for bkt in np.flatnonzero(dp_buckets):
-        bkt = int(bkt)
-        t_i, p_i, d_i = int(b["t"][bkt]), int(b["p"][bkt]), int(b["d"][bkt])
-        grad_bytes = int(b["bp"][bkt]) * float(
-            eb.gprof["weight_grad_bytes"][int(b["group"][bkt])]
+    dpb = np.flatnonzero(dp_buckets)
+    if dpb.size:
+        # Many buckets share one (t, p, d, grad_bytes, osh) collective shape;
+        # the kernel is deterministic in its arguments, so calling it once
+        # per distinct shape and scattering changes no value.
+        grad_bytes_b = (
+            b["bp"][dpb] * eb.gprof["weight_grad_bytes"][b["group"][dpb]]
         )
-        rs, ag, tot = dp_collectives(
-            system, t_i, p_i, d_i, grad_bytes, bool(b["osh"][bkt])
-        )
-        dp_rs_b[bkt], dp_ag_b[bkt], dp_tot_b[bkt] = rs, ag, tot
-        dp_net = system.network_for_span(min(system.num_procs, t_i * p_i * d_i))
-        dp_pu_b[bkt] = dp_net.processor_usage
+        dmemo: dict = {}
+        dvals = np.empty((dpb.shape[0], 4), dtype=np.float64)
+        for j, key in enumerate(
+            zip(
+                b["t"][dpb].tolist(),
+                b["p"][dpb].tolist(),
+                b["d"][dpb].tolist(),
+                grad_bytes_b.tolist(),
+                (b["osh"][dpb] != 0).tolist(),
+            )
+        ):
+            val = dmemo.get(key)
+            if val is None:
+                t_i, p_i, d_i = key[0], key[1], key[2]
+                rs, ag, tot = dp_collectives(
+                    system, t_i, p_i, d_i, key[3], key[4]
+                )
+                dp_net = system.network_for_span(
+                    min(system.num_procs, t_i * p_i * d_i)
+                )
+                val = (rs, ag, tot, dp_net.processor_usage)
+                dmemo[key] = val
+            dvals[j] = val
+        dp_rs_b[dpb] = dvals[:, 0]
+        dp_ag_b[dpb] = dvals[:, 1]
+        dp_tot_b[dpb] = dvals[:, 2]
+        dp_pu_b[dpb] = dvals[:, 3]
     rs_s = dp_rs_b[bid_s]
     ag_s = dp_ag_b[bid_s]
     tot_s = dp_tot_b[bid_s]
@@ -737,16 +771,31 @@ def batch_comm(eb: EvalBatch) -> EvalBatch:
 
     # ---- optimizer step (per surviving training bucket) ----------------------
     opt_time_b = np.zeros(eb.n_buckets, dtype=np.float64)
-    for bkt in np.flatnonzero(surv_b & (b["training"] != 0)):
-        bkt = int(bkt)
-        g = int(b["group"][bkt])
-        opt_bytes = float(b["opt_bytes"][bkt])
-        traffic = 2.0 * opt_bytes + int(b["bp"][bkt]) * (
-            float(eb.gprof["weight_grad_bytes"][g])
-            + float(eb.gprof["weight_bytes"][g])
-        ) / int(b["opt_shard"][bkt])
-        use_mem2 = bool(b["o_off"][bkt]) and system.mem2 is not None
-        opt_time_b[bkt] = optim_step_time(system, opt_bytes, traffic, use_mem2)
+    trb = np.flatnonzero(surv_b & (b["training"] != 0))
+    if trb.size:
+        # Same dedup as batch_lower_bounds: one kernel call per distinct
+        # (opt_bytes, traffic, tier) triple, identical op order lane-wise.
+        g_b = b["group"][trb]
+        opt_bytes_b = b["opt_bytes"][trb]
+        traffic_b = 2.0 * opt_bytes_b + b["bp"][trb] * (
+            eb.gprof["weight_grad_bytes"][g_b] + eb.gprof["weight_bytes"][g_b]
+        ) / b["opt_shard"][trb]
+        use2_b = (
+            (b["o_off"][trb] != 0)
+            if system.mem2 is not None
+            else np.zeros(trb.shape[0], dtype=bool)
+        )
+        omemo: dict = {}
+        ovals = np.empty(trb.shape[0], dtype=np.float64)
+        for j, key in enumerate(
+            zip(opt_bytes_b.tolist(), traffic_b.tolist(), use2_b.tolist())
+        ):
+            val = omemo.get(key)
+            if val is None:
+                val = optim_step_time(system, key[0], key[1], key[2])
+                omemo[key] = val
+            ovals[j] = val
+        opt_time_b[trb] = ovals
     optim_time = np.where(tr_s, opt_time_b[bid_s], 0.0)
 
     # ---- offload traffic, bandwidth requirement, exposure --------------------
@@ -880,6 +929,245 @@ def batch_assemble(eb: EvalBatch) -> EvalBatch:
 
 
 # ---------------------------------------------------------------------------
+# Adaptive best-bound-first tiling
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AdaptivePlan:
+    """Configuration for the tiled best-bound-first ``run_batch`` path.
+
+    ``top_k`` is the search's retention depth: the running k-th-best rate
+    over everything evaluated so far becomes the rate floor that
+    :func:`~repro.engine.bounds.strict_prune_threshold_for_rate` converts
+    into a batch-time ceiling between tiles.  ``floor_rate`` pre-seeds the
+    floor (e.g. from fabric threshold gossip); non-finite or negative
+    values are ignored, never trusted.  ``seed_fn`` is the surrogate hook:
+    called once after the memory stage, it may return bucket ids to
+    evaluate first (tile 0), pre-tightening the threshold before bound
+    order takes over — a pure speed hint, never a correctness input.
+    ``on_tile`` observes each completed tile ``(tile_bucket_ids,
+    survivor_bucket_ids, survivor_rates)`` for online surrogate training.
+    """
+
+    top_k: int
+    floor_rate: float = 0.0
+    tile_buckets: int = 64  # initial tile; doubles per tile (speed only)
+    seed_fn: Callable[["EvalBatch"], Sequence[int] | None] | None = None
+    on_tile: (
+        Callable[[np.ndarray, np.ndarray, np.ndarray], None] | None
+    ) = None
+
+
+# Ceiling for the geometric tile growth in batch_adaptive: large enough to
+# amortize per-tile fixed costs, small enough that a late floor tightening
+# still skips work.
+_TILE_BUCKETS_MAX = 1024
+
+
+def _strict_thresholds(
+    eb: EvalBatch, bucket_ids: np.ndarray, floor: float
+) -> np.ndarray:
+    """Per-bucket strict batch-time ceilings for a rate ``floor``.
+
+    One :func:`strict_prune_threshold_for_rate` call per distinct batch
+    size among ``bucket_ids`` (a search space usually has exactly one).
+    """
+    bvals = eb.b["batch"][bucket_ids].astype(np.float64)
+    out = np.empty(bvals.shape[0], dtype=np.float64)
+    for val in np.unique(bvals):
+        out[bvals == val] = strict_prune_threshold_for_rate(float(val), floor)
+    return out
+
+
+def batch_adaptive(
+    eb: EvalBatch,
+    plan: AdaptivePlan,
+    metrics: MetricsRegistry | None = None,
+) -> EvalBatch:
+    """Best-bound-first tiled replacement for prune + comm + assemble.
+
+    Requires ``batch_memory`` to have run.  Computes the roofline bound for
+    every feasible memory bucket up front, orders buckets best-bound-first,
+    and runs the comm/assembly stages tile by tile: after each tile the
+    running ``top_k``-th best rate tightens a strict batch-time ceiling and
+    every remaining bucket whose sound bound reaches it is skipped outright
+    (its candidates become bound-pruned without ever touching the comm
+    stage).  Because a skipped candidate's rate is provably *strictly*
+    below the running floor — and the floor only ever rises toward the
+    final k-th best — the stitched survivor columns yield a top-k
+    bit-identical to the untiled call under the search's ``lexsort``
+    retention.  Tile size and visit order affect only speed.
+
+    Per-tile survivor columns are concatenated and re-sorted by survivor
+    index, so ``sidx``/``cm``/``asm``/``rate_s`` land in the same canonical
+    order the untiled ``batch_comm``/``batch_assemble`` produce and every
+    downstream consumer (``iter_results``, materialization, top-k
+    selection) works unchanged.
+    """
+    timed = metrics is not None
+    t_comm = 0.0
+    t_asm = 0.0
+    eb.threshold = None
+    eb.bounds = batch_lower_bounds(eb)
+    eb.n_bound_evals = eb.n_feasible_buckets
+    bounds = eb.bounds
+    b = eb.b
+    fb = np.flatnonzero(b["ok"])
+    order = fb[np.argsort(bounds[fb], kind="stable")]
+
+    n_seeded = 0
+    if plan.seed_fn is not None and order.size:
+        raw = plan.seed_fn(eb)
+        if raw is None:
+            raw = ()
+        ok = b["ok"]
+        seen: set[int] = set()
+        seed: list[int] = []
+        for s in raw:
+            s = int(s)
+            if 0 <= s < eb.n_buckets and ok[s] and s not in seen:
+                seen.add(s)
+                seed.append(s)
+        if seed:
+            seed_arr = np.asarray(seed, dtype=order.dtype)
+            in_seed = np.zeros(eb.n_buckets, dtype=bool)
+            in_seed[seed_arr] = True
+            order = np.concatenate([seed_arr, order[~in_seed[order]]])
+            n_seeded = len(seed)
+    eb.n_seeded_buckets = n_seeded
+
+    k = max(int(plan.top_k), 0)
+    tile_n = max(int(plan.tile_buckets), 1)
+    floor = float(plan.floor_rate)
+    if not math.isfinite(floor) or floor < 0.0:
+        # Gossiped floors from empty/all-infeasible heaps arrive as -inf or
+        # nan; a non-finite floor must never prune (mirrors the guard in
+        # prune_threshold_for_rate).
+        floor = 0.0
+    top_rates = np.empty(0, dtype=np.float64)
+    parts: list[tuple[np.ndarray, ...]] = []
+    cm_parts: list[dict[str, np.ndarray]] = []
+    asm_parts: list[dict[str, np.ndarray]] = []
+    tiles = 0
+    n_skipped = 0
+    skipped_b = np.zeros(eb.n_buckets, dtype=bool)
+    remaining = order
+    filtered_floor = 0.0  # floor the remaining set was last filtered at
+    # One strict-threshold call per distinct batch size per floor change
+    # (spaces usually have exactly one); the per-bucket inverse map turns
+    # that into a vectorized per-bucket ceiling.
+    ubatch, ubinv = (
+        np.unique(b["batch"].astype(np.float64), return_inverse=True)
+        if eb.n_buckets
+        else (np.empty(0, dtype=np.float64), np.empty(0, dtype=np.int64))
+    )
+    while remaining.size:
+        if k > 0 and floor > filtered_floor:
+            thr_u = np.fromiter(
+                (strict_prune_threshold_for_rate(float(v), floor)
+                 for v in ubatch),
+                dtype=np.float64, count=ubatch.shape[0],
+            )
+            thr = thr_u[ubinv.ravel()[remaining]]
+            drop = bounds[remaining] >= thr
+            filtered_floor = floor
+            if drop.any():
+                dropped = remaining[drop]
+                skipped_b[dropped] = True
+                n_skipped += int(dropped.shape[0])
+                remaining = remaining[~drop]
+                if remaining.size == 0:
+                    break
+        tile_b = remaining[:tile_n]
+        remaining = remaining[tile_n:]
+        # Geometric growth: the floor converges within the first few tiles,
+        # after which small tiles only multiply the fixed per-tile cost of
+        # the comm/assembly passes.  Partitioning is correctness-neutral
+        # (any tile size yields bit-identical survivors), so later tiles
+        # double in size up to a cap.
+        tile_n = min(tile_n * 2, _TILE_BUCKETS_MAX)
+        tile_mask = np.zeros(eb.n_buckets, dtype=bool)
+        tile_mask[tile_b] = True
+        eb.surv_v = eb.feasible_v & tile_mask[eb.bid]
+        t0 = perf_counter() if timed else 0.0
+        batch_comm(eb)
+        if timed:
+            t1 = perf_counter()
+            t_comm += t1 - t0
+            t0 = t1
+        batch_assemble(eb)
+        if timed:
+            t_asm += perf_counter() - t0
+        tiles += 1
+        if eb.n_s:
+            parts.append((eb.sidx, eb.inp_s, eb.gid_s, eb.bid_s, eb.rate_s))
+            cm_parts.append(eb.cm)
+            asm_parts.append(eb.asm)
+            if k > 0:
+                cand = np.concatenate([top_rates, eb.rate_s])
+                if cand.shape[0] > k:
+                    cand = np.partition(cand, cand.shape[0] - k)[-k:]
+                top_rates = cand
+                if top_rates.shape[0] == k:
+                    new_floor = float(top_rates.min())
+                    if new_floor > floor:
+                        floor = new_floor
+            if plan.on_tile is not None:
+                plan.on_tile(tile_b, eb.bid_s, eb.rate_s)
+        elif plan.on_tile is not None:
+            plan.on_tile(
+                tile_b, np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.float64),
+            )
+
+    # -- final pruned/survivor state (mirrors batch_prune's shapes) ----------
+    eb.pruned_b = skipped_b
+    pruned_v = skipped_b[eb.bid]
+    eb.pruned_v = pruned_v
+    eb.n_pruned = int(np.count_nonzero(pruned_v))
+    eb.surv_v = eb.feasible_v & ~pruned_v
+    eb.n_survivors = int(np.count_nonzero(eb.surv_v))
+    eb.n_tiles = tiles
+    eb.n_skipped_buckets = n_skipped
+    eb.floor_rate = floor
+
+    # -- stitch per-tile survivor columns into canonical sidx order ---------
+    if parts:
+        all_sidx = np.concatenate([p[0] for p in parts])
+        order_s = np.argsort(all_sidx, kind="stable")
+        eb.sidx = all_sidx[order_s]
+        eb.inp_s = np.concatenate([p[1] for p in parts])[order_s]
+        eb.gid_s = np.concatenate([p[2] for p in parts])[order_s]
+        eb.bid_s = np.concatenate([p[3] for p in parts])[order_s]
+        eb.rate_s = np.concatenate([p[4] for p in parts])[order_s]
+        eb.n_s = int(eb.sidx.shape[0])
+        eb.cm = {
+            key: np.concatenate([part[key] for part in cm_parts])[order_s]
+            for key in cm_parts[0]
+        }
+        eb.asm = {
+            key: np.concatenate([part[key] for part in asm_parts])[order_s]
+            for key in asm_parts[0]
+        }
+        surv_b = np.zeros(eb.n_buckets, dtype=bool)
+        surv_b[eb.bid_s] = True
+        eb.surv_b = surv_b
+    else:
+        eb.sidx = np.empty(0, dtype=np.int64)
+        eb.inp_s = np.empty(0, dtype=np.int64)
+        eb.n_s = 0
+        eb.cm = {}
+        eb.asm = {}
+        eb.rate_s = np.empty(0, dtype=np.float64)
+        eb.surv_b = np.zeros(eb.n_buckets, dtype=bool)
+    if timed:
+        metrics.observe(_M_COMM, t_comm)
+        metrics.observe(_M_ASSEMBLE, t_asm)
+    return eb
+
+
+# ---------------------------------------------------------------------------
 # Orchestration, counters, materialization
 # ---------------------------------------------------------------------------
 
@@ -889,16 +1177,20 @@ def run_batch(
     *,
     prune_above: float | None = None,
     metrics: MetricsRegistry | None = None,
+    adaptive: AdaptivePlan | None = None,
 ) -> EvalBatch:
     """Run every batch stage in order; apply counters and stage timings.
 
     ``prune_above`` must already be resolved to a float threshold (or
-    ``None``); callable thresholds are read once by the caller.  Counters
-    land on ``metrics`` with the same names and totals the scalar batched
-    path produces; stage wall-time histograms are observed once per stage
-    with the aggregate duration (the scalar path observes per candidate /
-    group / bucket / survivor — totals are comparable, sample counts are
-    not).
+    ``None``); callable thresholds are read once by the caller.  Passing an
+    :class:`AdaptivePlan` replaces the prune/comm/assemble tail with the
+    best-bound-first tiled path (:func:`batch_adaptive`); ``prune_above``
+    is ignored in that case — the plan's self-tightening threshold
+    subsumes it.  Counters land on ``metrics`` with the same names and
+    totals the scalar batched path produces; stage wall-time histograms
+    are observed once per stage with the aggregate duration (the scalar
+    path observes per candidate / group / bucket / survivor — totals are
+    comparable, sample counts are not).
     """
     mx = metrics
     timed = mx is not None
@@ -917,17 +1209,22 @@ def run_batch(
     if timed:
         t1 = perf_counter()
         mx.observe(_M_MEMORY, t1 - t0)
-    batch_prune(eb, prune_above)  # untimed, like the scalar bound evals
-    if timed:
-        t0 = perf_counter()
-    batch_comm(eb)
-    if timed:
-        t1 = perf_counter()
-        mx.observe(_M_COMM, t1 - t0)
-        t0 = t1
-    batch_assemble(eb)
-    if timed:
-        mx.observe(_M_ASSEMBLE, perf_counter() - t0)
+    if adaptive is not None:
+        # Bounds stay untimed (like the scalar bound evals); the tiled
+        # comm/assemble loop observes its aggregate durations internally.
+        batch_adaptive(eb, adaptive, metrics=mx)
+    else:
+        batch_prune(eb, prune_above)  # untimed, like the scalar bound evals
+        if timed:
+            t0 = perf_counter()
+        batch_comm(eb)
+        if timed:
+            t1 = perf_counter()
+            mx.observe(_M_COMM, t1 - t0)
+            t0 = t1
+        batch_assemble(eb)
+        if timed:
+            mx.observe(_M_ASSEMBLE, perf_counter() - t0)
     if mx is not None:
         mx.inc(M_CANDIDATES, float(eb.n))
         mx.inc(M_REJECT_VALIDATE, float(eb.n_invalid))
@@ -936,9 +1233,14 @@ def run_batch(
         mx.inc(M_BUCKET_HITS, float(eb.n_valid - eb.n_buckets))
         mx.inc(M_REJECT_MEMORY, float(eb.n_rejected_memory))
         mx.inc(M_SHARED_INFEASIBLE, float(eb.n_shared_infeasible))
-        if prune_above is not None:
+        if prune_above is not None or adaptive is not None:
             mx.inc(M_BOUND_EVALS, float(eb.n_bound_evals))
             mx.inc(M_BOUND_PRUNED, float(eb.n_pruned))
+        if adaptive is not None:
+            mx.inc(M_BOUND_TILES, float(eb.n_tiles))
+            mx.inc(M_BOUND_SKIPPED_BUCKETS, float(eb.n_skipped_buckets))
+            if eb.n_seeded_buckets:
+                mx.inc(M_SURROGATE_SEEDED, float(eb.n_seeded_buckets))
         mx.inc(M_EVALUATED_FULL, float(eb.n_survivors))
         mx.inc(M_COLUMNAR_BATCHES)
         mx.inc(M_COLUMNAR_CANDIDATES, float(eb.n))
@@ -1107,11 +1409,13 @@ def iter_results(eb: EvalBatch) -> Iterator[tuple[int, PerformanceResult]]:
 __all__ = [
     "COLUMN_FIELDS",
     "COLUMN_NAMES",
+    "AdaptivePlan",
     "EvalBatch",
     "NUMPY_MIN_VERSION",
     "RECOMPUTE_NAMES",
     "TP_MODE_NAMES",
     "TP_OVERLAP_NAMES",
+    "batch_adaptive",
     "batch_assemble",
     "batch_comm",
     "batch_memory",

@@ -124,8 +124,11 @@ def batch_lower_bounds(eb: "EvalBatch") -> np.ndarray:
     bounds; entries of capacity-rejected buckets are meaningless (the
     caller masks them out) and their optimizer-step kernel is *not*
     invoked, matching the scalar path's per-feasible-bucket call set —
-    :func:`optim_step_time` stays a scalar (cached) call per feasible
-    training bucket, so comm-cache hit/miss accounting is unchanged.
+    :func:`optim_step_time` is invoked once per *distinct* feasible
+    ``(opt_bytes, traffic, tier)`` triple — many buckets share one
+    optimizer shape, and the kernel is deterministic in its arguments, so
+    deduplicating the scalar calls changes no bound value (it only shifts
+    comm-cache hits onto the vectorized scatter).
     """
     b = eb.b
 
@@ -141,17 +144,34 @@ def batch_lower_bounds(eb: "EvalBatch") -> np.ndarray:
     lb = lb + np.where(tr, Mb * bw, 0.0)
     lb = lb + np.where(tr, Mb * rc, 0.0)
     opt_t = np.zeros(eb.n_buckets, dtype=np.float64)
-    wg = eb.gprof["weight_grad_bytes"]
-    w = eb.gprof["weight_bytes"]
-    for bkt in np.flatnonzero(b["ok"] & tr):
-        bkt = int(bkt)
-        g = int(b["group"][bkt])
-        opt_bytes = float(b["opt_bytes"][bkt])
-        traffic = 2.0 * opt_bytes + int(b["bp"][bkt]) * (
-            float(wg[g]) + float(w[g])
-        ) / int(b["opt_shard"][bkt])
-        use_mem2 = bool(b["o_off"][bkt]) and eb.system.mem2 is not None
-        opt_t[bkt] = optim_step_time(eb.system, opt_bytes, traffic, use_mem2)
+    idx = np.flatnonzero(b["ok"] & tr)
+    if idx.size:
+        g = b["group"][idx]
+        wg = eb.gprof["weight_grad_bytes"][g]
+        w = eb.gprof["weight_bytes"][g]
+        opt_bytes = b["opt_bytes"][idx]
+        # Same expression structure and operation order as the scalar
+        # bound's per-bucket arithmetic, lane-wise — values bit-identical.
+        traffic = 2.0 * opt_bytes + b["bp"][idx] * (wg + w) / b["opt_shard"][idx]
+        use2 = (
+            (b["o_off"][idx] != 0)
+            if eb.system.mem2 is not None
+            else np.zeros(idx.shape[0], dtype=bool)
+        )
+        keys = np.empty((idx.shape[0], 3), dtype=np.float64)
+        keys[:, 0] = opt_bytes
+        keys[:, 1] = traffic
+        keys[:, 2] = use2
+        uniq, inv = np.unique(keys, axis=0, return_inverse=True)
+        vals = np.fromiter(
+            (
+                optim_step_time(eb.system, float(u[0]), float(u[1]), bool(u[2]))
+                for u in uniq
+            ),
+            dtype=np.float64,
+            count=uniq.shape[0],
+        )
+        opt_t[idx] = vals[inv.ravel()]
     lb = lb + opt_t
     t_f = b["bp"] * fw
     t_b = np.where(tr, b["bp"] * (bw + rc), 0.0)
@@ -171,13 +191,37 @@ def prune_threshold_for_rate(batch: float, rate_floor: float) -> float:
     every lower bound ``>= T``) yields a rate ``<= rate_floor`` — the heap
     would have rejected it anyway, making pruning provably lossless.
 
-    ``rate_floor <= 0`` disables pruning (returns ``inf``).
+    ``rate_floor <= 0`` disables pruning (returns ``inf``), and so does any
+    non-finite floor: an empty or all-infeasible heap reports its k-th-best
+    rate as ``-inf`` (or ``nan`` after degenerate arithmetic), and treating
+    either as a real floor would prune the entire space.
     """
-    if rate_floor <= 0.0:
+    if math.isnan(rate_floor) or rate_floor <= 0.0:
         return math.inf
     t = batch / rate_floor
     if t <= 0.0 or math.isnan(t):
         return math.inf
     while not math.isinf(t) and batch / t > rate_floor:
+        t = math.nextafter(t, math.inf)
+    return t
+
+
+def strict_prune_threshold_for_rate(batch: float, rate_floor: float) -> float:
+    """The smallest batch time whose sample rate is *strictly* below the floor.
+
+    :func:`prune_threshold_for_rate` is exact for the scalar stream-order
+    path, where the heap itself breaks rate ties by arrival order.  Tiled
+    best-bound-first evaluation processes candidates *out* of stream order,
+    so a tie at the floor must never be pruned — the final ``lexsort`` tie
+    break might still retain it.  This variant keeps bumping until
+    ``fl(batch / T) < rate_floor`` strictly, so every pruned candidate's
+    rate is provably below the current k-th best and can never enter the
+    top-k under any tile order.  The cost is that candidates tying the
+    floor exactly are evaluated in full — a negligible population.
+
+    Inherits the non-finite-floor guard (returns ``inf``).
+    """
+    t = prune_threshold_for_rate(batch, rate_floor)
+    while not math.isinf(t) and batch / t >= rate_floor:
         t = math.nextafter(t, math.inf)
     return t

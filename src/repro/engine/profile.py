@@ -67,8 +67,54 @@ def profile_key(
     )
 
 
+@dataclass(frozen=True)
+class _BlockBase:
+    """The recompute-independent core of a block profile.
+
+    The recompute mode changes neither the block structure nor any
+    per-layer roofline time — only which forward times are *replayed* and
+    which activations are stashed.  Factoring this core out and caching it
+    on the build key alone means the three recompute modes of one sharding
+    share a single :func:`~repro.llm.blocks.build_block` and one per-layer
+    timing sweep (a ~3x cut in profile work across a full search space).
+    ``layer_fw_totals`` keeps each layer's forward time in layer order, so
+    per-mode recompute sums replay the exact float accumulation the fused
+    loop used to produce — profiles stay bit-identical.
+    """
+
+    block: object
+    fw_time: float
+    bw_time: float
+    fw_hbm_idle: float
+    bw_hbm_idle: float
+    layer_fw_totals: tuple[float, ...]
+    layer_attn_only: tuple[bool, ...]
+    tp_fw_comm: float
+    tp_bw_comm: float
+    flops_fw: float
+    flops_bw: float
+    weight_bytes: float
+    weight_grad_bytes: float
+    optimizer_bytes: float
+    input_bytes: float
+    act_grad_bytes: float
+
+
+@lru_cache(maxsize=262144)
+def _layer_times(proc, hbm, layer):
+    """Memoized (forward, backward) roofline times of one layer.
+
+    Layers are frozen dataclasses, so identical shards reached from
+    different block keys (e.g. ``m=2, t=2`` vs ``m=1, t=1`` produce the
+    same per-processor GEMM) hash equal and share one roofline evaluation.
+    Pure memoization — values are whatever :func:`layer_fw_time` /
+    :func:`layer_bw_time` return.
+    """
+    return layer_fw_time(proc, hbm, layer), layer_bw_time(proc, hbm, layer)
+
+
 @lru_cache(maxsize=65536)
-def profile_block(
+def _block_base(
     llm: LLMConfig,
     system: System,
     microbatch: int,
@@ -76,10 +122,8 @@ def profile_block(
     seq_par: bool,
     fused: bool,
     tp_redo_sp: bool,
-    recompute: str,
-    tp_mode: str = "1d",
-) -> BlockProfile:
-    """Profile one sharded transformer block on one processor."""
+    tp_mode: str,
+) -> _BlockBase:
     block = build_block(
         llm,
         microbatch=microbatch,
@@ -93,17 +137,16 @@ def profile_block(
 
     fw_time = bw_time = 0.0
     fw_idle = bw_idle = 0.0
-    recompute_time = 0.0
+    fw_totals: list[float] = []
+    attn_only: list[bool] = []
     for layer in block.layers:
-        f = layer_fw_time(proc, hbm, layer)
-        b = layer_bw_time(proc, hbm, layer)
+        f, b = _layer_times(proc, hbm, layer)
         fw_time += f.total
         bw_time += b.total
         fw_idle += f.total - f.memory
         bw_idle += b.total - b.memory
-        replayed = recompute == "full" or (recompute == "attn_only" and layer.attn_only)
-        if replayed:
-            recompute_time += f.total
+        fw_totals.append(f.total)
+        attn_only.append(layer.attn_only)
 
     tp_net = system.network_for_span(tensor_par) if tensor_par > 1 else None
 
@@ -115,28 +158,71 @@ def profile_block(
             for ev in events
         )
 
-    tp_fw = comm_time(block.tp_comm_fw)
-    tp_bw = comm_time(block.tp_comm_bw)
-    # Full recompute replays the forward pass communication as well; the
-    # attention core contains no TP boundary, so selective recompute adds none.
-    tp_recompute = tp_fw if recompute == "full" else 0.0
-
-    return BlockProfile(
+    return _BlockBase(
+        block=block,
         fw_time=fw_time,
         bw_time=bw_time,
-        recompute_time=recompute_time,
         fw_hbm_idle=fw_idle,
         bw_hbm_idle=bw_idle,
+        layer_fw_totals=tuple(fw_totals),
+        layer_attn_only=tuple(attn_only),
+        tp_fw_comm=comm_time(block.tp_comm_fw),
+        tp_bw_comm=comm_time(block.tp_comm_bw),
         flops_fw=block.flops_fw(),
         flops_bw=block.flops_bw(),
         weight_bytes=block.weight_bytes(),
         weight_grad_bytes=block.weight_grad_bytes(),
         optimizer_bytes=block.optimizer_bytes(),
-        stash_bytes=block.stash_bytes(recompute),
         input_bytes=block.input_bytes,
         act_grad_bytes=2.0 * block.max_output_bytes(),
-        tp_fw_comm=tp_fw,
-        tp_bw_comm=tp_bw,
+    )
+
+
+@lru_cache(maxsize=65536)
+def profile_block(
+    llm: LLMConfig,
+    system: System,
+    microbatch: int,
+    tensor_par: int,
+    seq_par: bool,
+    fused: bool,
+    tp_redo_sp: bool,
+    recompute: str,
+    tp_mode: str = "1d",
+) -> BlockProfile:
+    """Profile one sharded transformer block on one processor."""
+    base = _block_base(
+        llm, system, microbatch, tensor_par, seq_par, fused, tp_redo_sp,
+        tp_mode,
+    )
+
+    # Replayed-forward sum in layer order: bit-identical to accumulating
+    # inside the original fused per-layer loop.
+    recompute_time = 0.0
+    for f_total, is_attn in zip(base.layer_fw_totals, base.layer_attn_only):
+        if recompute == "full" or (recompute == "attn_only" and is_attn):
+            recompute_time += f_total
+
+    # Full recompute replays the forward pass communication as well; the
+    # attention core contains no TP boundary, so selective recompute adds none.
+    tp_recompute = base.tp_fw_comm if recompute == "full" else 0.0
+
+    return BlockProfile(
+        fw_time=base.fw_time,
+        bw_time=base.bw_time,
+        recompute_time=recompute_time,
+        fw_hbm_idle=base.fw_hbm_idle,
+        bw_hbm_idle=base.bw_hbm_idle,
+        flops_fw=base.flops_fw,
+        flops_bw=base.flops_bw,
+        weight_bytes=base.weight_bytes,
+        weight_grad_bytes=base.weight_grad_bytes,
+        optimizer_bytes=base.optimizer_bytes,
+        stash_bytes=base.block.stash_bytes(recompute),
+        input_bytes=base.input_bytes,
+        act_grad_bytes=base.act_grad_bytes,
+        tp_fw_comm=base.tp_fw_comm,
+        tp_bw_comm=base.tp_bw_comm,
         tp_recompute_comm=tp_recompute,
     )
 
@@ -144,3 +230,5 @@ def profile_block(
 def clear_caches() -> None:
     """Drop every memoized block profile (e.g. between calibration passes)."""
     profile_block.cache_clear()
+    _block_base.cache_clear()
+    _layer_times.cache_clear()

@@ -48,6 +48,7 @@ def evaluate_chunk(
     chunk_index: int = 0,
     instrument: bool = True,
     trace_id: str | None = None,
+    floor_rate: float = 0.0,
 ) -> dict[str, Any]:
     """Evaluate global candidates ``[start, stop)``; return a wire payload.
 
@@ -55,10 +56,19 @@ def evaluate_chunk(
     (the full scalar candidate list) must be provided; the slice is taken
     here so callers hold one enumeration for all their chunks.
 
+    ``floor_rate`` is the coordinator's gossiped rate ceiling — the
+    cluster-wide k-th-best rate at lease-grant time.  The columnar path
+    seeds its adaptive threshold with it, so buckets provably below the
+    cluster's already-achieved top-k are skipped without pricing a single
+    comm kernel.  Lossless by construction: only candidates whose rate is
+    *strictly* below the floor are skipped, and the merge could never
+    retain those.  Non-finite or negative floors are ignored.
+
     The payload::
 
         {"n": int, "feasible": int,
          "top": [[rate, gidx, strategy_dict], ...],   # best first
+         "floor_rate": float,   # this chunk's local k-th-best rate report
          "snapshot": metrics-snapshot | None,
          "events": [trace spans] | None,
          "elapsed_s": float}
@@ -70,13 +80,16 @@ def evaluate_chunk(
     cc0 = comm_cache_stats() if registry is not None else (0, 0)
     if cols is not None:
         n, feasible, top = _evaluate_columnar(
-            llm, system, cols, start, stop, top_k, registry
+            llm, system, cols, start, stop, top_k, registry, floor_rate
         )
     else:
         n, feasible, top = _evaluate_scalar(
             llm, system, strategies, start, stop, top_k
         )
     elapsed = perf_counter() - t0
+    # Local k-th-best report for threshold gossip: the shipped list is
+    # ranked best-first, so a full list's tail is the chunk's k-th best.
+    local_floor = float(top[-1][0]) if len(top) == top_k and top else 0.0
     snapshot = events = None
     if registry is not None:
         cc1 = comm_cache_stats()
@@ -92,23 +105,36 @@ def evaluate_chunk(
         "n": n,
         "feasible": feasible,
         "top": top,
+        "floor_rate": local_floor,
         "snapshot": snapshot,
         "events": events,
         "elapsed_s": elapsed,
     }
 
 
-def _evaluate_columnar(llm, system, cols, start, stop, top_k, registry):
+def _evaluate_columnar(
+    llm, system, cols, start, stop, top_k, registry, floor_rate=0.0
+):
     import numpy as np
 
     from ..engine import batch as engine_batch
 
     sub = {name: arr[start:stop] for name, arr in cols.items()}
     eb = engine_batch.EvalBatch.from_columns(llm, system, sub)
-    engine_batch.run_batch(eb, prune_above=None, metrics=registry)
-    feasible = int(eb.n_s)
+    # Best-bound-first tiling with the gossiped floor as the starting
+    # threshold.  Skipped candidates are provably strictly below the floor
+    # (and below this chunk's own k-th best), so the shipped top-k is
+    # bit-identical to an untiled, un-gossiped evaluation of the slice.
+    plan = None
+    if top_k > 0:
+        plan = engine_batch.AdaptivePlan(top_k=top_k, floor_rate=floor_rate)
+    engine_batch.run_batch(eb, prune_above=None, metrics=registry,
+                           adaptive=plan)
+    # Bound-skipped candidates are memory-feasible by construction, so they
+    # count toward feasibility exactly as fully-priced survivors do.
+    feasible = int(eb.n_s) + int(getattr(eb, "n_pruned", 0))
     top: list[list[Any]] = []
-    if top_k > 0 and feasible > 0:
+    if top_k > 0 and eb.n_s > 0:
         # Same retention rule as _search_columnar: ties at the k-th rate
         # keep the earliest candidates in *stream* order; the shipped list
         # is then ranked by (-rate, global index).

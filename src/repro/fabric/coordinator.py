@@ -270,6 +270,24 @@ class FabricCoordinator:
             label = f"worker {worker}" if worker else "worker"
             self.tracer.add_events(payload["events"], label=label)
 
+    def _gossip_floor_locked(self) -> float:
+        """The cluster's current k-th-best rate, clamped safe for the wire.
+
+        This is the threshold-gossip payload: a full merge heap proves the
+        cluster already holds ``top_k`` candidates at or above this rate,
+        so workers may skip buckets whose sound upper bound falls strictly
+        below it.  ``0.0`` (no pruning) while the heap is short or the
+        threshold is non-finite — an empty or poisoned merge must never
+        tighten anyone's ceiling.
+        """
+        entry = self._merge.threshold()
+        if entry is None:
+            return 0.0
+        rate = float(entry[0])
+        if not np.isfinite(rate) or rate < 0.0:
+            return 0.0
+        return rate
+
     def _reap_expired_locked(self) -> None:
         now = perf_counter()
         for index in [i for i, l in self._leases.items() if now > l.deadline]:
@@ -309,6 +327,7 @@ class FabricCoordinator:
                 cols=self._cols, strategies=self._strategies,
                 chunk_index=spec.index, instrument=self.instrument,
                 trace_id=self.tracer.trace_id if self.tracer else None,
+                floor_rate=self._gossip_floor_locked(),
             )
             state.fallback = True
             self._complete_locked(state, payload, worker=None)
@@ -434,16 +453,22 @@ class FabricCoordinator:
                     self._emit("lease.steal", chunk=index, worker=worker_id,
                                previous=state.last_worker)
                 state.last_worker = worker_id
+                # Threshold gossip: every grant carries the cluster-wide
+                # k-th-best rate so far.  Chunks already absorbed tighten
+                # the ceiling for every chunk still to run.
+                floor = self._gossip_floor_locked()
                 self._emit(
                     "lease.grant", chunk=index, worker=worker_id,
                     start=state.spec.start, stop=state.spec.stop,
                     attempt=state.attempts, stolen=stolen,
+                    floor_rate=floor,
                 )
                 return {
                     "status": "lease",
                     "chunk": state.spec.to_dict(),
                     "attempt": state.attempts,
                     "deadline_s": self.lease_timeout,
+                    "floor_rate": floor,
                 }
             if self._leases:
                 return {"status": "wait", "poll_s": DEFAULT_POLL_S,

@@ -92,7 +92,8 @@ class TopKMerge:
         """The current admission floor ``(rate, gidx)`` once full, else None.
 
         A candidate must beat this ``(-rate, gidx)``-wise to be retained;
-        workers could use it to prune locally (not yet wired).
+        the coordinator gossips the rate on every lease grant so workers
+        prune buckets provably below it (``lease()`` → ``floor_rate``).
         """
         if self.k == 0 or len(self._heap) < self.k:
             return None

@@ -155,7 +155,9 @@ class FabricWorker:
                 continue
             chunk = reply["chunk"]
             self._fault_hooks(int(chunk["index"]))
-            payload = self.evaluate(chunk)
+            payload = self.evaluate(
+                chunk, floor_rate=float(reply.get("floor_rate") or 0.0)
+            )
             self.client.post(
                 "/chunk/result",
                 {
@@ -167,7 +169,7 @@ class FabricWorker:
             )
             self.chunks_done += 1
 
-    def evaluate(self, chunk: dict) -> dict[str, Any]:
+    def evaluate(self, chunk: dict, *, floor_rate: float = 0.0) -> dict[str, Any]:
         return evaluate_chunk(
             self._llm, self._system,
             int(chunk["start"]), int(chunk["stop"]), self._top_k,
@@ -175,6 +177,7 @@ class FabricWorker:
             chunk_index=int(chunk["index"]),
             instrument=self.instrument,
             trace_id=self.trace_id,
+            floor_rate=floor_rate,
         )
 
 

@@ -35,6 +35,14 @@ class EfficiencyCurve:
                 raise ValueError("curve flops must be positive")
             if not 0.0 < eff <= 1.0:
                 raise ValueError(f"efficiency must be in (0, 1], got {eff}")
+        # Breakpoints and their logs, precomputed once: __call__ sits on the
+        # per-layer roofline hot path and must not rebuild them per lookup.
+        # (Stored via object.__setattr__ because the dataclass is frozen;
+        # they are derived values, invisible to equality and hashing.)
+        object.__setattr__(self, "_xs", tuple(xs))
+        object.__setattr__(
+            self, "_logxs", tuple(math.log10(x) for x in xs)
+        )
 
     def __call__(self, op_flops: float) -> float:
         pts = self.points
@@ -42,11 +50,11 @@ class EfficiencyCurve:
             return pts[0][1]
         if op_flops >= pts[-1][0]:
             return pts[-1][1]
-        xs = [p[0] for p in pts]
-        i = bisect.bisect_right(xs, op_flops)
-        (x0, y0), (x1, y1) = pts[i - 1], pts[i]
-        frac = (math.log10(op_flops) - math.log10(x0)) / (
-            math.log10(x1) - math.log10(x0)
+        i = bisect.bisect_right(self._xs, op_flops)
+        y0, y1 = pts[i - 1][1], pts[i][1]
+        logxs = self._logxs
+        frac = (math.log10(op_flops) - logxs[i - 1]) / (
+            logxs[i] - logxs[i - 1]
         )
         return y0 + frac * (y1 - y0)
 

@@ -32,6 +32,8 @@ from .prometheus import escape_label_value, prometheus_name, render_prometheus
 from .stats import (
     M_BOUND_EVALS,
     M_BOUND_PRUNED,
+    M_BOUND_SKIPPED_BUCKETS,
+    M_BOUND_TILES,
     M_BUCKET_HITS,
     M_CANDIDATES,
     M_COLUMNAR_BATCHES,
@@ -45,6 +47,7 @@ from .stats import (
     M_REJECT_MEMORY,
     M_REJECT_VALIDATE,
     M_SHARED_INFEASIBLE,
+    M_SURROGATE_SEEDED,
     STAGE_NAMES,
     PruneStats,
     SweepStats,
@@ -77,6 +80,8 @@ __all__ = [
     "Tracer",
     "M_BOUND_EVALS",
     "M_BOUND_PRUNED",
+    "M_BOUND_SKIPPED_BUCKETS",
+    "M_BOUND_TILES",
     "M_BUCKET_HITS",
     "M_CANDIDATES",
     "M_COLUMNAR_BATCHES",
@@ -90,6 +95,7 @@ __all__ = [
     "M_REJECT_MEMORY",
     "M_REJECT_VALIDATE",
     "M_SHARED_INFEASIBLE",
+    "M_SURROGATE_SEEDED",
     "escape_label_value",
     "new_trace_id",
     "prometheus_name",

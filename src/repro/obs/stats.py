@@ -34,6 +34,9 @@ M_BUCKET_HITS = "engine.memory.bucket_hits"
 M_EVALUATED_FULL = "engine.evaluated_full"
 M_BOUND_EVALS = "engine.bound.evals"
 M_BOUND_PRUNED = "engine.bound.pruned"
+M_BOUND_TILES = "engine.bound.tiles"
+M_BOUND_SKIPPED_BUCKETS = "engine.bound.skipped_buckets"
+M_SURROGATE_SEEDED = "engine.surrogate.seeded"
 M_COMM_CACHE_HITS = "engine.comm_cache.hits"
 M_COMM_CACHE_MISSES = "engine.comm_cache.misses"
 M_COLUMNAR_BATCHES = "engine.columnar.batches"
@@ -77,6 +80,13 @@ class PruneStats:
     batches covered (the remaining ``candidates`` went through the scalar
     path), and ``columnar_fallback`` requests that asked for the columnar
     path but fell back to scalar (NumPy too old / import failure).
+
+    The adaptive best-bound-first layer adds ``bound_tiles`` bucket-ordered
+    tiles executed, ``bound_skipped_buckets`` memory buckets whose comm and
+    assembly stages never ran because their sound lower bound already
+    exceeded the tightening threshold (their candidates are a subset of
+    ``bound_pruned``), and ``surrogate_seeded`` tile-0 seed buckets picked
+    by the online surrogate ranking instead of bound order.
     """
 
     candidates: int = 0
@@ -89,6 +99,9 @@ class PruneStats:
     evaluated_full: int = 0
     bound_evals: int = 0
     bound_pruned: int = 0
+    bound_tiles: int = 0
+    bound_skipped_buckets: int = 0
+    surrogate_seeded: int = 0
     comm_cache_hits: int = 0
     comm_cache_misses: int = 0
     columnar_batches: int = 0
@@ -109,6 +122,9 @@ class PruneStats:
             evaluated_full=int(reg.value(M_EVALUATED_FULL)),
             bound_evals=int(reg.value(M_BOUND_EVALS)),
             bound_pruned=int(reg.value(M_BOUND_PRUNED)),
+            bound_tiles=int(reg.value(M_BOUND_TILES)),
+            bound_skipped_buckets=int(reg.value(M_BOUND_SKIPPED_BUCKETS)),
+            surrogate_seeded=int(reg.value(M_SURROGATE_SEEDED)),
             comm_cache_hits=int(reg.value(M_COMM_CACHE_HITS)),
             comm_cache_misses=int(reg.value(M_COMM_CACHE_MISSES)),
             columnar_batches=int(reg.value(M_COLUMNAR_BATCHES)),
@@ -174,6 +190,11 @@ class PruneStats:
             evaluated_full=self.evaluated_full + other.evaluated_full,
             bound_evals=self.bound_evals + other.bound_evals,
             bound_pruned=self.bound_pruned + other.bound_pruned,
+            bound_tiles=self.bound_tiles + other.bound_tiles,
+            bound_skipped_buckets=(
+                self.bound_skipped_buckets + other.bound_skipped_buckets
+            ),
+            surrogate_seeded=self.surrogate_seeded + other.surrogate_seeded,
             comm_cache_hits=self.comm_cache_hits + other.comm_cache_hits,
             comm_cache_misses=self.comm_cache_misses + other.comm_cache_misses,
             columnar_batches=self.columnar_batches + other.columnar_batches,
@@ -199,6 +220,12 @@ class PruneStats:
                 f"bound pruned          {self.bound_pruned:,} "
                 f"({self.bound_prune_rate * 100:.1f}% of feasible, "
                 f"{self.bound_evals:,} bounds computed)"
+            )
+        if self.bound_tiles:
+            lines.append(
+                f"adaptive tiles        {self.bound_tiles:,} "
+                f"({self.bound_skipped_buckets:,} buckets skipped, "
+                f"{self.surrogate_seeded:,} surrogate-seeded)"
             )
         if self.comm_cache_hits or self.comm_cache_misses:
             lines.append(

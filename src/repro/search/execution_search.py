@@ -45,9 +45,22 @@ from ..obs import (
     SweepStats,
     Tracer,
 )
-from ..obs.stats import M_CHUNK_SECONDS, STAGE_NAMES, stage_metric
+from ..obs.stats import (
+    M_BOUND_SKIPPED_BUCKETS,
+    M_BOUND_TILES,
+    M_CHUNK_SECONDS,
+    M_SURROGATE_SEEDED,
+    STAGE_NAMES,
+    stage_metric,
+)
 from .checkpoint import CheckpointJournal, run_key
 from .faults import FaultInjector, RetryPolicy, run_supervised
+from .surrogate import (
+    load_surrogate,
+    seed_sample_size,
+    store_surrogate,
+    surrogate_key,
+)
 
 logger = logging.getLogger(__name__)
 
@@ -283,6 +296,16 @@ def _chunk_trace_events(
             continue
         tracer.add_span(stage, "engine.stage", offset, dur, aggregate=True)
         offset += dur
+    tiles = int(registry.value(M_BOUND_TILES))
+    if tiles > 0:
+        # Adaptive tiled pass: one synthetic span carrying the tile/skip/
+        # seed counters, so traces show how hard the threshold bit.
+        tracer.add_span(
+            "adaptive", "engine.stage", start, elapsed, aggregate=True,
+            bound_tiles=tiles,
+            bound_skipped_buckets=int(registry.value(M_BOUND_SKIPPED_BUCKETS)),
+            surrogate_seeded=int(registry.value(M_SURROGATE_SEEDED)),
+        )
 
 
 def _evaluate_chunk(
@@ -318,6 +341,12 @@ def _evaluate_chunk(
     # optional seed floor (from search()'s cheap pre-pass) tightens the
     # ceiling before this chunk's own heap fills.
     prune_above = None
+    if not math.isfinite(seed_floor) or seed_floor < 0.0:
+        # A gossiped/seeded floor from an empty or all-infeasible heap can
+        # arrive as -inf or nan; pruning on it would discard the whole
+        # chunk, so it is clamped to "no floor" here (and again inside
+        # prune_threshold_for_rate).
+        seed_floor = 0.0
     floor_rate = seed_floor
     if bound_prune and strategies and top_k > 0:
         batch = float(strategies[0].batch)
@@ -423,11 +452,15 @@ def _search_columnar(
     tracer: Tracer | None,
     progress: ProgressReporter | None,
     t_start: float,
+    options: SearchOptions | None = None,
+    bound_prune: bool = True,
+    prune_seed: int = 0,
+    surrogate: bool = True,
+    floor_rate: float = 0.0,
 ) -> SearchResult:
     """Evaluate the whole candidate space as one vectorized columnar batch.
 
-    No chunking and no heap: every engine stage runs once over the full
-    struct-of-arrays batch, the top-k is selected from the survivor rate
+    No chunking and no heap: the top-k is selected from the survivor rate
     column with the scalar heap's exact retention rule (ties at the k-th
     rate keep the earliest candidates in *stream* order; the returned list
     is then ordered by rate, ties by enumeration index), and only those k
@@ -435,29 +468,63 @@ def _search_columnar(
     re-evaluated through the scalar pipeline — bit-identical by the
     engine's columnar equivalence contract, and a few microseconds each.
 
-    Bound pruning never engages here: it exists to skip *scalar* comm and
-    assembly work for hopeless candidates, but the vectorized comm stage
-    prices every surviving bucket in one pass, which is already cheaper
-    than computing and comparing bounds.  ``bound_prune`` / ``prune_seed``
-    are therefore no-ops on this path; the result (including ``top`` tie
-    retention) matches an *unseeded* scalar run.
+    When the caller needs nothing beyond the top-k (``bound_prune`` with
+    ``keep_rates=False``), evaluation runs the adaptive best-bound-first
+    tiled path (:class:`repro.engine.batch.AdaptivePlan`): buckets are
+    visited in roofline-bound order, the running k-th-best rate tightens a
+    strict threshold between tiles, and hopeless buckets never reach the
+    comm stage.  An online surrogate (``surrogate=True``) picks the tile-0
+    seed sample from persisted observations of previous runs —
+    ``prune_seed`` sizes that sample (its stride semantics apply only to
+    the scalar chunked path).  Both tiling and seeding affect speed only:
+    the retained top-k stays bit-identical to the untiled, unseeded run.
+    With ``keep_rates`` every candidate's rate is needed, so the batch
+    runs untiled exactly as before.
     """
     eb = engine_batch.EvalBatch.from_columns(llm, system, cols)
     n = eb.n
     if progress is not None:
         progress.set_total(n)
     registry = MetricsRegistry() if instrument else None
+    plan = None
+    sur = sur_key = None
+    do_adaptive = bool(bound_prune and not keep_rates and top_k > 0)
+    if do_adaptive:
+        seed_fn = on_tile = None
+        if surrogate:
+            sur_key = surrogate_key(llm, system, batch,
+                                    options or SearchOptions())
+            sur = load_surrogate(sur_key)
+            seed_n = seed_sample_size(prune_seed, top_k)
+            if seed_n > 0:
+                def seed_fn(batch_state):
+                    return sur.seed_buckets(batch_state, seed_n)
+
+            def on_tile(tile_b, bid_s, rate_s):
+                sur.observe_tile(eb, bid_s, rate_s)
+
+        plan = engine_batch.AdaptivePlan(
+            top_k=top_k, floor_rate=floor_rate,
+            seed_fn=seed_fn, on_tile=on_tile,
+        )
     t_run = perf_counter()
     if registry is not None:
         cc0 = comm_cache_stats()
     try:
-        engine_batch.run_batch(eb, prune_above=None, metrics=registry)
+        engine_batch.run_batch(
+            eb, prune_above=None, metrics=registry, adaptive=plan
+        )
     finally:
         if registry is not None:
             cc1 = comm_cache_stats()
             registry.inc(M_COMM_CACHE_HITS, cc1[0] - cc0[0])
             registry.inc(M_COMM_CACHE_MISSES, cc1[1] - cc0[1])
-    num_feasible = int(eb.n_s)
+    if sur is not None and sur_key is not None:
+        store_surrogate(sur_key, sur)
+    # Bound-pruned candidates are memory-feasible by construction — the
+    # comm/assemble stages never reject — so they count toward feasibility
+    # exactly as on the scalar pruned path.
+    num_feasible = int(eb.n_s) + int(getattr(eb, "n_pruned", 0))
     top: list[tuple[ExecutionStrategy, PerformanceResult]] = []
     if top_k > 0 and num_feasible > 0:
         srank = eb.stream_rank[eb.sidx]
@@ -515,6 +582,7 @@ def search(
     bound_prune: bool = True,
     prune_seed: int = 0,
     columnar: bool | None = None,
+    surrogate: bool = True,
     tracer: Tracer | None = None,
     collect_stats: bool = False,
     progress: ProgressReporter | None = None,
@@ -547,25 +615,36 @@ def search(
             for histograms and no breakdown for a predicate to inspect.
             ``num_feasible`` still counts pruned candidates (the comm and
             assembly stages never reject).
-        prune_seed: evaluate this many evenly-strided candidates serially
-            first and seed every chunk's prune threshold with the k-th best
-            rate found, so pruning bites before each chunk's own heap
-            fills.  0 (the default) disables seeding, which keeps the
-            result fully bit-identical; with seeding, the top-k *rates* are
-            unchanged but when several candidates tie exactly at the k-th
-            rate a different member of the tie may be retained.
+        prune_seed: seed the prune threshold before the main pass.  On the
+            scalar chunked path this many evenly-strided candidates are
+            evaluated serially first and the k-th best rate found seeds
+            every chunk's ceiling (with seeding the top-k *rates* are
+            unchanged, but a different member of an exact k-th-rate tie
+            may be retained).  On the pure-columnar adaptive path it sizes
+            the surrogate-picked tile-0 seed sample instead (0 keeps the
+            default size, negative disables seeding) and the result stays
+            fully bit-identical — seeding only reorders evaluation.
         columnar: route evaluation through the vectorized columnar engine
             (:mod:`repro.engine.batch`).  ``None`` (the default) engages it
             whenever it applies; ``False`` forces the scalar pipeline
             everywhere.  A serial search with no ``constraint`` and no
             fault-tolerance features runs *pure*-columnar: candidates are
             enumerated straight into NumPy columns and the whole space is
-            evaluated as one struct-of-arrays batch, materializing only the
-            top-k winners (``bound_prune``/``prune_seed`` are no-ops there —
-            see :func:`_search_columnar`).  Multi-worker and supervised
-            searches keep their chunked dispatch, with each chunk evaluated
-            columnar inside :func:`~repro.engine.iter_evaluate`.  Results
-            are bit-identical either way.
+            evaluated as one struct-of-arrays batch, materializing only
+            the top-k winners.  With ``bound_prune`` and
+            ``keep_rates=False`` that batch runs the adaptive
+            best-bound-first tiled path — buckets visited in roofline-
+            bound order, a strict self-tightening threshold skipping
+            hopeless buckets — which is where the engine's pruning pays
+            off most (see :func:`_search_columnar`).  Multi-worker and
+            supervised searches keep their chunked dispatch, with each
+            chunk evaluated columnar inside
+            :func:`~repro.engine.iter_evaluate`.  Results are bit-identical
+            either way.
+        surrogate: let the adaptive columnar path seed tile 0 from the
+            online learned ranking persisted in the surrogate store (see
+            :mod:`repro.search.surrogate`).  Speed-only — top-k identical
+            on or off; ``--no-surrogate`` maps here.
         tracer: records enumeration/chunk/stage spans (worker events merge
             onto the parent timeline; CLOCK_MONOTONIC is machine-wide).
         collect_stats: attach a :class:`~repro.obs.SweepStats` (per-stage
@@ -641,6 +720,8 @@ def search(
                 top_k=top_k, keep_rates=keep_rates, instrument=instrument,
                 collect_stats=collect_stats, tracer=tracer,
                 progress=progress, t_start=t_start,
+                options=options, bound_prune=bound_prune,
+                prune_seed=prune_seed, surrogate=surrogate,
             )
     strategies = list(candidate_strategies(llm, system, batch, options))
     if tracer is not None:
@@ -783,12 +864,33 @@ def search(
                     if progress is not None:
                         progress.update(results[n][0], results[n][1])
     else:
+        # Serial chunked dispatch runs chunks in sequence, so the prune
+        # threshold can gossip forward: the running k-th-best rate across
+        # completed chunks seeds the next chunk's ceiling.  Lossless for
+        # the merged top-k — the merge keeps earlier chunks' members of an
+        # exact k-th-rate tie, which is precisely what the earlier-chunk
+        # floor prunes from later chunks.
         results = []
+        gossip_heap: list[float] = []
+        floor = seed_floor
         for a in args:
+            if do_prune and floor > a[9]:
+                a = a[:9] + (floor,) + a[10:]
             r = _evaluate_chunk(a)
             results.append(r)
             if progress is not None:
                 progress.update(r[0], r[1])
+            if do_prune and top_k > 0:
+                for _strat, res in r[2]:
+                    rate = res.sample_rate
+                    if not math.isfinite(rate):
+                        continue
+                    if len(gossip_heap) < top_k:
+                        heapq.heappush(gossip_heap, rate)
+                    elif rate > gossip_heap[0]:
+                        heapq.heapreplace(gossip_heap, rate)
+                if len(gossip_heap) == top_k and gossip_heap[0] > floor:
+                    floor = gossip_heap[0]
     if progress is not None:
         progress.finish()
 

@@ -30,11 +30,14 @@ from ..llm.config import LLMConfig
 from ..obs import (
     M_BOUND_EVALS,
     M_BOUND_PRUNED,
+    M_BOUND_SKIPPED_BUCKETS,
+    M_BOUND_TILES,
     M_COLUMNAR_BATCHES,
     M_COLUMNAR_CANDIDATES,
     M_COLUMNAR_FALLBACK,
     M_COMM_CACHE_HITS,
     M_COMM_CACHE_MISSES,
+    M_SURROGATE_SEEDED,
     EventJournal,
     MetricsRegistry,
 )
@@ -101,12 +104,14 @@ class MicroBatcher:
         # Pre-register the engine's bound/comm-cache/columnar counters so
         # /metrics exposes them from the first scrape.  The service never
         # passes a prune_above threshold (every request needs its real
-        # result), so engine_bound_pruned stays 0 here; the comm-cache
-        # counters accumulate real hit/miss deltas from every batched
-        # dispatch, and the columnar counters record how many micro-batches
-        # rode the vectorized path.
+        # result), so engine_bound_pruned and the adaptive tile/skip/seed
+        # counters stay 0 here; the comm-cache counters accumulate real
+        # hit/miss deltas from every batched dispatch, and the columnar
+        # counters record how many micro-batches rode the vectorized path.
         for name in (
-            M_BOUND_EVALS, M_BOUND_PRUNED, M_COMM_CACHE_HITS, M_COMM_CACHE_MISSES,
+            M_BOUND_EVALS, M_BOUND_PRUNED, M_BOUND_TILES,
+            M_BOUND_SKIPPED_BUCKETS, M_SURROGATE_SEEDED,
+            M_COMM_CACHE_HITS, M_COMM_CACHE_MISSES,
             M_COLUMNAR_BATCHES, M_COLUMNAR_CANDIDATES, M_COLUMNAR_FALLBACK,
         ):
             self.metrics.inc(name, 0.0)

@@ -701,6 +701,12 @@ def make_server(
         EventJournal(events_path, source="server") if events_path else None
     )
     cache = ResultCache(cache_entries, cache_dir, metrics=metrics, events=events)
+    # Adaptive searches persist their learned tile-0 seeding state through
+    # the same content-addressed cache (kind="surrogate" keys), so a
+    # long-lived service warms up across requests and restarts.
+    from ..search.surrogate import configure_surrogate_store
+
+    configure_surrogate_store(cache)
     batcher = MicroBatcher(
         window=batch_window, max_batch=max_batch, metrics=metrics,
         columnar=columnar, events=events,

@@ -182,18 +182,28 @@ def _serve_chunk(
     _, prompts, _ = workload.sample()
     heap: list[tuple[float, int, int, ServePlan, ServeStats]] = []
     simulated = pruned = infeasible = violated = 0
+    # Tiled bound pass — the serving twin of the engine's best-bound-first
+    # tiling: price every plan's analytic SLO lower bounds up front, admit
+    # or prune on them, then simulate the survivors best-bound-first
+    # (smallest latency floor first).  ServeBounds carries no goodput upper
+    # bound, so the ordering is a pure locality hint here; retention uses
+    # the ``(goodput, -gidx)`` total order, so any simulation order yields
+    # a bit-identical top-k.
+    admitted: list[tuple[float, int, ServePlan]] = []
     for gidx, plan in indexed:
         if check_plan(llm, system, plan, workload) is not None:
             infeasible += 1
             continue
-        if prune and slo is not None and not slo_admits(
-            plan_bounds(llm, system, plan, workload, prompts), slo
-        ):
+        bounds = plan_bounds(llm, system, plan, workload, prompts)
+        if prune and slo is not None and not slo_admits(bounds, slo):
             # The lower bound already violates a target: the real run could
             # only be worse, so the plan provably cannot rank.  Skipping the
             # simulation cannot change the top-k.
             pruned += 1
             continue
+        admitted.append((bounds.ttft_p95 + bounds.tpot_p95, gidx, plan))
+    admitted.sort(key=lambda e: (e[0], e[1]))
+    for _bound, gidx, plan in admitted:
         try:
             stats = simulate_plan(
                 llm, system, plan, workload, slo=slo, max_batch=max_batch

@@ -1,0 +1,335 @@
+"""Adaptive best-bound-first tiling, floor guards, and the online surrogate.
+
+The load-bearing invariants of ISSUE 10's adaptive search layer:
+
+* ``batch_lower_bounds`` is **bit-identical** to the scalar
+  ``roofline_lower_bound`` for every feasible memory bucket (property-based
+  over random candidate mixes — this is what makes tiled skipping sound);
+* the tiled best-bound-first path produces bit-identical survivors and an
+  identical top-k retention for *any* tile size and *any* seed order —
+  tiling and seeding are speed hints, never correctness inputs;
+* non-finite rate floors (a gossiped k-th best from an empty heap arrives
+  as ``-inf`` or ``nan``) are ignored everywhere they can enter: the
+  threshold converters, :class:`AdaptivePlan`, the fabric chunk evaluator
+  and the coordinator's gossip;
+* the surrogate changes nothing but evaluation order: on/off runs retain
+  the same top-k, and its state survives a round-trip through the service
+  result cache.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import clear_caches
+from repro.engine import batch as engine_batch
+from repro.engine.batch import AdaptivePlan, EvalBatch, run_batch
+from repro.engine.bounds import (
+    batch_lower_bounds,
+    prune_threshold_for_rate,
+    strict_prune_threshold_for_rate,
+)
+from repro.engine.context import EvalContext
+from repro.engine.profile import profile_block, profile_key
+from repro.engine.stages import fill_scalars, stage_memory
+from repro.engine.bounds import roofline_lower_bound
+from repro.execution import ExecutionStrategy
+from repro.hardware import a100_system
+from repro.llm import TINY_TEST
+from repro.search import SearchOptions, search
+from repro.search import surrogate as sur_mod
+from repro.search.surrogate import (
+    MIN_OBSERVATIONS,
+    N_FEATURES,
+    RateSurrogate,
+    configure_surrogate_store,
+    load_surrogate,
+    seed_sample_size,
+    surrogate_key,
+)
+from repro.service.cache import ResultCache
+
+SYS64 = a100_system(64)
+
+_random_strategy = st.builds(
+    ExecutionStrategy,
+    tensor_par=st.sampled_from([1, 2, 4, 8]),
+    pipeline_par=st.sampled_from([1, 2, 4]),
+    data_par=st.sampled_from([1, 2, 4, 8]),
+    batch=st.sampled_from([32, 64]),
+    microbatch=st.sampled_from([1, 2, 4]),
+    pp_interleaving=st.sampled_from([1, 2]),
+    seq_par=st.booleans(),
+    tp_redo_sp=st.booleans(),
+    tp_overlap=st.sampled_from(["none", "ring"]),
+    dp_overlap=st.booleans(),
+    optimizer_sharding=st.booleans(),
+    recompute=st.sampled_from(["none", "attn_only", "full"]),
+    training=st.booleans(),
+)
+
+
+def _scalar_bound(llm, system, strategy) -> float | None:
+    """The scalar fast path's bound, exactly as the engine computes it."""
+    try:
+        strategy.validate(llm, system)
+    except Exception:
+        return None
+    ctx = EvalContext(llm, system, strategy)
+    fill_scalars(ctx)
+    ctx.prof = profile_block(llm, system, *profile_key(strategy))
+    stage_memory(ctx)
+    if ctx.error is not None:
+        return None
+    return roofline_lower_bound(ctx)
+
+
+def _build_batch(strategies) -> EvalBatch:
+    cols = engine_batch.columns_from_strategies(strategies)
+    return EvalBatch.from_columns(TINY_TEST, SYS64, cols)
+
+
+def _top_retention(eb: EvalBatch, k: int) -> list[tuple[int, float]]:
+    """The search's exact top-k retention over an evaluated batch."""
+    if eb.n_s == 0 or k <= 0:
+        return []
+    srank = eb.stream_rank[eb.sidx]
+    keep = np.lexsort((srank, -eb.rate_s))[:k]
+    return sorted(
+        (int(eb.sidx[i]), float(eb.rate_s[i])) for i in keep
+    )
+
+
+# -- threshold guards (satellite: non-finite floors) -------------------------
+
+
+@pytest.mark.parametrize("floor", [math.nan, -math.inf, -1.0, 0.0])
+@pytest.mark.parametrize(
+    "fn", [prune_threshold_for_rate, strict_prune_threshold_for_rate]
+)
+def test_threshold_nonfinite_floor_never_prunes(fn, floor):
+    """nan/-inf/non-positive floors must disable pruning, not prune it all.
+
+    An empty or all-infeasible top-k heap reports its k-th best rate as
+    ``-inf`` (or ``nan`` after degenerate arithmetic); treating either as a
+    real floor would produce a threshold of 0 and prune the entire space.
+    """
+    assert fn(64.0, floor) == math.inf
+
+
+def test_strict_threshold_excludes_floor_ties():
+    floor = 8.0
+    t = strict_prune_threshold_for_rate(64.0, floor)
+    assert 64.0 / t < floor  # strictly below: a tie can never be pruned
+    # and it is the *smallest* such time (one step down ties or beats)
+    assert 64.0 / math.nextafter(t, 0.0) >= floor
+
+
+def test_threshold_positive_infinite_floor():
+    # rate floor +inf: nothing can beat it, threshold collapses to inf
+    # via the t <= 0 branch (batch / inf == 0).
+    assert prune_threshold_for_rate(64.0, math.inf) == math.inf
+    assert strict_prune_threshold_for_rate(64.0, math.inf) == math.inf
+
+
+@pytest.mark.parametrize("floor", [math.nan, -math.inf, math.inf, -5.0])
+def test_adaptive_plan_ignores_nonfinite_floor(floor):
+    """A poisoned AdaptivePlan.floor_rate must not change the survivors."""
+    strategies = [
+        ExecutionStrategy(
+            tensor_par=t, pipeline_par=p, data_par=d, batch=32,
+            microbatch=m, recompute=rc,
+        )
+        for t, p, d in [(1, 1, 1), (2, 1, 2), (4, 2, 1), (1, 2, 4)]
+        for m in (1, 2)
+        for rc in ("none", "full")
+    ]
+    clear_caches()
+    ref = _build_batch(strategies)
+    run_batch(ref, adaptive=AdaptivePlan(top_k=3, floor_rate=0.0))
+    clear_caches()
+    poisoned = _build_batch(strategies)
+    run_batch(poisoned, adaptive=AdaptivePlan(top_k=3, floor_rate=floor))
+    assert ref.n_s == poisoned.n_s
+    assert np.array_equal(ref.sidx, poisoned.sidx)
+    assert np.array_equal(ref.rate_s, poisoned.rate_s)
+    assert _top_retention(ref, 3) == _top_retention(poisoned, 3)
+
+
+# -- property: vectorized bounds == scalar bounds ----------------------------
+
+
+@given(strategies=st.lists(_random_strategy, min_size=1, max_size=30))
+@settings(max_examples=25, deadline=None)
+def test_batch_lower_bounds_bit_identical_to_scalar(strategies):
+    """Every feasible bucket's vectorized bound equals the scalar bound."""
+    clear_caches()
+    eb = _build_batch(strategies)
+    engine_batch.batch_validate(eb)
+    engine_batch.batch_profile(eb)
+    engine_batch.batch_memory(eb)
+    bounds = batch_lower_bounds(eb)
+    checked = 0
+    for j in range(int(eb.vidx.shape[0])):
+        bkt = int(eb.bid[j])
+        if not bool(eb.b["ok"][bkt]):
+            continue
+        want = _scalar_bound(TINY_TEST, SYS64, strategies[int(eb.vidx[j])])
+        assert want is not None
+        # Bit-identical, not approximately equal: pruning soundness rests
+        # on the vectorized bound reproducing the scalar float exactly.
+        assert bounds[bkt] == want
+        checked += 1
+    assert checked or not any(
+        _scalar_bound(TINY_TEST, SYS64, s) is not None for s in strategies
+    )
+
+
+# -- property: any tiling, any seed == untiled -------------------------------
+
+
+@given(
+    strategies=st.lists(_random_strategy, min_size=1, max_size=30),
+    tile=st.integers(min_value=1, max_value=40),
+    k=st.sampled_from([1, 3, 10]),
+    seed=st.lists(
+        st.integers(min_value=-5, max_value=60), min_size=0, max_size=12
+    ),
+)
+@settings(max_examples=25, deadline=None)
+def test_adaptive_any_tiling_bit_identical(strategies, tile, k, seed):
+    """Tiled best-bound-first == untiled, for any tile size and seed order.
+
+    The adaptive run may prune buckets, but every candidate it keeps must
+    carry bit-identical columns, and the search's top-k retention over its
+    survivors must equal the retention over the full (untiled) survivor
+    set — including rate ties, which the strict threshold must never prune.
+    """
+    clear_caches()
+    full = _build_batch(strategies)
+    run_batch(full)  # untiled: every feasible candidate priced
+    clear_caches()
+    adap = _build_batch(strategies)
+    plan = AdaptivePlan(
+        top_k=k, tile_buckets=tile, seed_fn=lambda eb: seed
+    )
+    run_batch(adap, adaptive=plan)
+
+    # Survivor accounting: pruned + surviving == all feasible.
+    assert adap.n_s + adap.n_pruned == full.n_s
+
+    # Surviving candidates carry bit-identical rates (and thus identical
+    # comm/assembly columns upstream of them).
+    pos = np.searchsorted(full.sidx, adap.sidx)
+    assert np.array_equal(full.sidx[pos], adap.sidx)
+    assert np.array_equal(full.rate_s[pos], adap.rate_s)
+    for key in adap.cm:
+        assert np.array_equal(full.cm[key][pos], adap.cm[key]), key
+    for key in adap.asm:
+        assert np.array_equal(full.asm[key][pos], adap.asm[key]), key
+
+    # The retention the search applies is identical.
+    assert _top_retention(full, k) == _top_retention(adap, k)
+
+
+# -- surrogate: speed-only, persistent ---------------------------------------
+
+
+def _tiny_search(**kw):
+    return search(
+        TINY_TEST, SYS64, 64, SearchOptions(), top_k=5, workers=0,
+        keep_rates=False, columnar=True, **kw,
+    )
+
+
+def test_surrogate_on_off_top_k_identical():
+    sur_mod._reset_for_tests()
+    try:
+        clear_caches()
+        off = _tiny_search(surrogate=False)
+        clear_caches()
+        on = _tiny_search(surrogate=True)  # untrained: falls back to bounds
+        clear_caches()
+        trained = _tiny_search(surrogate=True)  # now seeded from run 2
+        for other in (on, trained):
+            assert len(off.top) == len(other.top)
+            for (s1, r1), (s2, r2) in zip(off.top, other.top):
+                assert s1 == s2
+                assert r1 == r2
+    finally:
+        sur_mod._reset_for_tests()
+
+
+def test_surrogate_negative_prune_seed_disables_seeding():
+    sur_mod._reset_for_tests()
+    try:
+        clear_caches()
+        _tiny_search()  # train
+        clear_caches()
+        seeded = _tiny_search(collect_stats=True)
+        clear_caches()
+        unseeded = _tiny_search(prune_seed=-1, collect_stats=True)
+        assert unseeded.stats.engine.surrogate_seeded == 0
+        for (s1, r1), (s2, r2) in zip(seeded.top, unseeded.top):
+            assert s1 == s2 and r1 == r2
+    finally:
+        sur_mod._reset_for_tests()
+
+
+def test_surrogate_persists_through_result_cache(tmp_path):
+    sur_mod._reset_for_tests()
+    try:
+        cache = ResultCache(cache_dir=tmp_path)
+        configure_surrogate_store(cache)
+        clear_caches()
+        _tiny_search()
+        key = surrogate_key(TINY_TEST, SYS64, 64, SearchOptions())
+        payload = cache.get(key)
+        assert payload is not None
+        sur = RateSurrogate.from_payload(payload)
+        assert sur is not None and sur.count > 0
+
+        # A fresh process (cleared memory registry) reloads from the store.
+        sur_mod._MEMORY.clear()
+        reloaded = load_surrogate(key)
+        assert reloaded.count == sur.count
+        assert np.array_equal(reloaded.xtx, sur.xtx)
+        assert np.array_equal(reloaded.xty, sur.xty)
+    finally:
+        sur_mod._reset_for_tests()
+
+
+def test_surrogate_payload_roundtrip_and_rejects_garbage():
+    rng = np.random.default_rng(7)
+    sur = RateSurrogate()
+    feats = rng.normal(size=(MIN_OBSERVATIONS, N_FEATURES))
+    rates = np.abs(rng.normal(size=MIN_OBSERVATIONS)) + 0.1
+    sur.observe(feats, rates)
+    assert sur.trained
+    back = RateSurrogate.from_payload(sur.to_payload())
+    assert back is not None
+    assert back.count == sur.count
+    assert np.array_equal(back.xtx, sur.xtx)
+    assert np.array_equal(back.xty, sur.xty)
+    assert RateSurrogate.from_payload(None) is None
+    assert RateSurrogate.from_payload({"version": 99}) is None
+    assert RateSurrogate.from_payload({"version": 1, "xtx": [[1.0]]}) is None
+
+
+def test_surrogate_nonpositive_rates_carry_no_signal():
+    sur = RateSurrogate()
+    feats = np.ones((4, N_FEATURES))
+    sur.observe(feats, np.array([0.0, -1.0, math.nan, -math.inf]))
+    assert sur.count == 0
+    assert not sur.trained
+
+
+def test_seed_sample_size_semantics():
+    assert seed_sample_size(-1, 10) == 0
+    assert seed_sample_size(0, 10) == max(64, 10)
+    assert seed_sample_size(0, 100) == 100
+    assert seed_sample_size(7, 10) == 10
+    assert seed_sample_size(200, 10) == 200
